@@ -1,0 +1,100 @@
+// Extension bench: cluster-level rejuvenation (the paper's companion work
+// [2] extends the single-server algorithms to clusters of hosts).
+//
+// Sweeps a 4-host cluster across aggregate offered load and compares:
+//   - no rejuvenation (the aging spiral takes every host),
+//   - independent per-host rejuvenation,
+//   - rolling rejuvenation (at most one host restoring at a time),
+// under a 120 s capacity-restoration time with a health-checking balancer,
+// and contrasts routing policies at the heaviest load.
+#include <iostream>
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "harness/paper.h"
+
+namespace {
+
+using namespace rejuv;
+
+struct Row {
+  double avg_rt;
+  double loss;
+  std::uint64_t rejuvenations;
+  std::uint64_t deferred;
+};
+
+Row run(cluster::ClusterConfig config, const cluster::DetectorFactory& factory,
+        std::uint64_t transactions, std::uint64_t seed) {
+  sim::Simulator simulator;
+  cluster::Cluster cluster(simulator, config, factory, seed);
+  cluster.run_transactions(transactions);
+  const cluster::ClusterMetrics m = cluster.metrics();
+  return {m.response_time.mean(), m.loss_fraction(), m.rejuvenations,
+          m.deferred_rejuvenations};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = common::Flags::parse(argc, argv);
+  const auto transactions = static_cast<std::uint64_t>(flags.get_int("txns", 40000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 20060625));
+  constexpr std::size_t kHosts = 4;
+
+  std::cout << "### extension — cluster rejuvenation strategies (4 hosts, SARAA(2,5,3) per "
+               "host, 120 s restore)\n\n";
+
+  const cluster::DetectorFactory saraa = [] {
+    return core::make_detector(harness::saraa_config({2, 5, 3}));
+  };
+  const cluster::DetectorFactory none = [] { return std::unique_ptr<core::Detector>(); };
+
+  common::Table table({"load_cpus_per_host", "none_rt", "none_loss", "indep_rt", "indep_loss",
+                       "rolling_rt", "rolling_loss", "rolling_deferred"});
+  for (const double per_host_load : {2.0, 5.0, 8.0, 9.0, 10.0}) {
+    cluster::ClusterConfig config;
+    config.hosts = kHosts;
+    config.host_config = harness::paper_system();
+    config.host_config.rejuvenation_downtime_seconds = 120.0;
+    config.total_arrival_rate =
+        per_host_load * config.host_config.service_rate * static_cast<double>(kHosts);
+
+    const Row unmanaged = run(config, none, transactions, seed);
+    config.strategy = cluster::RejuvenationStrategy::kIndependent;
+    const Row independent = run(config, saraa, transactions, seed);
+    config.strategy = cluster::RejuvenationStrategy::kRolling;
+    const Row rolling = run(config, saraa, transactions, seed);
+
+    table.add_row({common::format_double(per_host_load, 1),
+                   common::format_double(unmanaged.avg_rt, 2),
+                   common::format_double(unmanaged.loss, 4),
+                   common::format_double(independent.avg_rt, 2),
+                   common::format_double(independent.loss, 4),
+                   common::format_double(rolling.avg_rt, 2),
+                   common::format_double(rolling.loss, 4),
+                   std::to_string(rolling.deferred)});
+  }
+  common::print_table(std::cout, "cluster strategies vs per-host offered load", table);
+
+  std::cout << "routing policies at 9.0 CPUs/host (independent strategy):\n\n";
+  common::Table routing_table({"routing", "avg_rt", "loss", "rejuvenations"});
+  for (const auto& [name, policy] :
+       {std::pair{"round-robin", cluster::RoutingPolicy::kRoundRobin},
+        std::pair{"random", cluster::RoutingPolicy::kRandom},
+        std::pair{"least-loaded", cluster::RoutingPolicy::kLeastLoaded}}) {
+    cluster::ClusterConfig config;
+    config.hosts = kHosts;
+    config.host_config = harness::paper_system();
+    config.host_config.rejuvenation_downtime_seconds = 120.0;
+    config.total_arrival_rate = 9.0 * config.host_config.service_rate * kHosts;
+    config.routing = policy;
+    const Row row = run(config, saraa, transactions, seed);
+    routing_table.add_row({name, common::format_double(row.avg_rt, 2),
+                           common::format_double(row.loss, 4), std::to_string(row.rejuvenations)});
+  }
+  common::print_table(std::cout, "routing policy comparison", routing_table);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Fig. 9 (average response time) and Fig. 10 (fraction of
+// transactions lost) of the paper: SRAA with n*K*D = 15 over the seven
+// configurations (1,3,5), (1,5,3), (3,1,5), (3,5,1), (5,1,3), (5,3,1),
+// (15,1,1), swept over offered load.
+//
+// Paper expectation (§5.1): a clear dichotomy — the K=1 configurations give
+// better RTs across the whole load range but pay with measurable transaction
+// loss at low loads; K>1 configurations lose almost nothing at low loads but
+// have higher RT and higher loss at high loads.
+#include "figure_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace rejuv;
+  const auto options = bench::parse_figure_options(argc, argv);
+  const auto configs = harness::fig09_configs();
+  const std::string refs[] = {std::string("Fig. 9")};
+  bench::run_figure("Fig. 9/10 — SRAA, n*K*D = 15", configs, options, refs,
+                    /*with_loss_table=*/true);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Fig. 11: SRAA with n*K*D = 30 obtained by doubling the sample
+// size of every Fig. 9 configuration.
+//
+// Paper expectation (§5.2): doubling n hurts the response time — e.g. at
+// 9.0 CPUs, (15,1,1) gave 6.2 s but (30,1,1) gives 9.9 s, and (3,5,1)'s
+// 10.45 s becomes 14.3 s for (6,5,1) — because a larger sample takes longer
+// to collect, so rejuvenation triggers later.
+#include "figure_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace rejuv;
+  const auto options = bench::parse_figure_options(argc, argv);
+  const auto configs = harness::fig11_configs();
+  const std::string refs[] = {std::string("Fig. 11")};
+  bench::run_figure("Fig. 11 — SRAA, n*K*D = 30, sample size doubled", configs, options, refs,
+                    /*with_loss_table=*/false);
+  return 0;
+}

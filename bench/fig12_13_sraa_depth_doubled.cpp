@@ -1,0 +1,20 @@
+// Reproduces Fig. 12 (response time) and Fig. 13 (transaction loss): SRAA
+// with n*K*D = 30 obtained by doubling the bucket depth of every Fig. 9
+// configuration.
+//
+// Paper expectation (§5.3): doubling D affects the response time less
+// severely than doubling n (compare with Fig. 11), and it lowers the loss at
+// low loads for the multi-bucket configurations — (1,3,10), (1,5,6), (5,3,2)
+// lose a negligible fraction at 0.5 CPUs while the K=1 configurations still
+// show measurable loss there.
+#include "figure_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace rejuv;
+  const auto options = bench::parse_figure_options(argc, argv);
+  const auto configs = harness::fig12_configs();
+  const std::string refs[] = {std::string("Fig. 12")};
+  bench::run_figure("Fig. 12/13 — SRAA, n*K*D = 30, bucket depth doubled", configs, options, refs,
+                    /*with_loss_table=*/true);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Fig. 14: SRAA with n*K*D = 30 obtained by doubling the number
+// of buckets of the Fig. 9 configurations (plus (5,2,3), which §5.4's text
+// highlights as the second-best tradeoff).
+//
+// Paper expectation (§5.4): doubling K hurts the response time — (15,2,1)
+// gives 11.05 s at 9.0 CPUs where (15,1,1) gave 6.2 s — but produces the
+// best RT/loss tradeoffs: (3,2,5) combines 0.000026 loss at 0.5 CPUs with
+// 10.3 s at 9.0 CPUs.
+#include "figure_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace rejuv;
+  const auto options = bench::parse_figure_options(argc, argv);
+  const auto configs = harness::fig14_configs();
+  const std::string refs[] = {std::string("Fig. 14")};
+  bench::run_figure("Fig. 14 — SRAA, n*K*D = 30, number of buckets doubled", configs, options,
+                    refs, /*with_loss_table=*/true);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Reproduces Fig. 15: SARAA with n*K*D = 30 for (2,3,5), (2,5,3), (6,5,1),
+// (10,3,1), with the corresponding SRAA configurations alongside for the
+// §5.5 comparisons.
+//
+// Paper expectation: SARAA improves the high-load response time over SRAA
+// while keeping the negligible low-load loss — at 9.0 CPUs, (2,5,3) improves
+// from 11.94 s (SRAA) to 10.5 s, (2,3,5) from 11.05 s to 9.8 s, and (6,5,1)
+// from 14.3 s to 11 s.
+#include "figure_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace rejuv;
+  const auto options = bench::parse_figure_options(argc, argv);
+
+  std::vector<core::DetectorConfig> configs = harness::fig15_configs();
+  // The SRAA counterparts the §5.5 text compares against.
+  for (const auto triple :
+       {harness::NkdTriple{2, 3, 5}, harness::NkdTriple{2, 5, 3}, harness::NkdTriple{6, 5, 1}}) {
+    configs.push_back(harness::sraa_config(triple));
+  }
+
+  const std::string refs[] = {std::string("Fig. 15")};
+  bench::run_figure("Fig. 15 — SARAA, n*K*D = 30 (SRAA counterparts included)", configs, options,
+                    refs, /*with_loss_table=*/true);
+  return 0;
+}

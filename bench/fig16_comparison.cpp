@@ -1,0 +1,18 @@
+// Reproduces Fig. 16: the three-way comparison of CLTA(n=30, z=1.96),
+// SRAA(2,5,3) and SARAA(2,5,3), all with n*K*D = 30.
+//
+// Paper expectation (§5.6): CLTA degrades performance at both ends — at
+// 0.5 CPUs it drops 0.001406 of transactions where SRAA/SARAA drop a
+// negligible fraction, and at 9.0 CPUs its average RT (12.8 s) exceeds
+// SRAA's (11.94 s) and SARAA's (10.5 s).
+#include "figure_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace rejuv;
+  const auto options = bench::parse_figure_options(argc, argv);
+  const auto configs = harness::fig16_configs();
+  const std::string refs[] = {std::string("Fig. 16")};
+  bench::run_figure("Fig. 16 — SRAA vs SARAA vs CLTA, n*K*D = 30", configs, options, refs,
+                    /*with_loss_table=*/true);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Adaptive monitoring: estimating the baseline online instead of taking it
+// from the SLA — the paper's section 6 future-work direction.
+//
+// A CalibratingDetector watches an initial healthy window, estimates
+// (muX, sigmaX) itself, and then runs the configured algorithm with the
+// estimated baseline. This example shows it deployed on a system whose
+// normal behaviour differs from the SLA numbers (mean 3 s instead of 5 s):
+// the adaptive detector catches a degradation that the fixed SLA baseline
+// misses for much longer.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/factory.h"
+#include "sim/variates.h"
+
+namespace {
+
+/// Observations until first trigger on a stream that is healthy for `healthy`
+/// observations (Exp with the given mean) and then degrades by +shift.
+int detect_after(rejuv::core::Detector& detector, double healthy_mean, double shift,
+                 int healthy, int budget, std::uint64_t seed) {
+  rejuv::common::RngStream rng(seed, 0);
+  for (int i = 0; i < healthy; ++i) {
+    detector.observe(rejuv::sim::exponential(rng, 1.0 / healthy_mean));
+  }
+  for (int i = 1; i <= budget; ++i) {
+    const double rt = shift + rejuv::sim::exponential(rng, 1.0 / healthy_mean);
+    if (detector.observe(rt) == rejuv::core::Decision::kRejuvenate) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rejuv;
+
+  // The system's true normal behaviour: mean 3 s (the SLA assumed 5 s).
+  constexpr double kTrueMean = 3.0;
+  // A severe degradation by 6 true sigmas - but only ~3.6 SLA sigmas, so a
+  // detector verifying a 4-sigma shift against the SLA baseline misses it.
+  constexpr double kShift = 18.0;
+
+  core::DetectorConfig config;
+  config.algorithm = core::Algorithm::kSraa;
+  config.sample_size = 2;
+  config.buckets = 5;
+  config.depth = 3;
+
+  // Fixed SLA baseline (5, 5): targets are far above the true behaviour.
+  config.baseline = core::Baseline{5.0, 5.0};
+  const auto fixed = core::make_detector(config);
+  const int fixed_latency = detect_after(*fixed, kTrueMean, kShift, 5000, 200000, 11);
+
+  // Adaptive baseline: calibrate on the first 2000 healthy observations.
+  core::CalibratingDetector adaptive(config, 2000);
+  const int adaptive_latency = detect_after(adaptive, kTrueMean, kShift, 5000, 200000, 11);
+
+  auto describe_latency = [](int latency) {
+    if (latency < 0) return std::string("NOT detected within 200000 observations");
+    return std::to_string(latency) + " observations to detect";
+  };
+  std::printf("true healthy behaviour: Exp(mean %.1f s); degradation: +%.1f s shift\n\n",
+              kTrueMean, kShift);
+  std::printf("fixed SLA baseline (5.00, 5.00): %s\n", describe_latency(fixed_latency).c_str());
+  std::printf("adaptive baseline (%.2f, %.2f):  %s\n", adaptive.baseline().mean,
+              adaptive.baseline().stddev, describe_latency(adaptive_latency).c_str());
+  std::printf("\nSRAA verifies a shift of K-1 = 4 baseline standard deviations before\n"
+              "rejuvenating; against the loose SLA numbers this degradation never\n"
+              "qualifies, while the measured baseline makes it obvious.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Capacity planning with the analytical M/M/c library.
+//
+// Before deploying rejuvenation, an operator needs the "normal behaviour"
+// baseline (muX, sigmaX) that the detectors judge against, and wants to know
+// how many CPUs keep the response time inside the SLA. This example answers
+// both questions analytically — eq. (1)-(3) of the paper — and cross-checks
+// the chosen operating point against the exact sample-average distribution
+// used by CLTA.
+#include <cstdio>
+
+#include "queueing/mmc.h"
+#include "stats/normal.h"
+
+int main() {
+  using namespace rejuv;
+
+  constexpr double kMu = 0.2;          // 1 / (5 s mean service)
+  constexpr double kLambda = 1.6;      // peak arrival rate, paper section 3
+  constexpr double kSlaSeconds = 10.0;  // maximum acceptable response time
+
+  std::printf("capacity planning for lambda = %.2f tps, mu = %.2f tps/CPU, SLA %.0f s\n\n",
+              kLambda, kMu, kSlaSeconds);
+
+  // 1. How many CPUs are needed so that the 95th RT percentile meets the SLA?
+  std::printf("%-6s %-10s %-10s %-10s %-10s %-10s\n", "CPUs", "rho", "mean_RT", "sd_RT",
+              "p95_RT", "P(no wait)");
+  for (std::size_t cpus = 9; cpus <= 20; ++cpus) {
+    if (kLambda >= static_cast<double>(cpus) * kMu) {
+      std::printf("%-6zu unstable\n", cpus);
+      continue;
+    }
+    const queueing::MmcQueue queue(kLambda, kMu, cpus);
+    std::printf("%-6zu %-10.3f %-10.3f %-10.3f %-10.3f %-10.4f\n", cpus, queue.utilization(),
+                queue.mean_response_time(), queue.response_time_stddev(),
+                queue.response_time_quantile(0.95), queue.probability_no_wait());
+  }
+
+  // 2. The paper's configuration: c = 16.
+  const queueing::MmcQueue queue(kLambda, kMu, 16);
+  std::printf("\nchosen configuration: 16 CPUs\n");
+  std::printf("  baseline for detectors: muX = %.3f, sigmaX = %.3f (paper uses 5, 5)\n",
+              queue.mean_response_time(), queue.response_time_stddev());
+  std::printf("  P(RT > SLA of %.0f s) = %.4f\n", kSlaSeconds,
+              1.0 - queue.response_time_cdf(kSlaSeconds));
+
+  // 3. CLTA design: what false-alarm rate does a given (n, z) really give?
+  std::printf("\nCLTA design check (exact tail of the sample-average distribution):\n");
+  for (const std::size_t n : {15u, 30u}) {
+    const auto dist = queue.sample_average_distribution(n);
+    for (const double z : {1.645, 1.96}) {
+      std::printf("  n = %2zu, z = %.3f: nominal %.2f%%, exact %.2f%%\n", n, z,
+                  100.0 * (1.0 - stats::normal_cdf(z)),
+                  100.0 * dist.false_alarm_probability(z));
+    }
+  }
+  std::printf("\nwith n = 30 and z = 1.96, expect one false rejuvenation per %.0f "
+              "transactions under healthy load\n",
+              30.0 / queue.sample_average_distribution(30).false_alarm_probability(1.96));
+  return 0;
+}

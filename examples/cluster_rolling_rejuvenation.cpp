@@ -1,0 +1,63 @@
+// Cluster scenario: four e-commerce hosts behind a health-checking load
+// balancer, each monitored by its own SARAA detector, comparing independent
+// and rolling (at most one restore at a time) rejuvenation coordination.
+//
+// Demonstrates the cluster extension (the paper's companion work [2]) and an
+// instructive failure mode: under *genuine aging* at high load, deferring a
+// needed restore is costly — the waiting host keeps degrading while the
+// failover balancer concentrates its traffic on the survivors, aging them
+// faster (a cascading overload). Rolling pays off when triggers are spurious
+// (capacity preservation; see cluster_strategies bench and the cluster
+// tests), not when every trigger is the cure.
+#include <cstdio>
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "harness/paper.h"
+
+namespace {
+
+using namespace rejuv;
+
+void report(const char* label, const cluster::ClusterMetrics& m) {
+  std::printf("%-24s avg RT %7.2f s   loss %7.4f   rejuvenations %4llu   deferred %3llu\n",
+              label, m.response_time.mean(), m.loss_fraction(),
+              static_cast<unsigned long long>(m.rejuvenations),
+              static_cast<unsigned long long>(m.deferred_rejuvenations));
+}
+
+cluster::ClusterMetrics run(cluster::RejuvenationStrategy strategy, bool with_detectors) {
+  cluster::ClusterConfig config;
+  config.hosts = 4;
+  config.host_config = harness::paper_system();
+  config.host_config.rejuvenation_downtime_seconds = 120.0;
+  config.total_arrival_rate = 4 * 9.0 * config.host_config.service_rate;  // 9 CPUs per host
+  config.strategy = strategy;
+  config.routing = cluster::RoutingPolicy::kLeastLoaded;
+
+  sim::Simulator simulator;
+  cluster::Cluster cluster(
+      simulator, config,
+      [with_detectors]() -> std::unique_ptr<core::Detector> {
+        if (!with_detectors) return nullptr;
+        return core::make_detector(harness::saraa_config({2, 5, 3}));
+      },
+      /*seed=*/1234);
+  cluster.run_transactions(60000);
+  return cluster.metrics();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("4-host cluster, 9.0 CPUs offered load per host, 120 s restore time\n");
+  std::printf("per-host detector: SARAA(n=2,K=5,D=3), least-loaded routing with failover\n\n");
+  report("unmanaged:", run(cluster::RejuvenationStrategy::kIndependent, false));
+  report("independent restores:", run(cluster::RejuvenationStrategy::kIndependent, true));
+  report("rolling restores:", run(cluster::RejuvenationStrategy::kRolling, true));
+  std::printf("\nindependent restores win here: every trigger is a genuine aging event, so\n"
+              "deferring a restore (rolling) leaves a degraded host serving traffic while\n"
+              "failover piles its load onto the survivors. Rolling coordination is the\n"
+              "right tool against *spurious* triggers - see the cluster_strategies bench.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Process-style modeling: a two-tier request pipeline built with the
+// coroutine API (sim/process.h), monitored by a SARAA detector.
+//
+// Each request is a coroutine: acquire a web-tier worker, compute, acquire a
+// database connection, query, release both. Midway through the run the
+// database begins to age (query times inflate), and the end-to-end response
+// time stream — fed to the detector exactly as in the flagship model —
+// flags the lasting degradation. This demonstrates (a) the general
+// process-interaction engine underneath the paper's model and (b) that the
+// detectors are independent of how the monitored system is expressed.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/factory.h"
+#include "sim/process.h"
+#include "sim/variates.h"
+#include "stats/running_stats.h"
+
+namespace {
+
+using namespace rejuv;
+
+struct PipelineState {
+  sim::Resource* web_workers = nullptr;
+  sim::Resource* db_connections = nullptr;
+  common::RngStream* service_rng = nullptr;
+  core::RejuvenationController* controller = nullptr;
+  stats::RunningStats response_times;
+  double db_slowdown_factor = 1.0;  // flips to > 1 when the DB starts aging
+  double aging_onset_time = 0.0;
+  double detected_at_time = -1.0;
+  stats::RunningStats healthy_response_times;
+  long completed = 0;
+};
+
+sim::Process request(sim::Simulator& sim, PipelineState& state) {
+  const double arrived = sim.now();
+  co_await state.web_workers->acquire();
+  co_await sim::delay(sim::exponential(*state.service_rng, 1.0));  // app logic ~1 s
+  co_await state.db_connections->acquire();
+  co_await sim::delay(sim::exponential(*state.service_rng, 2.0) *
+                      state.db_slowdown_factor);  // query ~0.5 s, inflated by aging
+  state.db_connections->release();
+  state.web_workers->release();
+
+  const double response_time = sim.now() - arrived;
+  state.response_times.push(response_time);
+  if (sim.now() < state.aging_onset_time) state.healthy_response_times.push(response_time);
+  ++state.completed;
+  if (state.detected_at_time < 0.0 && state.controller->observe(response_time)) {
+    state.detected_at_time = sim.now();
+  }
+}
+
+sim::Process source(sim::Simulator& sim, sim::ProcessSet& processes, PipelineState& state,
+                    common::RngStream& arrival_rng, int requests, double rate) {
+  for (int i = 0; i < requests; ++i) {
+    co_await sim::delay(sim::exponential(arrival_rng, rate));
+    processes.spawn(request(sim, state));
+  }
+}
+
+sim::Process aging_onset(sim::Simulator&, PipelineState& state, double at, double factor) {
+  co_await sim::delay(at);
+  state.db_slowdown_factor = factor;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  sim::ProcessSet processes(simulator);
+  sim::Resource web_workers(simulator, 16);
+  sim::Resource db_connections(simulator, 4);
+  common::RngStream arrival_rng(7, 0);
+  common::RngStream service_rng(7, 1);
+
+  // Healthy end-to-end RT ~ 1.5 s mean; baseline calibrated to match.
+  core::DetectorConfig config;
+  config.algorithm = core::Algorithm::kSaraa;
+  config.sample_size = 2;
+  config.buckets = 5;
+  config.depth = 3;
+  config.baseline = core::Baseline{1.6, 1.3};
+  core::RejuvenationController controller(core::make_detector(config));
+
+  PipelineState state;
+  state.web_workers = &web_workers;
+  state.db_connections = &db_connections;
+  state.service_rng = &service_rng;
+  state.controller = &controller;
+  state.aging_onset_time = 2500.0;
+
+  constexpr int kRequests = 20000;
+  constexpr double kArrivalRate = 4.0;  // requests/s
+  processes.spawn(source(simulator, processes, state, arrival_rng, kRequests, kArrivalRate));
+  processes.spawn(aging_onset(simulator, state, state.aging_onset_time, 6.0));
+  simulator.run();
+  processes.rethrow_failures();
+
+  std::printf("two-tier pipeline: 16 web workers -> 4 DB connections, %.1f req/s\n", kArrivalRate);
+  std::printf("DB aging (6x slower queries) begins at t = %.0f s\n\n", state.aging_onset_time);
+  std::printf("healthy phase: avg RT %.2f s over %llu requests\n",
+              state.healthy_response_times.mean(),
+              static_cast<unsigned long long>(state.healthy_response_times.count()));
+  if (state.detected_at_time >= 0.0) {
+    std::printf("detector (%s) flagged lasting degradation at t = %.1f s,\n"
+                "%.1f s after the onset - the cue to rejuvenate the DB tier before the\n"
+                "backlog grows (unmanaged, this run degrades to max RT %.0f s).\n",
+                controller.detector().name().c_str(), state.detected_at_time,
+                state.detected_at_time - state.aging_onset_time, state.response_times.max());
+  } else {
+    std::printf("detector never fired (unexpected for this scenario)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Post-mortem of an "invisible" soft failure — the paper's motivating case
+// study (§1): a severe fault eluded detection for months because operations
+// monitored CPU utilization and memory usage while the customer-affecting
+// metric, response time, was not being watched.
+//
+// At a moderate 6 CPUs of offered load, every GC pause pushes the thread
+// count over the kernel-overhead threshold; the system crawls through a
+// minutes-long degraded episode and then recovers by itself. The operations
+// dashboard (average CPU utilization, average heap occupancy, GC cadence)
+// looks unremarkable in both the healthy abstraction and the faulty system;
+// only the response-time tail gives the fault away — and a SARAA monitor
+// on that metric both detects and repairs it.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/factory.h"
+#include "harness/paper.h"
+#include "model/ecommerce.h"
+#include "sim/simulator.h"
+#include "stats/quantiles.h"
+
+namespace {
+
+using namespace rejuv;
+
+struct Dashboard {
+  double cpu_utilization;
+  double heap_occupancy;
+  double gc_per_hour;
+  double avg_rt;
+  double p95_rt;
+  double max_rt;
+  double loss;
+  std::uint64_t rejuvenations;
+};
+
+Dashboard run(bool faulty, bool monitored, std::uint64_t transactions) {
+  model::EcommerceConfig config = harness::paper_system();
+  config.arrival_rate = 6.0 * config.service_rate;  // 6 CPUs offered load
+  config.overhead_enabled = faulty;  // the fault: kernel overhead above 50 threads
+
+  common::RngStream arrival_rng(64, 0);
+  common::RngStream service_rng(64, 1);
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, config, arrival_rng, service_rng);
+
+  core::RejuvenationController controller(
+      monitored ? core::make_detector(harness::saraa_config({2, 5, 3})) : nullptr);
+  system.set_decision([&controller](double rt) { return controller.observe(rt); });
+
+  std::vector<double> response_times;
+  response_times.reserve(transactions);
+  system.set_observer([&response_times](double rt) { response_times.push_back(rt); });
+  system.run_transactions(transactions);
+
+  const model::EcommerceMetrics& m = system.metrics();
+  return {system.average_cpu_utilization(),
+          system.average_heap_occupancy(),
+          static_cast<double>(m.gc_count) / (simulator.now() / 3600.0),
+          m.response_time.mean(),
+          stats::sample_quantile(response_times, 0.95),
+          m.response_time.max(),
+          m.loss_fraction(),
+          m.rejuvenation_count};
+}
+
+void print(const char* label, const Dashboard& d) {
+  std::printf("%-28s %6.1f%%   %6.1f%%   %6.1f    | %8.2f  %8.2f  %8.0f  %.4f  %4llu\n", label,
+              100.0 * d.cpu_utilization, 100.0 * d.heap_occupancy, d.gc_per_hour, d.avg_rt,
+              d.p95_rt, d.max_rt, d.loss, static_cast<unsigned long long>(d.rejuvenations));
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kTransactions = 100000;
+  std::printf("the case study of paper section 1: a soft failure the resource dashboard\n"
+              "cannot see. 6.0 CPUs offered load, %llu transactions.\n\n",
+              static_cast<unsigned long long>(kTransactions));
+  std::printf("%-28s %-24s | %s\n", "", "--- ops dashboard ---",
+              "--- customer metric (RT, seconds) ---");
+  std::printf("%-28s %-9s %-9s %-9s| %-9s %-9s %-9s %-7s %s\n", "system", "cpu", "heap",
+              "gc/hour", "mean", "p95", "max", "loss", "rejuv");
+  std::printf("--------------------------------------------------------------------------------"
+              "--------------\n");
+  print("healthy (no fault)", run(false, false, kTransactions));
+  print("faulty, unmonitored", run(true, false, kTransactions));
+  print("faulty, SARAA-monitored", run(true, true, kTransactions));
+
+  std::printf("\nevery dashboard needle stays in a plausible operating range (CPU below 80%%,\n"
+              "heap in its usual sawtooth band, GC cadence unchanged) - nothing pages an\n"
+              "operator - while the customer's mean and p95 response times degrade by an\n"
+              "order of magnitude. That is exactly why the paper monitors the customer-\n"
+              "affecting metric itself and rejuvenates on lasting degradation.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "availability/huang_model.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "markov/ctmc.h"
+#include "markov/stationary.h"
+
+namespace rejuv::availability {
+
+void validate(const HuangParameters& params) {
+  REJUV_EXPECT(params.aging_rate > 0.0, "aging rate must be positive");
+  REJUV_EXPECT(params.failure_rate > 0.0, "failure rate must be positive");
+  REJUV_EXPECT(params.repair_rate > 0.0, "repair rate must be positive");
+  REJUV_EXPECT(params.rejuvenation_rate >= 0.0, "rejuvenation rate must be non-negative");
+  REJUV_EXPECT(params.rejuvenation_restore_rate > 0.0, "restore rate must be positive");
+  REJUV_EXPECT(params.failure_cost_weight > 0.0, "cost weight must be positive");
+}
+
+HuangSolution solve(const HuangParameters& params) {
+  validate(params);
+  const auto robust = static_cast<std::size_t>(State::kRobust);
+  const auto degraded = static_cast<std::size_t>(State::kDegraded);
+  const auto failed = static_cast<std::size_t>(State::kFailed);
+  const auto rejuvenating = static_cast<std::size_t>(State::kRejuvenating);
+
+  // With rejuvenation disabled the rejuvenating state is unreachable; solve
+  // the three-state sub-chain to keep the generator irreducible.
+  const bool with_rejuvenation = params.rejuvenation_rate > 0.0;
+  markov::Ctmc chain(with_rejuvenation ? 4 : 3);
+  chain.add_transition(robust, degraded, params.aging_rate);
+  chain.add_transition(degraded, failed, params.failure_rate);
+  chain.add_transition(failed, robust, params.repair_rate);
+  if (with_rejuvenation) {
+    chain.add_transition(degraded, rejuvenating, params.rejuvenation_rate);
+    chain.add_transition(rejuvenating, robust, params.rejuvenation_restore_rate);
+  }
+
+  const auto pi = markov::stationary_distribution(chain);
+  HuangSolution solution;
+  for (std::size_t s = 0; s < pi.size(); ++s) solution.probability[s] = pi[s];
+  solution.availability = solution.probability[robust] + solution.probability[degraded];
+  solution.downtime_cost_rate =
+      params.failure_cost_weight * solution.probability[failed] +
+      (with_rejuvenation ? solution.probability[rejuvenating] : 0.0);
+  solution.failure_frequency = solution.probability[degraded] * params.failure_rate;
+  return solution;
+}
+
+double optimal_rejuvenation_rate(HuangParameters params, double max_rate) {
+  REJUV_EXPECT(max_rate > 0.0, "search range must be positive");
+  auto cost = [&params](double rate) {
+    params.rejuvenation_rate = rate;
+    return solve(params).downtime_cost_rate;
+  };
+  // Golden-section search on [0, max_rate].
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 0.0;
+  double hi = max_rate;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = cost(x1);
+  double f2 = cost(x2);
+  for (int iter = 0; iter < 200 && hi - lo > 1e-10 * max_rate; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = cost(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = cost(x2);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+bool rejuvenation_worthwhile(HuangParameters params, double max_rate) {
+  REJUV_EXPECT(max_rate > 0.0, "search range must be positive");
+  params.rejuvenation_rate = 0.0;
+  const double without = solve(params).downtime_cost_rate;
+  params.rejuvenation_rate = max_rate;
+  const double aggressive = solve(params).downtime_cost_rate;
+  return aggressive < without;
+}
+
+}  // namespace rejuv::availability

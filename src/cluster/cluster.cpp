@@ -1,0 +1,198 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.h"
+
+namespace rejuv::cluster {
+
+void validate(const ClusterConfig& config) {
+  REJUV_EXPECT(config.hosts >= 1, "cluster needs at least one host");
+  REJUV_EXPECT(config.total_arrival_rate > 0.0, "total arrival rate must be positive");
+  model::EcommerceConfig host = config.host_config;
+  host.arrival_rate = config.total_arrival_rate / static_cast<double>(config.hosts);
+  model::validate(host);
+}
+
+Cluster::Cluster(sim::Simulator& simulator, ClusterConfig config,
+                 const DetectorFactory& make_detector, std::uint64_t seed)
+    : simulator_(simulator),
+      config_(config),
+      balancer_rng_(seed, /*stream_id=*/0),
+      arrival_process_(
+          std::make_unique<workload::PoissonProcess>(config.total_arrival_rate)) {
+  validate(config_);
+  model::EcommerceConfig host_config = config_.host_config;
+  // The per-host config's own arrival rate is irrelevant (arrivals are
+  // injected by the balancer) but must be valid.
+  host_config.arrival_rate = config_.total_arrival_rate / static_cast<double>(config_.hosts);
+
+  hosts_.reserve(config_.hosts);
+  for (std::size_t h = 0; h < config_.hosts; ++h) {
+    Host host;
+    host.arrival_rng = std::make_unique<common::RngStream>(seed, 2 * h + 1);
+    host.service_rng = std::make_unique<common::RngStream>(seed, 2 * h + 2);
+    host.system = std::make_unique<model::EcommerceSystem>(simulator_, host_config,
+                                                           *host.arrival_rng, *host.service_rng);
+    host.controller = std::make_unique<core::RejuvenationController>(make_detector());
+    hosts_.push_back(std::move(host));
+  }
+  // Wire each host's decision path through the cluster coordinator. The
+  // index capture is safe: hosts_ never reallocates after construction.
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    hosts_[h].system->set_decision([this, h](double rt) {
+      if (!hosts_[h].controller->observe(rt)) return false;
+      return on_detector_fire(h);
+    });
+  }
+}
+
+void Cluster::set_arrival_process(std::unique_ptr<workload::ArrivalProcess> process) {
+  REJUV_EXPECT(process != nullptr, "arrival process must not be null");
+  REJUV_EXPECT(offered_ == 0 && arrivals_to_generate_ == 0,
+               "arrival process must be set before the run starts");
+  arrival_process_ = std::move(process);
+}
+
+void Cluster::run_transactions(std::uint64_t count) {
+  REJUV_EXPECT(count >= 1, "need at least one transaction");
+  REJUV_EXPECT(offered_ == 0, "Cluster instances are single-run");
+  arrivals_to_generate_ = count;
+  schedule_next_arrival();
+  simulator_.run();
+  const ClusterMetrics aggregate = metrics();
+  REJUV_ASSERT(aggregate.completed + aggregate.lost_on_hosts + aggregate.lost_all_down == count,
+               "cluster transaction conservation violated");
+}
+
+void Cluster::schedule_next_arrival() {
+  if (arrivals_to_generate_ == 0) return;
+  --arrivals_to_generate_;
+  simulator_.schedule_after(
+      arrival_process_->next_interarrival(balancer_rng_, simulator_.now()),
+      [this] { on_arrival(); });
+}
+
+void Cluster::on_arrival() {
+  ++offered_;
+  schedule_next_arrival();
+  const std::size_t host = pick_host();
+  if (host == hosts_.size()) {
+    ++lost_all_down_;
+    return;
+  }
+  ++hosts_[host].routed;
+  hosts_[host].system->submit_transaction();
+}
+
+std::size_t Cluster::pick_host() {
+  auto eligible = [this](std::size_t h) {
+    return !config_.route_around_down_hosts || !hosts_[h].system->down();
+  };
+  switch (config_.routing) {
+    case RoutingPolicy::kRoundRobin: {
+      for (std::size_t step = 0; step < hosts_.size(); ++step) {
+        const std::size_t h = (round_robin_next_ + step) % hosts_.size();
+        if (eligible(h)) {
+          round_robin_next_ = (h + 1) % hosts_.size();
+          return h;
+        }
+      }
+      return hosts_.size();
+    }
+    case RoutingPolicy::kRandom: {
+      std::vector<std::size_t> candidates;
+      candidates.reserve(hosts_.size());
+      for (std::size_t h = 0; h < hosts_.size(); ++h) {
+        if (eligible(h)) candidates.push_back(h);
+      }
+      if (candidates.empty()) return hosts_.size();
+      return candidates[static_cast<std::size_t>(balancer_rng_.uniform01() *
+                                                 static_cast<double>(candidates.size()))];
+    }
+    case RoutingPolicy::kLeastLoaded: {
+      std::size_t best = hosts_.size();
+      std::size_t best_load = std::numeric_limits<std::size_t>::max();
+      for (std::size_t h = 0; h < hosts_.size(); ++h) {
+        if (!eligible(h)) continue;
+        const std::size_t load = hosts_[h].system->threads_in_system();
+        if (load < best_load) {
+          best_load = load;
+          best = h;
+        }
+      }
+      return best;
+    }
+  }
+  REJUV_ASSERT(false, "unhandled routing policy");
+  return hosts_.size();
+}
+
+bool Cluster::on_detector_fire(std::size_t host) {
+  if (config_.strategy == RejuvenationStrategy::kIndependent || down_hosts_ == 0) {
+    begin_restore();
+    return true;  // the host rejuvenates itself now
+  }
+  // Rolling strategy with a restore already in progress: defer.
+  if (!hosts_[host].rejuvenation_pending) {
+    hosts_[host].rejuvenation_pending = true;
+    ++deferred_;
+  }
+  return false;
+}
+
+void Cluster::begin_restore() {
+  const double downtime = config_.host_config.rejuvenation_downtime_seconds;
+  if (downtime <= 0.0) return;  // instantaneous: nothing to coordinate
+  ++down_hosts_;
+  simulator_.schedule_after(downtime, [this] { finish_restore(); });
+}
+
+void Cluster::finish_restore() {
+  REJUV_ASSERT(down_hosts_ > 0, "restore finished with no host down");
+  --down_hosts_;
+  if (config_.strategy != RejuvenationStrategy::kRolling || down_hosts_ > 0) return;
+  // Execute the oldest deferred trigger, if any host is still waiting.
+  for (Host& host : hosts_) {
+    if (!host.rejuvenation_pending) continue;
+    host.rejuvenation_pending = false;
+    host.controller->notify_external_rejuvenation();
+    host.system->force_rejuvenation();
+    begin_restore();
+    break;
+  }
+}
+
+ClusterMetrics Cluster::metrics() const {
+  ClusterMetrics aggregate;
+  aggregate.offered = offered_;
+  aggregate.lost_all_down = lost_all_down_;
+  aggregate.deferred_rejuvenations = deferred_;
+  for (const Host& host : hosts_) {
+    const model::EcommerceMetrics& m = host.system->metrics();
+    aggregate.completed += m.completed;
+    aggregate.lost_on_hosts += m.lost();
+    aggregate.rejuvenations += m.rejuvenation_count;
+    aggregate.gc_count += m.gc_count;
+    aggregate.response_time.merge(m.response_time);
+  }
+  return aggregate;
+}
+
+const model::EcommerceMetrics& Cluster::host_metrics(std::size_t host) const {
+  REJUV_EXPECT(host < hosts_.size(), "host index out of range");
+  return hosts_[host].system->metrics();
+}
+
+const core::RejuvenationController& Cluster::host_controller(std::size_t host) const {
+  REJUV_EXPECT(host < hosts_.size(), "host index out of range");
+  return *hosts_[host].controller;
+}
+
+std::uint64_t Cluster::routed_to(std::size_t host) const {
+  REJUV_EXPECT(host < hosts_.size(), "host index out of range");
+  return hosts_[host].routed;
+}
+
+}  // namespace rejuv::cluster

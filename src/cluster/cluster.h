@@ -1,0 +1,137 @@
+// Cluster-of-hosts extension (the companion work the paper cites as [2],
+// "Ensuring system performance for cluster and single server systems").
+//
+// A Cluster front-ends several independent EcommerceSystem replicas with a
+// load balancer and gives each host its own rejuvenation detector. Two
+// coordination strategies are provided:
+//   - kIndependent: a host rejuvenates the moment its detector fires.
+//   - kRolling: at most one host may be down (restoring capacity) at a
+//     time; triggers that arrive while another host is down are deferred
+//     and executed as soon as the restore completes. With a non-zero
+//     rejuvenation downtime this keeps aggregate capacity loss bounded.
+// The load balancer can route around down hosts (health-checked failover)
+// or stay oblivious (DNS-style static spraying).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/detector.h"
+#include "model/ecommerce.h"
+#include "sim/simulator.h"
+#include "workload/arrival_process.h"
+
+namespace rejuv::cluster {
+
+enum class RoutingPolicy {
+  kRoundRobin,   ///< cycle through (eligible) hosts
+  kRandom,       ///< uniform among (eligible) hosts
+  kLeastLoaded,  ///< host with the fewest threads in the system
+};
+
+enum class RejuvenationStrategy {
+  kIndependent,  ///< hosts rejuvenate the moment their detector fires
+  kRolling,      ///< at most one host down at a time; other triggers defer
+};
+
+struct ClusterConfig {
+  std::size_t hosts = 4;
+  /// Per-host system parameters. `arrival_rate` is only used as the default
+  /// per-host share if total_arrival_rate is not set (> 0 overrides).
+  model::EcommerceConfig host_config;
+  /// Aggregate arrival rate offered to the load balancer.
+  double total_arrival_rate = 6.4;
+  RoutingPolicy routing = RoutingPolicy::kLeastLoaded;
+  RejuvenationStrategy strategy = RejuvenationStrategy::kIndependent;
+  /// True: the balancer health-checks and skips down hosts (transactions are
+  /// lost only if every host is down). False: down hosts still receive their
+  /// share and lose it.
+  bool route_around_down_hosts = true;
+};
+
+void validate(const ClusterConfig& config);
+
+/// Builds one detector per host (nullptr = that host never rejuvenates).
+using DetectorFactory = std::function<std::unique_ptr<core::Detector>()>;
+
+struct ClusterMetrics {
+  std::uint64_t offered = 0;        ///< transactions presented to the balancer
+  std::uint64_t lost_all_down = 0;  ///< dropped because no host was eligible
+  std::uint64_t completed = 0;
+  std::uint64_t lost_on_hosts = 0;
+  std::uint64_t rejuvenations = 0;
+  std::uint64_t deferred_rejuvenations = 0;  ///< rolling-strategy deferrals
+  std::uint64_t gc_count = 0;
+  stats::RunningStats response_time;
+
+  double loss_fraction() const noexcept {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(lost_all_down + lost_on_hosts) /
+                              static_cast<double>(offered);
+  }
+};
+
+class Cluster {
+ public:
+  /// `make_detector` is invoked once per host. Streams are derived from
+  /// `seed`: the balancer and each host get independent substreams.
+  Cluster(sim::Simulator& simulator, ClusterConfig config, const DetectorFactory& make_detector,
+          std::uint64_t seed);
+
+  /// Replaces the balancer's default Poisson(total_arrival_rate) arrival
+  /// process (e.g. with a bursty MMPP). Must be called before the run.
+  void set_arrival_process(std::unique_ptr<workload::ArrivalProcess> process);
+
+  /// Offers exactly `count` transactions through the balancer and runs the
+  /// simulation until all of them completed or were lost.
+  void run_transactions(std::uint64_t count);
+
+  /// Aggregate metrics (host counters summed, RT streams merged).
+  ClusterMetrics metrics() const;
+
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+  const model::EcommerceMetrics& host_metrics(std::size_t host) const;
+  const core::RejuvenationController& host_controller(std::size_t host) const;
+  /// Arrivals routed to each host by the balancer.
+  std::uint64_t routed_to(std::size_t host) const;
+
+  /// True while some host is restoring capacity (downtime in progress).
+  bool restore_in_progress() const noexcept { return down_hosts_ > 0; }
+
+ private:
+  struct Host {
+    std::unique_ptr<common::RngStream> arrival_rng;  // required by the model; unused
+    std::unique_ptr<common::RngStream> service_rng;
+    std::unique_ptr<model::EcommerceSystem> system;
+    std::unique_ptr<core::RejuvenationController> controller;
+    std::uint64_t routed = 0;
+    bool rejuvenation_pending = false;
+  };
+
+  void schedule_next_arrival();
+  void on_arrival();
+  std::size_t pick_host();
+  /// Detector fired on `host`: returns true when the host should rejuvenate
+  /// now, false when the trigger is deferred (rolling strategy).
+  bool on_detector_fire(std::size_t host);
+  void begin_restore();
+  void finish_restore();
+
+  sim::Simulator& simulator_;
+  ClusterConfig config_;
+  common::RngStream balancer_rng_;
+  std::vector<Host> hosts_;
+  std::unique_ptr<workload::ArrivalProcess> arrival_process_;
+  std::uint64_t arrivals_to_generate_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t lost_all_down_ = 0;
+  std::uint64_t deferred_ = 0;
+  std::size_t round_robin_next_ = 0;
+  std::size_t down_hosts_ = 0;
+};
+
+}  // namespace rejuv::cluster

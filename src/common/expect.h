@@ -1,0 +1,42 @@
+// Lightweight contract checking for the rejuvenation library.
+//
+// REJUV_EXPECT guards preconditions on public interfaces; violations throw
+// std::invalid_argument so that misuse is reported at the call site instead
+// of corrupting downstream state. REJUV_ASSERT guards internal invariants
+// and throws std::logic_error. Both stay enabled in release builds: every
+// check in this codebase sits outside of per-event hot loops or is cheap
+// enough that the branch predictor hides it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rejuv::common {
+
+[[noreturn]] inline void throw_precondition_failure(const char* expr, const char* file, int line,
+                                                    const std::string& message) {
+  throw std::invalid_argument(std::string("precondition failed: ") + expr + " at " + file + ":" +
+                              std::to_string(line) + (message.empty() ? "" : ": " + message));
+}
+
+[[noreturn]] inline void throw_invariant_failure(const char* expr, const char* file, int line,
+                                                 const std::string& message) {
+  throw std::logic_error(std::string("invariant violated: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (message.empty() ? "" : ": " + message));
+}
+
+}  // namespace rejuv::common
+
+#define REJUV_EXPECT(cond, message)                                                      \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      ::rejuv::common::throw_precondition_failure(#cond, __FILE__, __LINE__, (message)); \
+    }                                                                                    \
+  } while (false)
+
+#define REJUV_ASSERT(cond, message)                                                   \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      ::rejuv::common::throw_invariant_failure(#cond, __FILE__, __LINE__, (message)); \
+    }                                                                                 \
+  } while (false)

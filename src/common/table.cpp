@@ -1,0 +1,101 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/expect.h"
+
+namespace rejuv::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  REJUV_EXPECT(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  REJUV_EXPECT(row.size() <= header_.size(), "row wider than header");
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(const std::vector<std::string>& header,
+                                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  return widths;
+}
+
+void append_aligned_row(std::string& out, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c != 0) out += "  ";
+    out += cells[c];
+    out.append(widths[c] - cells[c].size(), ' ');
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  out += '\n';
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_text() const {
+  const auto widths = column_widths(header_, rows_);
+  std::string out;
+  append_aligned_row(out, header_, widths);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total >= 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_aligned_row(out, row, widths);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto append_csv_row = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out += ',';
+      out += csv_escape(cells[c]);
+    }
+    out += '\n';
+  };
+  append_csv_row(header_);
+  for (const auto& row : rows_) append_csv_row(row);
+  return out;
+}
+
+std::string format_double(double value, int digits) {
+  REJUV_EXPECT(digits >= 0 && digits <= 17, "unsupported digit count");
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+std::string format_general(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+void print_table(std::ostream& os, const std::string& title, const Table& table) {
+  os << "== " << title << " ==\n" << table.to_text() << "\n# csv\n" << table.to_csv() << "# end csv\n\n";
+}
+
+}  // namespace rejuv::common

@@ -1,0 +1,47 @@
+// Plain-text and CSV table rendering for bench/example output.
+//
+// Every figure-reproduction binary prints (a) a human-readable aligned table
+// and (b) a machine-readable CSV block that downstream plotting can consume.
+// This module owns the formatting so the benches stay declarative.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rejuv::common {
+
+/// A rectangular table of strings with a header row. Cells are stored
+/// row-major; rows are padded to the header width on render.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must not be wider than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows (excluding the header).
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with space-aligned columns, a separator under the header.
+  std::string to_text() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes only where needed).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string format_double(double value, int digits);
+
+/// Formats a double in six-significant-digit general format (for CSV).
+std::string format_general(double value);
+
+/// Writes both renderings of a table under a titled banner to `os`:
+/// the aligned text first, then a `# csv` fenced block.
+void print_table(std::ostream& os, const std::string& title, const Table& table);
+
+}  // namespace rejuv::common

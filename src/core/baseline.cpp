@@ -1,0 +1,35 @@
+#include "core/baseline.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+double Baseline::scaled_target(double n_std_devs, std::size_t sample_size) const {
+  REJUV_EXPECT(sample_size >= 1, "sample size must be at least 1");
+  return mean + n_std_devs * stddev / std::sqrt(static_cast<double>(sample_size));
+}
+
+void validate(const Baseline& baseline) {
+  REJUV_EXPECT(std::isfinite(baseline.mean), "baseline mean must be finite");
+  REJUV_EXPECT(baseline.stddev > 0.0 && std::isfinite(baseline.stddev),
+               "baseline stddev must be positive and finite");
+}
+
+BaselineEstimator::BaselineEstimator(std::uint64_t calibration_size)
+    : calibration_size_(calibration_size) {
+  REJUV_EXPECT(calibration_size >= 2, "calibration needs at least two observations");
+}
+
+bool BaselineEstimator::observe(double value) {
+  if (!calibrated()) stats_.push(value);
+  return calibrated();
+}
+
+Baseline BaselineEstimator::estimate() const {
+  REJUV_EXPECT(calibrated(), "baseline requested before calibration completed");
+  return Baseline{stats_.mean(), stats_.stddev()};
+}
+
+}  // namespace rejuv::core

@@ -1,0 +1,57 @@
+// Service-level baseline: the "normal behaviour" reference.
+//
+// Section 4.2 assumes the service level agreement specifies the mean muX and
+// standard deviation sigmaX of the metric under normal system behaviour; all
+// experiments in section 5 use muX = sigmaX = 5. The estimator below
+// implements the paper's future-work direction (section 6): determining the
+// baseline from measurements instead of from the SLA.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/running_stats.h"
+
+namespace rejuv::core {
+
+/// The (muX, sigmaX) pair all detector targets are built from.
+struct Baseline {
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  /// SRAA target for bucket N: muX + N * sigmaX.
+  double bucket_target(std::size_t bucket) const noexcept {
+    return mean + static_cast<double>(bucket) * stddev;
+  }
+
+  /// SARAA/CLTA target for bucket N and sample size n:
+  /// muX + N * sigmaX / sqrt(n).
+  double scaled_target(double n_std_devs, std::size_t sample_size) const;
+};
+
+/// Throws unless stddev > 0 and both values are finite.
+void validate(const Baseline& baseline);
+
+/// Estimates a Baseline from an initial calibration window of observations
+/// assumed to be collected under normal behaviour (paper section 6).
+class BaselineEstimator {
+ public:
+  /// `calibration_size`: observations required before the estimate is ready
+  /// (at least 2, so a standard deviation exists).
+  explicit BaselineEstimator(std::uint64_t calibration_size);
+
+  /// Feeds one observation; returns true once calibrated.
+  bool observe(double value);
+
+  bool calibrated() const noexcept { return stats_.count() >= calibration_size_; }
+
+  /// The estimated baseline; only valid once calibrated().
+  Baseline estimate() const;
+
+  std::uint64_t calibration_size() const noexcept { return calibration_size_; }
+
+ private:
+  std::uint64_t calibration_size_;
+  stats::RunningStats stats_;
+};
+
+}  // namespace rejuv::core

@@ -1,0 +1,43 @@
+#include "core/bucket_cascade.h"
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+BucketCascade::BucketCascade(int depth, std::size_t buckets)
+    : depth_(depth), bucket_count_(buckets) {
+  REJUV_EXPECT(depth >= 1, "bucket depth D must be at least 1");
+  REJUV_EXPECT(buckets >= 1, "bucket count K must be at least 1");
+}
+
+BucketCascade::Transition BucketCascade::update(bool exceeded) {
+  // Fig. 6: d := d +/- 1, then the four guarded assignments in order.
+  fill_ += exceeded ? 1 : -1;
+
+  Transition transition = Transition::kNone;
+  if (fill_ > depth_) {
+    fill_ = 0;
+    ++bucket_;
+    transition = Transition::kEscalated;
+  }
+  if (fill_ < 0 && bucket_ > 0) {
+    fill_ = depth_;
+    --bucket_;
+    transition = Transition::kDeescalated;
+  }
+  if (fill_ < 0 && bucket_ == 0) {
+    fill_ = 0;
+  }
+  if (bucket_ == bucket_count_) {
+    reset();
+    return Transition::kTriggered;
+  }
+  return transition;
+}
+
+void BucketCascade::reset() noexcept {
+  fill_ = 0;
+  bucket_ = 0;
+}
+
+}  // namespace rejuv::core

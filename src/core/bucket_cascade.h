@@ -1,0 +1,48 @@
+// The bucket-cascade state machine shared by the static algorithm, SRAA and
+// SARAA (paper Fig. 6/7).
+//
+// State is a bucket pointer N in [0, K) and a fill counter d in [0, D].
+// Each comparison outcome moves one "ball": d increments when the metric
+// exceeded the current target, decrements otherwise. d > D overflows into
+// the next bucket (d resets to 0); d < 0 with N > 0 underflows back to the
+// previous bucket *at full depth* (d := D); d < 0 at N = 0 clamps to 0.
+// Overflowing the last bucket triggers rejuvenation and resets the cascade.
+// The transitions below follow the pseudo-code line for line.
+#pragma once
+
+#include <cstddef>
+
+namespace rejuv::core {
+
+class BucketCascade {
+ public:
+  /// What a single update did to the cascade.
+  enum class Transition {
+    kNone,         ///< d moved within the current bucket
+    kEscalated,    ///< current bucket overflowed; N increased
+    kDeescalated,  ///< current bucket underflowed; N decreased
+    kTriggered,    ///< last bucket overflowed; rejuvenate (state was reset)
+  };
+
+  /// `depth` D >= 1 balls per bucket; `buckets` K >= 1 buckets.
+  BucketCascade(int depth, std::size_t buckets);
+
+  /// Feeds one comparison outcome (metric exceeded the bucket target?).
+  Transition update(bool exceeded);
+
+  int fill() const noexcept { return fill_; }              ///< d
+  std::size_t bucket() const noexcept { return bucket_; }  ///< N
+  int depth() const noexcept { return depth_; }            ///< D
+  std::size_t bucket_count() const noexcept { return bucket_count_; }  ///< K
+
+  /// Returns to the initial state (d = 0, N = 0).
+  void reset() noexcept;
+
+ private:
+  int depth_;
+  std::size_t bucket_count_;
+  int fill_ = 0;
+  std::size_t bucket_ = 0;
+};
+
+}  // namespace rejuv::core

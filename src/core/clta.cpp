@@ -1,0 +1,35 @@
+#include "core/clta.h"
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+Clta::Clta(CltaParams params, Baseline baseline)
+    : params_(params),
+      baseline_(baseline),
+      window_(params.sample_size),
+      threshold_(0.0) {
+  REJUV_EXPECT(params.sample_size >= 1, "CLTA sample size n must be at least 1");
+  REJUV_EXPECT(params.quantile_z > 0.0, "CLTA quantile z must be positive");
+  validate(baseline_);
+  threshold_ = baseline_.scaled_target(params_.quantile_z, params_.sample_size);
+}
+
+Decision Clta::observe(double value) {
+  const auto average = window_.push(value);
+  if (!average) return Decision::kContinue;
+  if (*average > threshold_) {
+    window_.reset();
+    return Decision::kRejuvenate;
+  }
+  return Decision::kContinue;
+}
+
+void Clta::reset() { window_.reset(); }
+
+std::string Clta::name() const {
+  return "CLTA(n=" + std::to_string(params_.sample_size) + ",z=" +
+         std::to_string(params_.quantile_z).substr(0, 4) + ")";
+}
+
+}  // namespace rejuv::core

@@ -1,0 +1,45 @@
+// CLTA — central-limit-theorem-based rejuvenation algorithm (paper Fig. 8).
+//
+// With a window large enough for the normal approximation (the paper uses
+// n = 30), a single window average exceeding muX + z * sigmaX / sqrt(n)
+// triggers rejuvenation immediately: the number of buckets and the bucket
+// depth are implicitly one. z is a standard-normal quantile chosen for the
+// acceptable false-alarm probability (1.96 for a nominal 2.5%; the exact
+// false-alarm rate is slightly higher, see markov::SampleAverageDistribution).
+#pragma once
+
+#include <string>
+
+#include "core/detector.h"
+#include "stats/quantiles.h"
+
+namespace rejuv::core {
+
+/// Parameters of CLTA: window size n and normal quantile z (the paper's N).
+struct CltaParams {
+  std::size_t sample_size = 30;  ///< n
+  double quantile_z = 1.96;      ///< N, e.g. the 97.5% standard-normal point
+};
+
+class Clta final : public Detector {
+ public:
+  Clta(CltaParams params, Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override;
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+
+  const CltaParams& params() const noexcept { return params_; }
+  /// The fixed decision threshold muX + z * sigmaX / sqrt(n).
+  double threshold() const noexcept { return threshold_; }
+  std::size_t pending_observations() const noexcept { return window_.pending(); }
+
+ private:
+  CltaParams params_;
+  Baseline baseline_;
+  stats::WindowAverage window_;
+  double threshold_;
+};
+
+}  // namespace rejuv::core

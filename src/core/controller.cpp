@@ -1,0 +1,36 @@
+#include "core/controller.h"
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+RejuvenationController::RejuvenationController(std::unique_ptr<Detector> detector,
+                                               std::uint64_t cooldown_observations)
+    : detector_(std::move(detector)), cooldown_observations_(cooldown_observations) {}
+
+bool RejuvenationController::observe(double value) {
+  ++observations_;
+  if (detector_ == nullptr) return false;
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    return false;
+  }
+  if (detector_->observe(value) == Decision::kRejuvenate) {
+    trigger_indices_.push_back(observations_);
+    cooldown_remaining_ = cooldown_observations_;
+    return true;
+  }
+  return false;
+}
+
+void RejuvenationController::notify_external_rejuvenation() {
+  if (detector_ != nullptr) detector_->reset();
+  cooldown_remaining_ = cooldown_observations_;
+}
+
+const Detector& RejuvenationController::detector() const {
+  REJUV_EXPECT(detector_ != nullptr, "controller has no detector");
+  return *detector_;
+}
+
+}  // namespace rejuv::core

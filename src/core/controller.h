@@ -1,0 +1,50 @@
+// RejuvenationController: operational wrapper around a detector.
+//
+// Production deployments need more than the raw decision stream: a count of
+// triggers, the observation indices at which they happened (for post-mortem
+// correlation with deployment events), and an optional cooldown that
+// suppresses re-triggering for a number of observations after a
+// rejuvenation (rejuvenation itself perturbs response times, and a detector
+// fed its own aftermath could oscillate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/detector.h"
+
+namespace rejuv::core {
+
+class RejuvenationController {
+ public:
+  /// Takes ownership of `detector` (may be null: never rejuvenates).
+  /// `cooldown_observations`: number of observations after a trigger during
+  /// which further triggers are suppressed and the detector is not fed.
+  explicit RejuvenationController(std::unique_ptr<Detector> detector,
+                                  std::uint64_t cooldown_observations = 0);
+
+  /// Feeds one observation; true means rejuvenate now.
+  bool observe(double value);
+
+  /// Informs the controller of an externally initiated rejuvenation so the
+  /// detector state and cooldown are reset consistently.
+  void notify_external_rejuvenation();
+
+  std::uint64_t observations() const noexcept { return observations_; }
+  std::uint64_t rejuvenations() const noexcept { return trigger_indices_.size(); }
+  /// 1-based observation indices at which triggers fired.
+  const std::vector<std::uint64_t>& trigger_indices() const noexcept { return trigger_indices_; }
+
+  bool has_detector() const noexcept { return detector_ != nullptr; }
+  const Detector& detector() const;
+
+ private:
+  std::unique_ptr<Detector> detector_;
+  std::uint64_t cooldown_observations_;
+  std::uint64_t cooldown_remaining_ = 0;
+  std::uint64_t observations_ = 0;
+  std::vector<std::uint64_t> trigger_indices_;
+};
+
+}  // namespace rejuv::core

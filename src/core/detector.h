@@ -1,0 +1,48 @@
+// The rejuvenation-detector interface.
+//
+// A Detector consumes the customer-affecting metric (the paper uses response
+// time) one observation at a time, in completion order, and decides after
+// each observation whether software rejuvenation should be carried out. The
+// paper's three algorithms — SRAA, SARAA and CLTA — plus the earlier static
+// algorithm of [1] all implement this interface, so the monitored system and
+// the experiment harness are agnostic to the algorithm in use.
+#pragma once
+
+#include <string>
+
+#include "core/baseline.h"
+
+namespace rejuv::core {
+
+/// Outcome of feeding one observation to a detector.
+enum class Decision {
+  kContinue,     ///< no evidence of lasting degradation (yet)
+  kRejuvenate,   ///< trigger the rejuvenation routine now
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Feeds one observed metric value. A kRejuvenate result means the
+  /// detector has already reset its own state (as the paper's pseudo-code
+  /// does inside `rejuvenation_routine(); d := 0; N := 0`).
+  virtual Decision observe(double value) = 0;
+
+  /// Resets all internal state, e.g. after an externally initiated
+  /// rejuvenation, so stale evidence does not leak across restarts.
+  virtual void reset() = 0;
+
+  /// Human-readable algorithm name with parameters, e.g. "SRAA(n=2,K=5,D=3)".
+  virtual std::string name() const = 0;
+
+  /// The service-level baseline (muX, sigmaX) the detector judges against.
+  virtual const Baseline& baseline() const = 0;
+
+ protected:
+  Detector() = default;
+  Detector(const Detector&) = default;
+  Detector& operator=(const Detector&) = default;
+};
+
+}  // namespace rejuv::core

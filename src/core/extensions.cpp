@@ -1,0 +1,154 @@
+#include "core/extensions.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+QuantileThresholdDetector::QuantileThresholdDetector(double threshold,
+                                                     std::uint64_t consecutive_exceedances,
+                                                     Baseline baseline)
+    : threshold_(threshold), required_(consecutive_exceedances), baseline_(baseline) {
+  REJUV_EXPECT(threshold > 0.0, "threshold must be positive");
+  REJUV_EXPECT(consecutive_exceedances >= 1, "need at least one exceedance");
+  validate(baseline_);
+}
+
+Decision QuantileThresholdDetector::observe(double value) {
+  if (value > threshold_) {
+    ++run_length_;
+    if (run_length_ >= required_) {
+      run_length_ = 0;
+      return Decision::kRejuvenate;
+    }
+  } else {
+    run_length_ = 0;
+  }
+  return Decision::kContinue;
+}
+
+void QuantileThresholdDetector::reset() { run_length_ = 0; }
+
+std::string QuantileThresholdDetector::name() const {
+  return "QuantileThreshold(x=" + std::to_string(threshold_).substr(0, 5) +
+         ",r=" + std::to_string(required_) + ")";
+}
+
+DeterministicThresholdPolicy::DeterministicThresholdPolicy(double max_degradation_level,
+                                                           Baseline baseline)
+    : max_level_(max_degradation_level), baseline_(baseline) {
+  REJUV_EXPECT(max_degradation_level > 0.0, "threshold must be positive");
+  validate(baseline_);
+}
+
+Decision DeterministicThresholdPolicy::observe(double value) {
+  return value >= max_level_ ? Decision::kRejuvenate : Decision::kContinue;
+}
+
+std::string DeterministicThresholdPolicy::name() const {
+  return "Bobbio-deterministic(L=" + std::to_string(max_level_).substr(0, 5) + ")";
+}
+
+RiskBasedPolicy::RiskBasedPolicy(double confidence_level, double max_degradation_level,
+                                 Baseline baseline, std::uint64_t seed)
+    : confidence_level_(confidence_level),
+      max_level_(max_degradation_level),
+      baseline_(baseline),
+      rng_(seed, /*stream_id=*/0xB0BB10) {
+  REJUV_EXPECT(confidence_level > 0.0, "confidence level must be positive");
+  REJUV_EXPECT(max_degradation_level > confidence_level,
+               "maximum level must exceed the confidence level");
+  validate(baseline_);
+}
+
+double RiskBasedPolicy::rejuvenation_probability(double value) const {
+  if (value < confidence_level_) return 0.0;
+  if (value >= max_level_) return 1.0;
+  return (value - confidence_level_) / (max_level_ - confidence_level_);
+}
+
+Decision RiskBasedPolicy::observe(double value) {
+  const double p = rejuvenation_probability(value);
+  if (p >= 1.0) return Decision::kRejuvenate;
+  if (p > 0.0 && rng_.uniform01() < p) return Decision::kRejuvenate;
+  return Decision::kContinue;
+}
+
+std::string RiskBasedPolicy::name() const {
+  return "Bobbio-risk(c=" + std::to_string(confidence_level_).substr(0, 5) +
+         ",L=" + std::to_string(max_level_).substr(0, 5) + ")";
+}
+
+AdaptiveQuantileDetector::AdaptiveQuantileDetector(double quantile,
+                                                   std::uint64_t calibration_size,
+                                                   std::uint64_t consecutive_exceedances,
+                                                   Baseline baseline)
+    : quantile_p_(quantile),
+      calibration_size_(calibration_size),
+      required_(consecutive_exceedances),
+      baseline_(baseline),
+      estimator_(quantile) {
+  REJUV_EXPECT(calibration_size >= 100, "quantile calibration needs at least 100 observations");
+  REJUV_EXPECT(consecutive_exceedances >= 1, "need at least one exceedance");
+  validate(baseline_);
+}
+
+Decision AdaptiveQuantileDetector::observe(double value) {
+  if (!calibrated()) {
+    estimator_.push(value);
+    if (calibrated()) threshold_ = estimator_.quantile();
+    return Decision::kContinue;
+  }
+  if (value > threshold_) {
+    ++run_length_;
+    if (run_length_ >= required_) {
+      run_length_ = 0;
+      return Decision::kRejuvenate;
+    }
+  } else {
+    run_length_ = 0;
+  }
+  return Decision::kContinue;
+}
+
+void AdaptiveQuantileDetector::reset() { run_length_ = 0; }
+
+double AdaptiveQuantileDetector::threshold() const {
+  REJUV_EXPECT(calibrated(), "threshold requested before calibration completed");
+  return threshold_;
+}
+
+std::string AdaptiveQuantileDetector::name() const {
+  return "AdaptiveQuantile(p=" + std::to_string(quantile_p_).substr(0, 5) +
+         ",r=" + std::to_string(required_) + ")";
+}
+
+TrendDetector::TrendDetector(std::size_t window, double z_alpha, double min_slope,
+                             Baseline baseline)
+    : window_(window), z_alpha_(z_alpha), min_slope_(min_slope), baseline_(baseline) {
+  REJUV_EXPECT(window >= 3, "trend window needs at least 3 observations");
+  REJUV_EXPECT(z_alpha > 0.0, "z_alpha must be positive");
+  REJUV_EXPECT(min_slope >= 0.0, "minimum slope must be non-negative");
+  validate(baseline_);
+  buffer_.reserve(window);
+}
+
+Decision TrendDetector::observe(double value) {
+  buffer_.push_back(value);
+  if (buffer_.size() < window_) return Decision::kContinue;
+  const auto test = stats::mann_kendall(buffer_);
+  const double slope = stats::sen_slope(buffer_);
+  buffer_.clear();
+  if (test.increasing(z_alpha_) && slope >= min_slope_) return Decision::kRejuvenate;
+  return Decision::kContinue;
+}
+
+void TrendDetector::reset() { buffer_.clear(); }
+
+std::string TrendDetector::name() const {
+  return "Trend(w=" + std::to_string(window_) + ",z=" + std::to_string(z_alpha_).substr(0, 4) +
+         ")";
+}
+
+}  // namespace rejuv::core

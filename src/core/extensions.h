@@ -1,0 +1,147 @@
+// Comparison detectors beyond the paper's three algorithms.
+//
+// - QuantileThresholdDetector: the strawman §4.1 dismisses — trigger when a
+//   single observation exceeds a pre-determined upper quantile of the
+//   healthy RT distribution. Kept as a baseline precisely because it is
+//   "not robust for short-term deviations".
+// - DeterministicThresholdPolicy / RiskBasedPolicy: the two policies of
+//   Bobbio, Sereno & Anglano [5], which the paper cites as its closest
+//   relatives. Both monitor a degradation level against a maximum threshold;
+//   the deterministic policy rejuvenates as soon as the threshold is
+//   reached, the risk-based one rejuvenates with a probability that grows
+//   with the excursion above a confidence level.
+// - TrendDetector: a Mann-Kendall trend monitor in the spirit of the
+//   measurement-based aging estimation of Trivedi et al. [15].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "stats/p2_quantile.h"
+#include "stats/trend.h"
+
+namespace rejuv::core {
+
+/// Triggers when `consecutive_exceedances` successive observations exceed
+/// the threshold (1 = the pure quantile rule).
+class QuantileThresholdDetector final : public Detector {
+ public:
+  /// `threshold` is the pre-computed quantile value (e.g. from
+  /// queueing::MmcQueue::response_time_quantile).
+  QuantileThresholdDetector(double threshold, std::uint64_t consecutive_exceedances,
+                            Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override;
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+
+  double threshold() const noexcept { return threshold_; }
+  std::uint64_t run_length() const noexcept { return run_length_; }
+
+ private:
+  double threshold_;
+  std::uint64_t required_;
+  Baseline baseline_;
+  std::uint64_t run_length_ = 0;
+};
+
+/// Bobbio et al.'s deterministic policy: rejuvenate as soon as the observed
+/// degradation level reaches the maximum threshold.
+class DeterministicThresholdPolicy final : public Detector {
+ public:
+  DeterministicThresholdPolicy(double max_degradation_level, Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override {}
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+
+ private:
+  double max_level_;
+  Baseline baseline_;
+};
+
+/// Bobbio et al.'s risk-based policy: between the confidence level and the
+/// maximum threshold, rejuvenate with probability proportional to the
+/// excursion; at or above the maximum, always rejuvenate.
+class RiskBasedPolicy final : public Detector {
+ public:
+  /// `confidence_level` < `max_degradation_level`. `seed` makes the
+  /// randomized decision reproducible.
+  RiskBasedPolicy(double confidence_level, double max_degradation_level, Baseline baseline,
+                  std::uint64_t seed);
+
+  Decision observe(double value) override;
+  void reset() override {}
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+
+  /// Rejuvenation probability assigned to an observation at `value`.
+  double rejuvenation_probability(double value) const;
+
+ private:
+  double confidence_level_;
+  double max_level_;
+  Baseline baseline_;
+  common::RngStream rng_;
+};
+
+/// Self-calibrating quantile rule: estimates the chosen upper quantile of
+/// the *healthy* metric online (P² algorithm) during a calibration window,
+/// freezes it, and then behaves as a QuantileThreshold policy against the
+/// estimated value. Combines the paper's future-work direction (learning
+/// "normal behaviour" from measurements) with the threshold policy family.
+class AdaptiveQuantileDetector final : public Detector {
+ public:
+  /// `quantile` in (0, 1), e.g. 0.995; `calibration_size` >= 100 healthy
+  /// observations; `consecutive_exceedances` as in QuantileThresholdDetector.
+  AdaptiveQuantileDetector(double quantile, std::uint64_t calibration_size,
+                           std::uint64_t consecutive_exceedances, Baseline baseline);
+
+  Decision observe(double value) override;
+  /// Keeps the calibrated threshold; clears the exceedance run.
+  void reset() override;
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+
+  bool calibrated() const noexcept { return estimator_.count() >= calibration_size_; }
+  /// The frozen threshold; only meaningful once calibrated().
+  double threshold() const;
+
+ private:
+  double quantile_p_;
+  std::uint64_t calibration_size_;
+  std::uint64_t required_;
+  Baseline baseline_;
+  stats::P2Quantile estimator_;
+  double threshold_ = 0.0;
+  std::uint64_t run_length_ = 0;
+};
+
+/// Mann-Kendall trend monitor: collects disjoint windows of `window`
+/// observations and triggers on a significant increasing trend whose Sen
+/// slope exceeds `min_slope` per observation.
+class TrendDetector final : public Detector {
+ public:
+  TrendDetector(std::size_t window, double z_alpha, double min_slope, Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override;
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+
+  std::size_t pending_observations() const noexcept { return buffer_.size(); }
+
+ private:
+  std::size_t window_;
+  double z_alpha_;
+  double min_slope_;
+  Baseline baseline_;
+  std::vector<double> buffer_;
+};
+
+}  // namespace rejuv::core

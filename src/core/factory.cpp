@@ -1,0 +1,81 @@
+#include "core/factory.h"
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+std::string algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kNone:
+      return "None";
+    case Algorithm::kStatic:
+      return "Static";
+    case Algorithm::kSraa:
+      return "SRAA";
+    case Algorithm::kSaraa:
+      return "SARAA";
+    case Algorithm::kClta:
+      return "CLTA";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<Detector> make_detector(const DetectorConfig& config) {
+  switch (config.algorithm) {
+    case Algorithm::kNone:
+      return nullptr;
+    case Algorithm::kStatic:
+      return std::make_unique<StaticRejuvenation>(config.buckets, config.depth, config.baseline);
+    case Algorithm::kSraa:
+      return std::make_unique<Sraa>(
+          SraaParams{config.sample_size, config.buckets, config.depth}, config.baseline);
+    case Algorithm::kSaraa:
+      return std::make_unique<Saraa>(
+          SaraaParams{config.sample_size, config.buckets, config.depth, config.saraa_accelerate},
+          config.baseline);
+    case Algorithm::kClta:
+      return std::make_unique<Clta>(CltaParams{config.sample_size, config.quantile_z},
+                                    config.baseline);
+  }
+  REJUV_ASSERT(false, "unhandled algorithm");
+  return nullptr;
+}
+
+std::string describe(const DetectorConfig& config) {
+  if (config.algorithm == Algorithm::kNone) return "None";
+  const auto detector = make_detector(config);
+  return detector->name();
+}
+
+CalibratingDetector::CalibratingDetector(DetectorConfig config, std::uint64_t calibration_size)
+    : config_(config), estimator_(calibration_size), active_baseline_(config.baseline) {
+  REJUV_EXPECT(config.algorithm != Algorithm::kNone, "calibrating a null detector is meaningless");
+}
+
+Decision CalibratingDetector::observe(double value) {
+  if (inner_ == nullptr) {
+    if (estimator_.observe(value)) {
+      active_baseline_ = estimator_.estimate();
+      // Degenerate calibration (constant metric) falls back to a unit sigma
+      // so the inner detector remains constructible.
+      if (active_baseline_.stddev <= 0.0) active_baseline_.stddev = 1.0;
+      DetectorConfig calibrated = config_;
+      calibrated.baseline = active_baseline_;
+      inner_ = make_detector(calibrated);
+    }
+    return Decision::kContinue;
+  }
+  return inner_->observe(value);
+}
+
+void CalibratingDetector::reset() {
+  if (inner_ != nullptr) inner_->reset();
+}
+
+std::string CalibratingDetector::name() const {
+  return "Calibrating[" + (inner_ != nullptr ? inner_->name() : describe(config_)) + "]";
+}
+
+const Baseline& CalibratingDetector::baseline() const { return active_baseline_; }
+
+}  // namespace rejuv::core

@@ -1,0 +1,79 @@
+// Declarative detector configuration and construction.
+//
+// The experiment harness sweeps dozens of (algorithm, n, K, D) combinations;
+// DetectorConfig is the value type those sweeps are written in, and
+// make_detector turns one into a live Detector.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "core/clta.h"
+#include "core/detector.h"
+#include "core/saraa.h"
+#include "core/sraa.h"
+#include "core/static_rejuvenation.h"
+
+namespace rejuv::core {
+
+enum class Algorithm {
+  kNone,    ///< never rejuvenate (the unmanaged baseline)
+  kStatic,  ///< per-observation static algorithm of [1]
+  kSraa,
+  kSaraa,
+  kClta,
+};
+
+/// Short identifier, e.g. "SRAA".
+std::string algorithm_name(Algorithm algorithm);
+
+struct DetectorConfig {
+  Algorithm algorithm = Algorithm::kSraa;
+  std::size_t sample_size = 1;  ///< n (SRAA/CLTA) or norig (SARAA); unused by kStatic
+  std::size_t buckets = 1;      ///< K; unused by kClta
+  int depth = 1;                ///< D; unused by kClta
+  double quantile_z = 1.96;     ///< CLTA only
+  bool saraa_accelerate = true;  ///< SARAA only; false = ablation without acceleration
+  Baseline baseline{5.0, 5.0};  ///< the paper's muX = sigmaX = 5 default
+
+  /// n * K * D, the budget the paper holds constant across configurations.
+  std::size_t nkd_product() const noexcept {
+    return sample_size * buckets * static_cast<std::size_t>(depth);
+  }
+};
+
+/// Builds the configured detector. Returns nullptr for Algorithm::kNone
+/// (callers treat a null detector as "never rejuvenate").
+std::unique_ptr<Detector> make_detector(const DetectorConfig& config);
+
+/// Human-readable description, e.g. "SRAA(n=2,K=5,D=3)".
+std::string describe(const DetectorConfig& config);
+
+/// A detector that first estimates the baseline from an initial calibration
+/// window (assumed healthy), then behaves as the configured algorithm with
+/// the estimated (muX, sigmaX) — the paper's section 6 future-work item.
+/// Observations consumed during calibration never trigger rejuvenation.
+class CalibratingDetector final : public Detector {
+ public:
+  /// `config.baseline` is ignored; it is replaced by the estimate.
+  CalibratingDetector(DetectorConfig config, std::uint64_t calibration_size);
+
+  Decision observe(double value) override;
+  /// Resets the inner detector only; the calibrated baseline is retained.
+  void reset() override;
+  std::string name() const override;
+  /// Baseline so far: the estimate once calibrated, otherwise the config's
+  /// placeholder.
+  const Baseline& baseline() const override;
+
+  bool calibrated() const noexcept { return inner_ != nullptr; }
+
+ private:
+  DetectorConfig config_;
+  BaselineEstimator estimator_;
+  std::unique_ptr<Detector> inner_;
+  Baseline active_baseline_;
+};
+
+}  // namespace rejuv::core

@@ -1,0 +1,73 @@
+#include "core/saraa.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+std::size_t saraa_sample_size(std::size_t norig, std::size_t bucket, std::size_t buckets) {
+  REJUV_EXPECT(norig >= 1, "norig must be at least 1");
+  REJUV_EXPECT(buckets >= 1, "bucket count must be at least 1");
+  REJUV_EXPECT(bucket <= buckets, "bucket index out of range");
+  // n := floor(1 + (norig - 1) * (1 - N/K)); always >= 1 since N <= K.
+  const double value = 1.0 + static_cast<double>(norig - 1) *
+                                 (1.0 - static_cast<double>(bucket) / static_cast<double>(buckets));
+  return static_cast<std::size_t>(std::floor(value));
+}
+
+Saraa::Saraa(SaraaParams params, Baseline baseline)
+    : params_(params),
+      baseline_(baseline),
+      cascade_(params.depth, params.buckets),
+      window_(params.initial_sample_size),
+      current_n_(params.initial_sample_size) {
+  REJUV_EXPECT(params.initial_sample_size >= 1, "SARAA norig must be at least 1");
+  validate(baseline_);
+}
+
+Decision Saraa::observe(double value) {
+  const auto average = window_.push(value);
+  if (!average) return Decision::kContinue;
+  // Target uses the n that produced this average (bucket transitions only
+  // ever happen on window boundaries, so current_n_ is exactly that n).
+  const bool exceeded = *average > baseline_.scaled_target(
+                                       static_cast<double>(cascade_.bucket()), current_n_);
+  const auto transition = cascade_.update(exceeded);
+  switch (transition) {
+    case BucketCascade::Transition::kNone:
+      return Decision::kContinue;
+    case BucketCascade::Transition::kEscalated:
+    case BucketCascade::Transition::kDeescalated:
+      apply_schedule();
+      return Decision::kContinue;
+    case BucketCascade::Transition::kTriggered:
+      // Fig. 7 resets n := norig alongside d and N.
+      current_n_ = params_.initial_sample_size;
+      window_.set_window(current_n_);
+      window_.reset();
+      return Decision::kRejuvenate;
+  }
+  return Decision::kContinue;
+}
+
+void Saraa::apply_schedule() {
+  if (!params_.accelerate) return;
+  current_n_ = saraa_sample_size(params_.initial_sample_size, cascade_.bucket(), params_.buckets);
+  window_.set_window(current_n_);
+}
+
+void Saraa::reset() {
+  cascade_.reset();
+  current_n_ = params_.initial_sample_size;
+  window_.set_window(current_n_);
+  window_.reset();
+}
+
+std::string Saraa::name() const {
+  return std::string("SARAA") + (params_.accelerate ? "" : "-noaccel") +
+         "(n=" + std::to_string(params_.initial_sample_size) +
+         ",K=" + std::to_string(params_.buckets) + ",D=" + std::to_string(params_.depth) + ")";
+}
+
+}  // namespace rejuv::core

@@ -1,0 +1,61 @@
+// SARAA — sampling-acceleration rejuvenation algorithm with averaging
+// (paper Fig. 7).
+//
+// Like SRAA, window averages feed a bucket cascade, but (a) targets use the
+// standard deviation of the sampling average, muX + N * sigmaX / sqrt(n),
+// because the algorithm tests "has the distribution moved at all" rather
+// than "has it moved by K-1 sigma"; and (b) the window shrinks linearly as
+// degradation escalates, n = floor(1 + (norig - 1) * (1 - N/K)), so that
+// once evidence of degradation exists, less time is spent collecting each
+// subsequent sample. The window size is recomputed on every bucket
+// transition and restored to norig after a rejuvenation.
+#pragma once
+
+#include <string>
+
+#include "core/bucket_cascade.h"
+#include "core/detector.h"
+#include "stats/quantiles.h"
+
+namespace rejuv::core {
+
+/// Parameters of SARAA: initial window size norig, bucket count K, depth D.
+struct SaraaParams {
+  std::size_t initial_sample_size = 1;  ///< norig
+  std::size_t buckets = 1;              ///< K
+  int depth = 1;                        ///< D
+  /// Design-choice ablation switch: false pins the window at norig while
+  /// keeping SARAA's sqrt(n)-scaled targets, isolating the effect of the
+  /// sampling acceleration itself. The paper's algorithm is `true`.
+  bool accelerate = true;
+};
+
+/// The paper's acceleration schedule: sample size for bucket N.
+std::size_t saraa_sample_size(std::size_t norig, std::size_t bucket, std::size_t buckets);
+
+class Saraa final : public Detector {
+ public:
+  Saraa(SaraaParams params, Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override;
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+
+  const SaraaParams& params() const noexcept { return params_; }
+  const BucketCascade& cascade() const noexcept { return cascade_; }
+  /// Window size currently in force (depends on the bucket pointer N).
+  std::size_t current_sample_size() const noexcept { return current_n_; }
+  std::size_t pending_observations() const noexcept { return window_.pending(); }
+
+ private:
+  void apply_schedule();
+
+  SaraaParams params_;
+  Baseline baseline_;
+  BucketCascade cascade_;
+  stats::WindowAverage window_;
+  std::size_t current_n_;
+};
+
+}  // namespace rejuv::core

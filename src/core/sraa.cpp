@@ -1,0 +1,35 @@
+#include "core/sraa.h"
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+Sraa::Sraa(SraaParams params, Baseline baseline)
+    : params_(params),
+      baseline_(baseline),
+      cascade_(params.depth, params.buckets),
+      window_(params.sample_size) {
+  REJUV_EXPECT(params.sample_size >= 1, "SRAA sample size n must be at least 1");
+  validate(baseline_);
+}
+
+Decision Sraa::observe(double value) {
+  const auto average = window_.push(value);
+  if (!average) return Decision::kContinue;
+  const bool exceeded = *average > baseline_.bucket_target(cascade_.bucket());
+  return cascade_.update(exceeded) == BucketCascade::Transition::kTriggered
+             ? Decision::kRejuvenate
+             : Decision::kContinue;
+}
+
+void Sraa::reset() {
+  cascade_.reset();
+  window_.reset();
+}
+
+std::string Sraa::name() const {
+  return "SRAA(n=" + std::to_string(params_.sample_size) +
+         ",K=" + std::to_string(params_.buckets) + ",D=" + std::to_string(params_.depth) + ")";
+}
+
+}  // namespace rejuv::core

@@ -1,0 +1,46 @@
+// SRAA — static rejuvenation algorithm with averaging (paper Fig. 6).
+//
+// Observations are averaged over disjoint windows of fixed size n; each
+// window average x̄u feeds the bucket cascade against the *unscaled* target
+// muX + N * sigmaX. Keeping the target unscaled means the algorithm still
+// verifies a shift of the RT distribution by K-1 whole standard deviations
+// before rejuvenating, regardless of n (section 4.2).
+#pragma once
+
+#include <string>
+
+#include "core/bucket_cascade.h"
+#include "core/detector.h"
+#include "stats/quantiles.h"
+
+namespace rejuv::core {
+
+/// Parameters of SRAA: window size n, bucket count K, bucket depth D.
+struct SraaParams {
+  std::size_t sample_size = 1;  ///< n
+  std::size_t buckets = 1;      ///< K
+  int depth = 1;                ///< D
+};
+
+class Sraa final : public Detector {
+ public:
+  Sraa(SraaParams params, Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override;
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+
+  const SraaParams& params() const noexcept { return params_; }
+  const BucketCascade& cascade() const noexcept { return cascade_; }
+  /// Observations accumulated toward the current window.
+  std::size_t pending_observations() const noexcept { return window_.pending(); }
+
+ private:
+  SraaParams params_;
+  Baseline baseline_;
+  BucketCascade cascade_;
+  stats::WindowAverage window_;
+};
+
+}  // namespace rejuv::core

@@ -1,0 +1,24 @@
+#include "core/static_rejuvenation.h"
+
+namespace rejuv::core {
+
+StaticRejuvenation::StaticRejuvenation(std::size_t buckets, int depth, Baseline baseline)
+    : baseline_(baseline), cascade_(depth, buckets) {
+  validate(baseline_);
+}
+
+Decision StaticRejuvenation::observe(double value) {
+  const bool exceeded = value > baseline_.bucket_target(cascade_.bucket());
+  return cascade_.update(exceeded) == BucketCascade::Transition::kTriggered
+             ? Decision::kRejuvenate
+             : Decision::kContinue;
+}
+
+void StaticRejuvenation::reset() { cascade_.reset(); }
+
+std::string StaticRejuvenation::name() const {
+  return "Static(K=" + std::to_string(cascade_.bucket_count()) +
+         ",D=" + std::to_string(cascade_.depth()) + ")";
+}
+
+}  // namespace rejuv::core

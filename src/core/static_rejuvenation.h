@@ -1,0 +1,36 @@
+// The static software rejuvenation algorithm of Avritzer/Bondi/Weyuker [1],
+// the per-observation precursor of SRAA.
+//
+// Each individual observation x_i is compared against the bucket target
+// muX + N * sigmaX; one ball is added when x_i exceeds the target and one is
+// removed otherwise. SRAA with n = 1 is sequence-equivalent (the test suite
+// asserts this), but the algorithm is kept as its own type because it is the
+// baseline the paper improves on and it needs no averaging window.
+#pragma once
+
+#include <string>
+
+#include "core/bucket_cascade.h"
+#include "core/detector.h"
+
+namespace rejuv::core {
+
+class StaticRejuvenation final : public Detector {
+ public:
+  /// `buckets` K and `depth` D as in the paper; baseline is (muX, sigmaX).
+  StaticRejuvenation(std::size_t buckets, int depth, Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override;
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+
+  /// Introspection for tests and monitoring dashboards.
+  const BucketCascade& cascade() const noexcept { return cascade_; }
+
+ private:
+  Baseline baseline_;
+  BucketCascade cascade_;
+};
+
+}  // namespace rejuv::core

@@ -1,0 +1,166 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <future>
+
+#include "common/expect.h"
+#include "common/flags.h"
+#include "core/controller.h"
+#include "sim/simulator.h"
+#include "stats/batch_means.h"
+
+namespace rejuv::harness {
+
+SimulationProtocol SimulationProtocol::paper_protocol() {
+  SimulationProtocol protocol;
+  protocol.transactions_per_replication = 100'000;
+  protocol.replications = 5;
+  return protocol;
+}
+
+SimulationProtocol SimulationProtocol::from_environment() {
+  SimulationProtocol protocol =
+      common::env_enabled("REJUV_FULL") ? paper_protocol() : SimulationProtocol{};
+  protocol.transactions_per_replication = static_cast<std::uint64_t>(
+      common::env_int("REJUV_TXNS", static_cast<std::int64_t>(protocol.transactions_per_replication)));
+  protocol.replications = static_cast<std::uint64_t>(
+      common::env_int("REJUV_REPS", static_cast<std::int64_t>(protocol.replications)));
+  protocol.base_seed = static_cast<std::uint64_t>(
+      common::env_int("REJUV_SEED", static_cast<std::int64_t>(protocol.base_seed)));
+  protocol.parallel_points = !common::env_enabled("REJUV_SEQUENTIAL");
+  return protocol;
+}
+
+PointResult run_point(const core::DetectorConfig& detector_config,
+                      const model::EcommerceConfig& system_template, double offered_load_cpus,
+                      const SimulationProtocol& protocol) {
+  return run_custom_point([&detector_config] { return core::make_detector(detector_config); },
+                          system_template, offered_load_cpus, protocol);
+}
+
+PointResult run_custom_point(const DetectorFactory& make_detector,
+                             const model::EcommerceConfig& system_template,
+                             double offered_load_cpus, const SimulationProtocol& protocol) {
+  REJUV_EXPECT(offered_load_cpus > 0.0, "offered load must be positive");
+  REJUV_EXPECT(protocol.replications >= 1, "need at least one replication");
+
+  model::EcommerceConfig config = system_template;
+  config.arrival_rate = offered_load_cpus * config.service_rate;
+
+  PointResult result;
+  result.offered_load_cpus = offered_load_cpus;
+
+  stats::RunningStats rt_overall;
+  std::vector<double> replication_rt_means;
+  std::uint64_t arrivals_total = 0;
+
+  for (std::uint64_t rep = 0; rep < protocol.replications; ++rep) {
+    // Stream ids are a function of the replication only, never of the
+    // detector, so every configuration faces the same workload.
+    common::RngStream arrival_rng(protocol.base_seed, 2 * rep);
+    common::RngStream service_rng(protocol.base_seed, 2 * rep + 1);
+
+    sim::Simulator simulator;
+    model::EcommerceSystem system(simulator, config, arrival_rng, service_rng);
+
+    core::RejuvenationController controller(make_detector());
+    system.set_decision([&controller](double rt) { return controller.observe(rt); });
+
+    system.run_transactions(protocol.transactions_per_replication);
+
+    const model::EcommerceMetrics& metrics = system.metrics();
+    rt_overall.merge(metrics.response_time);
+    if (metrics.response_time.count() > 0) {
+      replication_rt_means.push_back(metrics.response_time.mean());
+    }
+    arrivals_total += metrics.arrivals;
+    result.completed += metrics.completed;
+    result.lost += metrics.lost();
+    result.rejuvenations += metrics.rejuvenation_count;
+    result.gc_count += metrics.gc_count;
+  }
+
+  result.avg_response_time = rt_overall.mean();
+  result.max_response_time = rt_overall.count() > 0 ? rt_overall.max() : 0.0;
+  result.loss_fraction =
+      arrivals_total == 0 ? 0.0
+                          : static_cast<double>(result.lost) / static_cast<double>(arrivals_total);
+  if (replication_rt_means.size() >= 2) {
+    result.rt_half_width = stats::replication_interval(replication_rt_means).half_width;
+  }
+  return result;
+}
+
+SweepResult run_sweep(const core::DetectorConfig& detector_config,
+                      const model::EcommerceConfig& system_template, std::span<const double> loads,
+                      const SimulationProtocol& protocol) {
+  SweepResult sweep = run_custom_sweep(
+      core::describe(detector_config),
+      [&detector_config] { return core::make_detector(detector_config); }, system_template,
+      loads, protocol);
+  sweep.detector = detector_config;
+  return sweep;
+}
+
+SweepResult run_custom_sweep(const std::string& label, const DetectorFactory& make_detector,
+                             const model::EcommerceConfig& system_template,
+                             std::span<const double> loads, const SimulationProtocol& protocol) {
+  SweepResult sweep;
+  sweep.label = label;
+  if (protocol.parallel_points && loads.size() > 1) {
+    // Every point is an isolated deterministic simulation (own simulator,
+    // own RNG streams derived from (seed, replication)), so fan-out is safe
+    // and the collected results are identical to the sequential order.
+    std::vector<std::future<PointResult>> futures;
+    futures.reserve(loads.size());
+    for (double load : loads) {
+      futures.push_back(std::async(std::launch::async, [&, load] {
+        return run_custom_point(make_detector, system_template, load, protocol);
+      }));
+    }
+    sweep.points.reserve(loads.size());
+    for (auto& future : futures) sweep.points.push_back(future.get());
+    return sweep;
+  }
+  sweep.points.reserve(loads.size());
+  for (double load : loads) {
+    sweep.points.push_back(run_custom_point(make_detector, system_template, load, protocol));
+  }
+  return sweep;
+}
+
+std::vector<SweepResult> run_sweeps(std::span<const core::DetectorConfig> detector_configs,
+                                    const model::EcommerceConfig& system_template,
+                                    std::span<const double> loads,
+                                    const SimulationProtocol& protocol) {
+  std::vector<SweepResult> sweeps;
+  sweeps.reserve(detector_configs.size());
+  for (const core::DetectorConfig& config : detector_configs) {
+    sweeps.push_back(run_sweep(config, system_template, loads, protocol));
+  }
+  return sweeps;
+}
+
+std::vector<double> simulate_mmc_response_times(double lambda, double mu, std::size_t cpus,
+                                                std::uint64_t transactions, std::uint64_t seed,
+                                                std::uint64_t stream) {
+  model::EcommerceConfig config;
+  config.arrival_rate = lambda;
+  config.service_rate = mu;
+  config.cpus = cpus;
+  config.gc_enabled = false;
+  config.overhead_enabled = false;
+
+  common::RngStream arrival_rng(seed, 2 * stream);
+  common::RngStream service_rng(seed, 2 * stream + 1);
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, config, arrival_rng, service_rng);
+
+  std::vector<double> series;
+  series.reserve(transactions);
+  system.set_observer([&series](double rt) { series.push_back(rt); });
+  system.run_transactions(transactions);
+  return series;
+}
+
+}  // namespace rejuv::harness

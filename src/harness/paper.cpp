@@ -1,0 +1,110 @@
+#include "harness/paper.h"
+
+namespace rejuv::harness {
+
+core::Baseline paper_baseline() { return core::Baseline{5.0, 5.0}; }
+
+model::EcommerceConfig paper_system() {
+  // EcommerceConfig defaults are already the paper's constants.
+  return model::EcommerceConfig{};
+}
+
+std::vector<double> default_load_grid() {
+  return {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0};
+}
+
+core::DetectorConfig sraa_config(const NkdTriple& t) {
+  core::DetectorConfig config;
+  config.algorithm = core::Algorithm::kSraa;
+  config.sample_size = t.n;
+  config.buckets = t.k;
+  config.depth = t.d;
+  config.baseline = paper_baseline();
+  return config;
+}
+
+core::DetectorConfig saraa_config(const NkdTriple& t) {
+  core::DetectorConfig config = sraa_config(t);
+  config.algorithm = core::Algorithm::kSaraa;
+  return config;
+}
+
+core::DetectorConfig clta_config(std::size_t n, double z) {
+  core::DetectorConfig config;
+  config.algorithm = core::Algorithm::kClta;
+  config.sample_size = n;
+  config.buckets = 1;
+  config.depth = 1;
+  config.quantile_z = z;
+  config.baseline = paper_baseline();
+  return config;
+}
+
+namespace {
+std::vector<core::DetectorConfig> sraa_set(const std::vector<NkdTriple>& triples) {
+  std::vector<core::DetectorConfig> configs;
+  configs.reserve(triples.size());
+  for (const NkdTriple& t : triples) configs.push_back(sraa_config(t));
+  return configs;
+}
+}  // namespace
+
+std::vector<core::DetectorConfig> fig09_configs() {
+  return sraa_set({{1, 3, 5}, {1, 5, 3}, {3, 1, 5}, {3, 5, 1}, {5, 1, 3}, {5, 3, 1}, {15, 1, 1}});
+}
+
+std::vector<core::DetectorConfig> fig11_configs() {
+  return sraa_set({{2, 3, 5}, {2, 5, 3}, {6, 1, 5}, {6, 5, 1}, {10, 1, 3}, {10, 3, 1}, {30, 1, 1}});
+}
+
+std::vector<core::DetectorConfig> fig12_configs() {
+  return sraa_set(
+      {{1, 3, 10}, {1, 5, 6}, {3, 1, 10}, {3, 5, 2}, {5, 1, 6}, {5, 3, 2}, {15, 1, 2}});
+}
+
+std::vector<core::DetectorConfig> fig14_configs() {
+  // (5,2,3) is not in the figure legend but §5.4's text singles it out as the
+  // second-best tradeoff configuration, so it is included in the sweep.
+  return sraa_set(
+      {{1, 6, 5}, {1, 10, 3}, {3, 2, 5}, {3, 10, 1}, {5, 6, 1}, {15, 2, 1}, {15, 1, 2}, {5, 2, 3}});
+}
+
+std::vector<core::DetectorConfig> fig15_configs() {
+  return {saraa_config({2, 3, 5}), saraa_config({2, 5, 3}), saraa_config({6, 5, 1}),
+          saraa_config({10, 3, 1})};
+}
+
+std::vector<core::DetectorConfig> fig16_configs() {
+  return {clta_config(30, 1.96), sraa_config({2, 5, 3}), saraa_config({2, 5, 3})};
+}
+
+std::vector<PaperReference> paper_spot_values() {
+  return {
+      // §5.2 (Fig. 11 vs Fig. 9): impact of doubling the sample size.
+      {"Fig. 9", "SRAA(n=15,K=1,D=1)", 9.0, "avg RT [s]", 6.2},
+      {"Fig. 11", "SRAA(n=30,K=1,D=1)", 9.0, "avg RT [s]", 9.9},
+      {"Fig. 9", "SRAA(n=3,K=5,D=1)", 9.0, "avg RT [s]", 10.45},
+      {"Fig. 11", "SRAA(n=6,K=5,D=1)", 9.0, "avg RT [s]", 14.3},
+      // §5.4 (Fig. 14): impact of doubling the number of buckets.
+      {"Fig. 14", "SRAA(n=15,K=2,D=1)", 9.0, "avg RT [s]", 11.05},
+      {"Fig. 14", "SRAA(n=3,K=10,D=1)", 9.0, "avg RT [s]", 14.9},
+      {"Fig. 14", "SRAA(n=3,K=2,D=5)", 9.0, "avg RT [s]", 10.3},
+      {"Fig. 14", "SRAA(n=3,K=2,D=5)", 0.5, "loss fraction", 0.000026},
+      {"Fig. 14", "SRAA(n=5,K=2,D=3)", 9.0, "avg RT [s]", 10.4},
+      {"Fig. 14", "SRAA(n=5,K=2,D=3)", 0.5, "loss fraction", 0.0003},
+      // §5.5 (Fig. 15): SARAA vs SRAA at 9.0 CPUs.
+      {"Fig. 15", "SRAA(n=2,K=5,D=3)", 9.0, "avg RT [s]", 11.94},
+      {"Fig. 15", "SARAA(n=2,K=5,D=3)", 9.0, "avg RT [s]", 10.5},
+      {"Fig. 15", "SRAA(n=2,K=3,D=5)", 9.0, "avg RT [s]", 11.05},
+      {"Fig. 15", "SARAA(n=2,K=3,D=5)", 9.0, "avg RT [s]", 9.8},
+      {"Fig. 15", "SRAA(n=6,K=5,D=1)", 9.0, "avg RT [s]", 14.3},
+      {"Fig. 15", "SARAA(n=6,K=5,D=1)", 9.0, "avg RT [s]", 11.0},
+      // §5.6 (Fig. 16): three-way comparison.
+      {"Fig. 16", "CLTA(n=30,z=1.96)", 0.5, "loss fraction", 0.001406},
+      {"Fig. 16", "SARAA(n=2,K=5,D=3)", 9.0, "avg RT [s]", 10.5},
+      {"Fig. 16", "SRAA(n=2,K=5,D=3)", 9.0, "avg RT [s]", 11.94},
+      {"Fig. 16", "CLTA(n=30,z=1.96)", 9.0, "avg RT [s]", 12.8},
+  };
+}
+
+}  // namespace rejuv::harness

@@ -1,0 +1,63 @@
+// The exact experimental configurations and quoted results of paper §5.
+//
+// Each figure's (n, K, D) list is reproduced verbatim, along with the spot
+// values the text quotes (e.g. "for a load of 9.0 CPUs and (15,1,1) the
+// average RT for SRAA is 6.2 seconds"), which EXPERIMENTS.md compares our
+// measurements against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "model/ecommerce.h"
+
+namespace rejuv::harness {
+
+/// The baseline used throughout §5: muX = sigmaX = 5 seconds.
+core::Baseline paper_baseline();
+
+/// The §3 system with the paper's constants (arrival rate is set per point).
+model::EcommerceConfig paper_system();
+
+/// The offered-load grid (in CPUs, lambda/mu) matching the figures' x-axis.
+std::vector<double> default_load_grid();
+
+/// (n, K, D) triple as printed in the paper.
+struct NkdTriple {
+  std::size_t n;
+  std::size_t k;
+  int d;
+};
+
+/// Builds an SRAA/SARAA/CLTA config from a triple and the paper baseline.
+core::DetectorConfig sraa_config(const NkdTriple& t);
+core::DetectorConfig saraa_config(const NkdTriple& t);
+core::DetectorConfig clta_config(std::size_t n, double z);
+
+/// Fig. 9/10: SRAA with n*K*D = 15.
+std::vector<core::DetectorConfig> fig09_configs();
+/// Fig. 11: SRAA with n*K*D = 30, sample size doubled vs Fig. 9.
+std::vector<core::DetectorConfig> fig11_configs();
+/// Fig. 12/13: SRAA with n*K*D = 30, bucket depth doubled vs Fig. 9.
+std::vector<core::DetectorConfig> fig12_configs();
+/// Fig. 14: SRAA with n*K*D = 30, bucket count doubled vs Fig. 9.
+std::vector<core::DetectorConfig> fig14_configs();
+/// Fig. 15: SARAA with n*K*D = 30.
+std::vector<core::DetectorConfig> fig15_configs();
+/// Fig. 16: SRAA(2,5,3) vs SARAA(2,5,3) vs CLTA(30, z=1.96).
+std::vector<core::DetectorConfig> fig16_configs();
+
+/// A value quoted in the paper's text, for side-by-side reporting.
+struct PaperReference {
+  std::string figure;      ///< e.g. "Fig. 11"
+  std::string config;      ///< e.g. "SRAA(n=15,K=1,D=1)"
+  double offered_load;     ///< CPUs
+  std::string metric;      ///< "avg RT [s]" or "loss fraction"
+  double value;            ///< the paper's number
+};
+
+/// Every spot value quoted in §5.
+std::vector<PaperReference> paper_spot_values();
+
+}  // namespace rejuv::harness

@@ -1,0 +1,94 @@
+#include "harness/report.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::harness {
+
+namespace {
+std::vector<std::string> header_with_loads(std::span<const SweepResult> sweeps) {
+  std::vector<std::string> header{"load_cpus"};
+  for (const SweepResult& sweep : sweeps) header.push_back(sweep.label);
+  return header;
+}
+}  // namespace
+
+common::Table response_time_table(std::span<const SweepResult> sweeps) {
+  REJUV_EXPECT(!sweeps.empty(), "no sweeps to tabulate");
+  common::Table table(header_with_loads(sweeps));
+  for (std::size_t p = 0; p < sweeps.front().points.size(); ++p) {
+    std::vector<std::string> row{
+        common::format_double(sweeps.front().points[p].offered_load_cpus, 2)};
+    for (const SweepResult& sweep : sweeps) {
+      row.push_back(common::format_double(sweep.points[p].avg_response_time, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+common::Table loss_table(std::span<const SweepResult> sweeps) {
+  REJUV_EXPECT(!sweeps.empty(), "no sweeps to tabulate");
+  common::Table table(header_with_loads(sweeps));
+  for (std::size_t p = 0; p < sweeps.front().points.size(); ++p) {
+    std::vector<std::string> row{
+        common::format_double(sweeps.front().points[p].offered_load_cpus, 2)};
+    for (const SweepResult& sweep : sweeps) {
+      row.push_back(common::format_double(sweep.points[p].loss_fraction, 6));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+common::Table summary_table(std::span<const SweepResult> sweeps) {
+  REJUV_EXPECT(!sweeps.empty(), "no sweeps to tabulate");
+  common::Table table({"config", "rt_at_high_load", "loss_at_low_load", "rejuvenations_total",
+                       "gc_total"});
+  for (const SweepResult& sweep : sweeps) {
+    REJUV_EXPECT(!sweep.points.empty(), "sweep without points");
+    const PointResult& low = sweep.points.front();
+    const PointResult& high = sweep.points.back();
+    std::uint64_t rejuvenations = 0;
+    std::uint64_t gcs = 0;
+    for (const PointResult& point : sweep.points) {
+      rejuvenations += point.rejuvenations;
+      gcs += point.gc_count;
+    }
+    table.add_row({sweep.label, common::format_double(high.avg_response_time, 2),
+                   common::format_double(low.loss_fraction, 6), std::to_string(rejuvenations),
+                   std::to_string(gcs)});
+  }
+  return table;
+}
+
+const PointResult* find_point(std::span<const SweepResult> sweeps, const std::string& label,
+                              double offered_load) {
+  for (const SweepResult& sweep : sweeps) {
+    if (sweep.label != label) continue;
+    for (const PointResult& point : sweep.points) {
+      if (std::abs(point.offered_load_cpus - offered_load) < 1e-9) return &point;
+    }
+  }
+  return nullptr;
+}
+
+common::Table reference_comparison_table(std::span<const SweepResult> sweeps,
+                                         std::span<const PaperReference> references,
+                                         const std::string& figure) {
+  common::Table table({"config", "load_cpus", "metric", "paper", "measured"});
+  for (const PaperReference& ref : references) {
+    if (ref.figure != figure) continue;
+    const PointResult* point = find_point(sweeps, ref.config, ref.offered_load);
+    if (point == nullptr) continue;
+    const bool is_loss = ref.metric == "loss fraction";
+    const double measured = is_loss ? point->loss_fraction : point->avg_response_time;
+    table.add_row({ref.config, common::format_double(ref.offered_load, 1), ref.metric,
+                   common::format_double(ref.value, is_loss ? 6 : 2),
+                   common::format_double(measured, is_loss ? 6 : 2)});
+  }
+  return table;
+}
+
+}  // namespace rejuv::harness

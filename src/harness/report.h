@@ -1,0 +1,39 @@
+// Rendering sweep results in the layout of the paper's figures.
+//
+// Each figure is a family of curves (one per configuration) over the
+// offered-load axis. response_time_table / loss_table put loads in rows and
+// configurations in columns so that the bench output can be compared against
+// the figures by eye, and summary_table condenses the two metrics the paper
+// judges by: average RT at high load, loss at low load.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/paper.h"
+
+namespace rejuv::harness {
+
+/// Loads x configurations, average response time in seconds.
+common::Table response_time_table(std::span<const SweepResult> sweeps);
+
+/// Loads x configurations, fraction of transactions lost.
+common::Table loss_table(std::span<const SweepResult> sweeps);
+
+/// One row per configuration: RT at the highest load, loss at the lowest
+/// load, rejuvenation and GC counts — the paper's assessment criteria.
+common::Table summary_table(std::span<const SweepResult> sweeps);
+
+/// Side-by-side of measured values vs the paper's quoted numbers, for every
+/// reference whose configuration appears in `sweeps`.
+common::Table reference_comparison_table(std::span<const SweepResult> sweeps,
+                                         std::span<const PaperReference> references,
+                                         const std::string& figure);
+
+/// Looks up the point for a label/load pair; nullptr if absent.
+const PointResult* find_point(std::span<const SweepResult> sweeps, const std::string& label,
+                              double offered_load);
+
+}  // namespace rejuv::harness

@@ -1,0 +1,107 @@
+#include "markov/ctmc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::markov {
+
+Ctmc::Ctmc(std::size_t state_count) : state_count_(state_count), exit_rates_(state_count, 0.0) {
+  REJUV_EXPECT(state_count > 0, "CTMC needs at least one state");
+}
+
+void Ctmc::add_transition(std::size_t from, std::size_t to, double rate) {
+  REJUV_EXPECT(from < state_count_ && to < state_count_, "transition endpoint out of range");
+  REJUV_EXPECT(from != to, "self-loop in a CTMC generator");
+  REJUV_EXPECT(rate > 0.0 && std::isfinite(rate), "transition rate must be positive and finite");
+  transitions_.push_back({from, to, rate});
+  exit_rates_[from] += rate;
+}
+
+double Ctmc::exit_rate(std::size_t state) const {
+  REJUV_EXPECT(state < state_count_, "state out of range");
+  return exit_rates_[state];
+}
+
+void Ctmc::check_initial(std::span<const double> initial) const {
+  REJUV_EXPECT(initial.size() == state_count_, "initial distribution size mismatch");
+  double total = 0.0;
+  for (double p : initial) {
+    REJUV_EXPECT(p >= -1e-12, "negative initial probability");
+    total += p;
+  }
+  REJUV_EXPECT(std::abs(total - 1.0) < 1e-9, "initial distribution must sum to 1");
+}
+
+std::vector<double> Ctmc::transient_probabilities(std::span<const double> initial, double t,
+                                                  double epsilon) const {
+  check_initial(initial);
+  REJUV_EXPECT(t >= 0.0 && std::isfinite(t), "time must be non-negative and finite");
+  REJUV_EXPECT(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+
+  std::vector<double> pi(initial.begin(), initial.end());
+  const double uniform_rate = *std::max_element(exit_rates_.begin(), exit_rates_.end());
+  if (uniform_rate == 0.0 || t == 0.0) return pi;  // all states absorbing, or no time elapsed
+
+  const double lt = uniform_rate * t;
+  // Conservative truncation point: mean + 10 standard deviations + margin
+  // covers a total-variation tail far below any epsilon >= 1e-15; the loop
+  // below additionally stops as soon as the accumulated Poisson mass reaches
+  // 1 - epsilon.
+  const auto k_max =
+      static_cast<std::size_t>(std::ceil(lt + 10.0 * std::sqrt(lt + 1.0) + 40.0));
+
+  std::vector<double> result(state_count_, 0.0);
+  std::vector<double> next(state_count_, 0.0);
+
+  // Poisson(k; lt) weights computed in log space to survive large lt.
+  const double log_lt = std::log(lt);
+  double accumulated = 0.0;
+  for (std::size_t k = 0; k <= k_max; ++k) {
+    const double log_weight =
+        -lt + static_cast<double>(k) * log_lt - std::lgamma(static_cast<double>(k) + 1.0);
+    const double weight = std::exp(log_weight);
+    if (weight > 0.0) {
+      for (std::size_t s = 0; s < state_count_; ++s) result[s] += weight * pi[s];
+      accumulated += weight;
+    }
+    if (accumulated >= 1.0 - epsilon) break;
+    // pi <- pi * P where P = I + Q/uniform_rate.
+    for (std::size_t s = 0; s < state_count_; ++s) {
+      next[s] = pi[s] * (1.0 - exit_rates_[s] / uniform_rate);
+    }
+    for (const Transition& tr : transitions_) {
+      next[tr.to] += pi[tr.from] * (tr.rate / uniform_rate);
+    }
+    pi.swap(next);
+  }
+
+  // Attribute the (bounded) truncated tail mass to the final iterate so the
+  // result remains a distribution to within epsilon.
+  if (accumulated < 1.0) {
+    const double remainder = 1.0 - accumulated;
+    for (std::size_t s = 0; s < state_count_; ++s) result[s] += remainder * pi[s];
+  }
+  return result;
+}
+
+double Ctmc::absorption_cdf(std::span<const double> initial, double t, double epsilon) const {
+  const auto p = transient_probabilities(initial, t, epsilon);
+  double mass = 0.0;
+  for (std::size_t s = 0; s < state_count_; ++s) {
+    if (exit_rates_[s] == 0.0) mass += p[s];
+  }
+  return std::min(mass, 1.0);
+}
+
+double Ctmc::absorption_pdf(std::span<const double> initial, double t, double epsilon) const {
+  const auto p = transient_probabilities(initial, t, epsilon);
+  double flux = 0.0;
+  for (const Transition& tr : transitions_) {
+    if (exit_rates_[tr.to] == 0.0) flux += p[tr.from] * tr.rate;
+  }
+  return flux;
+}
+
+}  // namespace rejuv::markov

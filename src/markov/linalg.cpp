@@ -1,0 +1,112 @@
+#include "markov/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/expect.h"
+
+namespace rejuv::markov {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  REJUV_EXPECT(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  REJUV_EXPECT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  REJUV_EXPECT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  REJUV_EXPECT(cols_ == rhs.rows_, "matrix product dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = at(i, k);
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out.at(i, j) += v * rhs.at(k, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> vec) const {
+  REJUV_EXPECT(vec.size() == cols_, "matrix-vector dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += at(i, j) * vec[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  REJUV_EXPECT(a.rows() == a.cols(), "solve requires a square matrix");
+  REJUV_EXPECT(b.size() == a.rows(), "right-hand side dimension mismatch");
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a.at(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::invalid_argument("solve: matrix is singular");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a.at(col, j), a.at(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      a.at(r, col) = 0.0;
+      for (std::size_t j = col + 1; j < n; ++j) a.at(r, j) -= factor * a.at(col, j);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t j = ri + 1; j < n; ++j) acc -= a.at(ri, j) * x[j];
+    x[ri] = acc / a.at(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> row_times_matrix(std::span<const double> v, const Matrix& a) {
+  REJUV_EXPECT(v.size() == a.rows(), "row-vector dimension mismatch");
+  std::vector<double> out(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    if (v[i] == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += v[i] * a.at(i, j);
+  }
+  return out;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  REJUV_EXPECT(a.size() == b.size(), "dot product dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace rejuv::markov

@@ -1,0 +1,48 @@
+// Small dense linear algebra for phase-type moment computations.
+//
+// Phase-type moments require solving (-S) x = b for the subgenerator S.
+// The matrices involved are tiny (2n+O(1) states, n <= a few hundred), so a
+// straightforward dense LU with partial pivoting is both adequate and easy
+// to audit. Not intended for large systems — the transient CTMC path uses
+// sparse uniformization instead.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rejuv::markov {
+
+/// Dense row-major matrix with value semantics.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  static Matrix identity(std::size_t n);
+
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<double> operator*(std::span<const double> vec) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by LU with partial pivoting; throws std::invalid_argument
+/// if A is singular to working precision.
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Left-multiplies a row vector: returns v^T A as a vector.
+std::vector<double> row_times_matrix(std::span<const double> v, const Matrix& a);
+
+/// Dot product.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace rejuv::markov

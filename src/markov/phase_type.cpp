@@ -1,0 +1,177 @@
+#include "markov/phase_type.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::markov {
+
+PhaseType::PhaseType(std::vector<double> alpha, Matrix subgenerator)
+    : alpha_(std::move(alpha)), s_(std::move(subgenerator)) {
+  REJUV_EXPECT(s_.rows() == s_.cols(), "subgenerator must be square");
+  REJUV_EXPECT(alpha_.size() == s_.rows(), "alpha size must match subgenerator order");
+  double alpha_total = 0.0;
+  for (double a : alpha_) {
+    REJUV_EXPECT(a >= 0.0, "alpha entries must be non-negative");
+    alpha_total += a;
+  }
+  REJUV_EXPECT(alpha_total <= 1.0 + 1e-12, "alpha must sum to at most 1");
+
+  exit_rates_.resize(order(), 0.0);
+  for (std::size_t i = 0; i < order(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < order(); ++j) {
+      const double entry = s_.at(i, j);
+      if (i == j) {
+        REJUV_EXPECT(entry <= 0.0, "subgenerator diagonal must be non-positive");
+      } else {
+        REJUV_EXPECT(entry >= 0.0, "subgenerator off-diagonal must be non-negative");
+      }
+      row_sum += entry;
+    }
+    REJUV_EXPECT(row_sum <= 1e-9, "subgenerator row sums must be non-positive");
+    exit_rates_[i] = row_sum < 0.0 ? -row_sum : 0.0;
+  }
+}
+
+double PhaseType::exit_rate(std::size_t i) const {
+  REJUV_EXPECT(i < order(), "state out of range");
+  return exit_rates_[i];
+}
+
+double PhaseType::moment(std::size_t k) const {
+  REJUV_EXPECT(k >= 1, "moment order must be at least 1");
+  // v_0 = 1; v_j = (-S)^{-1} v_{j-1}; E[X^k] = k! alpha . v_k.
+  Matrix neg_s(order(), order());
+  for (std::size_t i = 0; i < order(); ++i) {
+    for (std::size_t j = 0; j < order(); ++j) neg_s.at(i, j) = -s_.at(i, j);
+  }
+  std::vector<double> v(order(), 1.0);
+  double factorial = 1.0;
+  for (std::size_t j = 1; j <= k; ++j) {
+    v = solve(neg_s, std::move(v));
+    factorial *= static_cast<double>(j);
+  }
+  return factorial * dot(alpha_, v);
+}
+
+double PhaseType::variance() const {
+  const double m1 = moment(1);
+  return moment(2) - m1 * m1;
+}
+
+double PhaseType::stddev() const { return std::sqrt(variance()); }
+
+double PhaseType::pdf(double t, double epsilon) const {
+  REJUV_EXPECT(t >= 0.0, "time must be non-negative");
+  std::vector<double> initial(order() + 1, 0.0);
+  double alpha_total = 0.0;
+  for (std::size_t i = 0; i < order(); ++i) {
+    initial[i] = alpha_[i];
+    alpha_total += alpha_[i];
+  }
+  initial[order()] = 1.0 - alpha_total;  // atom at zero sits in absorption
+  return to_ctmc().absorption_pdf(initial, t, epsilon);
+}
+
+double PhaseType::cdf(double t, double epsilon) const {
+  REJUV_EXPECT(t >= 0.0, "time must be non-negative");
+  std::vector<double> initial(order() + 1, 0.0);
+  double alpha_total = 0.0;
+  for (std::size_t i = 0; i < order(); ++i) {
+    initial[i] = alpha_[i];
+    alpha_total += alpha_[i];
+  }
+  initial[order()] = 1.0 - alpha_total;
+  return to_ctmc().absorption_cdf(initial, t, epsilon);
+}
+
+PhaseType PhaseType::scaled(double factor) const {
+  REJUV_EXPECT(factor > 0.0 && std::isfinite(factor), "scale factor must be positive and finite");
+  Matrix scaled_s(order(), order());
+  for (std::size_t i = 0; i < order(); ++i) {
+    for (std::size_t j = 0; j < order(); ++j) scaled_s.at(i, j) = s_.at(i, j) / factor;
+  }
+  return PhaseType(alpha_, std::move(scaled_s));
+}
+
+PhaseType PhaseType::convolution(const PhaseType& x, const PhaseType& y) {
+  const std::size_t nx = x.order();
+  const std::size_t ny = y.order();
+  Matrix s(nx + ny, nx + ny);
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < nx; ++j) s.at(i, j) = x.s_.at(i, j);
+    // Absorption of X routes into Y's initial distribution.
+    for (std::size_t j = 0; j < ny; ++j) s.at(i, nx + j) = x.exit_rates_[i] * y.alpha_[j];
+  }
+  for (std::size_t i = 0; i < ny; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) s.at(nx + i, nx + j) = y.s_.at(i, j);
+  }
+
+  double x_alpha_total = 0.0;
+  for (double a : x.alpha_) x_alpha_total += a;
+  std::vector<double> alpha(nx + ny, 0.0);
+  for (std::size_t i = 0; i < nx; ++i) alpha[i] = x.alpha_[i];
+  for (std::size_t j = 0; j < ny; ++j) alpha[nx + j] = (1.0 - x_alpha_total) * y.alpha_[j];
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+PhaseType PhaseType::convolution_power(const PhaseType& x, std::size_t n) {
+  REJUV_EXPECT(n >= 1, "convolution power must be at least 1");
+  PhaseType acc = x;
+  for (std::size_t i = 1; i < n; ++i) acc = convolution(acc, x);
+  return acc;
+}
+
+PhaseType PhaseType::sample_average(const PhaseType& x, std::size_t n) {
+  REJUV_EXPECT(n >= 1, "sample size must be at least 1");
+  return convolution_power(x.scaled(1.0 / static_cast<double>(n)), n);
+}
+
+PhaseType PhaseType::exponential(double rate) {
+  REJUV_EXPECT(rate > 0.0, "rate must be positive");
+  Matrix s(1, 1);
+  s.at(0, 0) = -rate;
+  return PhaseType({1.0}, std::move(s));
+}
+
+PhaseType PhaseType::erlang(std::size_t stages, double rate) {
+  REJUV_EXPECT(stages >= 1, "Erlang needs at least one stage");
+  REJUV_EXPECT(rate > 0.0, "rate must be positive");
+  Matrix s(stages, stages);
+  for (std::size_t i = 0; i < stages; ++i) {
+    s.at(i, i) = -rate;
+    if (i + 1 < stages) s.at(i, i + 1) = rate;
+  }
+  std::vector<double> alpha(stages, 0.0);
+  alpha[0] = 1.0;
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+PhaseType PhaseType::hypoexponential(const std::vector<double>& rates) {
+  REJUV_EXPECT(!rates.empty(), "hypoexponential needs at least one stage");
+  const std::size_t n = rates.size();
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    REJUV_EXPECT(rates[i] > 0.0, "rates must be positive");
+    s.at(i, i) = -rates[i];
+    if (i + 1 < n) s.at(i, i + 1) = rates[i];
+  }
+  std::vector<double> alpha(n, 0.0);
+  alpha[0] = 1.0;
+  return PhaseType(std::move(alpha), std::move(s));
+}
+
+Ctmc PhaseType::to_ctmc() const {
+  Ctmc chain(order() + 1);
+  const std::size_t absorbing = order();
+  for (std::size_t i = 0; i < order(); ++i) {
+    for (std::size_t j = 0; j < order(); ++j) {
+      if (i != j && s_.at(i, j) > 0.0) chain.add_transition(i, j, s_.at(i, j));
+    }
+    if (exit_rates_[i] > 0.0) chain.add_transition(i, absorbing, exit_rates_[i]);
+  }
+  return chain;
+}
+
+}  // namespace rejuv::markov

@@ -1,0 +1,76 @@
+// Phase-type distributions: absorption times of finite CTMCs.
+//
+// The paper represents the M/M/c response time as a phase-type distribution
+// (Fig. 2/3) and obtains the distribution of the sample average X̄n by
+// concatenating n rate-scaled copies of that chain (Fig. 4). PhaseType
+// provides exactly this algebra: closure under positive scaling and
+// convolution, exact moments through linear solves, and density/CDF
+// evaluation through the uniformization engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/ctmc.h"
+#include "markov/linalg.h"
+
+namespace rejuv::markov {
+
+/// Distribution of the time to absorption in a CTMC with `order()` transient
+/// states, initial distribution alpha (over transient states; any deficit
+/// 1 - sum(alpha) is an atom at zero) and subgenerator S. Exit rates to the
+/// absorbing state are the negated row sums of S.
+class PhaseType {
+ public:
+  /// `alpha.size()` must equal `subgenerator.rows()`; S must have
+  /// non-negative off-diagonal entries and non-positive row sums.
+  PhaseType(std::vector<double> alpha, Matrix subgenerator);
+
+  std::size_t order() const noexcept { return alpha_.size(); }
+  const std::vector<double>& alpha() const noexcept { return alpha_; }
+  const Matrix& subgenerator() const noexcept { return s_; }
+
+  /// Exit rate from transient state i into absorption.
+  double exit_rate(std::size_t i) const;
+
+  /// k-th raw moment, E[X^k] = k! * alpha * (-S)^{-k} * 1.
+  double moment(std::size_t k) const;
+  double mean() const { return moment(1); }
+  double variance() const;
+  double stddev() const;
+
+  /// Density and CDF at t >= 0, via uniformization with tolerance epsilon.
+  double pdf(double t, double epsilon = 1e-12) const;
+  double cdf(double t, double epsilon = 1e-12) const;
+
+  /// Distribution of `factor * X` (factor > 0): scales the subgenerator by
+  /// 1/factor. Used to form X/n before concatenation.
+  PhaseType scaled(double factor) const;
+
+  /// Distribution of X + Y for independent phase-type X, Y: the sequential
+  /// composition that fuses Y's start onto X's absorption (paper Fig. 4).
+  static PhaseType convolution(const PhaseType& x, const PhaseType& y);
+
+  /// Distribution of the sum of n independent copies of X.
+  static PhaseType convolution_power(const PhaseType& x, std::size_t n);
+
+  /// Distribution of the average of n independent copies of X — the paper's
+  /// X̄n construction: scale each copy by 1/n (multiply rates by n), then
+  /// concatenate n of them.
+  static PhaseType sample_average(const PhaseType& x, std::size_t n);
+
+  /// Common special cases.
+  static PhaseType exponential(double rate);
+  static PhaseType erlang(std::size_t stages, double rate);
+  static PhaseType hypoexponential(const std::vector<double>& rates);
+
+  /// Explicit CTMC with one extra absorbing state (index order()).
+  Ctmc to_ctmc() const;
+
+ private:
+  std::vector<double> alpha_;
+  Matrix s_;
+  std::vector<double> exit_rates_;
+};
+
+}  // namespace rejuv::markov

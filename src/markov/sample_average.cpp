@@ -1,0 +1,56 @@
+#include "markov/sample_average.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "stats/normal.h"
+
+namespace rejuv::markov {
+
+PhaseType response_time_phase_type(const ResponseTimeChainParams& params) {
+  REJUV_EXPECT(params.wc >= 0.0 && params.wc <= 1.0, "Wc must be a probability");
+  REJUV_EXPECT(params.service_rate > 0.0, "service rate must be positive");
+  REJUV_EXPECT(params.drain_rate > 0.0, "drain rate must be positive (stable system)");
+  // State 0: in service (exit rate mu, split Wc to absorption / 1-Wc onward);
+  // state 1: the queueing stage of rate c*mu - lambda.
+  Matrix s(2, 2);
+  s.at(0, 0) = -params.service_rate;
+  s.at(0, 1) = params.service_rate * (1.0 - params.wc);
+  s.at(1, 1) = -params.drain_rate;
+  return PhaseType({1.0, 0.0}, std::move(s));
+}
+
+PhaseType sample_average_phase_type(const ResponseTimeChainParams& params, std::size_t n) {
+  return PhaseType::sample_average(response_time_phase_type(params), n);
+}
+
+SampleAverageDistribution::SampleAverageDistribution(const ResponseTimeChainParams& params,
+                                                     std::size_t n)
+    : n_(n),
+      average_(sample_average_phase_type(params, n)),
+      mean_single_(0.0),
+      stddev_single_(0.0) {
+  const PhaseType single = response_time_phase_type(params);
+  mean_single_ = single.mean();
+  stddev_single_ = single.stddev();
+}
+
+double SampleAverageDistribution::pdf(double x) const { return average_.pdf(x); }
+
+double SampleAverageDistribution::cdf(double x) const { return average_.cdf(x); }
+
+double SampleAverageDistribution::stddev() const noexcept {
+  return stddev_single_ / std::sqrt(static_cast<double>(n_));
+}
+
+double SampleAverageDistribution::normal_approximation_pdf(double x) const {
+  return stats::normal_pdf(x, mean(), stddev());
+}
+
+double SampleAverageDistribution::false_alarm_probability(double z) const {
+  REJUV_EXPECT(z > 0.0, "quantile factor must be positive");
+  const double threshold = mean() + z * stddev();
+  return 1.0 - cdf(threshold);
+}
+
+}  // namespace rejuv::markov

@@ -1,0 +1,57 @@
+#include "markov/stationary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+#include "markov/linalg.h"
+
+namespace rejuv::markov {
+
+std::vector<double> stationary_distribution(const Ctmc& chain) {
+  const std::size_t n = chain.state_count();
+  for (std::size_t s = 0; s < n; ++s) {
+    REJUV_EXPECT(!chain.is_absorbing(s) || n == 1,
+                 "stationary distribution of a chain with absorbing states");
+  }
+  if (n == 1) return {1.0};
+
+  // Assemble Q^T, then replace the last equation by the normalization row.
+  Matrix system(n, n);
+  for (const Transition& t : chain.transitions()) {
+    system.at(t.to, t.from) += t.rate;
+    system.at(t.from, t.from) -= t.rate;
+  }
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t col = 0; col < n; ++col) system.at(n - 1, col) = 1.0;
+  rhs[n - 1] = 1.0;
+
+  std::vector<double> pi = solve(std::move(system), std::move(rhs));
+  // Clamp tiny negative round-off and renormalize.
+  double total = 0.0;
+  for (double& p : pi) {
+    p = std::max(p, 0.0);
+    total += p;
+  }
+  REJUV_ASSERT(total > 0.0, "stationary solve produced a zero vector");
+  for (double& p : pi) p /= total;
+  return pi;
+}
+
+Ctmc build_mmc_birth_death_chain(double lambda, double mu, std::size_t servers,
+                                 std::size_t max_jobs) {
+  REJUV_EXPECT(lambda > 0.0, "arrival rate must be positive");
+  REJUV_EXPECT(mu > 0.0, "service rate must be positive");
+  REJUV_EXPECT(servers >= 1, "need at least one server");
+  REJUV_EXPECT(max_jobs >= servers, "truncation must cover all servers");
+  Ctmc chain(max_jobs + 1);
+  for (std::size_t k = 0; k < max_jobs; ++k) {
+    chain.add_transition(k, k + 1, lambda);
+  }
+  for (std::size_t k = 1; k <= max_jobs; ++k) {
+    chain.add_transition(k, k - 1, static_cast<double>(std::min(k, servers)) * mu);
+  }
+  return chain;
+}
+
+}  // namespace rejuv::markov

@@ -1,0 +1,30 @@
+// Stationary distributions of finite CTMCs.
+//
+// Fig. 1 of the paper is the birth-death chain of the M/M/c queue; its
+// stationary distribution is what the Wc formula summarizes. This module
+// solves pi * Q = 0, sum(pi) = 1 for any finite irreducible CTMC, which lets
+// the tests validate the Erlang-based Wc against a direct numerical solution
+// of the Fig. 1 chain (truncated at a large population), and provides the
+// phase probabilities used by the MMPP workload model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/ctmc.h"
+
+namespace rejuv::markov {
+
+/// Stationary distribution of an irreducible CTMC: solves pi Q = 0 with the
+/// normalization sum(pi) = 1 by dense LU on the transposed generator.
+/// Throws std::invalid_argument if the chain has absorbing states (no
+/// stationary distribution in the intended sense) or the solve fails.
+std::vector<double> stationary_distribution(const Ctmc& chain);
+
+/// Builds the Fig. 1 birth-death chain of an M/M/c queue truncated at
+/// `max_jobs` jobs in the system: state k has arrival rate lambda (k <
+/// max_jobs) and service rate min(k, c) * mu.
+Ctmc build_mmc_birth_death_chain(double lambda, double mu, std::size_t servers,
+                                 std::size_t max_jobs);
+
+}  // namespace rejuv::markov

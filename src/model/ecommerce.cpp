@@ -1,0 +1,262 @@
+#include "model/ecommerce.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/expect.h"
+#include "sim/variates.h"
+
+namespace rejuv::model {
+
+void validate(const EcommerceConfig& config) {
+  REJUV_EXPECT(config.arrival_rate > 0.0, "arrival rate must be positive");
+  REJUV_EXPECT(config.service_rate > 0.0, "service rate must be positive");
+  REJUV_EXPECT(config.cpus >= 1, "need at least one CPU");
+  REJUV_EXPECT(config.overhead_factor >= 1.0, "overhead factor must be >= 1");
+  REJUV_EXPECT(config.heap_mb > 0.0, "heap must be non-empty");
+  REJUV_EXPECT(config.alloc_mb > 0.0, "allocation size must be positive");
+  REJUV_EXPECT(config.alloc_mb <= config.heap_mb, "allocation exceeds heap");
+  REJUV_EXPECT(config.gc_free_threshold_mb >= 0.0, "GC threshold must be non-negative");
+  REJUV_EXPECT(config.gc_pause_seconds >= 0.0, "GC pause must be non-negative");
+  REJUV_EXPECT(config.rejuvenation_downtime_seconds >= 0.0,
+               "rejuvenation downtime must be non-negative");
+}
+
+EcommerceSystem::EcommerceSystem(sim::Simulator& simulator, EcommerceConfig config,
+                                 common::RngStream& arrival_rng, common::RngStream& service_rng)
+    : simulator_(simulator),
+      config_(config),
+      arrival_rng_(arrival_rng),
+      service_rng_(service_rng),
+      arrival_process_(std::make_unique<workload::PoissonProcess>(config.arrival_rate)) {
+  validate(config_);
+}
+
+void EcommerceSystem::set_arrival_process(std::unique_ptr<workload::ArrivalProcess> process) {
+  REJUV_EXPECT(process != nullptr, "arrival process must not be null");
+  REJUV_EXPECT(metrics_.arrivals == 0 && arrivals_to_generate_ == 0,
+               "arrival process must be set before the run starts");
+  arrival_process_ = std::move(process);
+}
+
+void EcommerceSystem::run_transactions(std::uint64_t count) {
+  REJUV_EXPECT(count >= 1, "need at least one transaction");
+  REJUV_EXPECT(metrics_.arrivals == 0, "EcommerceSystem instances are single-run");
+  arrivals_to_generate_ = count;
+  schedule_next_arrival();
+  if (periodic_rejuvenation_interval_ > 0.0) {
+    simulator_.schedule_after(periodic_rejuvenation_interval_,
+                              [this] { on_periodic_rejuvenation(); });
+  }
+  simulator_.run();
+  REJUV_ASSERT(metrics_.completed + metrics_.lost() == count,
+               "transaction conservation violated");
+}
+
+void EcommerceSystem::enable_periodic_rejuvenation(double interval_seconds) {
+  REJUV_EXPECT(interval_seconds > 0.0, "rejuvenation interval must be positive");
+  REJUV_EXPECT(metrics_.arrivals == 0 && arrivals_to_generate_ == 0,
+               "periodic rejuvenation must be enabled before the run starts");
+  periodic_rejuvenation_interval_ = interval_seconds;
+}
+
+void EcommerceSystem::on_periodic_rejuvenation() {
+  // The tick chain ends once no further work can arrive, so the simulation
+  // terminates; a tick landing inside a rejuvenation downtime is skipped
+  // (the system is already clean).
+  if (arrivals_to_generate_ == 0 && threads_in_system() == 0) return;
+  if (!down_) rejuvenate();
+  simulator_.schedule_after(periodic_rejuvenation_interval_,
+                            [this] { on_periodic_rejuvenation(); });
+}
+
+void EcommerceSystem::schedule_next_arrival() {
+  if (arrivals_to_generate_ == 0) return;
+  --arrivals_to_generate_;
+  simulator_.schedule_after(arrival_process_->next_interarrival(arrival_rng_, simulator_.now()),
+                            [this] { on_arrival(); });
+}
+
+void EcommerceSystem::submit_transaction() {
+  REJUV_EXPECT(arrivals_to_generate_ == 0, "cannot mix submitted and self-generated arrivals");
+  admit_transaction();
+}
+
+void EcommerceSystem::on_arrival() {
+  // Rule 1: count the arrival and chain the next one.
+  schedule_next_arrival();
+  admit_transaction();
+}
+
+void EcommerceSystem::admit_transaction() {
+  ++metrics_.arrivals;
+  if (config_.admission_limit > 0 && threads_in_system() >= config_.admission_limit) {
+    ++metrics_.lost_to_admission;
+    return;
+  }
+  if (down_ && !config_.queue_arrivals_during_downtime) {
+    // Transactions offered while capacity is being restored are lost; the
+    // paper defines rejuvenation cost as exactly this kind of loss.
+    ++metrics_.lost_to_downtime;
+    return;
+  }
+  // Rule 2: FCFS queue for a CPU.
+  queue_.push_back({simulator_.now()});
+  try_dispatch();
+}
+
+void EcommerceSystem::try_dispatch() {
+  // Dispatch is limited by CPUs and by the heap: an allocation that cannot
+  // be satisfied waits for the in-progress GC to reclaim garbage. A GC does
+  // not otherwise stop dispatch — §3 delays only the *running* threads — but
+  // at high load all CPUs are held by those delayed threads, which is what
+  // starves dispatch and builds the post-GC backlog.
+  while (!down_ && busy_cpus_ < config_.cpus && !queue_.empty() &&
+         (!config_.gc_enabled || free_heap_mb() >= config_.alloc_mb)) {
+    const QueuedThread thread = queue_.front();
+    queue_.pop_front();
+
+    // Rule 3 + 4: exponential processing time, doubled under kernel overhead.
+    // The thread being dispatched still counts toward the concurrency level.
+    double processing = sim::exponential(service_rng_, config_.service_rate);
+    const std::size_t concurrency = queue_.size() + running_.size() + 1;
+    if (config_.overhead_enabled && concurrency > config_.thread_overhead_threshold) {
+      processing *= config_.overhead_factor;
+    }
+
+    // Rule 5: allocate heap on obtaining the CPU.
+    account_usage();
+    ++busy_cpus_;
+    live_mb_ += config_.alloc_mb;
+
+    const std::uint64_t thread_id = next_thread_id_++;
+    const double completion_time = simulator_.now() + processing;
+    const sim::EventId event =
+        simulator_.schedule_at(completion_time, [this, thread_id] { on_completion(thread_id); });
+    running_.emplace(thread_id, RunningThread{thread.arrival_time, completion_time, event});
+
+    // Rule 6: a full GC is scheduled when the allocation leaves less free
+    // heap than the threshold. A GC already in progress absorbs re-triggers.
+    if (config_.gc_enabled && gc_end_event_ == sim::kNoEvent &&
+        free_heap_mb() < config_.gc_free_threshold_mb) {
+      start_gc();
+    }
+  }
+  // A queue blocked on allocation with reclaimable garbage must also force a
+  // collection: without it, once the running threads complete (their memory
+  // stays garbage until a GC) nothing would ever trigger one and the queued
+  // threads would be stranded. Only fires when there is garbage to reclaim,
+  // so it cannot livelock on a heap held entirely by live allocations.
+  if (config_.gc_enabled && gc_end_event_ == sim::kNoEvent && !down_ && !queue_.empty() &&
+      busy_cpus_ < config_.cpus && free_heap_mb() < config_.alloc_mb && garbage_mb_ > 0.0) {
+    start_gc();
+  }
+}
+
+void EcommerceSystem::start_gc() {
+  REJUV_ASSERT(gc_end_event_ == sim::kNoEvent, "GC triggered while one is in progress");
+  ++metrics_.gc_count;
+  // Every thread running at GC start is delayed by the full pause and keeps
+  // holding its CPU meanwhile; threads dispatched onto free CPUs during the
+  // pause are not delayed (§3 delays the running threads only).
+  for (auto& [thread_id, thread] : running_) {
+    const bool cancelled = simulator_.cancel(thread.completion_event);
+    REJUV_ASSERT(cancelled, "running thread lost its completion event");
+    thread.completion_time += config_.gc_pause_seconds;
+    const std::uint64_t id_copy = thread_id;
+    thread.completion_event = simulator_.schedule_at(
+        thread.completion_time, [this, id_copy] { on_completion(id_copy); });
+  }
+  gc_end_event_ =
+      simulator_.schedule_after(config_.gc_pause_seconds, [this] { on_gc_end(); });
+}
+
+void EcommerceSystem::on_gc_end() {
+  gc_end_event_ = sim::kNoEvent;
+  account_usage();
+  garbage_mb_ = 0.0;  // all memory of completed transactions is reclaimed
+  try_dispatch();
+}
+
+void EcommerceSystem::on_completion(std::uint64_t thread_id) {
+  const auto it = running_.find(thread_id);
+  REJUV_ASSERT(it != running_.end(), "completion for an unknown thread");
+  const double response_time = simulator_.now() - it->second.arrival_time;
+  running_.erase(it);
+  REJUV_ASSERT(busy_cpus_ >= 1, "completion with no busy CPU");
+  account_usage();
+  --busy_cpus_;
+  // The transaction's memory becomes garbage, reclaimable at the next GC.
+  live_mb_ -= config_.alloc_mb;
+  garbage_mb_ += config_.alloc_mb;
+
+  // Rule 7: record the response time.
+  ++metrics_.completed;
+  metrics_.response_time.push(response_time);
+  if (observer_) observer_(response_time);
+
+  // Rule 8: consult the rejuvenation decision.
+  if (decision_ && decision_(response_time)) {
+    rejuvenate();
+    return;
+  }
+  try_dispatch();
+}
+
+void EcommerceSystem::rejuvenate() {
+  ++metrics_.rejuvenation_count;
+  // Terminate all running threads and release their completion events.
+  for (auto& entry : running_) {
+    const bool cancelled = simulator_.cancel(entry.second.completion_event);
+    REJUV_ASSERT(cancelled, "running thread lost its completion event");
+  }
+  metrics_.lost_to_rejuvenation += running_.size() + queue_.size();
+  running_.clear();
+  queue_.clear();
+  account_usage();
+  busy_cpus_ = 0;
+  // Release all resources held by threads: heap (live and garbage) and CPUs.
+  live_mb_ = 0.0;
+  garbage_mb_ = 0.0;
+  if (gc_end_event_ != sim::kNoEvent) {
+    simulator_.cancel(gc_end_event_);
+    gc_end_event_ = sim::kNoEvent;
+  }
+  if (config_.rejuvenation_downtime_seconds > 0.0) {
+    down_ = true;
+    simulator_.schedule_after(config_.rejuvenation_downtime_seconds, [this] {
+      down_ = false;
+      try_dispatch();
+    });
+  }
+}
+
+void EcommerceSystem::force_rejuvenation() { rejuvenate(); }
+
+void EcommerceSystem::account_usage() {
+  const double elapsed = simulator_.now() - last_usage_update_;
+  if (elapsed > 0.0) {
+    busy_cpu_time_ += static_cast<double>(busy_cpus_) * elapsed;
+    heap_used_time_ += (live_mb_ + garbage_mb_) * elapsed;
+    last_usage_update_ = simulator_.now();
+  }
+}
+
+double EcommerceSystem::average_cpu_utilization() const {
+  const double elapsed = simulator_.now();
+  if (elapsed <= 0.0) return 0.0;
+  // Fold in the tail interval since the last state change.
+  const double busy = busy_cpu_time_ + static_cast<double>(busy_cpus_) *
+                                           (elapsed - last_usage_update_);
+  return busy / (elapsed * static_cast<double>(config_.cpus));
+}
+
+double EcommerceSystem::average_heap_occupancy() const {
+  const double elapsed = simulator_.now();
+  if (elapsed <= 0.0) return 0.0;
+  const double used = heap_used_time_ + (live_mb_ + garbage_mb_) *
+                                            (elapsed - last_usage_update_);
+  return used / (elapsed * config_.heap_mb);
+}
+
+}  // namespace rejuv::model

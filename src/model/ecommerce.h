@@ -1,0 +1,206 @@
+// Simulation model of the multi-tier Java e-commerce system (paper §3).
+//
+// The model follows the paper's eight numbered rules:
+//   1. Poisson arrivals with rate lambda; each arrival is one JVM thread.
+//   2. Threads queue FCFS for a CPU.
+//   3. CPU processing time ~ Exp(mu), mu = 0.2 tps by default.
+//   4. If the number of threads in the system exceeds 50 at dispatch, the
+//      sampled processing time is multiplied by 2.0 (kernel overhead).
+//   5. On obtaining a CPU a thread allocates 10 MB of heap.
+//   6. If free heap drops below 100 MB after an allocation, a full GC runs
+//      for 60 s: all threads running at that moment are delayed by the full
+//      pause (still holding their CPUs); at GC end all garbage (memory of
+//      completed transactions) is reclaimed. Dispatch onto free CPUs
+//      continues during the pause as long as the heap can satisfy the
+//      allocation — at high load there are no free CPUs, which is what
+//      builds the post-GC backlog.
+//   7. On completion the response time (waiting + processing + GC delays)
+//      is recorded.
+//   8. The observed response time is fed to a rejuvenation decision; a
+//      positive decision terminates all queued and running threads (they
+//      count as lost), releases heap and CPUs, and optionally keeps the
+//      system down for a configurable interval.
+//
+// Where §3 under-specifies, DESIGN.md §5 records the interpretation:
+// completed transactions' memory persists as garbage until a GC, "threads
+// executing in parallel" means threads in the system, and rejuvenation is
+// instantaneous by default.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "stats/running_stats.h"
+#include "workload/arrival_process.h"
+
+namespace rejuv::model {
+
+/// All parameters of the §3 model, defaulted to the paper's values.
+struct EcommerceConfig {
+  double arrival_rate = 1.6;               ///< lambda, transactions/second
+  double service_rate = 0.2;               ///< mu, transactions/second per CPU
+  std::size_t cpus = 16;                   ///< c
+  std::size_t thread_overhead_threshold = 50;  ///< kernel-overhead onset
+  double overhead_factor = 2.0;            ///< processing-time multiplier
+  double heap_mb = 3072.0;                 ///< 3 GB JVM heap
+  double alloc_mb = 10.0;                  ///< per-transaction allocation
+  double gc_free_threshold_mb = 100.0;     ///< full GC when free heap below this
+  double gc_pause_seconds = 60.0;          ///< stop-the-world duration
+  double rejuvenation_downtime_seconds = 0.0;  ///< 0 = instantaneous restore
+  /// What happens to arrivals during rejuvenation downtime: lost (clients
+  /// receive errors, the paper's cost accounting) or queued (clients retry /
+  /// a front-end buffers them, adding waiting time instead of loss).
+  bool queue_arrivals_during_downtime = false;
+  /// Admission control (an alternative/complement to rejuvenation): reject
+  /// arrivals when the number of threads in the system has reached this
+  /// bound. 0 disables admission control. Rejected transactions count as
+  /// lost. Setting this at or below thread_overhead_threshold prevents the
+  /// kernel-overhead regime entirely, at the price of rejections.
+  std::size_t admission_limit = 0;
+  bool gc_enabled = true;        ///< false: abstract away steps 5-6 (pure M/M/c)
+  bool overhead_enabled = true;  ///< false: abstract away step 4
+};
+
+void validate(const EcommerceConfig& config);
+
+/// Counters and summary statistics of one run.
+struct EcommerceMetrics {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t lost_to_rejuvenation = 0;  ///< threads flushed by rejuvenation
+  std::uint64_t lost_to_downtime = 0;      ///< arrivals during rejuvenation downtime
+  std::uint64_t lost_to_admission = 0;     ///< arrivals rejected by admission control
+  std::uint64_t gc_count = 0;
+  std::uint64_t rejuvenation_count = 0;
+  stats::RunningStats response_time;
+
+  std::uint64_t lost() const noexcept {
+    return lost_to_rejuvenation + lost_to_downtime + lost_to_admission;
+  }
+  /// Fraction of offered transactions lost — the paper's rejuvenation cost.
+  double loss_fraction() const noexcept {
+    return arrivals == 0 ? 0.0 : static_cast<double>(lost()) / static_cast<double>(arrivals);
+  }
+};
+
+/// The simulated system. Construct, then run_transactions(); afterwards all
+/// results are in metrics(). Reuse requires a fresh instance (one run per
+/// object keeps the state space auditable).
+class EcommerceSystem {
+ public:
+  /// Decides after each completed transaction whether to rejuvenate; may be
+  /// empty (never rejuvenate). The response time passed is the full
+  /// waiting + processing (+ GC pause) time.
+  using DecisionFn = std::function<bool(double response_time)>;
+  /// Optional tap on every completed transaction's response time, invoked
+  /// before the decision function.
+  using ObserverFn = std::function<void(double response_time)>;
+
+  /// `arrival_rng` and `service_rng` must outlive the system. Separate
+  /// streams keep the workload identical across detector configurations
+  /// (common random numbers).
+  EcommerceSystem(sim::Simulator& simulator, EcommerceConfig config,
+                  common::RngStream& arrival_rng, common::RngStream& service_rng);
+
+  void set_decision(DecisionFn decision) { decision_ = std::move(decision); }
+  void set_observer(ObserverFn observer) { observer_ = std::move(observer); }
+
+  /// Replaces the default Poisson(config.arrival_rate) arrival process
+  /// (§3 rule 1) with an arbitrary one — bursty MMPP, periodic, trace
+  /// replay. Must be called before run_transactions().
+  void set_arrival_process(std::unique_ptr<workload::ArrivalProcess> process);
+
+  /// Time-based rejuvenation (the classic policy of Huang et al. [9]): the
+  /// system rejuvenates every `interval_seconds` of simulation time,
+  /// independent of any measurements. May be combined with a decision
+  /// function (hybrid policy). Must be called before run_transactions().
+  void enable_periodic_rejuvenation(double interval_seconds);
+
+  /// Generates exactly `count` arrivals and runs the simulation until every
+  /// one of them completed or was lost.
+  void run_transactions(std::uint64_t count);
+
+  /// External-arrival mode (cluster front end / load balancer): delivers one
+  /// transaction at the current simulation time. The caller owns the arrival
+  /// process and drives the simulator; self-generated arrivals
+  /// (run_transactions) must not be mixed with submitted ones.
+  void submit_transaction();
+
+  const EcommerceMetrics& metrics() const noexcept { return metrics_; }
+
+  /// Immediately terminates all work and restores capacity (operator-forced
+  /// rejuvenation); normally rejuvenation comes from the decision function.
+  void force_rejuvenation();
+
+  /// Time-average CPU utilization so far: busy CPU-time / (elapsed * cpus).
+  /// This is the "operations dashboard" metric the paper's case study shows
+  /// can look unremarkable while the customer-affecting metric collapses.
+  double average_cpu_utilization() const;
+
+  /// Time-average fraction of the heap occupied (live + garbage).
+  double average_heap_occupancy() const;
+
+  // --- Introspection (tests, live dashboards) ---
+  std::size_t threads_in_system() const noexcept { return queue_.size() + running_.size(); }
+  std::size_t threads_running() const noexcept { return running_.size(); }
+  std::size_t threads_queued() const noexcept { return queue_.size(); }
+  double live_mb() const noexcept { return live_mb_; }
+  double garbage_mb() const noexcept { return garbage_mb_; }
+  double free_heap_mb() const noexcept { return config_.heap_mb - live_mb_ - garbage_mb_; }
+  bool gc_in_progress() const noexcept { return gc_end_event_ != sim::kNoEvent; }
+  bool down() const noexcept { return down_; }
+
+ private:
+  struct QueuedThread {
+    double arrival_time;
+  };
+  struct RunningThread {
+    double arrival_time;
+    double completion_time;
+    sim::EventId completion_event;
+  };
+
+  void on_arrival();
+  void admit_transaction();
+  void schedule_next_arrival();
+  void on_periodic_rejuvenation();
+  /// Folds the elapsed interval into the CPU/heap usage integrals; call
+  /// immediately before any change to busy_cpus_, live_mb_ or garbage_mb_.
+  void account_usage();
+  void try_dispatch();
+  void start_gc();
+  void on_gc_end();
+  void on_completion(std::uint64_t thread_id);
+  void rejuvenate();
+
+  sim::Simulator& simulator_;
+  EcommerceConfig config_;
+  common::RngStream& arrival_rng_;
+  common::RngStream& service_rng_;
+  std::unique_ptr<workload::ArrivalProcess> arrival_process_;
+  DecisionFn decision_;
+  ObserverFn observer_;
+
+  std::deque<QueuedThread> queue_;
+  std::unordered_map<std::uint64_t, RunningThread> running_;
+  std::uint64_t next_thread_id_ = 1;
+  std::size_t busy_cpus_ = 0;
+  double live_mb_ = 0.0;
+  double garbage_mb_ = 0.0;
+  sim::EventId gc_end_event_ = sim::kNoEvent;
+  bool down_ = false;
+  double periodic_rejuvenation_interval_ = 0.0;  // 0 = disabled
+  double busy_cpu_time_ = 0.0;    // integral of busy_cpus_ over time
+  double heap_used_time_ = 0.0;   // integral of (live + garbage) over time
+  double last_usage_update_ = 0.0;
+  std::uint64_t arrivals_to_generate_ = 0;
+  EcommerceMetrics metrics_;
+};
+
+}  // namespace rejuv::model

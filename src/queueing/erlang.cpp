@@ -1,0 +1,29 @@
+#include "queueing/erlang.h"
+
+#include "common/expect.h"
+
+namespace rejuv::queueing {
+
+double erlang_b(std::size_t servers, double offered_load) {
+  REJUV_EXPECT(offered_load >= 0.0, "offered load must be non-negative");
+  if (offered_load == 0.0) return 0.0;
+  // Recurrence: B(0) = 1; B(k) = a B(k-1) / (k + a B(k-1)).
+  double b = 1.0;
+  for (std::size_t k = 1; k <= servers; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  return b;
+}
+
+double erlang_c(std::size_t servers, double offered_load) {
+  REJUV_EXPECT(servers >= 1, "need at least one server");
+  REJUV_EXPECT(offered_load >= 0.0, "offered load must be non-negative");
+  REJUV_EXPECT(offered_load < static_cast<double>(servers),
+               "Erlang C requires a stable system (a < c)");
+  if (offered_load == 0.0) return 0.0;
+  const double b = erlang_b(servers, offered_load);
+  const double c = static_cast<double>(servers);
+  return c * b / (c - offered_load * (1.0 - b));
+}
+
+}  // namespace rejuv::queueing

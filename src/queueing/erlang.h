@@ -1,0 +1,23 @@
+// Erlang blocking and waiting formulas.
+//
+// The paper's Wc — the steady-state probability that fewer than c jobs are
+// present in an M/M/c system — equals 1 minus the Erlang-C waiting
+// probability. Both Erlang B and C are computed with the standard stable
+// recurrence rather than the factorial-ratio closed form, so they remain
+// accurate for large c and offered loads.
+#pragma once
+
+#include <cstddef>
+
+namespace rejuv::queueing {
+
+/// Erlang-B blocking probability for `servers` servers at offered load
+/// `a = lambda/mu` Erlangs. Defined for a >= 0; returns 1 for servers == 0
+/// with positive load.
+double erlang_b(std::size_t servers, double offered_load);
+
+/// Erlang-C probability that an arriving job must wait, for a stable system
+/// (offered_load < servers). Throws for an unstable or degenerate system.
+double erlang_c(std::size_t servers, double offered_load);
+
+}  // namespace rejuv::queueing

@@ -1,0 +1,107 @@
+#include "queueing/mmc.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "queueing/erlang.h"
+
+namespace rejuv::queueing {
+
+MmcQueue::MmcQueue(double lambda, double mu, std::size_t servers)
+    : lambda_(lambda), mu_(mu), servers_(servers), wc_(1.0) {
+  REJUV_EXPECT(servers >= 1, "M/M/c needs at least one server");
+  REJUV_EXPECT(mu > 0.0, "service rate must be positive");
+  REJUV_EXPECT(lambda >= 0.0, "arrival rate must be non-negative");
+  REJUV_EXPECT(lambda < static_cast<double>(servers) * mu,
+               "unstable system: lambda must be below c*mu");
+  wc_ = 1.0 - erlang_c(servers_, lambda_ / mu_);
+}
+
+double MmcQueue::utilization() const noexcept {
+  return lambda_ / (static_cast<double>(servers_) * mu_);
+}
+
+double MmcQueue::response_time_cdf(double x) const {
+  REJUV_EXPECT(x >= 0.0, "response time must be non-negative");
+  const double service_part = 1.0 - std::exp(-mu_ * x);  // Exp(mu) CDF
+  const double drain = static_cast<double>(servers_) * mu_ - lambda_;  // c*mu - lambda
+  const double gap = drain - mu_;  // (c-1)*mu - lambda, denominator of eq. (1)
+
+  double queued_part;  // hypoexponential(mu, c*mu - lambda) CDF
+  if (std::abs(gap) < 1e-9 * mu_) {
+    // Removable singularity lambda -> (c-1)*mu: the two stages share rate mu
+    // and the hypoexponential degenerates to Erlang(2, mu).
+    queued_part = 1.0 - std::exp(-mu_ * x) * (1.0 + mu_ * x);
+  } else {
+    queued_part = (drain * (1.0 - std::exp(-mu_ * x)) - mu_ * (1.0 - std::exp(-drain * x))) / gap;
+  }
+  return wc_ * service_part + (1.0 - wc_) * queued_part;
+}
+
+double MmcQueue::response_time_pdf(double x) const {
+  REJUV_EXPECT(x >= 0.0, "response time must be non-negative");
+  const double drain = static_cast<double>(servers_) * mu_ - lambda_;
+  const double gap = drain - mu_;
+  const double service_part = mu_ * std::exp(-mu_ * x);
+
+  double queued_part;
+  if (std::abs(gap) < 1e-9 * mu_) {
+    queued_part = mu_ * mu_ * x * std::exp(-mu_ * x);  // Erlang(2, mu) density
+  } else {
+    queued_part = drain * mu_ * (std::exp(-mu_ * x) - std::exp(-drain * x)) / gap;
+  }
+  return wc_ * service_part + (1.0 - wc_) * queued_part;
+}
+
+double MmcQueue::waiting_time_cdf(double t) const {
+  REJUV_EXPECT(t >= 0.0, "waiting time must be non-negative");
+  const double drain = static_cast<double>(servers_) * mu_ - lambda_;
+  return wc_ + (1.0 - wc_) * (1.0 - std::exp(-drain * t));
+}
+
+double MmcQueue::mean_waiting_time() const noexcept {
+  const double drain = static_cast<double>(servers_) * mu_ - lambda_;
+  return (1.0 - wc_) / drain;
+}
+
+double MmcQueue::mean_response_time() const noexcept {
+  const double drain = static_cast<double>(servers_) * mu_ - lambda_;
+  return 1.0 / mu_ + (1.0 - wc_) / drain;
+}
+
+double MmcQueue::response_time_variance() const noexcept {
+  const double drain = static_cast<double>(servers_) * mu_ - lambda_;
+  return 1.0 / (mu_ * mu_) + (1.0 - wc_ * wc_) / (drain * drain);
+}
+
+double MmcQueue::response_time_stddev() const noexcept {
+  return std::sqrt(response_time_variance());
+}
+
+double MmcQueue::mean_jobs_in_system() const noexcept { return lambda_ * mean_response_time(); }
+
+double MmcQueue::response_time_quantile(double p) const {
+  REJUV_EXPECT(p > 0.0 && p < 1.0, "quantile probability must lie in (0, 1)");
+  double lo = 0.0;
+  double hi = mean_response_time();
+  while (response_time_cdf(hi) < p) hi *= 2.0;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * (1.0 + hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (response_time_cdf(mid) < p ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+markov::ResponseTimeChainParams MmcQueue::chain_params() const noexcept {
+  return {wc_, mu_, static_cast<double>(servers_) * mu_ - lambda_};
+}
+
+markov::PhaseType MmcQueue::response_time_phase_type() const {
+  return markov::response_time_phase_type(chain_params());
+}
+
+markov::SampleAverageDistribution MmcQueue::sample_average_distribution(std::size_t n) const {
+  return markov::SampleAverageDistribution(chain_params(), n);
+}
+
+}  // namespace rejuv::queueing

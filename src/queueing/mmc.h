@@ -1,0 +1,78 @@
+// M/M/c steady-state analytics (paper section 4.1, equations 1-3).
+//
+// The abstracted e-commerce model — exponential arrivals, exponential
+// service, c = 16 parallel CPUs, FCFS — is an M/M/c queue. This module
+// provides the exact response-time distribution of eq. (1), its mean
+// (eq. 2) and variance (eq. 3), and the phase-type representation of
+// Fig. 2/3 that feeds the sample-average construction.
+#pragma once
+
+#include <cstddef>
+
+#include "markov/sample_average.h"
+
+namespace rejuv::queueing {
+
+/// A stable M/M/c queue. All rates are per unit time; `lambda` may be 0.
+class MmcQueue {
+ public:
+  /// Throws unless c >= 1, mu > 0, 0 <= lambda < c*mu.
+  MmcQueue(double lambda, double mu, std::size_t servers);
+
+  double lambda() const noexcept { return lambda_; }
+  double mu() const noexcept { return mu_; }
+  std::size_t servers() const noexcept { return servers_; }
+
+  /// Traffic intensity rho = lambda / (c * mu), in [0, 1).
+  double utilization() const noexcept;
+
+  /// Offered load in "CPUs": lambda / mu, the x-axis of the paper's figures.
+  double offered_load_cpus() const noexcept { return lambda_ / mu_; }
+
+  /// Wc: steady-state probability that fewer than c jobs are present
+  /// (an arriving job does not wait).
+  double probability_no_wait() const noexcept { return wc_; }
+
+  /// Exact CDF of the stationary response time (waiting + service), eq. (1).
+  /// Handles the removable singularity at lambda = (c-1)*mu.
+  double response_time_cdf(double x) const;
+
+  /// CDF of the waiting time alone: P(W <= t) = Wc + (1-Wc)(1 - e^{-(c mu - lambda) t}).
+  double waiting_time_cdf(double t) const;
+
+  /// E[W] = (1 - Wc) / (c mu - lambda).
+  double mean_waiting_time() const noexcept;
+
+  /// Density of the stationary response time (derivative of eq. (1)).
+  double response_time_pdf(double x) const;
+
+  /// E[X] = 1/mu + (1 - Wc)/(c*mu - lambda), eq. (2).
+  double mean_response_time() const noexcept;
+
+  /// Var[X] = 1/mu^2 + (1 - Wc^2)/(c*mu - lambda)^2, eq. (3).
+  double response_time_variance() const noexcept;
+  double response_time_stddev() const noexcept;
+
+  /// Mean number in system via Little's law: lambda * E[X].
+  double mean_jobs_in_system() const noexcept;
+
+  /// Upper p-quantile of the response time, solved by bisection on eq. (1).
+  double response_time_quantile(double p) const;
+
+  /// Parameters of the Fig. 3 absorption chain for this queue.
+  markov::ResponseTimeChainParams chain_params() const noexcept;
+
+  /// Phase-type representation of the response time (Fig. 2/3).
+  markov::PhaseType response_time_phase_type() const;
+
+  /// Exact distribution of the average of n response times (Fig. 4 / eq. 4).
+  markov::SampleAverageDistribution sample_average_distribution(std::size_t n) const;
+
+ private:
+  double lambda_;
+  double mu_;
+  std::size_t servers_;
+  double wc_;
+};
+
+}  // namespace rejuv::queueing

@@ -1,0 +1,55 @@
+#include "queueing/mmck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::queueing {
+
+MmckQueue::MmckQueue(double lambda, double mu, std::size_t servers, std::size_t capacity)
+    : lambda_(lambda), mu_(mu), servers_(servers), capacity_(capacity) {
+  REJUV_EXPECT(servers >= 1, "need at least one server");
+  REJUV_EXPECT(capacity >= servers, "capacity must cover the servers");
+  REJUV_EXPECT(mu > 0.0, "service rate must be positive");
+  REJUV_EXPECT(lambda > 0.0, "arrival rate must be positive");
+
+  // Birth-death balance: p_k = p_{k-1} * lambda / (min(k, c) * mu),
+  // computed with a running maximum subtracted in log space for stability.
+  std::vector<double> log_weights(capacity + 1, 0.0);
+  for (std::size_t k = 1; k <= capacity; ++k) {
+    log_weights[k] = log_weights[k - 1] +
+                     std::log(lambda / (static_cast<double>(std::min(k, servers)) * mu));
+  }
+  const double peak = *std::max_element(log_weights.begin(), log_weights.end());
+  double total = 0.0;
+  probabilities_.resize(capacity + 1);
+  for (std::size_t k = 0; k <= capacity; ++k) {
+    probabilities_[k] = std::exp(log_weights[k] - peak);
+    total += probabilities_[k];
+  }
+  for (double& p : probabilities_) p /= total;
+}
+
+double MmckQueue::state_probability(std::size_t k) const {
+  REJUV_EXPECT(k < probabilities_.size(), "state out of range");
+  return probabilities_[k];
+}
+
+double MmckQueue::effective_arrival_rate() const noexcept {
+  return lambda_ * (1.0 - blocking_probability());
+}
+
+double MmckQueue::mean_jobs_in_system() const noexcept {
+  double mean = 0.0;
+  for (std::size_t k = 0; k < probabilities_.size(); ++k) {
+    mean += static_cast<double>(k) * probabilities_[k];
+  }
+  return mean;
+}
+
+double MmckQueue::mean_response_time() const noexcept {
+  return mean_jobs_in_system() / effective_arrival_rate();
+}
+
+}  // namespace rejuv::queueing

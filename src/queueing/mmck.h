@@ -1,0 +1,52 @@
+// M/M/c/K: the c-server queue with a finite admission bound K.
+//
+// The admission-control variant of the e-commerce model (reject arrivals
+// when K threads are in the system) is, in its abstracted form, an M/M/c/K
+// loss system. This module provides its exact steady-state quantities —
+// blocking probability, mean number in system, mean response time of
+// *admitted* jobs — as the analytic reference for the admission-control
+// experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rejuv::queueing {
+
+class MmckQueue {
+ public:
+  /// c >= 1 servers, capacity K >= c (jobs in system, including in service).
+  /// Any lambda > 0 is admissible: a loss system is always stable.
+  MmckQueue(double lambda, double mu, std::size_t servers, std::size_t capacity);
+
+  double lambda() const noexcept { return lambda_; }
+  double mu() const noexcept { return mu_; }
+  std::size_t servers() const noexcept { return servers_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Steady-state probability of k jobs in the system, k in [0, K].
+  double state_probability(std::size_t k) const;
+
+  /// Blocking probability: P(K jobs present) (PASTA: also the fraction of
+  /// arrivals rejected).
+  double blocking_probability() const noexcept { return probabilities_.back(); }
+
+  /// Effective throughput of admitted jobs: lambda * (1 - P_block).
+  double effective_arrival_rate() const noexcept;
+
+  /// Mean number of jobs in the system.
+  double mean_jobs_in_system() const noexcept;
+
+  /// Mean response time of admitted jobs (Little's law on the effective
+  /// arrival rate).
+  double mean_response_time() const noexcept;
+
+ private:
+  double lambda_;
+  double mu_;
+  std::size_t servers_;
+  std::size_t capacity_;
+  std::vector<double> probabilities_;
+};
+
+}  // namespace rejuv::queueing

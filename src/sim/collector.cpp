@@ -1,0 +1,21 @@
+#include "sim/collector.h"
+
+namespace rejuv::sim {
+
+Collector::Collector(std::uint64_t warmup, bool keep_series)
+    : warmup_(warmup), keep_series_(keep_series) {}
+
+void Collector::observe(double value) {
+  ++offered_;
+  if (offered_ <= warmup_) return;
+  stats_.push(value);
+  if (keep_series_) series_.push_back(value);
+}
+
+void Collector::reset() noexcept {
+  offered_ = 0;
+  stats_.reset();
+  series_.clear();
+}
+
+}  // namespace rejuv::sim

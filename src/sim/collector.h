@@ -1,0 +1,42 @@
+// Observation collection with warm-up handling.
+//
+// Simulation outputs (response times) pass through a Collector that skips a
+// configurable warm-up prefix, maintains running summary statistics, and can
+// optionally retain the full series (needed by the autocorrelation study of
+// section 4.1 and by batch-means analysis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/running_stats.h"
+
+namespace rejuv::sim {
+
+class Collector {
+ public:
+  /// `warmup`: number of leading observations excluded from statistics.
+  /// `keep_series`: retain post-warm-up observations in memory.
+  explicit Collector(std::uint64_t warmup = 0, bool keep_series = false);
+
+  void observe(double value);
+
+  /// Total observations offered, including warm-up.
+  std::uint64_t offered() const noexcept { return offered_; }
+  /// Observations included in the statistics.
+  std::uint64_t counted() const noexcept { return stats_.count(); }
+
+  const stats::RunningStats& statistics() const noexcept { return stats_; }
+  const std::vector<double>& series() const noexcept { return series_; }
+
+  void reset() noexcept;
+
+ private:
+  std::uint64_t warmup_;
+  bool keep_series_;
+  std::uint64_t offered_ = 0;
+  stats::RunningStats stats_;
+  std::vector<double> series_;
+};
+
+}  // namespace rejuv::sim

@@ -1,0 +1,103 @@
+#include "sim/event_queue.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/expect.h"
+
+namespace rejuv::sim {
+
+EventId EventQueue::push(double time, std::function<void()> action) {
+  REJUV_EXPECT(std::isfinite(time), "event time must be finite");
+  REJUV_EXPECT(static_cast<bool>(action), "event action must be callable");
+  const EventId id = next_event_id_++;
+  heap_.push_back({time, id, std::move(action)});
+  positions_[id] = heap_.size() - 1;
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) return false;
+  const std::size_t slot = it->second;
+  positions_.erase(it);
+  if (slot == heap_.size() - 1) {
+    heap_.pop_back();
+    return true;
+  }
+  Entry moved = std::move(heap_.back());
+  heap_.pop_back();
+  const bool goes_up = less(moved, heap_[slot]);
+  place(slot, std::move(moved));
+  if (goes_up) {
+    sift_up(slot);
+  } else {
+    sift_down(slot);
+  }
+  return true;
+}
+
+double EventQueue::next_time() const {
+  REJUV_EXPECT(!heap_.empty(), "next_time on an empty queue");
+  return heap_.front().time;
+}
+
+EventId EventQueue::next_id() const {
+  REJUV_EXPECT(!heap_.empty(), "next_id on an empty queue");
+  return heap_.front().id;
+}
+
+std::pair<double, std::function<void()>> EventQueue::pop() {
+  REJUV_EXPECT(!heap_.empty(), "pop on an empty queue");
+  Entry top = std::move(heap_.front());
+  positions_.erase(top.id);
+  if (heap_.size() == 1) {
+    heap_.pop_back();
+  } else {
+    Entry moved = std::move(heap_.back());
+    heap_.pop_back();
+    place(0, std::move(moved));
+    sift_down(0);
+  }
+  return {top.time, std::move(top.action)};
+}
+
+void EventQueue::clear() noexcept {
+  heap_.clear();
+  positions_.clear();
+}
+
+void EventQueue::place(std::size_t slot, Entry entry) {
+  positions_[entry.id] = slot;
+  heap_[slot] = std::move(entry);
+}
+
+void EventQueue::sift_up(std::size_t slot) {
+  while (slot > 0) {
+    const std::size_t parent = (slot - 1) / 2;
+    if (!less(heap_[slot], heap_[parent])) break;
+    positions_[heap_[slot].id] = parent;
+    positions_[heap_[parent].id] = slot;
+    std::swap(heap_[slot], heap_[parent]);
+    slot = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t slot) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * slot + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = slot;
+    if (left < n && less(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && less(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == slot) return;
+    positions_[heap_[slot].id] = smallest;
+    positions_[heap_[smallest].id] = slot;
+    std::swap(heap_[slot], heap_[smallest]);
+    slot = smallest;
+  }
+}
+
+}  // namespace rejuv::sim

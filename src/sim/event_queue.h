@@ -1,0 +1,74 @@
+// Future-event list with O(log n) insert, pop, and true cancellation.
+//
+// The e-commerce model postpones every running thread's completion when a
+// garbage collection fires, and discards all scheduled completions on
+// rejuvenation, so cancellation must actually remove events rather than
+// lazily skip them (a rejuvenating system would otherwise accumulate dead
+// events across the whole run). Implemented as an indexed binary heap:
+// a position map from event id to heap slot keeps cancellation O(log n).
+// Ties in time break by insertion order (id), giving deterministic FIFO
+// semantics for simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace rejuv::sim {
+
+/// Opaque handle to a scheduled event.
+using EventId = std::uint64_t;
+
+/// Sentinel returned by no function here, but useful to callers that track
+/// "no event scheduled".
+inline constexpr EventId kNoEvent = 0;
+
+/// Min-heap of (time, id) with user actions attached.
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute `time`. Returns a unique non-zero id.
+  EventId push(double time, std::function<void()> action);
+
+  /// Removes a pending event. Returns false if the id is not pending
+  /// (already executed, cancelled, or never issued).
+  bool cancel(EventId id);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event; queue must be non-empty.
+  double next_time() const;
+
+  /// Id of the earliest pending event; queue must be non-empty.
+  EventId next_id() const;
+
+  /// Removes and returns the earliest event's action (with its time).
+  std::pair<double, std::function<void()>> pop();
+
+  /// Whether an id is still pending.
+  bool pending(EventId id) const { return positions_.count(id) != 0; }
+
+  /// Discards all pending events.
+  void clear() noexcept;
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    std::function<void()> action;
+  };
+
+  bool less(const Entry& a, const Entry& b) const noexcept {
+    return a.time < b.time || (a.time == b.time && a.id < b.id);
+  }
+  void sift_up(std::size_t slot);
+  void sift_down(std::size_t slot);
+  void place(std::size_t slot, Entry entry);
+
+  std::vector<Entry> heap_;
+  std::unordered_map<EventId, std::size_t> positions_;
+  EventId next_event_id_ = 1;
+};
+
+}  // namespace rejuv::sim

@@ -1,0 +1,217 @@
+// Process-interaction modeling on top of the event-driven core, using C++20
+// coroutines.
+//
+// The event-callback style of EcommerceSystem is the fastest way to express
+// a model, but many simulations read more naturally as *processes*: each
+// entity is a coroutine that waits for time to pass (co_await delay(t)) and
+// for resources to become available (co_await resource.acquire()). This
+// header provides exactly that, with deterministic semantics inherited from
+// the event queue: resumptions scheduled at the same instant run in
+// scheduling order, and resource grants are FIFO.
+//
+//   sim::Process customer(sim::Simulator& sim, sim::Resource& server,
+//                         double service_time, Stats& stats) {
+//     const double arrived = sim.now();
+//     co_await server.acquire();
+//     co_await sim::delay(service_time);
+//     server.release();
+//     stats.push(sim.now() - arrived);
+//   }
+//
+//   sim::ProcessSet processes(sim);
+//   processes.spawn(customer(sim, server, 1.7, stats));
+//   sim.run();
+//
+// Lifetime rules: ProcessSet owns its processes and must outlive the run;
+// a Resource must outlive every process that awaits it. Destroying a
+// ProcessSet cancels any pending delay resumptions of unfinished processes.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <exception>
+#include <utility>
+
+#include "common/expect.h"
+#include "sim/simulator.h"
+
+namespace rejuv::sim {
+
+/// Coroutine handle owner; create by calling a coroutine returning Process,
+/// then hand it to ProcessSet::spawn to bind it to a simulator and start it.
+class Process {
+ public:
+  struct promise_type {
+    Simulator* simulator = nullptr;
+    EventId pending_event = kNoEvent;
+    std::exception_ptr failure;
+
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { failure = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Process(Process&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+  bool done() const noexcept { return handle_ == nullptr || handle_.done(); }
+
+  /// Rethrows an exception that escaped the coroutine body, if any.
+  void rethrow_if_failed() const {
+    if (handle_ && handle_.promise().failure) std::rethrow_exception(handle_.promise().failure);
+  }
+
+ private:
+  friend class ProcessSet;
+  friend struct DelayAwaiter;
+
+  explicit Process(Handle handle) noexcept : handle_(handle) {}
+
+  void destroy() noexcept {
+    if (handle_ == nullptr) return;
+    // Cancel a pending timer so no event resumes a destroyed coroutine.
+    promise_type& promise = handle_.promise();
+    if (promise.simulator != nullptr && promise.pending_event != kNoEvent) {
+      promise.simulator->cancel(promise.pending_event);
+    }
+    handle_.destroy();
+    handle_ = nullptr;
+  }
+
+  Handle handle_ = nullptr;
+};
+
+/// Awaitable returned by delay(): suspends the process for a span of
+/// simulation time. delay(0) still suspends for one event-queue round,
+/// preserving deterministic same-instant ordering.
+struct DelayAwaiter {
+  double seconds;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(Process::Handle handle) const {
+    Process::promise_type& promise = handle.promise();
+    REJUV_EXPECT(promise.simulator != nullptr,
+                 "co_await delay() outside a spawned process");
+    promise.pending_event = promise.simulator->schedule_after(seconds, [handle]() mutable {
+      handle.promise().pending_event = kNoEvent;
+      handle.resume();
+    });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Waits for `seconds` of simulation time.
+inline DelayAwaiter delay(double seconds) {
+  REJUV_EXPECT(seconds >= 0.0, "delay must be non-negative");
+  return {seconds};
+}
+
+/// Owns and runs a set of processes on one simulator.
+class ProcessSet {
+ public:
+  explicit ProcessSet(Simulator& simulator) noexcept : simulator_(simulator) {}
+  ProcessSet(const ProcessSet&) = delete;
+  ProcessSet& operator=(const ProcessSet&) = delete;
+
+  /// Binds the process to the simulator and runs it until its first await.
+  /// Returns its index (stable; processes are never removed).
+  std::size_t spawn(Process process) {
+    REJUV_EXPECT(process.valid(), "cannot spawn an empty process");
+    process.handle_.promise().simulator = &simulator_;
+    processes_.push_back(std::move(process));
+    processes_.back().handle_.resume();
+    return processes_.size() - 1;
+  }
+
+  std::size_t size() const noexcept { return processes_.size(); }
+
+  /// Number of processes that have not finished.
+  std::size_t active() const noexcept {
+    std::size_t count = 0;
+    for (const Process& process : processes_) count += process.done() ? 0 : 1;
+    return count;
+  }
+
+  const Process& at(std::size_t index) const {
+    REJUV_EXPECT(index < processes_.size(), "process index out of range");
+    return processes_[index];
+  }
+
+  /// Rethrows the first exception that escaped any process body.
+  void rethrow_failures() const {
+    for (const Process& process : processes_) process.rethrow_if_failed();
+  }
+
+ private:
+  Simulator& simulator_;
+  std::deque<Process> processes_;
+};
+
+/// A counting resource (c servers, FIFO grant order). Await acquire() to
+/// take one unit; call release() to hand it back. Grants are delivered
+/// through the event queue at the current instant, so they interleave
+/// deterministically with other same-time events.
+class Resource {
+ public:
+  Resource(Simulator& simulator, std::size_t capacity)
+      : simulator_(simulator), available_(capacity) {
+    REJUV_EXPECT(capacity >= 1, "resource needs positive capacity");
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  struct AcquireAwaiter {
+    Resource& resource;
+
+    bool await_ready() const noexcept {
+      if (resource.available_ == 0) return false;
+      --resource.available_;
+      return true;
+    }
+    void await_suspend(Process::Handle handle) { resource.waiters_.push_back(handle); }
+    void await_resume() const noexcept {}
+  };
+
+  /// co_await to obtain one unit (immediately if available, FIFO otherwise).
+  [[nodiscard]] AcquireAwaiter acquire() noexcept { return {*this}; }
+
+  /// Returns one unit; the longest-waiting process (if any) receives it at
+  /// the current simulation instant.
+  void release() {
+    if (waiters_.empty()) {
+      ++available_;
+      return;
+    }
+    // The unit passes directly to the next waiter; capacity never observably
+    // rises. Resumption goes through the event queue for deterministic
+    // interleaving with other events at this instant.
+    const Process::Handle next = waiters_.front();
+    waiters_.pop_front();
+    simulator_.schedule_after(0.0, [next]() mutable { next.resume(); });
+  }
+
+  std::size_t available() const noexcept { return available_; }
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  Simulator& simulator_;
+  std::size_t available_;
+  std::deque<Process::Handle> waiters_;
+};
+
+}  // namespace rejuv::sim

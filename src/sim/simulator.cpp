@@ -1,0 +1,41 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::sim {
+
+EventId Simulator::schedule_at(double time, std::function<void()> action) {
+  REJUV_EXPECT(time >= now_, "cannot schedule an event in the past");
+  return events_.push(time, std::move(action));
+}
+
+EventId Simulator::schedule_after(double delay, std::function<void()> action) {
+  REJUV_EXPECT(delay >= 0.0 && std::isfinite(delay), "delay must be non-negative and finite");
+  return events_.push(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (events_.empty()) return false;
+  auto [time, action] = events_.pop();
+  now_ = time;
+  ++executed_;
+  action();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(double horizon) {
+  REJUV_EXPECT(horizon >= now_, "horizon lies in the past");
+  while (!events_.empty() && events_.next_time() <= horizon) {
+    step();
+  }
+  now_ = horizon;
+}
+
+}  // namespace rejuv::sim

@@ -1,0 +1,54 @@
+// Discrete-event simulation executive.
+//
+// A thin driver over EventQueue: owns the clock, executes events in
+// (time, insertion) order, and enforces that time never runs backwards.
+// Model code schedules closures; closures may schedule and cancel further
+// events, including events at the current instant (which run after all
+// earlier-inserted events at that instant — deterministic FIFO).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace rejuv::sim {
+
+class Simulator {
+ public:
+  /// Current simulation time; starts at 0.
+  double now() const noexcept { return now_; }
+
+  /// Schedules an action at an absolute time >= now().
+  EventId schedule_at(double time, std::function<void()> action);
+
+  /// Schedules an action `delay >= 0` after now().
+  EventId schedule_after(double delay, std::function<void()> action);
+
+  /// Cancels a pending event; false if it already ran or was cancelled.
+  bool cancel(EventId id) { return events_.cancel(id); }
+
+  bool has_pending(EventId id) const { return events_.pending(id); }
+  std::size_t pending_events() const noexcept { return events_.size(); }
+  std::uint64_t executed_events() const noexcept { return executed_; }
+
+  /// Executes the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until no events remain.
+  void run();
+
+  /// Runs all events with time <= horizon, then advances the clock to the
+  /// horizon (even if idle).
+  void run_until(double horizon);
+
+  /// Drops all pending events; the clock keeps its value.
+  void clear_pending() noexcept { events_.clear(); }
+
+ private:
+  EventQueue events_;
+  double now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace rejuv::sim

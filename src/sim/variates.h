@@ -1,0 +1,49 @@
+// Random variate generation bound to named RNG streams.
+//
+// Inverse-transform samplers keep results reproducible bit-for-bit for a
+// given (seed, stream) pair and make synchronized common-random-numbers
+// comparisons possible: the harness gives the arrival process and the
+// service process their own streams so that changing the detector never
+// perturbs the workload.
+#pragma once
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace rejuv::sim {
+
+/// Exponential variate with the given rate (mean 1/rate).
+inline double exponential(common::RngStream& rng, double rate) {
+  REJUV_EXPECT(rate > 0.0, "exponential rate must be positive");
+  return -std::log(rng.uniform01_open_below()) / rate;
+}
+
+/// Uniform variate on [lo, hi).
+inline double uniform(common::RngStream& rng, double lo, double hi) {
+  REJUV_EXPECT(hi > lo, "uniform interval must be non-empty");
+  return lo + (hi - lo) * rng.uniform01();
+}
+
+/// Bernoulli trial with success probability p.
+inline bool bernoulli(common::RngStream& rng, double p) {
+  REJUV_EXPECT(p >= 0.0 && p <= 1.0, "probability must lie in [0, 1]");
+  return rng.uniform01() < p;
+}
+
+/// Standard normal variate (Box-Muller, one value per call; the discarded
+/// pair keeps the stream consumption rate constant).
+inline double standard_normal(common::RngStream& rng) {
+  const double u1 = rng.uniform01_open_below();
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+/// Normal variate with the given mean and standard deviation.
+inline double normal(common::RngStream& rng, double mean, double sigma) {
+  REJUV_EXPECT(sigma >= 0.0, "sigma must be non-negative");
+  return mean + sigma * standard_normal(rng);
+}
+
+}  // namespace rejuv::sim

@@ -1,0 +1,65 @@
+#include "stats/autocorrelation.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "stats/chi_squared.h"
+
+namespace rejuv::stats {
+
+double autocorrelation(std::span<const double> series, std::size_t lag, std::size_t warmup) {
+  REJUV_EXPECT(lag >= 1, "lag must be at least 1");
+  REJUV_EXPECT(series.size() > warmup + lag + 1, "series too short for requested lag and warmup");
+  const std::size_t begin = warmup;
+  const std::size_t end = series.size();
+  const double m = static_cast<double>(end - begin);
+
+  double mean = 0.0;
+  for (std::size_t i = begin; i < end; ++i) mean += series[i];
+  mean /= m;
+
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double centered = series[i] - mean;
+    denominator += centered * centered;
+    if (i + lag < end) numerator += (series[i + lag] - mean) * centered;
+  }
+  if (denominator == 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+double lag1_autocorrelation(std::span<const double> series, std::size_t warmup) {
+  return autocorrelation(series, 1, warmup);
+}
+
+double autocorrelation_significance_bound(std::size_t observations_after_warmup,
+                                          double confidence_z) {
+  REJUV_EXPECT(observations_after_warmup > 0, "need at least one observation");
+  REJUV_EXPECT(confidence_z > 0.0, "z must be positive");
+  return confidence_z / std::sqrt(static_cast<double>(observations_after_warmup));
+}
+
+bool autocorrelation_is_significant(double gamma_hat, std::size_t observations_after_warmup,
+                                    double confidence_z) {
+  return std::abs(gamma_hat) >
+         autocorrelation_significance_bound(observations_after_warmup, confidence_z);
+}
+
+LjungBoxResult ljung_box(std::span<const double> series, std::size_t max_lag,
+                         std::size_t warmup) {
+  REJUV_EXPECT(max_lag >= 1, "need at least one lag");
+  REJUV_EXPECT(series.size() > warmup + max_lag + 1, "series too short for requested lags");
+  const double m = static_cast<double>(series.size() - warmup);
+  LjungBoxResult result;
+  result.lags = max_lag;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    const double gamma_k = autocorrelation(series, k, warmup);
+    result.statistic += gamma_k * gamma_k / (m - static_cast<double>(k));
+  }
+  result.statistic *= m * (m + 2.0);
+  result.p_value = chi_squared_survival(result.statistic, max_lag);
+  return result;
+}
+
+}  // namespace rejuv::stats

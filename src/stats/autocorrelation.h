@@ -1,0 +1,48 @@
+// Serial-correlation estimators for response-time series.
+//
+// Section 4.1 of the paper justifies the CLT-based detector by estimating the
+// first-order autocorrelation of simulated response times over five
+// replications of 100,000 transactions, discarding the first 10,000 as
+// warm-up, and comparing |gamma_hat| against the 95% significance bound
+// 1.96/sqrt(m). This module implements exactly that estimator plus a general
+// lag-k variant.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rejuv::stats {
+
+/// Lag-k sample autocorrelation of `series` computed over the index window
+/// [warmup, series.size()), using the paper's estimator
+///   gamma_hat = sum (x_{i+k}-xbar)(x_i-xbar) / sum (x_i-xbar)^2
+/// with xbar the mean over the window. Requires at least k+2 observations
+/// after warm-up. Returns 0 for a constant series.
+double autocorrelation(std::span<const double> series, std::size_t lag, std::size_t warmup = 0);
+
+/// First-order autocorrelation, the statistic studied in section 4.1.
+double lag1_autocorrelation(std::span<const double> series, std::size_t warmup = 0);
+
+/// Two-sided 95% significance bound for a white-noise null: 1.96/sqrt(m),
+/// where m is the number of observations after warm-up.
+double autocorrelation_significance_bound(std::size_t observations_after_warmup,
+                                          double confidence_z = 1.96);
+
+/// True when |gamma_hat| exceeds the significance bound.
+bool autocorrelation_is_significant(double gamma_hat, std::size_t observations_after_warmup,
+                                    double confidence_z = 1.96);
+
+/// Ljung-Box portmanteau test over lags 1..max_lag: joint test of "no serial
+/// correlation", extending the paper's single-lag check.
+struct LjungBoxResult {
+  double statistic = 0.0;  ///< Q = m(m+2) sum_k gamma_k^2 / (m - k)
+  std::size_t lags = 0;
+  double p_value = 0.0;    ///< chi-squared(lags) tail
+
+  bool rejected(double alpha = 0.05) const noexcept { return p_value < alpha; }
+};
+
+LjungBoxResult ljung_box(std::span<const double> series, std::size_t max_lag,
+                         std::size_t warmup = 0);
+
+}  // namespace rejuv::stats

@@ -1,0 +1,40 @@
+#include "stats/batch_means.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/expect.h"
+#include "stats/running_stats.h"
+
+namespace rejuv::stats {
+
+ConfidenceInterval batch_means_interval(std::span<const double> series, std::size_t batches,
+                                        double confidence_z) {
+  REJUV_EXPECT(batches >= 2, "batch means needs at least two batches");
+  REJUV_EXPECT(series.size() >= batches, "series shorter than batch count");
+  const std::size_t per_batch = series.size() / batches;
+  std::vector<double> batch_means;
+  batch_means.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < per_batch; ++i) sum += series[b * per_batch + i];
+    batch_means.push_back(sum / static_cast<double>(per_batch));
+  }
+  return replication_interval(batch_means, confidence_z);
+}
+
+ConfidenceInterval replication_interval(std::span<const double> replication_means,
+                                        double confidence_z) {
+  REJUV_EXPECT(replication_means.size() >= 2, "need at least two replications for an interval");
+  REJUV_EXPECT(confidence_z > 0.0, "z must be positive");
+  RunningStats stats;
+  for (double value : replication_means) stats.push(value);
+  ConfidenceInterval ci;
+  ci.mean = stats.mean();
+  ci.batches = replication_means.size();
+  ci.half_width =
+      confidence_z * stats.stddev() / std::sqrt(static_cast<double>(replication_means.size()));
+  return ci;
+}
+
+}  // namespace rejuv::stats

@@ -1,0 +1,35 @@
+// Batch-means confidence intervals for steady-state simulation output.
+//
+// Replicated simulation runs report a point estimate with an interval; the
+// batch-means method also provides an interval from a single long run by
+// averaging over nearly-independent batches. Used by the harness to attach
+// uncertainty to the per-load response-time estimates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace rejuv::stats {
+
+/// A symmetric confidence interval around a mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  std::size_t batches = 0;
+
+  double lower() const noexcept { return mean - half_width; }
+  double upper() const noexcept { return mean + half_width; }
+  bool contains(double value) const noexcept { return value >= lower() && value <= upper(); }
+};
+
+/// Batch-means interval: splits `series` into `batches` equal batches,
+/// discards the remainder, and builds a normal-approximation interval from
+/// the batch averages. Requires at least 2 batches and 1 value per batch.
+ConfidenceInterval batch_means_interval(std::span<const double> series, std::size_t batches,
+                                        double confidence_z = 1.96);
+
+/// Interval from independent replication means (one value per replication).
+ConfidenceInterval replication_interval(std::span<const double> replication_means,
+                                        double confidence_z = 1.96);
+
+}  // namespace rejuv::stats

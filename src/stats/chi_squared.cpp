@@ -1,0 +1,71 @@
+#include "stats/chi_squared.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::stats {
+
+namespace {
+
+/// Series representation of P(a, x), converges fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Lentz continued fraction for Q(a, x), converges fast for x > a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  REJUV_EXPECT(a > 0.0, "shape parameter must be positive");
+  REJUV_EXPECT(x >= 0.0, "argument must be non-negative");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  REJUV_EXPECT(a > 0.0, "shape parameter must be positive");
+  REJUV_EXPECT(x >= 0.0, "argument must be non-negative");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_continued_fraction(a, x);
+}
+
+double chi_squared_survival(double x, std::size_t dof) {
+  REJUV_EXPECT(dof >= 1, "need at least one degree of freedom");
+  REJUV_EXPECT(x >= 0.0, "chi-squared statistic must be non-negative");
+  return regularized_gamma_q(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+}  // namespace rejuv::stats

@@ -1,0 +1,23 @@
+// Chi-squared tail probabilities via the regularized incomplete gamma
+// function — needed by the Ljung-Box portmanteau test that extends the
+// paper's §4.1 lag-1 autocorrelation check to joint significance over
+// several lags.
+#pragma once
+
+#include <cstddef>
+
+namespace rejuv::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise; absolute
+/// accuracy ~1e-12.
+double regularized_gamma_p(double a, double x);
+
+/// Upper tail Q(a, x) = 1 - P(a, x).
+double regularized_gamma_q(double a, double x);
+
+/// Survival function of the chi-squared distribution with `dof` degrees of
+/// freedom: P(X > x).
+double chi_squared_survival(double x, std::size_t dof);
+
+}  // namespace rejuv::stats

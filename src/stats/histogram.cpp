@@ -1,0 +1,58 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  REJUV_EXPECT(bins > 0, "histogram needs at least one bin");
+  REJUV_EXPECT(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::push(double value) noexcept {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // guards rounding at the top edge
+  ++counts_[bin];
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  REJUV_EXPECT(bin < counts_.size(), "bin index out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  REJUV_EXPECT(bin < counts_.size(), "bin index out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  const double norm = 1.0 / (static_cast<double>(total_) * width_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) * norm;
+  }
+  return out;
+}
+
+double empirical_cdf(std::span<const double> sorted_samples, double x) {
+  REJUV_EXPECT(!sorted_samples.empty(), "empirical CDF of an empty sample");
+  const auto it = std::upper_bound(sorted_samples.begin(), sorted_samples.end(), x);
+  return static_cast<double>(it - sorted_samples.begin()) /
+         static_cast<double>(sorted_samples.size());
+}
+
+}  // namespace rejuv::stats

@@ -1,0 +1,50 @@
+// Fixed-bin histogram and empirical distribution utilities.
+//
+// Used to estimate response-time densities from simulation (for comparing
+// against the exact CTMC density of Fig. 5) and to report loss/RT
+// distributions in the examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rejuv::stats {
+
+/// Equal-width histogram over [lo, hi); out-of-range samples are counted in
+/// saturating under/overflow bins so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void push(double value) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  double bin_width() const noexcept { return width_; }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t count(std::size_t bin) const;
+
+  /// Center abscissa of a bin.
+  double bin_center(std::size_t bin) const;
+
+  /// Normalized density estimate (integrates to the in-range fraction).
+  std::vector<double> density() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Empirical CDF evaluated at x: fraction of samples <= x.
+double empirical_cdf(std::span<const double> sorted_samples, double x);
+
+}  // namespace rejuv::stats

@@ -1,0 +1,24 @@
+#include "stats/inference.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "stats/normal.h"
+
+namespace rejuv::stats {
+
+double z_statistic(double sample_mean, double mu0, double sigma, std::size_t n) {
+  REJUV_EXPECT(sigma > 0.0, "sigma must be positive");
+  REJUV_EXPECT(n >= 1, "sample size must be positive");
+  return (sample_mean - mu0) / (sigma / std::sqrt(static_cast<double>(n)));
+}
+
+bool mean_exceeds(double sample_mean, double mu0, double sigma, std::size_t n, double z_alpha) {
+  return z_statistic(sample_mean, mu0, sigma, n) > z_alpha;
+}
+
+double one_sided_p_value(double sample_mean, double mu0, double sigma, std::size_t n) {
+  return 1.0 - normal_cdf(z_statistic(sample_mean, mu0, sigma, n));
+}
+
+}  // namespace rejuv::stats

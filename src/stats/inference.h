@@ -1,0 +1,23 @@
+// Elementary hypothesis tests on stream means.
+//
+// The paper's CLTA is exactly a one-sided z-test on a block mean against the
+// service-level baseline. Exposing the test separately lets users apply the
+// same decision rule outside of the detector machinery, and lets the tests
+// validate the detector against an independent implementation.
+#pragma once
+
+#include <cstddef>
+
+namespace rejuv::stats {
+
+/// z statistic for a sample mean: (xbar - mu0) / (sigma / sqrt(n)).
+double z_statistic(double sample_mean, double mu0, double sigma, std::size_t n);
+
+/// One-sided test: true when the sample mean is significantly *greater* than
+/// mu0 at the given standard-normal quantile `z_alpha` (e.g. 1.96).
+bool mean_exceeds(double sample_mean, double mu0, double sigma, std::size_t n, double z_alpha);
+
+/// p-value of the one-sided (greater) z-test.
+double one_sided_p_value(double sample_mean, double mu0, double sigma, std::size_t n);
+
+}  // namespace rejuv::stats

@@ -1,0 +1,50 @@
+#include "stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace rejuv::stats {
+
+double kolmogorov_tail(double t) {
+  REJUV_EXPECT(t >= 0.0, "Kolmogorov statistic must be non-negative");
+  if (t < 1e-3) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * t * t);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> samples, const std::function<double(double)>& cdf) {
+  REJUV_EXPECT(samples.size() >= 8, "KS test needs at least 8 observations");
+  REJUV_EXPECT(static_cast<bool>(cdf), "KS test needs a CDF");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    REJUV_EXPECT(f >= -1e-12 && f <= 1.0 + 1e-12, "CDF value outside [0, 1]");
+    const double upper = static_cast<double>(i + 1) / n - f;  // F_n jumps above F
+    const double lower = f - static_cast<double>(i) / n;      // F above F_n
+    d = std::max({d, upper, lower});
+  }
+
+  KsResult result;
+  result.statistic = d;
+  result.sample_size = sorted.size();
+  // Small-sample-corrected argument (Stephens) improves the asymptotic tail.
+  const double sqrt_n = std::sqrt(n);
+  result.p_value = kolmogorov_tail(d * (sqrt_n + 0.12 + 0.11 / sqrt_n));
+  return result;
+}
+
+}  // namespace rejuv::stats

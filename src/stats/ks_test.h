@@ -1,0 +1,32 @@
+// One-sample Kolmogorov-Smirnov goodness-of-fit test.
+//
+// Used by the cross-validation suite to compare *whole distributions* (not
+// just moments) between the simulation stack and the analytical stack: the
+// empirical CDF of simulated response times against eq. (1), and simulated
+// block averages against the eq. (4) phase-type CDF.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace rejuv::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< D_n = sup_x |F_n(x) - F(x)|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov distribution tail
+  std::size_t sample_size = 0;
+
+  /// True when the fit is rejected at the given significance level.
+  bool rejected(double alpha = 0.01) const noexcept { return p_value < alpha; }
+};
+
+/// KS test of `samples` against the continuous CDF `cdf`. The sample is
+/// copied and sorted internally; requires at least 8 observations for the
+/// asymptotic p-value to be meaningful.
+KsResult ks_test(std::span<const double> samples, const std::function<double(double)>& cdf);
+
+/// The asymptotic Kolmogorov tail Q(t) = 2 sum_{k>=1} (-1)^{k-1} e^{-2 k^2 t^2},
+/// evaluated at t = sqrt(n) * D_n; clamped to [0, 1].
+double kolmogorov_tail(double t);
+
+}  // namespace rejuv::stats

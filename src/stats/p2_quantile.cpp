@@ -1,0 +1,101 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::stats {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  REJUV_EXPECT(p > 0.0 && p < 1.0, "quantile probability must lie in (0, 1)");
+  desired_delta_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double np = positions_[static_cast<std::size_t>(i + 1)];
+  const double nm = positions_[static_cast<std::size_t>(i - 1)];
+  const double n = positions_[static_cast<std::size_t>(i)];
+  const double qp = heights_[static_cast<std::size_t>(i + 1)];
+  const double qm = heights_[static_cast<std::size_t>(i - 1)];
+  const double q = heights_[static_cast<std::size_t>(i)];
+  return q + d / (np - nm) *
+                 ((n - nm + d) * (qp - q) / (np - n) + (np - n - d) * (q - qm) / (n - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const auto idx = static_cast<std::size_t>(i);
+  const auto nbr = static_cast<std::size_t>(i + static_cast<int>(d));
+  return heights_[idx] + d * (heights_[nbr] - heights_[idx]) /
+                             (positions_[nbr] - positions_[idx]);
+}
+
+void P2Quantile::push(double value) {
+  ++count_;
+  if (count_ <= 5) {
+    heights_[count_ - 1] = value;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+        desired_[i] = 1.0 + 4.0 * desired_delta_[i];
+      }
+      // Initialize the desired positions for exactly 5 observations.
+      desired_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+    }
+    return;
+  }
+
+  // Locate the cell containing the new observation and update extremes.
+  std::size_t cell;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    cell = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= heights_[cell + 1]) ++cell;
+  }
+
+  for (std::size_t i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  desired_[0] += 0.0;
+  desired_[1] += p_ / 2.0;
+  desired_[2] += p_;
+  desired_[3] += (1.0 + p_) / 2.0;
+  desired_[4] += 1.0;
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double gap = desired_[idx] - positions_[idx];
+    const double ahead = positions_[idx + 1] - positions_[idx];
+    const double behind = positions_[idx - 1] - positions_[idx];
+    if ((gap >= 1.0 && ahead > 1.0) || (gap <= -1.0 && behind < -1.0)) {
+      const double direction = gap >= 1.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, direction);
+      if (heights_[idx - 1] < candidate && candidate < heights_[idx + 1]) {
+        heights_[idx] = candidate;
+      } else {
+        heights_[idx] = linear(i, direction);
+      }
+      positions_[idx] += direction;
+    }
+  }
+}
+
+double P2Quantile::quantile() const {
+  REJUV_EXPECT(count_ >= 1, "quantile of an empty stream");
+  if (count_ >= 5) return heights_[2];
+  // Small-sample fallback: exact quantile of the seen values.
+  std::array<double, 5> sorted = heights_;
+  const auto n = static_cast<std::size_t>(count_);
+  std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n));
+  const double h = (static_cast<double>(n) - 1.0) * p_;
+  const auto lo = static_cast<std::size_t>(h);
+  const auto hi = std::min(lo + 1, n - 1);
+  return sorted[lo] + (h - std::floor(h)) * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace rejuv::stats

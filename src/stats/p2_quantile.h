@@ -1,0 +1,42 @@
+// P-square (P²) online quantile estimation (Jain & Chlamtac, 1985).
+//
+// Monitoring the customer-affecting metric in production means tracking
+// upper quantiles (p95/p99 response time) without storing the stream. The P²
+// algorithm maintains five markers and estimates an arbitrary quantile in
+// O(1) memory and time per observation; it backs adaptive variants of the
+// quantile-threshold policy and the monitoring examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rejuv::stats {
+
+class P2Quantile {
+ public:
+  /// `p` in (0, 1): the quantile to track (e.g. 0.95).
+  explicit P2Quantile(double p);
+
+  void push(double value);
+
+  std::uint64_t count() const noexcept { return count_; }
+
+  /// Current estimate. Requires at least one observation; with fewer than
+  /// five it is the exact sample quantile of what has been seen.
+  double quantile() const;
+
+  double probability() const noexcept { return p_; }
+
+ private:
+  double parabolic(int i, double direction) const;
+  double linear(int i, double direction) const;
+
+  double p_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};         // marker heights q_i
+  std::array<double, 5> positions_{};       // marker positions n_i
+  std::array<double, 5> desired_{};         // desired positions n'_i
+  std::array<double, 5> desired_delta_{};   // dn'_i per observation
+};
+
+}  // namespace rejuv::stats

@@ -1,0 +1,54 @@
+#include "stats/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::stats {
+
+double sorted_quantile(std::span<const double> sorted_samples, double p) {
+  REJUV_EXPECT(!sorted_samples.empty(), "quantile of an empty sample");
+  REJUV_EXPECT(p >= 0.0 && p <= 1.0, "quantile probability must lie in [0, 1]");
+  const double h = (static_cast<double>(sorted_samples.size()) - 1.0) * p;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted_samples.size() - 1);
+  const double frac = h - std::floor(h);
+  return sorted_samples[lo] + frac * (sorted_samples[hi] - sorted_samples[lo]);
+}
+
+double sample_quantile(std::span<const double> samples, double p) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, p);
+}
+
+WindowAverage::WindowAverage(std::size_t window)
+    : current_window_(window), next_window_(window) {
+  REJUV_EXPECT(window >= 1, "window must hold at least one observation");
+}
+
+std::optional<double> WindowAverage::push(double value) {
+  sum_ += value;
+  ++count_;
+  if (count_ < current_window_) return std::nullopt;
+  const double average = sum_ / static_cast<double>(current_window_);
+  count_ = 0;
+  sum_ = 0.0;
+  current_window_ = next_window_;
+  return average;
+}
+
+void WindowAverage::set_window(std::size_t window) {
+  REJUV_EXPECT(window >= 1, "window must hold at least one observation");
+  next_window_ = window;
+  if (count_ == 0) current_window_ = window;
+}
+
+void WindowAverage::reset() noexcept {
+  count_ = 0;
+  sum_ = 0.0;
+  current_window_ = next_window_;
+}
+
+}  // namespace rejuv::stats

@@ -1,0 +1,52 @@
+// Sample quantiles and fixed-size averaging windows.
+//
+// WindowAverage is the primitive behind all three detectors in the paper:
+// SRAA, SARAA and CLTA each consume observations one at a time and act only
+// when a full window of n values has been averaged. SARAA additionally
+// changes the window length while running; resizing takes effect from the
+// next window, matching the pseudo-code where n is recomputed only on bucket
+// transitions (i.e., between windows).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rejuv::stats {
+
+/// Linear-interpolation sample quantile (Hyndman-Fan type 7, the R default).
+/// `p` in [0, 1]; the input need not be sorted (a copy is sorted internally).
+double sample_quantile(std::span<const double> samples, double p);
+
+/// Quantile over pre-sorted data, no copy.
+double sorted_quantile(std::span<const double> sorted_samples, double p);
+
+/// Accumulates observations and emits the mean of each disjoint block of
+/// `window` values.
+class WindowAverage {
+ public:
+  explicit WindowAverage(std::size_t window);
+
+  /// Adds one observation. Returns the block average when this observation
+  /// completes a window, otherwise std::nullopt.
+  std::optional<double> push(double value);
+
+  /// Sets the window length used for the *next* block. If a block is in
+  /// progress it still completes at the old length.
+  void set_window(std::size_t window);
+
+  std::size_t window() const noexcept { return next_window_; }
+  std::size_t pending() const noexcept { return count_; }
+
+  /// Drops any partially accumulated block and applies a pending resize.
+  void reset() noexcept;
+
+ private:
+  std::size_t current_window_;
+  std::size_t next_window_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace rejuv::stats

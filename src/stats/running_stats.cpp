@@ -1,0 +1,72 @@
+#include "stats/running_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::stats {
+
+void RunningStats::push(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::population_variance() const noexcept {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+EwmaStats::EwmaStats(double alpha) : alpha_(alpha) {
+  REJUV_EXPECT(alpha > 0.0 && alpha <= 1.0, "EWMA weight must lie in (0, 1]");
+}
+
+void EwmaStats::push(double value) noexcept {
+  if (count_ == 0) {
+    mean_ = value;
+    variance_ = 0.0;
+  } else {
+    // West (1979) incremental EWMA variance update.
+    const double delta = value - mean_;
+    mean_ += alpha_ * delta;
+    variance_ = (1.0 - alpha_) * (variance_ + alpha_ * delta * delta);
+  }
+  ++count_;
+}
+
+double EwmaStats::stddev() const noexcept { return std::sqrt(variance_); }
+
+}  // namespace rejuv::stats

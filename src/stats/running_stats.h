@@ -1,0 +1,65 @@
+// Single-pass summary statistics.
+//
+// RunningStats implements Welford's online algorithm for mean and variance,
+// which is numerically stable for the long (10^5-10^6 observation) response
+// time streams the simulations produce. Instances are mergeable so that
+// per-replication summaries can be combined into an overall estimate.
+#pragma once
+
+#include <cstdint>
+
+namespace rejuv::stats {
+
+/// Online mean / variance / extrema accumulator (Welford / Chan).
+class RunningStats {
+ public:
+  void push(double value) noexcept;
+
+  /// Merges another accumulator (parallel-variance formula of Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  /// Arithmetic mean; 0 when empty.
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  /// Population variance (n denominator); 0 when empty.
+  double population_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average / variance, used by the adaptive
+/// baseline estimator (paper section 6, future work) to track a drifting
+/// "normal behaviour" mean and standard deviation.
+class EwmaStats {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit EwmaStats(double alpha);
+
+  void push(double value) noexcept;
+  bool empty() const noexcept { return count_ == 0; }
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept { return variance_; }
+  double stddev() const noexcept;
+
+ private:
+  double alpha_;
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+}  // namespace rejuv::stats

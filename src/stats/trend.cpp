@@ -1,0 +1,52 @@
+#include "stats/trend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace rejuv::stats {
+
+MannKendallResult mann_kendall(std::span<const double> window) {
+  const std::size_t n = window.size();
+  REJUV_EXPECT(n >= 3, "Mann-Kendall needs at least 3 observations");
+  MannKendallResult result;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double diff = window[j] - window[i];
+      result.s += diff > 0.0 ? 1 : (diff < 0.0 ? -1 : 0);
+    }
+  }
+  const double dn = static_cast<double>(n);
+  result.variance = dn * (dn - 1.0) * (2.0 * dn + 5.0) / 18.0;
+  const double sd = std::sqrt(result.variance);
+  if (result.s > 0) {
+    result.z = (static_cast<double>(result.s) - 1.0) / sd;
+  } else if (result.s < 0) {
+    result.z = (static_cast<double>(result.s) + 1.0) / sd;
+  } else {
+    result.z = 0.0;
+  }
+  return result;
+}
+
+double sen_slope(std::span<const double> window) {
+  const std::size_t n = window.size();
+  REJUV_EXPECT(n >= 2, "Sen's slope needs at least 2 observations");
+  std::vector<double> slopes;
+  slopes.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      slopes.push_back((window[j] - window[i]) / static_cast<double>(j - i));
+    }
+  }
+  const auto mid = slopes.begin() + static_cast<std::ptrdiff_t>(slopes.size() / 2);
+  std::nth_element(slopes.begin(), mid, slopes.end());
+  if (slopes.size() % 2 == 1) return *mid;
+  const double upper = *mid;
+  const double lower = *std::max_element(slopes.begin(), mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace rejuv::stats

@@ -1,0 +1,116 @@
+#include "workload/arrival_process.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/expect.h"
+
+namespace rejuv::workload {
+
+namespace {
+double exponential(common::RngStream& rng, double rate) {
+  return -std::log(rng.uniform01_open_below()) / rate;
+}
+}  // namespace
+
+PoissonProcess::PoissonProcess(double rate) : rate_(rate) {
+  REJUV_EXPECT(rate > 0.0, "Poisson rate must be positive");
+}
+
+double PoissonProcess::next_interarrival(common::RngStream& rng, double /*now*/) {
+  return exponential(rng, rate_);
+}
+
+std::string PoissonProcess::name() const {
+  return "Poisson(rate=" + std::to_string(rate_) + ")";
+}
+
+MmppProcess::MmppProcess(double base_rate, double burst_rate, double mean_normal_duration,
+                         double mean_burst_duration)
+    : base_rate_(base_rate),
+      burst_rate_(burst_rate),
+      normal_switch_rate_(1.0 / mean_normal_duration),
+      burst_switch_rate_(1.0 / mean_burst_duration) {
+  REJUV_EXPECT(base_rate > 0.0, "base rate must be positive");
+  REJUV_EXPECT(burst_rate > 0.0, "burst rate must be positive");
+  REJUV_EXPECT(mean_normal_duration > 0.0, "normal sojourn must be positive");
+  REJUV_EXPECT(mean_burst_duration > 0.0, "burst sojourn must be positive");
+}
+
+double MmppProcess::next_interarrival(common::RngStream& rng, double /*now*/) {
+  // Competing exponentials: in each phase, the next arrival races the next
+  // phase switch; on a switch, the residual restarts (memorylessness).
+  double elapsed = 0.0;
+  while (true) {
+    const double arrival_rate = in_burst_ ? burst_rate_ : base_rate_;
+    const double switch_rate = in_burst_ ? burst_switch_rate_ : normal_switch_rate_;
+    const double to_arrival = exponential(rng, arrival_rate);
+    const double to_switch = exponential(rng, switch_rate);
+    if (to_arrival <= to_switch) return elapsed + to_arrival;
+    elapsed += to_switch;
+    in_burst_ = !in_burst_;
+  }
+}
+
+double MmppProcess::mean_rate() const {
+  // Stationary phase probabilities of the two-state switch chain.
+  const double p_burst =
+      normal_switch_rate_ / (normal_switch_rate_ + burst_switch_rate_);
+  return (1.0 - p_burst) * base_rate_ + p_burst * burst_rate_;
+}
+
+std::string MmppProcess::name() const {
+  return "MMPP(base=" + std::to_string(base_rate_) + ",burst=" + std::to_string(burst_rate_) +
+         ")";
+}
+
+PeriodicProcess::PeriodicProcess(double base_rate, double amplitude, double period)
+    : base_rate_(base_rate), amplitude_(amplitude), period_(period) {
+  REJUV_EXPECT(base_rate > 0.0, "base rate must be positive");
+  REJUV_EXPECT(amplitude >= 0.0 && amplitude < 1.0, "amplitude must lie in [0, 1)");
+  REJUV_EXPECT(period > 0.0, "period must be positive");
+}
+
+double PeriodicProcess::rate_at(double t) const {
+  return base_rate_ * (1.0 + amplitude_ * std::sin(2.0 * 3.14159265358979323846 * t / period_));
+}
+
+double PeriodicProcess::next_interarrival(common::RngStream& rng, double now) {
+  // Lewis-Shedler thinning against the peak rate.
+  const double peak = base_rate_ * (1.0 + amplitude_);
+  double t = now;
+  while (true) {
+    t += exponential(rng, peak);
+    if (rng.uniform01() * peak < rate_at(t)) return t - now;
+  }
+}
+
+std::string PeriodicProcess::name() const {
+  return "Periodic(base=" + std::to_string(base_rate_) + ",amp=" + std::to_string(amplitude_) +
+         ")";
+}
+
+TraceProcess::TraceProcess(std::vector<double> interarrival_times)
+    : interarrivals_(std::move(interarrival_times)) {
+  REJUV_EXPECT(!interarrivals_.empty(), "trace must contain at least one interarrival");
+  for (double gap : interarrivals_) {
+    REJUV_EXPECT(gap > 0.0 && std::isfinite(gap), "interarrival times must be positive");
+  }
+}
+
+double TraceProcess::next_interarrival(common::RngStream& /*rng*/, double /*now*/) {
+  const double gap = interarrivals_[position_];
+  position_ = (position_ + 1) % interarrivals_.size();
+  return gap;
+}
+
+double TraceProcess::mean_rate() const {
+  const double total = std::accumulate(interarrivals_.begin(), interarrivals_.end(), 0.0);
+  return static_cast<double>(interarrivals_.size()) / total;
+}
+
+std::string TraceProcess::name() const {
+  return "Trace(" + std::to_string(interarrivals_.size()) + " gaps)";
+}
+
+}  // namespace rejuv::workload

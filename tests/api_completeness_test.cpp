@@ -1,0 +1,86 @@
+// Loose-end coverage: small public APIs not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "markov/phase_type.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "stats/running_stats.h"
+
+namespace rejuv {
+namespace {
+
+TEST(EventQueueApi, NextIdIdentifiesTheEarliestEvent) {
+  sim::EventQueue queue;
+  const sim::EventId late = queue.push(10.0, [] {});
+  const sim::EventId early = queue.push(1.0, [] {});
+  EXPECT_EQ(queue.next_id(), early);
+  EXPECT_NE(queue.next_id(), late);
+  queue.pop();
+  EXPECT_EQ(queue.next_id(), late);
+  queue.pop();
+  EXPECT_THROW(queue.next_id(), std::invalid_argument);
+}
+
+TEST(SimulatorApi, HasPendingTracksEventLifecycle) {
+  sim::Simulator simulator;
+  const sim::EventId id = simulator.schedule_after(5.0, [] {});
+  EXPECT_TRUE(simulator.has_pending(id));
+  simulator.run();
+  EXPECT_FALSE(simulator.has_pending(id));
+  EXPECT_FALSE(simulator.cancel(id));
+}
+
+TEST(SimulatorApi, ClearPendingKeepsTheClock) {
+  sim::Simulator simulator;
+  simulator.schedule_after(2.0, [] {});
+  simulator.run();
+  simulator.schedule_after(100.0, [] {});
+  simulator.clear_pending();
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  EXPECT_DOUBLE_EQ(simulator.now(), 2.0);
+}
+
+TEST(PhaseTypeApi, ThirdMomentOfExponential) {
+  // E[X^k] = k! / rate^k for the exponential distribution.
+  const auto pt = markov::PhaseType::exponential(2.0);
+  EXPECT_NEAR(pt.moment(3), 6.0 / 8.0, 1e-10);
+  EXPECT_NEAR(pt.moment(4), 24.0 / 16.0, 1e-9);
+  EXPECT_THROW(pt.moment(0), std::invalid_argument);
+}
+
+TEST(PhaseTypeApi, ExitRatesAreRowDeficits) {
+  const auto pt = markov::PhaseType::hypoexponential({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(pt.exit_rate(0), 0.0);  // stage 0 feeds stage 1 entirely
+  EXPECT_DOUBLE_EQ(pt.exit_rate(1), 3.0);
+  EXPECT_THROW(pt.exit_rate(2), std::invalid_argument);
+}
+
+TEST(EwmaApi, CountAndEmptiness) {
+  stats::EwmaStats ewma(0.5);
+  EXPECT_TRUE(ewma.empty());
+  ewma.push(1.0);
+  ewma.push(2.0);
+  EXPECT_FALSE(ewma.empty());
+  EXPECT_EQ(ewma.count(), 2u);
+  EXPECT_GE(ewma.stddev(), 0.0);
+}
+
+TEST(RunningStatsApi, ResetRestoresTheEmptyState) {
+  stats::RunningStats stats;
+  stats.push(10.0);
+  stats.reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  stats.push(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+}
+
+TEST(RngApi, StreamSatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<common::RngStream>);
+  static_assert(std::uniform_random_bit_generator<common::Xoshiro256pp>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rejuv

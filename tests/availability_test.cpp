@@ -1,0 +1,188 @@
+// Tests for the Huang et al. availability model and for time-based
+// (periodic) rejuvenation in the simulation model.
+#include <gtest/gtest.h>
+
+#include "availability/huang_model.h"
+#include "common/rng.h"
+#include "harness/paper.h"
+#include "model/ecommerce.h"
+#include "sim/simulator.h"
+
+namespace rejuv::availability {
+namespace {
+
+TEST(HuangModel, ValidatesParameters) {
+  HuangParameters params;
+  params.aging_rate = 0.0;
+  EXPECT_THROW(validate(params), std::invalid_argument);
+  params = HuangParameters{};
+  params.rejuvenation_rate = -1.0;
+  EXPECT_THROW(validate(params), std::invalid_argument);
+  EXPECT_NO_THROW(validate(HuangParameters{}));
+}
+
+TEST(HuangModel, NoRejuvenationMatchesClosedForm) {
+  // Three-state cycle robust -> degraded -> failed -> robust: stationary
+  // probabilities are proportional to the sojourn times 1/r2, 1/lf, 1/r1.
+  HuangParameters params;
+  params.aging_rate = 0.1;
+  params.failure_rate = 0.02;
+  params.repair_rate = 0.5;
+  params.rejuvenation_rate = 0.0;
+  const auto solution = solve(params);
+  const double total = 1.0 / 0.1 + 1.0 / 0.02 + 1.0 / 0.5;
+  EXPECT_NEAR(solution.probability[0], (1.0 / 0.1) / total, 1e-12);
+  EXPECT_NEAR(solution.probability[1], (1.0 / 0.02) / total, 1e-12);
+  EXPECT_NEAR(solution.probability[2], (1.0 / 0.5) / total, 1e-12);
+  EXPECT_NEAR(solution.availability, 1.0 - (1.0 / 0.5) / total, 1e-12);
+  EXPECT_NEAR(solution.failure_frequency, solution.probability[1] * 0.02, 1e-15);
+}
+
+TEST(HuangModel, ProbabilitiesFormADistribution) {
+  HuangParameters params;
+  params.rejuvenation_rate = 0.05;
+  const auto solution = solve(params);
+  double total = 0.0;
+  for (double p : solution.probability) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HuangModel, RejuvenationReducesFailures) {
+  HuangParameters params;
+  params.rejuvenation_rate = 0.0;
+  const auto without = solve(params);
+  params.rejuvenation_rate = 0.1;
+  const auto with = solve(params);
+  EXPECT_LT(with.probability[2], without.probability[2]);  // less time failed
+  EXPECT_LT(with.failure_frequency, without.failure_frequency);
+}
+
+TEST(HuangModel, SlowRestoresMakeExcessiveRejuvenationHurtAvailability) {
+  // When the restore path is as slow as repair, rejuvenating constantly
+  // converts rare long outages into frequent long outages.
+  HuangParameters params;
+  params.rejuvenation_restore_rate = params.repair_rate;  // restore = repair speed
+  params.rejuvenation_rate = 1000.0;
+  const auto frantic = solve(params);
+  params.rejuvenation_rate = 0.0;
+  const auto none = solve(params);
+  EXPECT_LT(frantic.availability, none.availability);
+}
+
+TEST(HuangModel, CostIsMonotoneInTheRejuvenationRate) {
+  // Structural property of the exponential chain: for any weights, the cost
+  // rate moves in one direction as the rejuvenation rate grows.
+  for (const double weight : {2.0, 50.0}) {
+    for (const double restore : {0.5, 6.0}) {
+      HuangParameters params;
+      params.failure_cost_weight = weight;
+      params.rejuvenation_restore_rate = restore;
+      double previous = -1.0;
+      int direction = 0;  // +1 increasing, -1 decreasing
+      for (const double rate : {0.0, 0.01, 0.05, 0.2, 1.0, 5.0, 20.0}) {
+        params.rejuvenation_rate = rate;
+        const double cost = solve(params).downtime_cost_rate;
+        if (previous >= 0.0 && cost != previous) {
+          const int step = cost > previous ? 1 : -1;
+          if (direction == 0) direction = step;
+          EXPECT_EQ(step, direction) << "w=" << weight << " r3=" << restore << " rate=" << rate;
+        }
+        previous = cost;
+      }
+    }
+  }
+}
+
+TEST(HuangModel, OptimalRateLandsOnTheFavourableBoundary) {
+  // Expensive failures + fast restores: rejuvenate as hard as possible.
+  HuangParameters expensive;  // defaults: weight 50, restore 6/h
+  EXPECT_TRUE(rejuvenation_worthwhile(expensive));
+  EXPECT_NEAR(optimal_rejuvenation_rate(expensive), 10.0, 0.01);
+
+  // Cheap failures + slow restores: do not rejuvenate at all.
+  HuangParameters cheap;
+  cheap.failure_cost_weight = 2.0;
+  cheap.rejuvenation_restore_rate = 0.5;
+  EXPECT_FALSE(rejuvenation_worthwhile(cheap));
+  EXPECT_NEAR(optimal_rejuvenation_rate(cheap), 0.0, 0.01);
+}
+
+TEST(HuangModel, OptimalBeatsOrMatchesBothEndpoints) {
+  for (const double weight : {2.0, 50.0}) {
+    HuangParameters params;
+    params.failure_cost_weight = weight;
+    const double optimal = optimal_rejuvenation_rate(params);
+    auto cost_at = [&params](double rate) {
+      params.rejuvenation_rate = rate;
+      return solve(params).downtime_cost_rate;
+    };
+    EXPECT_LE(cost_at(optimal), cost_at(0.0) + 1e-12);
+    EXPECT_LE(cost_at(optimal), cost_at(10.0) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rejuv::availability
+
+namespace rejuv::model {
+namespace {
+
+TEST(PeriodicRejuvenation, FiresOnSchedule) {
+  EcommerceConfig config = harness::paper_system();
+  config.arrival_rate = 1.0;
+  common::RngStream a(111, 0), s(111, 1);
+  sim::Simulator simulator;
+  EcommerceSystem system(simulator, config, a, s);
+  system.enable_periodic_rejuvenation(500.0);
+  system.run_transactions(10000);  // ~10000 s of traffic
+  // One rejuvenation per 500 s, minus edge effects at the drain.
+  const auto count = system.metrics().rejuvenation_count;
+  EXPECT_GT(count, 15u);
+  EXPECT_LT(count, 25u);
+  EXPECT_EQ(system.metrics().completed + system.metrics().lost(), 10000u);
+}
+
+TEST(PeriodicRejuvenation, PreventsTheAgingSpiral) {
+  EcommerceConfig config = harness::paper_system();
+  config.arrival_rate = 1.8;
+  auto run_max_rt = [&config](double interval) {
+    common::RngStream a(112, 0), s(112, 1);
+    sim::Simulator simulator;
+    EcommerceSystem system(simulator, config, a, s);
+    if (interval > 0.0) system.enable_periodic_rejuvenation(interval);
+    system.run_transactions(20000);
+    return system.metrics().response_time.max();
+  };
+  EXPECT_GT(run_max_rt(0.0), 1000.0);    // unmanaged spiral
+  EXPECT_LT(run_max_rt(120.0), 400.0);   // frequent flushes bound the RT
+}
+
+TEST(PeriodicRejuvenation, RejectsBadUsage) {
+  EcommerceConfig config = harness::paper_system();
+  common::RngStream a(113, 0), s(113, 1);
+  sim::Simulator simulator;
+  EcommerceSystem system(simulator, config, a, s);
+  EXPECT_THROW(system.enable_periodic_rejuvenation(0.0), std::invalid_argument);
+  system.run_transactions(10);
+  EXPECT_THROW(system.enable_periodic_rejuvenation(100.0), std::invalid_argument);
+}
+
+TEST(PeriodicRejuvenation, ComposesWithDetector) {
+  // Hybrid policy: scheduled nightly flush plus a measurement-driven guard.
+  EcommerceConfig config = harness::paper_system();
+  config.arrival_rate = 1.8;
+  common::RngStream a(114, 0), s(114, 1);
+  sim::Simulator simulator;
+  EcommerceSystem system(simulator, config, a, s);
+  system.enable_periodic_rejuvenation(2000.0);
+  system.set_decision([](double rt) { return rt > 100.0; });
+  system.run_transactions(20000);
+  EXPECT_EQ(system.metrics().completed + system.metrics().lost(), 20000u);
+  EXPECT_GT(system.metrics().rejuvenation_count, 5u);
+}
+
+}  // namespace
+}  // namespace rejuv::model

@@ -1,0 +1,169 @@
+// Cross-validation tests: independent implementations must agree.
+//
+// The strongest evidence that both the analytical stack (markov/queueing)
+// and the simulation stack (sim/model) are right is that they agree with
+// each other on quantities computed by entirely different means:
+//   - Monte-Carlo absorption times of a CTMC  vs  phase-type moments/CDF;
+//   - simulated M/M/c response times          vs  eq. (1)-(3);
+//   - simulated sample averages of the RT     vs  the Fig. 4 chain (eq. 4);
+//   - empirical CLTA false alarms on the real queue vs the exact tail mass.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/clta.h"
+#include "harness/experiment.h"
+#include "markov/sample_average.h"
+#include "queueing/mmc.h"
+#include "sim/variates.h"
+#include "stats/histogram.h"
+#include "stats/ks_test.h"
+#include "stats/running_stats.h"
+
+namespace rejuv {
+namespace {
+
+/// Samples one absorption time of a CTMC by direct stochastic simulation
+/// (competing exponentials), independent of uniformization.
+double sample_absorption_time(const markov::Ctmc& chain, std::size_t start,
+                              common::RngStream& rng) {
+  double t = 0.0;
+  std::size_t state = start;
+  while (!chain.is_absorbing(state)) {
+    const double exit = chain.exit_rate(state);
+    t += sim::exponential(rng, exit);
+    double pick = rng.uniform01() * exit;
+    for (const markov::Transition& tr : chain.transitions()) {
+      if (tr.from != state) continue;
+      pick -= tr.rate;
+      if (pick <= 0.0) {
+        state = tr.to;
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+TEST(CrossCheck, MonteCarloAbsorptionMatchesPhaseTypeMoments) {
+  // The paper's Fig. 3 chain at lambda = 1.6.
+  const queueing::MmcQueue queue(1.6, 0.2, 16);
+  const auto pt = queue.response_time_phase_type();
+  const auto chain = pt.to_ctmc();
+
+  common::RngStream rng(101, 0);
+  stats::RunningStats sample;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) sample.push(sample_absorption_time(chain, 0, rng));
+
+  EXPECT_NEAR(sample.mean(), pt.mean(), 0.02 * pt.mean());
+  EXPECT_NEAR(sample.stddev(), pt.stddev(), 0.02 * pt.stddev());
+}
+
+TEST(CrossCheck, MonteCarloAbsorptionMatchesUniformizationCdf) {
+  const queueing::MmcQueue queue(2.4, 0.2, 16);
+  const auto pt = queue.response_time_phase_type();
+  const auto chain = pt.to_ctmc();
+
+  common::RngStream rng(101, 1);
+  std::vector<double> samples(200000);
+  for (double& x : samples) x = sample_absorption_time(chain, 0, rng);
+  std::sort(samples.begin(), samples.end());
+
+  for (const double x : {2.0, 5.0, 10.0, 20.0}) {
+    EXPECT_NEAR(stats::empirical_cdf(samples, x), pt.cdf(x), 0.005) << "x=" << x;
+  }
+}
+
+TEST(CrossCheck, SimulatedSampleAverageDensityMatchesEqFour) {
+  // Simulate the M/M/16 queue, average disjoint blocks of 15 RTs, histogram
+  // them, and compare against the exact density of eq. (4).
+  const std::size_t n = 15;
+  const auto series = harness::simulate_mmc_response_times(1.6, 0.2, 16, 300000, 103, 0);
+  stats::Histogram histogram(2.0, 10.0, 32);
+  for (std::size_t block = 0; block + n <= series.size(); block += n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += series[block + i];
+    histogram.push(sum / static_cast<double>(n));
+  }
+
+  const queueing::MmcQueue queue(1.6, 0.2, 16);
+  const auto exact = queue.sample_average_distribution(n);
+  const auto density = histogram.density();
+  for (std::size_t bin = 0; bin < histogram.bin_count(); ++bin) {
+    const double x = histogram.bin_center(bin);
+    EXPECT_NEAR(density[bin], exact.pdf(x), 0.035) << "x=" << x;
+  }
+}
+
+TEST(CrossCheck, EmpiricalCltaFalseAlarmsMatchExactTailMass) {
+  // Feed real M/M/16 response times (lambda = 1.6) to CLTA(n=30, z=1.96):
+  // its trigger rate per window must match the exact 3.40% of section 4.1
+  // (up to the weak serial correlation the paper shows is minor).
+  const auto series = harness::simulate_mmc_response_times(1.6, 0.2, 16, 600000, 104, 0);
+  core::Clta detector({30, 1.96}, core::Baseline{5.0, 5.0});
+  std::uint64_t windows = 0;
+  std::uint64_t triggers = 0;
+  for (double rt : series) {
+    if (detector.observe(rt) == core::Decision::kRejuvenate) ++triggers;
+    if (detector.pending_observations() == 0) ++windows;
+  }
+  const queueing::MmcQueue queue(1.6, 0.2, 16);
+  const double exact = queue.sample_average_distribution(30).false_alarm_probability(1.96);
+  EXPECT_NEAR(static_cast<double>(triggers) / static_cast<double>(windows), exact, 0.006);
+}
+
+TEST(CrossCheck, KsTestAcceptsSimulatedRtAgainstEqOne) {
+  // Whole-distribution comparison: simulated M/M/16 response times must not
+  // be rejected against the eq. (1) CDF. The observations are weakly
+  // dependent, so use a thinned subsample to respect the iid assumption.
+  const auto series = harness::simulate_mmc_response_times(1.6, 0.2, 16, 200000, 106, 0);
+  std::vector<double> thinned;
+  for (std::size_t i = 20000; i < series.size(); i += 40) thinned.push_back(series[i]);
+  const queueing::MmcQueue queue(1.6, 0.2, 16);
+  const auto result = stats::ks_test(
+      thinned, [&queue](double x) { return queue.response_time_cdf(std::max(x, 0.0)); });
+  EXPECT_FALSE(result.rejected(0.001)) << "D=" << result.statistic << " p=" << result.p_value;
+}
+
+TEST(CrossCheck, KsTestRejectsAWrongDistribution) {
+  // Negative control: the same samples against an M/M/16 at a different
+  // load must be rejected decisively.
+  const auto series = harness::simulate_mmc_response_times(1.6, 0.2, 16, 100000, 106, 1);
+  std::vector<double> thinned;
+  for (std::size_t i = 10000; i < series.size(); i += 20) thinned.push_back(series[i]);
+  const queueing::MmcQueue wrong(3.0, 0.2, 16);
+  const auto result = stats::ks_test(
+      thinned, [&wrong](double x) { return wrong.response_time_cdf(std::max(x, 0.0)); });
+  EXPECT_TRUE(result.rejected(0.001));
+}
+
+TEST(CrossCheck, KsTestAcceptsMonteCarloPhaseTypeSamples) {
+  const queueing::MmcQueue queue(2.4, 0.2, 16);
+  const auto pt = queue.response_time_phase_type();
+  const auto chain = pt.to_ctmc();
+  common::RngStream rng(107, 0);
+  std::vector<double> samples(5000);
+  for (double& x : samples) x = sample_absorption_time(chain, 0, rng);
+  const auto result = stats::ks_test(samples, [&pt](double x) { return pt.cdf(x); });
+  EXPECT_FALSE(result.rejected(0.001)) << "D=" << result.statistic << " p=" << result.p_value;
+}
+
+TEST(CrossCheck, SimulatedQuantilesMatchEqOneQuantiles) {
+  const auto series = harness::simulate_mmc_response_times(2.4, 0.2, 16, 400000, 105, 0);
+  std::vector<double> sorted = series;
+  std::sort(sorted.begin(), sorted.end());
+  const queueing::MmcQueue queue(2.4, 0.2, 16);
+  for (const double p : {0.5, 0.9, 0.975}) {
+    const double analytic = queue.response_time_quantile(p);
+    const double simulated =
+        sorted[static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1))];
+    EXPECT_NEAR(simulated, analytic, 0.03 * analytic) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace rejuv

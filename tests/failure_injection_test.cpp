@@ -1,0 +1,177 @@
+// Failure-injection and extreme-parameter tests: the model and detectors
+// must stay consistent (conservation, invariants, no wedged simulations)
+// under hostile configurations — constant GC pressure, zero-capacity
+// overheads, hair-trigger and never-trigger detectors, pathological
+// workloads.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/factory.h"
+#include "harness/paper.h"
+#include "model/ecommerce.h"
+#include "sim/simulator.h"
+#include "workload/arrival_process.h"
+
+namespace rejuv::model {
+namespace {
+
+struct RunOutcome {
+  EcommerceMetrics metrics;
+  double end_time;
+  std::size_t residual_threads;
+};
+
+RunOutcome run_model(EcommerceConfig config, EcommerceSystem::DecisionFn decision,
+              std::uint64_t transactions, std::uint64_t seed,
+              std::unique_ptr<workload::ArrivalProcess> process = nullptr) {
+  common::RngStream arrival_rng(seed, 0);
+  common::RngStream service_rng(seed, 1);
+  sim::Simulator simulator;
+  EcommerceSystem system(simulator, config, arrival_rng, service_rng);
+  if (process) system.set_arrival_process(std::move(process));
+  if (decision) system.set_decision(std::move(decision));
+  system.run_transactions(transactions);
+  return {system.metrics(), simulator.now(), system.threads_in_system()};
+}
+
+void expect_conserved(const RunOutcome& run, std::uint64_t transactions) {
+  EXPECT_EQ(run.metrics.arrivals, transactions);
+  EXPECT_EQ(run.metrics.completed + run.metrics.lost(), transactions);
+  EXPECT_EQ(run.residual_threads, 0u);
+}
+
+TEST(FailureInjection, ConstantGcPressure) {
+  // Heap so small that nearly every dispatch triggers a collection.
+  EcommerceConfig config;
+  config.arrival_rate = 1.0;
+  config.heap_mb = 64.0;
+  config.gc_free_threshold_mb = 50.0;
+  config.gc_pause_seconds = 5.0;
+  const RunOutcome run = run_model(config, nullptr, 3000, 1);
+  expect_conserved(run, 3000);
+  EXPECT_GT(run.metrics.gc_count, 200u);
+}
+
+TEST(FailureInjection, GcPauseOfZeroSeconds) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.6;
+  config.gc_pause_seconds = 0.0;
+  const RunOutcome run = run_model(config, nullptr, 5000, 2);
+  expect_conserved(run, 5000);
+  // Free collections: the system behaves like M/M/16 (mean RT ~5).
+  EXPECT_NEAR(run.metrics.response_time.mean(), 5.0, 0.3);
+}
+
+TEST(FailureInjection, OverheadFromTheFirstThread) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.0;
+  config.thread_overhead_threshold = 0;
+  config.gc_enabled = false;
+  const RunOutcome run = run_model(config, nullptr, 5000, 3);
+  expect_conserved(run, 5000);
+  // Every job pays the factor-2 overhead: mean ~10.
+  EXPECT_NEAR(run.metrics.response_time.mean(), 10.0, 0.7);
+}
+
+TEST(FailureInjection, ExtremeOverheadFactorStillTerminates) {
+  EcommerceConfig config;
+  config.arrival_rate = 2.0;
+  config.overhead_factor = 50.0;
+  config.thread_overhead_threshold = 20;
+  const RunOutcome run = run_model(
+      config, [](double rt) { return rt > 500.0; }, 5000, 4);
+  expect_conserved(run, 5000);
+  EXPECT_GT(run.metrics.rejuvenation_count, 0u);
+}
+
+TEST(FailureInjection, RejuvenateOnEveryCompletion) {
+  EcommerceConfig config;
+  config.arrival_rate = 2.0;
+  const RunOutcome run = run_model(config, [](double) { return true; }, 10000, 5);
+  expect_conserved(run, 10000);
+  EXPECT_EQ(run.metrics.rejuvenation_count, run.metrics.completed);
+}
+
+TEST(FailureInjection, RejuvenationDuringEveryGcWindow) {
+  // Trigger exactly on GC-delayed transactions (rt > pause).
+  EcommerceConfig config;
+  config.arrival_rate = 1.8;
+  const RunOutcome run = run_model(
+      config, [&](double rt) { return rt >= config.gc_pause_seconds; }, 20000, 6);
+  expect_conserved(run, 20000);
+  EXPECT_GT(run.metrics.rejuvenation_count, 20u);
+  EXPECT_LE(run.metrics.rejuvenation_count, run.metrics.gc_count * 20);
+}
+
+TEST(FailureInjection, LongDowntimeWithHairTrigger) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.6;
+  config.rejuvenation_downtime_seconds = 600.0;
+  const RunOutcome run = run_model(config, [](double) { return true; }, 5000, 7);
+  expect_conserved(run, 5000);
+  EXPECT_GT(run.metrics.lost_to_downtime, 1000u);
+}
+
+TEST(FailureInjection, QueuedDowntimePreservesWork) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.6;
+  config.rejuvenation_downtime_seconds = 600.0;
+  config.queue_arrivals_during_downtime = true;
+  std::uint64_t completions = 0;
+  const RunOutcome run = run_model(
+      config, [&completions](double) { return ++completions % 1000 == 0; }, 5000, 8);
+  expect_conserved(run, 5000);
+  EXPECT_EQ(run.metrics.lost_to_downtime, 0u);
+}
+
+TEST(FailureInjection, TraceOfIdenticalInstantsStressesTieBreaking) {
+  // 100 batches of 50 simultaneous arrivals (gap 1e-9 within a batch).
+  std::vector<double> gaps;
+  for (int batch = 0; batch < 100; ++batch) {
+    gaps.push_back(1000.0);
+    for (int i = 0; i < 49; ++i) gaps.push_back(1e-9);
+  }
+  EcommerceConfig config;
+  config.arrival_rate = 1.0;  // overridden by the trace
+  const RunOutcome run = run_model(config, nullptr, 5000, 9,
+                            std::make_unique<workload::TraceProcess>(gaps));
+  expect_conserved(run, 5000);
+  // Every batch exceeds the 16 CPUs; the model must queue and drain cleanly.
+  EXPECT_GT(run.metrics.response_time.max(), run.metrics.response_time.mean());
+}
+
+TEST(FailureInjection, BurstStormWithDetector) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.0;
+  core::RejuvenationController controller(
+      core::make_detector(harness::saraa_config({2, 5, 3})));
+  const RunOutcome run = run_model(
+      config, [&controller](double rt) { return controller.observe(rt); }, 20000, 10,
+      std::make_unique<workload::MmppProcess>(0.5, 10.0, 100.0, 50.0));
+  expect_conserved(run, 20000);
+}
+
+TEST(FailureInjection, SingleCpuHost) {
+  EcommerceConfig config;
+  config.arrival_rate = 0.15;
+  config.cpus = 1;
+  config.thread_overhead_threshold = 3;
+  const RunOutcome run = run_model(config, [](double rt) { return rt > 120.0; }, 5000, 11);
+  expect_conserved(run, 5000);
+}
+
+TEST(FailureInjection, TinyAllocationsDelayGc) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.6;
+  config.alloc_mb = 0.5;  // 20x more transactions per GC cycle
+  const RunOutcome run = run_model(config, nullptr, 20000, 12);
+  expect_conserved(run, 20000);
+  EXPECT_LT(run.metrics.gc_count, 5u);
+  EXPECT_GT(run.metrics.gc_count, 0u);
+}
+
+}  // namespace
+}  // namespace rejuv::model

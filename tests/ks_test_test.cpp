@@ -1,0 +1,78 @@
+// Unit tests for the one-sample Kolmogorov-Smirnov implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/variates.h"
+#include "stats/ks_test.h"
+#include "stats/normal.h"
+
+namespace rejuv::stats {
+namespace {
+
+TEST(KolmogorovTail, KnownValues) {
+  // Q(0) = 1; standard reference points of the Kolmogorov distribution.
+  EXPECT_DOUBLE_EQ(kolmogorov_tail(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_tail(1.0), 0.27, 0.005);
+  EXPECT_NEAR(kolmogorov_tail(1.36), 0.0505, 0.002);  // the 5% critical point
+  EXPECT_NEAR(kolmogorov_tail(1.63), 0.0102, 0.001);  // the 1% critical point
+  EXPECT_LT(kolmogorov_tail(3.0), 1e-7);
+}
+
+TEST(KsTest, AcceptsCorrectDistribution) {
+  common::RngStream rng(121, 0);
+  std::vector<double> samples(5000);
+  for (double& x : samples) x = sim::exponential(rng, 0.5);
+  const auto result =
+      ks_test(samples, [](double x) { return x <= 0.0 ? 0.0 : 1.0 - std::exp(-0.5 * x); });
+  EXPECT_GT(result.p_value, 0.001);
+  EXPECT_EQ(result.sample_size, 5000u);
+  EXPECT_LT(result.statistic, 0.03);
+}
+
+TEST(KsTest, RejectsShiftedDistribution) {
+  common::RngStream rng(121, 1);
+  std::vector<double> samples(5000);
+  for (double& x : samples) x = 0.5 + sim::exponential(rng, 0.5);
+  const auto result =
+      ks_test(samples, [](double x) { return x <= 0.0 ? 0.0 : 1.0 - std::exp(-0.5 * x); });
+  EXPECT_TRUE(result.rejected(0.001));
+}
+
+TEST(KsTest, RejectsWrongScale) {
+  common::RngStream rng(121, 2);
+  std::vector<double> samples(5000);
+  for (double& x : samples) x = sim::normal(rng, 0.0, 2.0);
+  const auto result = ks_test(samples, [](double x) { return normal_cdf(x); });
+  EXPECT_TRUE(result.rejected(0.001));
+}
+
+TEST(KsTest, PValueIsRoughlyUniformUnderTheNull) {
+  // Over many independent small samples from the true distribution, the
+  // rejection rate at alpha = 0.1 should be near 10%.
+  common::RngStream rng(121, 3);
+  int rejections = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<double> samples(200);
+    for (double& x : samples) x = rng.uniform01();
+    const auto result = ks_test(samples, [](double x) {
+      return x <= 0.0 ? 0.0 : (x >= 1.0 ? 1.0 : x);
+    });
+    rejections += result.p_value < 0.1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(rejections) / kTrials, 0.10, 0.05);
+}
+
+TEST(KsTest, ValidatesInput) {
+  const std::vector<double> tiny{1.0, 2.0};
+  EXPECT_THROW(ks_test(tiny, [](double) { return 0.5; }), std::invalid_argument);
+  const std::vector<double> ok(100, 0.5);
+  EXPECT_THROW(ks_test(ok, [](double) { return 1.5; }), std::invalid_argument);
+  EXPECT_THROW(ks_test(ok, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rejuv::stats

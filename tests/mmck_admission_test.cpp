@@ -1,0 +1,155 @@
+// Tests for the M/M/c/K analytics and the model's admission control,
+// including their agreement (simulation vs closed form).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/ecommerce.h"
+#include "queueing/mmck.h"
+#include "sim/simulator.h"
+
+namespace rejuv {
+namespace {
+
+// ------------------------------------------------------- M/M/c/K analytics
+
+TEST(MmckQueue, ValidatesConstruction) {
+  EXPECT_THROW(queueing::MmckQueue(1.0, 0.2, 16, 10), std::invalid_argument);  // K < c
+  EXPECT_THROW(queueing::MmckQueue(0.0, 0.2, 16, 50), std::invalid_argument);
+  EXPECT_THROW(queueing::MmckQueue(1.0, 0.0, 16, 50), std::invalid_argument);
+  EXPECT_NO_THROW(queueing::MmckQueue(10.0, 0.2, 16, 16));  // overload is fine
+}
+
+TEST(MmckQueue, ProbabilitiesFormADistribution) {
+  const queueing::MmckQueue queue(1.8, 0.2, 16, 50);
+  double total = 0.0;
+  for (std::size_t k = 0; k <= 50; ++k) {
+    EXPECT_GE(queue.state_probability(k), 0.0);
+    total += queue.state_probability(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MmckQueue, MmOneOneIsErlangLoss) {
+  // M/M/1/1: blocking = rho / (1 + rho).
+  const queueing::MmckQueue queue(2.0, 1.0, 1, 1);
+  EXPECT_NEAR(queue.blocking_probability(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(queue.mean_response_time(), 1.0, 1e-12);  // admitted jobs never wait
+}
+
+TEST(MmckQueue, KEqualsCIsErlangB) {
+  // M/M/c/c blocking equals the Erlang-B formula; check against the known
+  // B(2, 1) = 0.2.
+  const queueing::MmckQueue queue(1.0, 1.0, 2, 2);
+  EXPECT_NEAR(queue.blocking_probability(), 0.2, 1e-12);
+}
+
+TEST(MmckQueue, LargeCapacityApproachesMmc) {
+  // With K huge and a stable load, blocking vanishes and the mean RT
+  // approaches the M/M/c value (eq. 2): 5.006 s at lambda = 1.6.
+  const queueing::MmckQueue queue(1.6, 0.2, 16, 400);
+  EXPECT_LT(queue.blocking_probability(), 1e-10);
+  EXPECT_NEAR(queue.mean_response_time(), 5.0063, 1e-3);
+}
+
+TEST(MmckQueue, BlockingGrowsWithLoad) {
+  double prev = 0.0;
+  for (const double lambda : {1.0, 2.0, 3.0, 4.0, 6.0}) {
+    const queueing::MmckQueue queue(lambda, 0.2, 16, 50);
+    EXPECT_GE(queue.blocking_probability(), prev);
+    prev = queue.blocking_probability();
+  }
+}
+
+TEST(MmckQueue, OverloadedSystemSaturates) {
+  // lambda far above c*mu: the system is pinned near K and throughput is
+  // capped at c*mu.
+  const queueing::MmckQueue queue(32.0, 0.2, 16, 50);
+  EXPECT_GT(queue.blocking_probability(), 0.85);
+  EXPECT_NEAR(queue.effective_arrival_rate(), 3.2, 0.01);
+}
+
+// ------------------------------------------------------- model integration
+
+model::EcommerceConfig admission_config(double lambda, std::size_t limit) {
+  model::EcommerceConfig config;
+  config.arrival_rate = lambda;
+  config.admission_limit = limit;
+  config.gc_enabled = false;
+  config.overhead_enabled = false;
+  return config;
+}
+
+TEST(AdmissionControl, SimulationMatchesMmckBlocking) {
+  const double lambda = 4.0;  // heavy: blocking is non-trivial
+  const std::size_t limit = 30;
+  common::RngStream a(131, 0), s(131, 1);
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, admission_config(lambda, limit), a, s);
+  system.run_transactions(200000);
+
+  const queueing::MmckQueue analytic(lambda, 0.2, 16, limit);
+  const auto& m = system.metrics();
+  EXPECT_NEAR(static_cast<double>(m.lost_to_admission) / static_cast<double>(m.arrivals),
+              analytic.blocking_probability(), 0.01);
+  EXPECT_NEAR(m.response_time.mean(), analytic.mean_response_time(),
+              0.03 * analytic.mean_response_time());
+}
+
+TEST(AdmissionControl, ZeroLimitDisablesControl) {
+  common::RngStream a(132, 0), s(132, 1);
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, admission_config(1.6, 0), a, s);
+  system.run_transactions(10000);
+  EXPECT_EQ(system.metrics().lost_to_admission, 0u);
+}
+
+TEST(AdmissionControl, LimitBoundsThreadsInSystem) {
+  const std::size_t limit = 20;
+  common::RngStream a(133, 0), s(133, 1);
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, admission_config(6.0, limit), a, s);
+  std::size_t max_seen = 0;
+  system.set_observer([&](double) { max_seen = std::max(max_seen, system.threads_in_system()); });
+  system.run_transactions(20000);
+  EXPECT_LE(max_seen, limit);
+  EXPECT_GT(system.metrics().lost_to_admission, 0u);
+}
+
+TEST(AdmissionControl, PreventsKernelOverheadRegime) {
+  // Full aging model at 9 CPUs: capping the thread count at the overhead
+  // threshold keeps the max RT orders of magnitude below the unmanaged
+  // spiral (GC pauses remain, so ~60-120 s peaks persist).
+  model::EcommerceConfig uncapped;
+  uncapped.arrival_rate = 1.8;
+  model::EcommerceConfig capped = uncapped;
+  capped.admission_limit = 50;
+
+  auto max_rt = [](const model::EcommerceConfig& config) {
+    common::RngStream a(134, 0), s(134, 1);
+    sim::Simulator simulator;
+    model::EcommerceSystem system(simulator, config, a, s);
+    system.run_transactions(30000);
+    return system.metrics().response_time.max();
+  };
+  EXPECT_GT(max_rt(uncapped), 1000.0);
+  EXPECT_LT(max_rt(capped), 400.0);
+}
+
+TEST(AdmissionControl, CountsTowardConservation) {
+  model::EcommerceConfig config;
+  config.arrival_rate = 2.0;
+  config.admission_limit = 25;
+  common::RngStream a(135, 0), s(135, 1);
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, config, a, s);
+  system.set_decision([](double rt) { return rt > 70.0; });
+  system.run_transactions(20000);
+  const auto& m = system.metrics();
+  EXPECT_EQ(m.completed + m.lost(), 20000u);
+  EXPECT_GT(m.lost_to_admission, 0u);
+}
+
+}  // namespace
+}  // namespace rejuv

@@ -1,0 +1,312 @@
+// Tests for rejuv::model::EcommerceSystem: each numbered rule of paper §3,
+// conservation invariants, GC and rejuvenation mechanics, and agreement of
+// the abstracted (pure M/M/c) mode with the queueing analytics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/ecommerce.h"
+#include "queueing/mmc.h"
+#include "sim/simulator.h"
+
+namespace rejuv::model {
+namespace {
+
+struct Harness {
+  explicit Harness(EcommerceConfig config, std::uint64_t seed = 1)
+      : arrival_rng(seed, 0), service_rng(seed, 1), system(simulator, config, arrival_rng,
+                                                           service_rng) {}
+  sim::Simulator simulator;
+  common::RngStream arrival_rng;
+  common::RngStream service_rng;
+  EcommerceSystem system;
+};
+
+EcommerceConfig mmc_config(double lambda, double mu = 0.2, std::size_t cpus = 16) {
+  EcommerceConfig config;
+  config.arrival_rate = lambda;
+  config.service_rate = mu;
+  config.cpus = cpus;
+  config.gc_enabled = false;
+  config.overhead_enabled = false;
+  return config;
+}
+
+// ------------------------------------------------------- validation
+
+TEST(EcommerceConfig, Validation) {
+  EXPECT_NO_THROW(validate(EcommerceConfig{}));
+  EcommerceConfig bad;
+  bad.arrival_rate = 0.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = EcommerceConfig{};
+  bad.cpus = 0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = EcommerceConfig{};
+  bad.overhead_factor = 0.5;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = EcommerceConfig{};
+  bad.alloc_mb = 5000.0;  // exceeds heap
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(EcommerceSystem, IsSingleRun) {
+  Harness h(mmc_config(1.0));
+  h.system.run_transactions(10);
+  EXPECT_THROW(h.system.run_transactions(10), std::invalid_argument);
+}
+
+// ------------------------------------------------------- conservation
+
+class Conservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(Conservation, EveryArrivalCompletesOrIsLost) {
+  EcommerceConfig config;  // full model, paper defaults
+  config.arrival_rate = GetParam() * config.service_rate;
+  Harness h(config);
+  // A hair-trigger detector maximizes rejuvenation churn.
+  h.system.set_decision([](double rt) { return rt > 8.0; });
+  h.system.run_transactions(20000);
+  const EcommerceMetrics& m = h.system.metrics();
+  EXPECT_EQ(m.arrivals, 20000u);
+  EXPECT_EQ(m.completed + m.lost(), 20000u);
+  EXPECT_EQ(m.completed, m.response_time.count());
+  EXPECT_EQ(h.system.threads_in_system(), 0u);
+  EXPECT_DOUBLE_EQ(h.system.live_mb(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadGrid, Conservation, ::testing::Values(0.5, 4.0, 9.0, 12.0));
+
+TEST(EcommerceSystem, DeterministicForFixedSeed) {
+  auto run = [] {
+    EcommerceConfig config;
+    config.arrival_rate = 1.8;
+    Harness h(config, 77);
+    h.system.set_decision([](double rt) { return rt > 30.0; });
+    h.system.run_transactions(5000);
+    return std::make_tuple(h.system.metrics().completed, h.system.metrics().lost(),
+                           h.system.metrics().gc_count, h.system.metrics().rejuvenation_count,
+                           h.system.metrics().response_time.mean());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ------------------------------------------------------- M/M/c agreement
+
+class MmcAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(MmcAgreement, MeanResponseTimeMatchesEqTwo) {
+  const double lambda = GetParam();
+  Harness h(mmc_config(lambda), 99);
+  h.system.run_transactions(200000);
+  const queueing::MmcQueue analytic(lambda, 0.2, 16);
+  const auto& rt = h.system.metrics().response_time;
+  EXPECT_NEAR(rt.mean(), analytic.mean_response_time(), 0.05 * analytic.mean_response_time())
+      << "lambda=" << lambda;
+  EXPECT_NEAR(rt.stddev(), analytic.response_time_stddev(),
+              0.05 * analytic.response_time_stddev());
+  EXPECT_EQ(h.system.metrics().lost(), 0u);
+  EXPECT_EQ(h.system.metrics().gc_count, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LambdaGrid, MmcAgreement, ::testing::Values(0.4, 1.6, 2.4));
+
+TEST(MmcMode, MmOneSanity) {
+  // M/M/1 with rho = 0.5: E[RT] = 1/(mu - lambda) = 2.
+  Harness h(mmc_config(0.5, 1.0, 1), 5);
+  h.system.run_transactions(200000);
+  EXPECT_NEAR(h.system.metrics().response_time.mean(), 2.0, 0.08);
+}
+
+// ------------------------------------------------------- kernel overhead (rule 4)
+
+TEST(KernelOverhead, DoublingRaisesHighLoadResponseTimes) {
+  // With the threshold at 0 every dispatch pays the factor: the RT must be
+  // ~2x the plain M/M/c value.
+  EcommerceConfig with_overhead = mmc_config(0.8);
+  with_overhead.overhead_enabled = true;
+  with_overhead.thread_overhead_threshold = 0;
+  Harness h(with_overhead, 7);
+  h.system.run_transactions(100000);
+  // Doubling service time halves the rate: compare with M/M/16 at mu = 0.1.
+  const queueing::MmcQueue analytic(0.8, 0.1, 16);
+  EXPECT_NEAR(h.system.metrics().response_time.mean(), analytic.mean_response_time(),
+              0.05 * analytic.mean_response_time());
+}
+
+TEST(KernelOverhead, InactiveBelowThreshold) {
+  // At a tiny load the thread count never exceeds 50, so enabling the
+  // overhead must not change anything (identical RNG streams).
+  EcommerceConfig base = mmc_config(0.2);
+  EcommerceConfig overhead = base;
+  overhead.overhead_enabled = true;
+  Harness h1(base, 11);
+  Harness h2(overhead, 11);
+  h1.system.run_transactions(20000);
+  h2.system.run_transactions(20000);
+  EXPECT_DOUBLE_EQ(h1.system.metrics().response_time.mean(),
+                   h2.system.metrics().response_time.mean());
+}
+
+// ------------------------------------------------------- GC (rules 5-6)
+
+TEST(GarbageCollection, FiresWhenGarbageAccumulates) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.6;
+  Harness h(config, 13);
+  h.system.run_transactions(2000);
+  // Heap 3072, threshold 100, 10 MB per transaction: the first GC comes
+  // after roughly (3072 - 100) / 10 = 297 allocations; 2000 transactions
+  // must produce several GCs.
+  EXPECT_GE(h.system.metrics().gc_count, 5u);
+  EXPECT_LE(h.system.metrics().gc_count, 8u);
+}
+
+TEST(GarbageCollection, DisabledModelNeverCollects) {
+  Harness h(mmc_config(1.6), 13);
+  h.system.run_transactions(5000);
+  EXPECT_EQ(h.system.metrics().gc_count, 0u);
+}
+
+TEST(GarbageCollection, PauseInflatesResponseTimes) {
+  // Same workload with and without GC: threads running when a GC fires are
+  // delayed by the full 60 s pause, so only the GC run produces a population
+  // of response times near or above 60 s (a pure M/M/16 RT exceeds 55 s with
+  // probability ~2e-5).
+  EcommerceConfig with_gc;
+  with_gc.arrival_rate = 1.6;
+  with_gc.overhead_enabled = false;
+  EcommerceConfig without_gc = with_gc;
+  without_gc.gc_enabled = false;
+  Harness h1(with_gc, 17);
+  Harness h2(without_gc, 17);
+  auto count_above = [](EcommerceSystem& system, std::uint64_t txns) {
+    int above = 0;
+    system.set_observer([&above](double rt) { above += rt >= 55.0 ? 1 : 0; });
+    system.run_transactions(txns);
+    return above;
+  };
+  const int gc_above = count_above(h1.system, 3000);
+  const int plain_above = count_above(h2.system, 3000);
+  EXPECT_GE(gc_above, 20);
+  EXPECT_LE(plain_above, 2);
+}
+
+TEST(GarbageCollection, GcCadenceTracksThroughput) {
+  // One GC per ~(3072 - 100)/10 = 297 garbage-producing completions, plus
+  // the completions that happen during the pause itself (reclaimed at GC
+  // end without counting toward the next trigger): at lambda = 0.4 that adds
+  // roughly lambda * 60 = 24 per cycle.
+  EcommerceConfig config;
+  config.arrival_rate = 0.4;
+  config.overhead_enabled = false;
+  Harness h(config, 19);
+  h.system.run_transactions(3000);
+  const double per_gc = 3000.0 / static_cast<double>(h.system.metrics().gc_count);
+  EXPECT_GT(per_gc, 290.0);
+  EXPECT_LT(per_gc, 365.0);
+}
+
+// ------------------------------------------------------- rejuvenation (rule 8)
+
+TEST(Rejuvenation, ForcedRejuvenationFlushesEverything) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.6;
+  Harness h(config, 23);
+  // Stop after 200 arrivals worth of sim time by running a bounded horizon:
+  // schedule the forced rejuvenation via the decision hook instead.
+  std::uint64_t completions = 0;
+  h.system.set_decision([&completions](double) { return ++completions == 100; });
+  h.system.run_transactions(2000);
+  EXPECT_EQ(h.system.metrics().rejuvenation_count, 1u);
+  EXPECT_GT(h.system.metrics().lost_to_rejuvenation, 0u);
+  // After the run everything drained regardless.
+  EXPECT_EQ(h.system.threads_in_system(), 0u);
+}
+
+TEST(Rejuvenation, DetectorSeesEveryCompletionInOrder) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.0;
+  Harness h(config, 29);
+  std::uint64_t observer_calls = 0;
+  std::uint64_t decision_calls = 0;
+  h.system.set_observer([&](double rt) {
+    ++observer_calls;
+    EXPECT_GT(rt, 0.0);
+  });
+  h.system.set_decision([&](double) {
+    ++decision_calls;
+    return false;
+  });
+  h.system.run_transactions(5000);
+  EXPECT_EQ(observer_calls, h.system.metrics().completed);
+  EXPECT_EQ(decision_calls, h.system.metrics().completed);
+}
+
+TEST(Rejuvenation, DowntimeLosesArrivals) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.6;
+  config.rejuvenation_downtime_seconds = 120.0;
+  Harness h(config, 31);
+  std::uint64_t completions = 0;
+  h.system.set_decision([&completions](double) { return ++completions % 500 == 0; });
+  h.system.run_transactions(5000);
+  EXPECT_GT(h.system.metrics().lost_to_downtime, 0u);
+  EXPECT_EQ(h.system.metrics().arrivals, 5000u);
+  EXPECT_EQ(h.system.metrics().completed + h.system.metrics().lost(), 5000u);
+}
+
+TEST(Rejuvenation, DowntimeCanQueueArrivalsInstead) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.6;
+  config.rejuvenation_downtime_seconds = 120.0;
+  config.queue_arrivals_during_downtime = true;
+  Harness h(config, 31);
+  std::uint64_t completions = 0;
+  h.system.set_decision([&completions](double) { return ++completions % 500 == 0; });
+  h.system.run_transactions(5000);
+  EXPECT_EQ(h.system.metrics().lost_to_downtime, 0u);
+  EXPECT_GT(h.system.metrics().lost_to_rejuvenation, 0u);  // in-flight flushes
+}
+
+TEST(Rejuvenation, HairTriggerDetectorLosesInFlightWork) {
+  EcommerceConfig config;
+  config.arrival_rate = 1.6;
+  Harness h(config, 37);
+  h.system.set_decision([](double) { return true; });  // rejuvenate constantly
+  h.system.run_transactions(5000);
+  EXPECT_GT(h.system.metrics().rejuvenation_count, 1000u);
+  EXPECT_GT(h.system.metrics().loss_fraction(), 0.3);
+}
+
+TEST(Rejuvenation, UnmanagedHighLoadEntersSoftFailure) {
+  // The motivating dynamic: at 9 CPUs with GC and overhead but no
+  // rejuvenation, response times grow by orders of magnitude.
+  EcommerceConfig config;
+  config.arrival_rate = 1.8;
+  Harness h(config, 41);
+  h.system.run_transactions(30000);
+  EXPECT_GT(h.system.metrics().response_time.max(), 1000.0);
+  // With a detector the same workload stays bounded.
+  EcommerceConfig managed = config;
+  Harness h2(managed, 41);
+  h2.system.set_decision([](double rt) { return rt > 40.0; });
+  h2.system.run_transactions(30000);
+  EXPECT_LT(h2.system.metrics().response_time.max(), 500.0);
+}
+
+// ------------------------------------------------------- loss metric
+
+TEST(Metrics, LossFractionDefinition) {
+  EcommerceMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.loss_fraction(), 0.0);
+  metrics.arrivals = 200;
+  metrics.lost_to_rejuvenation = 30;
+  metrics.lost_to_downtime = 20;
+  EXPECT_DOUBLE_EQ(metrics.loss_fraction(), 0.25);
+  EXPECT_EQ(metrics.lost(), 50u);
+}
+
+}  // namespace
+}  // namespace rejuv::model

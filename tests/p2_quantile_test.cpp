@@ -1,0 +1,98 @@
+// Tests for the P-square online quantile estimator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/variates.h"
+#include "stats/p2_quantile.h"
+#include "stats/quantiles.h"
+
+namespace rejuv::stats {
+namespace {
+
+TEST(P2Quantile, RejectsBoundaryProbabilities) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(P2Quantile, EmptyStreamHasNoEstimate) {
+  const P2Quantile q(0.5);
+  EXPECT_THROW(q.quantile(), std::invalid_argument);
+}
+
+TEST(P2Quantile, SmallSamplesAreExact) {
+  P2Quantile median(0.5);
+  median.push(3.0);
+  EXPECT_DOUBLE_EQ(median.quantile(), 3.0);
+  median.push(1.0);
+  EXPECT_DOUBLE_EQ(median.quantile(), 2.0);  // interpolated median of {1,3}
+  median.push(2.0);
+  EXPECT_DOUBLE_EQ(median.quantile(), 2.0);
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  P2Quantile median(0.5);
+  common::RngStream rng(81, 0);
+  for (int i = 0; i < 100000; ++i) median.push(rng.uniform01());
+  EXPECT_NEAR(median.quantile(), 0.5, 0.01);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksExponentialQuantiles) {
+  const double p = GetParam();
+  P2Quantile estimator(p);
+  common::RngStream rng(81, static_cast<std::uint64_t>(p * 1000));
+  std::vector<double> exact_sample;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = sim::exponential(rng, 0.2);
+    estimator.push(x);
+  }
+  const double exact = -5.0 * std::log(1.0 - p);  // Exp(0.2) quantile
+  EXPECT_NEAR(estimator.quantile(), exact, 0.05 * exact) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy, ::testing::Values(0.1, 0.5, 0.9, 0.95, 0.99));
+
+TEST(P2Quantile, MatchesBatchQuantileOnFixedData) {
+  common::RngStream rng(82, 0);
+  P2Quantile estimator(0.9);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = sim::normal(rng, 10.0, 3.0);
+    estimator.push(x);
+    data.push_back(x);
+  }
+  const double exact = sample_quantile(data, 0.9);
+  EXPECT_NEAR(estimator.quantile(), exact, 0.05);
+  EXPECT_EQ(estimator.count(), 50000u);
+}
+
+TEST(P2Quantile, AdaptsToDistributionShift) {
+  // After a large shift the estimate must move toward the new regime.
+  P2Quantile estimator(0.95);
+  common::RngStream rng(83, 0);
+  for (int i = 0; i < 20000; ++i) estimator.push(sim::exponential(rng, 1.0));
+  const double before = estimator.quantile();
+  for (int i = 0; i < 200000; ++i) estimator.push(50.0 + sim::exponential(rng, 1.0));
+  EXPECT_GT(estimator.quantile(), before + 20.0);
+}
+
+TEST(P2Quantile, MonotoneInProbability) {
+  common::RngStream rng(84, 0);
+  P2Quantile q50(0.5), q90(0.9), q99(0.99);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = sim::exponential(rng, 0.2);
+    q50.push(x);
+    q90.push(x);
+    q99.push(x);
+  }
+  EXPECT_LT(q50.quantile(), q90.quantile());
+  EXPECT_LT(q90.quantile(), q99.quantile());
+}
+
+}  // namespace
+}  // namespace rejuv::stats

@@ -1,0 +1,193 @@
+// Tests for the coroutine process layer: delays, interleaving, resources,
+// exception propagation, and an end-to-end M/M/1 built process-style whose
+// mean response time matches the closed form.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/process.h"
+#include "sim/variates.h"
+#include "stats/running_stats.h"
+
+namespace rejuv::sim {
+namespace {
+
+Process sleeper(Simulator& sim, std::vector<std::string>& log, std::string name, double first,
+                double second) {
+  log.push_back(name + " start@" + std::to_string(static_cast<int>(sim.now())));
+  co_await delay(first);
+  log.push_back(name + " mid@" + std::to_string(static_cast<int>(sim.now())));
+  co_await delay(second);
+  log.push_back(name + " end@" + std::to_string(static_cast<int>(sim.now())));
+}
+
+TEST(Process, DelaysAdvanceSimulationTime) {
+  Simulator sim;
+  ProcessSet processes(sim);
+  std::vector<std::string> log;
+  processes.spawn(sleeper(sim, log, "p", 5.0, 10.0));
+  EXPECT_EQ(processes.active(), 1u);
+  sim.run();
+  EXPECT_EQ(processes.active(), 0u);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "p start@0");
+  EXPECT_EQ(log[1], "p mid@5");
+  EXPECT_EQ(log[2], "p end@15");
+}
+
+TEST(Process, ProcessesInterleaveDeterministically) {
+  Simulator sim;
+  ProcessSet processes(sim);
+  std::vector<std::string> log;
+  processes.spawn(sleeper(sim, log, "a", 3.0, 4.0));  // mid@3 end@7
+  processes.spawn(sleeper(sim, log, "b", 5.0, 1.0));  // mid@5 end@6
+  sim.run();
+  const std::vector<std::string> expected{"a start@0", "b start@0", "a mid@3",
+                                          "b mid@5",   "b end@6",   "a end@7"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(Process, SameInstantResumptionsFollowScheduleOrder) {
+  Simulator sim;
+  ProcessSet processes(sim);
+  std::vector<std::string> log;
+  processes.spawn(sleeper(sim, log, "x", 2.0, 2.0));
+  processes.spawn(sleeper(sim, log, "y", 2.0, 2.0));
+  sim.run();
+  // Both hit mid@2 and end@4; x was scheduled first each round.
+  const std::vector<std::string> expected{"x start@0", "y start@0", "x mid@2",
+                                          "y mid@2",   "x end@4",   "y end@4"};
+  EXPECT_EQ(log, expected);
+}
+
+Process thrower(Simulator&) {
+  co_await delay(1.0);
+  throw std::runtime_error("process exploded");
+}
+
+TEST(Process, ExceptionsAreCapturedAndRethrown) {
+  Simulator sim;
+  ProcessSet processes(sim);
+  processes.spawn(thrower(sim));
+  sim.run();  // must not terminate the program
+  EXPECT_THROW(processes.rethrow_failures(), std::runtime_error);
+}
+
+TEST(Process, DestroyingUnfinishedProcessesCancelsTimers) {
+  Simulator sim;
+  std::vector<std::string> log;
+  {
+    ProcessSet processes(sim);
+    processes.spawn(sleeper(sim, log, "doomed", 100.0, 100.0));
+    EXPECT_EQ(sim.pending_events(), 1u);
+  }
+  // The ProcessSet is gone; its timer must be gone too, or run() would
+  // resume a destroyed coroutine.
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);  // only the start line
+}
+
+Process resource_user(Simulator& /*sim*/, Resource& resource, std::vector<int>& order, int id,
+                      double hold) {
+  co_await resource.acquire();
+  order.push_back(id);
+  co_await delay(hold);
+  resource.release();
+}
+
+TEST(Resource, GrantsAreFifo) {
+  Simulator sim;
+  ProcessSet processes(sim);
+  Resource resource(sim, 1);
+  std::vector<int> order;
+  for (int id = 0; id < 5; ++id) {
+    processes.spawn(resource_user(sim, resource, order, id, 2.0));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(resource.available(), 1u);
+  EXPECT_EQ(resource.waiting(), 0u);
+}
+
+TEST(Resource, CapacityBoundsConcurrency) {
+  Simulator sim;
+  ProcessSet processes(sim);
+  Resource resource(sim, 3);
+  int concurrent = 0;
+  int max_concurrent = 0;
+  auto worker = [](Simulator&, Resource& res, int& current, int& peak) -> Process {
+    co_await res.acquire();
+    ++current;
+    peak = std::max(peak, current);
+    co_await delay(1.0);
+    --current;
+    res.release();
+  };
+  for (int i = 0; i < 10; ++i) {
+    processes.spawn(worker(sim, resource, concurrent, max_concurrent));
+  }
+  sim.run();
+  EXPECT_EQ(max_concurrent, 3);
+  EXPECT_EQ(concurrent, 0);
+}
+
+TEST(Resource, MutualExclusionTimeline) {
+  // One unit held 5 s by each of 3 processes: completions at 5, 10, 15.
+  Simulator sim;
+  ProcessSet processes(sim);
+  Resource resource(sim, 1);
+  std::vector<double> completion_times;
+  auto worker = [&completion_times](Simulator& s, Resource& res) -> Process {
+    co_await res.acquire();
+    co_await delay(5.0);
+    res.release();
+    completion_times.push_back(s.now());
+  };
+  for (int i = 0; i < 3; ++i) processes.spawn(worker(sim, resource));
+  sim.run();
+  ASSERT_EQ(completion_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(completion_times[0], 5.0);
+  EXPECT_DOUBLE_EQ(completion_times[1], 10.0);
+  EXPECT_DOUBLE_EQ(completion_times[2], 15.0);
+}
+
+// End-to-end: M/M/1 written process-style; E[RT] = 1/(mu - lambda).
+Process mm1_source(Simulator& sim, ProcessSet& processes, Resource& server,
+                   common::RngStream& arrivals_rng, common::RngStream& service_rng,
+                   stats::RunningStats& stats, int customers, double lambda, double mu) {
+  auto customer = [](Simulator& s, Resource& srv, double service,
+                     stats::RunningStats& out) -> Process {
+    const double arrived = s.now();
+    co_await srv.acquire();
+    co_await delay(service);
+    srv.release();
+    out.push(s.now() - arrived);
+  };
+  for (int i = 0; i < customers; ++i) {
+    co_await delay(exponential(arrivals_rng, lambda));
+    processes.spawn(customer(sim, server, exponential(service_rng, mu), stats));
+  }
+}
+
+TEST(Process, Mm1QueueMatchesClosedForm) {
+  Simulator sim;
+  ProcessSet processes(sim);
+  Resource server(sim, 1);
+  common::RngStream arrivals_rng(141, 0);
+  common::RngStream service_rng(141, 1);
+  stats::RunningStats stats;
+  constexpr double kLambda = 0.5;
+  constexpr double kMu = 1.0;
+  processes.spawn(mm1_source(sim, processes, server, arrivals_rng, service_rng, stats, 100000,
+                             kLambda, kMu));
+  sim.run();
+  processes.rethrow_failures();
+  EXPECT_EQ(stats.count(), 100000u);
+  EXPECT_NEAR(stats.mean(), 1.0 / (kMu - kLambda), 0.06);
+}
+
+}  // namespace
+}  // namespace rejuv::sim

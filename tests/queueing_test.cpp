@@ -1,0 +1,287 @@
+// Tests for rejuv::queueing: Erlang formulas, the M/M/c response-time
+// distribution (paper eq. 1-3), its phase-type representation, and the
+// special cases and singular points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/erlang.h"
+#include "queueing/mmc.h"
+
+namespace rejuv::queueing {
+namespace {
+
+double factorial(std::size_t n) {
+  double f = 1.0;
+  for (std::size_t i = 2; i <= n; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+/// Direct evaluation of the paper's Wc formula (numerically naive but fine
+/// for small c): reference for the recurrence-based implementation.
+double wc_direct(double lambda, double mu, std::size_t c) {
+  const double rho = lambda / (static_cast<double>(c) * mu);
+  const double a = static_cast<double>(c) * rho;
+  double sum = 0.0;
+  for (std::size_t k = 0; k < c; ++k) sum += std::pow(a, static_cast<double>(k)) / factorial(k);
+  const double tail = std::pow(a, static_cast<double>(c)) / factorial(c) / (1.0 - rho);
+  return 1.0 - tail / (sum + tail);
+}
+
+// ------------------------------------------------------- Erlang
+
+TEST(ErlangB, KnownValues) {
+  // Classic reference: B(1, a) = a / (1 + a).
+  EXPECT_NEAR(erlang_b(1, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(1, 3.0), 0.75, 1e-12);
+  // B(2, 1) = (1/2) / (1 + 1 + 1/2) = 0.2.
+  EXPECT_NEAR(erlang_b(2, 1.0), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(erlang_b(5, 0.0), 0.0);
+}
+
+TEST(ErlangB, DecreasesInServers) {
+  for (std::size_t c = 1; c < 30; ++c) {
+    EXPECT_GT(erlang_b(c, 10.0), erlang_b(c + 1, 10.0));
+  }
+}
+
+TEST(ErlangC, OneServerEqualsUtilization) {
+  // For M/M/1, P(wait) = rho.
+  EXPECT_NEAR(erlang_c(1, 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(erlang_c(1, 0.9), 0.9, 1e-12);
+}
+
+TEST(ErlangC, ExceedsErlangB) {
+  for (const double a : {1.0, 4.0, 8.0, 12.0}) {
+    EXPECT_GT(erlang_c(16, a), erlang_b(16, a));
+  }
+}
+
+TEST(ErlangC, RejectsUnstableLoad) {
+  EXPECT_THROW(erlang_c(4, 4.0), std::invalid_argument);
+  EXPECT_THROW(erlang_c(4, 5.0), std::invalid_argument);
+  EXPECT_THROW(erlang_c(0, 0.5), std::invalid_argument);
+}
+
+// ------------------------------------------------------- MmcQueue basics
+
+TEST(MmcQueue, ValidatesConstruction) {
+  EXPECT_THROW(MmcQueue(3.2, 0.2, 16), std::invalid_argument);  // lambda = c*mu
+  EXPECT_THROW(MmcQueue(-0.1, 0.2, 16), std::invalid_argument);
+  EXPECT_THROW(MmcQueue(1.0, 0.0, 16), std::invalid_argument);
+  EXPECT_THROW(MmcQueue(1.0, 0.2, 0), std::invalid_argument);
+  EXPECT_NO_THROW(MmcQueue(0.0, 0.2, 16));
+}
+
+TEST(MmcQueue, UtilizationAndOfferedLoad) {
+  const MmcQueue queue(1.6, 0.2, 16);
+  EXPECT_NEAR(queue.utilization(), 0.5, 1e-12);
+  EXPECT_NEAR(queue.offered_load_cpus(), 8.0, 1e-12);
+}
+
+class WcAgainstDirectFormula : public ::testing::TestWithParam<double> {};
+
+TEST_P(WcAgainstDirectFormula, RecurrenceMatchesDirectSum) {
+  const double lambda = GetParam();
+  const MmcQueue queue(lambda, 0.2, 16);
+  EXPECT_NEAR(queue.probability_no_wait(), wc_direct(lambda, 0.2, 16), 1e-10)
+      << "lambda=" << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(LambdaGrid, WcAgainstDirectFormula,
+                         ::testing::Values(0.1, 0.5, 1.0, 1.6, 2.0, 2.5, 3.0, 3.1));
+
+// ------------------------------------------------------- eq. (1): RT CDF
+
+TEST(MmcResponseTime, CdfIsAProperDistribution) {
+  const MmcQueue queue(1.6, 0.2, 16);
+  EXPECT_NEAR(queue.response_time_cdf(0.0), 0.0, 1e-12);
+  double prev = 0.0;
+  for (double x = 0.25; x <= 60.0; x += 0.25) {
+    const double f = queue.response_time_cdf(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_NEAR(queue.response_time_cdf(200.0), 1.0, 1e-10);
+}
+
+TEST(MmcResponseTime, NoLoadReducesToExponentialService) {
+  const MmcQueue queue(0.0, 0.2, 16);
+  EXPECT_NEAR(queue.probability_no_wait(), 1.0, 1e-12);
+  for (const double x : {1.0, 5.0, 10.0}) {
+    EXPECT_NEAR(queue.response_time_cdf(x), 1.0 - std::exp(-0.2 * x), 1e-12);
+  }
+  EXPECT_NEAR(queue.mean_response_time(), 5.0, 1e-12);
+  EXPECT_NEAR(queue.response_time_stddev(), 5.0, 1e-9);
+}
+
+TEST(MmcResponseTime, PdfIsDerivativeOfCdf) {
+  const MmcQueue queue(2.4, 0.2, 16);
+  for (const double x : {0.5, 2.0, 5.0, 12.0, 30.0}) {
+    const double h = 1e-5;
+    const double numeric =
+        (queue.response_time_cdf(x + h) - queue.response_time_cdf(x - h)) / (2.0 * h);
+    EXPECT_NEAR(queue.response_time_pdf(x), numeric, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(MmcResponseTime, HandlesRemovableSingularity) {
+  // lambda = (c-1)*mu makes the eq. (1) denominator vanish; the CDF must
+  // remain continuous across it.
+  const double mu = 0.2;
+  const std::size_t c = 16;
+  const double singular_lambda = (c - 1) * mu;  // 3.0
+  const MmcQueue at(singular_lambda, mu, c);
+  const MmcQueue below(singular_lambda - 1e-7, mu, c);
+  const MmcQueue above(singular_lambda + 1e-7, mu, c);
+  for (const double x : {1.0, 5.0, 15.0}) {
+    EXPECT_NEAR(at.response_time_cdf(x), below.response_time_cdf(x), 1e-5);
+    EXPECT_NEAR(at.response_time_cdf(x), above.response_time_cdf(x), 1e-5);
+  }
+}
+
+TEST(MmcResponseTime, MmOneMatchesClosedForm) {
+  // M/M/1 response time is Exp(mu - lambda).
+  const MmcQueue queue(0.5, 1.0, 1);
+  const double rate = 1.0 - 0.5;
+  for (const double x : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(queue.response_time_cdf(x), 1.0 - std::exp(-rate * x), 1e-10);
+  }
+  EXPECT_NEAR(queue.mean_response_time(), 2.0, 1e-10);
+  EXPECT_NEAR(queue.response_time_variance(), 4.0, 1e-9);
+}
+
+// ------------------------------------------------------- eq. (2)/(3): moments
+
+class MomentsAgainstNumericIntegration : public ::testing::TestWithParam<double> {};
+
+TEST_P(MomentsAgainstNumericIntegration, MeanAndVarianceMatchCdf) {
+  const MmcQueue queue(GetParam(), 0.2, 16);
+  // E[X] = integral of (1 - F); E[X^2] = integral of 2x(1 - F).
+  double mean = 0.0;
+  double second = 0.0;
+  const double h = 0.005;
+  for (double x = 0.0; x < 400.0; x += h) {
+    const double survival = 1.0 - queue.response_time_cdf(x + h / 2);
+    mean += survival * h;
+    second += 2.0 * (x + h / 2) * survival * h;
+  }
+  EXPECT_NEAR(queue.mean_response_time(), mean, 1e-3);
+  EXPECT_NEAR(queue.response_time_variance(),
+              second - queue.mean_response_time() * queue.mean_response_time(), 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(LambdaGrid, MomentsAgainstNumericIntegration,
+                         ::testing::Values(0.2, 1.0, 1.6, 2.4, 3.0));
+
+TEST(MmcMoments, PaperBaselineClaimHolds) {
+  // §4.1: for lambda below 1 tps, mean and stddev stay at ~5.
+  for (const double lambda : {0.1, 0.4, 0.8, 1.0}) {
+    const MmcQueue queue(lambda, 0.2, 16);
+    EXPECT_NEAR(queue.mean_response_time(), 5.0, 0.012) << "lambda=" << lambda;
+    EXPECT_NEAR(queue.response_time_stddev(), 5.0, 0.012) << "lambda=" << lambda;
+  }
+  // At lambda = 1.6 they are still close to 5 (justifying muX = sigmaX = 5).
+  const MmcQueue paper_load(1.6, 0.2, 16);
+  EXPECT_NEAR(paper_load.mean_response_time(), 5.0, 0.01);
+  EXPECT_NEAR(paper_load.response_time_stddev(), 5.0, 0.01);
+  // Far above, they diverge.
+  const MmcQueue heavy(3.1, 0.2, 16);
+  EXPECT_GT(heavy.mean_response_time(), 10.0);
+}
+
+TEST(MmcMoments, MeanIncreasesWithLoad) {
+  double prev = 0.0;
+  for (const double lambda : {0.5, 1.5, 2.5, 3.0, 3.15}) {
+    const MmcQueue queue(lambda, 0.2, 16);
+    EXPECT_GT(queue.mean_response_time(), prev);
+    prev = queue.mean_response_time();
+  }
+}
+
+TEST(MmcMoments, LittlesLawNumberInSystem) {
+  const MmcQueue queue(1.6, 0.2, 16);
+  EXPECT_NEAR(queue.mean_jobs_in_system(), 1.6 * queue.mean_response_time(), 1e-12);
+}
+
+// ------------------------------------------------------- waiting time
+
+TEST(MmcWaitingTime, CdfStartsAtWcAndIsProper) {
+  const MmcQueue queue(2.4, 0.2, 16);
+  EXPECT_NEAR(queue.waiting_time_cdf(0.0), queue.probability_no_wait(), 1e-12);
+  double prev = 0.0;
+  for (double t = 0.0; t <= 50.0; t += 0.5) {
+    const double f = queue.waiting_time_cdf(t);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_NEAR(queue.waiting_time_cdf(500.0), 1.0, 1e-10);
+}
+
+TEST(MmcWaitingTime, MeanDecomposesTheResponseTime) {
+  // E[RT] = E[W] + 1/mu for every load.
+  for (const double lambda : {0.4, 1.6, 2.8}) {
+    const MmcQueue queue(lambda, 0.2, 16);
+    EXPECT_NEAR(queue.mean_response_time(), queue.mean_waiting_time() + 5.0, 1e-12)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(MmcWaitingTime, MeanMatchesCdfIntegral) {
+  const MmcQueue queue(2.8, 0.2, 16);
+  double mean = 0.0;
+  const double h = 0.001;
+  for (double t = 0.0; t < 200.0; t += h) mean += (1.0 - queue.waiting_time_cdf(t + h / 2)) * h;
+  EXPECT_NEAR(queue.mean_waiting_time(), mean, 1e-3);
+}
+
+TEST(MmcWaitingTime, MmOneIsClassic) {
+  // M/M/1: P(W <= t) = 1 - rho e^{-(mu-lambda)t}, E[W] = rho/(mu-lambda).
+  const MmcQueue queue(0.5, 1.0, 1);
+  for (const double t : {0.5, 2.0, 5.0}) {
+    EXPECT_NEAR(queue.waiting_time_cdf(t), 1.0 - 0.5 * std::exp(-0.5 * t), 1e-12);
+  }
+  EXPECT_NEAR(queue.mean_waiting_time(), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------- quantiles
+
+TEST(MmcQuantile, InvertsCdf) {
+  const MmcQueue queue(1.6, 0.2, 16);
+  for (const double p : {0.1, 0.5, 0.9, 0.975, 0.999}) {
+    const double q = queue.response_time_quantile(p);
+    EXPECT_NEAR(queue.response_time_cdf(q), p, 1e-9) << "p=" << p;
+  }
+  EXPECT_THROW(queue.response_time_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(queue.response_time_quantile(1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- phase type link
+
+class PhaseTypeEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(PhaseTypeEquivalence, DistributionMatchesEqOne) {
+  const MmcQueue queue(GetParam(), 0.2, 16);
+  const auto pt = queue.response_time_phase_type();
+  EXPECT_NEAR(pt.mean(), queue.mean_response_time(), 1e-10);
+  EXPECT_NEAR(pt.variance(), queue.response_time_variance(), 1e-8);
+  for (const double x : {1.0, 5.0, 10.0, 25.0}) {
+    EXPECT_NEAR(pt.cdf(x), queue.response_time_cdf(x), 1e-8) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LambdaGrid, PhaseTypeEquivalence,
+                         ::testing::Values(0.2, 0.8, 1.6, 2.4, 3.1));
+
+TEST(SampleAverageLink, FalseAlarmDecreasesWithN) {
+  const MmcQueue queue(1.6, 0.2, 16);
+  const double fa15 = queue.sample_average_distribution(15).false_alarm_probability(1.96);
+  const double fa30 = queue.sample_average_distribution(30).false_alarm_probability(1.96);
+  const double fa60 = queue.sample_average_distribution(60).false_alarm_probability(1.96);
+  EXPECT_GT(fa15, fa30);
+  EXPECT_GT(fa30, fa60);
+  EXPECT_GT(fa60, 0.025);  // still above nominal, converging from above
+}
+
+}  // namespace
+}  // namespace rejuv::queueing

@@ -1,0 +1,287 @@
+// Tests for rejuv::sim: event queue ordering and cancellation, the
+// simulation executive, random variates, and the observation collector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/collector.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/variates.h"
+
+namespace rejuv::sim {
+namespace {
+
+// ------------------------------------------------------- EventQueue
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(3.0, [&] { order.push_back(3); });
+  queue.push(1.0, [&] { order.push_back(1); });
+  queue.push(2.0, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.push(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesPendingEvent) {
+  EventQueue queue;
+  bool ran = false;
+  const EventId id = queue.push(1.0, [&] { ran = true; });
+  EXPECT_TRUE(queue.pending(id));
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.pending(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterPop) {
+  EventQueue queue;
+  const EventId id = queue.push(1.0, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+  const EventId id2 = queue.push(1.0, [] {});
+  queue.pop();
+  EXPECT_FALSE(queue.cancel(id2));
+}
+
+TEST(EventQueue, CancelMiddleOfHeapPreservesOrder) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(queue.push(static_cast<double>((i * 37) % 50), [&order, i] {
+      order.push_back((i * 37) % 50);
+    }));
+  }
+  // Cancel every third event.
+  for (std::size_t i = 0; i < ids.size(); i += 3) EXPECT_TRUE(queue.cancel(ids[i]));
+  double prev = -1.0;
+  while (!queue.empty()) {
+    EXPECT_GE(queue.next_time(), prev);
+    prev = queue.next_time();
+    queue.pop().second();
+  }
+  for (std::size_t i = 1; i < order.size(); ++i) EXPECT_LE(order[i - 1], order[i]);
+}
+
+TEST(EventQueue, StressRandomPushPopCancelKeepsHeapConsistent) {
+  EventQueue queue;
+  common::RngStream rng(3, 0);
+  std::vector<EventId> live;
+  for (int round = 0; round < 5000; ++round) {
+    const double action = rng.uniform01();
+    if (action < 0.5 || queue.empty()) {
+      live.push_back(queue.push(rng.uniform01() * 100.0, [] {}));
+    } else if (action < 0.8) {
+      double prev = queue.next_time();
+      queue.pop();
+      if (!queue.empty()) {
+        EXPECT_GE(queue.next_time(), prev);
+      }
+    } else if (!live.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform01() * static_cast<double>(live.size()));
+      queue.cancel(live[pick]);  // may already be gone; both outcomes fine
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  double prev = -1.0;
+  while (!queue.empty()) {
+    EXPECT_GE(queue.next_time(), prev);
+    prev = queue.pop().first;
+  }
+}
+
+TEST(EventQueue, RejectsBadEvents) {
+  EventQueue queue;
+  EXPECT_THROW(queue.push(std::nan(""), [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.push(1.0, {}), std::invalid_argument);
+  EXPECT_THROW(queue.pop(), std::invalid_argument);
+  EXPECT_THROW(queue.next_time(), std::invalid_argument);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue queue;
+  const EventId id = queue.push(1.0, [] {});
+  queue.push(2.0, [] {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.pending(id));
+}
+
+// ------------------------------------------------------- Simulator
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  sim.schedule_at(2.5, [] {});
+  sim.schedule_after(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_TRUE(sim.step());
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_after(1.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, SameInstantEventsRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(0);
+    // Scheduled at the current instant: runs after other t=1 events already
+    // queued, because it has a later insertion id.
+    sim.schedule_at(1.0, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) sim.schedule_at(static_cast<double>(i), [&] { ++count; });
+  sim.run_until(5.5);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.5);
+  EXPECT_EQ(sim.pending_events(), 5u);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.run_until(1.0), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_after(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+// ------------------------------------------------------- variates
+
+TEST(Variates, ExponentialMomentsMatch) {
+  common::RngStream rng(4, 0);
+  const double rate = 0.2;
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = exponential(rng, rate);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(sum_sq / kSamples - mean * mean, 25.0, 0.6);
+}
+
+TEST(Variates, ExponentialTailProbability) {
+  common::RngStream rng(4, 1);
+  int above = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) above += exponential(rng, 1.0) > 2.0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(above) / kSamples, std::exp(-2.0), 0.005);
+}
+
+TEST(Variates, UniformRespectsBounds) {
+  common::RngStream rng(4, 2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = uniform(rng, -2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+  EXPECT_THROW(uniform(rng, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Variates, StandardNormalMoments) {
+  common::RngStream rng(4, 3);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = standard_normal(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(Variates, BernoulliFrequency) {
+  common::RngStream rng(4, 4);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += bernoulli(rng, 0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Variates, RejectsBadParameters) {
+  common::RngStream rng(4, 5);
+  EXPECT_THROW(exponential(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(bernoulli(rng, 1.5), std::invalid_argument);
+  EXPECT_THROW(normal(rng, 0.0, -1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- Collector
+
+TEST(Collector, SkipsWarmupObservations) {
+  Collector collector(3);
+  for (int i = 1; i <= 5; ++i) collector.observe(static_cast<double>(i));
+  EXPECT_EQ(collector.offered(), 5u);
+  EXPECT_EQ(collector.counted(), 2u);
+  EXPECT_NEAR(collector.statistics().mean(), 4.5, 1e-12);
+}
+
+TEST(Collector, KeepsSeriesWhenRequested) {
+  Collector collector(1, /*keep_series=*/true);
+  collector.observe(10.0);
+  collector.observe(20.0);
+  collector.observe(30.0);
+  ASSERT_EQ(collector.series().size(), 2u);
+  EXPECT_DOUBLE_EQ(collector.series()[0], 20.0);
+}
+
+TEST(Collector, ResetRestoresInitialState) {
+  Collector collector(0, true);
+  collector.observe(1.0);
+  collector.reset();
+  EXPECT_EQ(collector.offered(), 0u);
+  EXPECT_EQ(collector.counted(), 0u);
+  EXPECT_TRUE(collector.series().empty());
+}
+
+}  // namespace
+}  // namespace rejuv::sim

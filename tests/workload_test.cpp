@@ -1,0 +1,211 @@
+// Tests for rejuv::workload: statistical properties of each arrival process
+// and their integration with the e-commerce model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/ecommerce.h"
+#include "sim/simulator.h"
+#include "stats/running_stats.h"
+#include "workload/arrival_process.h"
+
+namespace rejuv::workload {
+namespace {
+
+std::vector<double> sample_gaps(ArrivalProcess& process, int count, std::uint64_t seed) {
+  common::RngStream rng(seed, 0);
+  std::vector<double> gaps;
+  gaps.reserve(static_cast<std::size_t>(count));
+  double now = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const double gap = process.next_interarrival(rng, now);
+    gaps.push_back(gap);
+    now += gap;
+  }
+  return gaps;
+}
+
+/// Index of dispersion of counts over windows of `window` time units:
+/// 1 for Poisson, > 1 for bursty processes.
+double dispersion_index(const std::vector<double>& gaps, double window) {
+  std::vector<int> counts;
+  double t = 0.0;
+  double boundary = window;
+  int current = 0;
+  for (double gap : gaps) {
+    t += gap;
+    while (t > boundary) {
+      counts.push_back(current);
+      current = 0;
+      boundary += window;
+    }
+    ++current;
+  }
+  stats::RunningStats s;
+  for (int c : counts) s.push(c);
+  return s.variance() / s.mean();
+}
+
+// ------------------------------------------------------- Poisson
+
+TEST(PoissonProcess, GapsAreExponential) {
+  PoissonProcess process(2.0);
+  const auto gaps = sample_gaps(process, 100000, 1);
+  stats::RunningStats s;
+  for (double g : gaps) {
+    EXPECT_GT(g, 0.0);
+    s.push(g);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.5, 0.01);  // cv = 1
+  EXPECT_DOUBLE_EQ(process.mean_rate(), 2.0);
+}
+
+TEST(PoissonProcess, DispersionIndexIsOne) {
+  PoissonProcess process(1.0);
+  const auto gaps = sample_gaps(process, 50000, 2);
+  EXPECT_NEAR(dispersion_index(gaps, 10.0), 1.0, 0.15);
+}
+
+TEST(PoissonProcess, RejectsNonPositiveRate) {
+  EXPECT_THROW(PoissonProcess(0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- MMPP
+
+TEST(MmppProcess, MeanRateIsPhaseWeighted) {
+  // Normal 1 tps for mean 90 s, burst 9 tps for mean 10 s:
+  // stationary p_burst = (1/90) / (1/90 + 1/10) = 0.1; mean = 0.9 + 0.9.
+  MmppProcess process(1.0, 9.0, 90.0, 10.0);
+  EXPECT_NEAR(process.mean_rate(), 1.8, 1e-12);
+  const auto gaps = sample_gaps(process, 200000, 3);
+  double total = 0.0;
+  for (double g : gaps) total += g;
+  EXPECT_NEAR(200000.0 / total, 1.8, 0.1);
+}
+
+TEST(MmppProcess, IsOverdispersed) {
+  MmppProcess process(0.5, 8.0, 100.0, 15.0);
+  const auto gaps = sample_gaps(process, 100000, 4);
+  EXPECT_GT(dispersion_index(gaps, 20.0), 3.0);
+}
+
+TEST(MmppProcess, DegenerateToPoissonWhenRatesEqual) {
+  MmppProcess process(2.0, 2.0, 50.0, 50.0);
+  const auto gaps = sample_gaps(process, 50000, 5);
+  EXPECT_NEAR(dispersion_index(gaps, 10.0), 1.0, 0.15);
+}
+
+TEST(MmppProcess, ValidatesParameters) {
+  EXPECT_THROW(MmppProcess(0.0, 1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MmppProcess(1.0, 1.0, 0.0, 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- periodic
+
+TEST(PeriodicProcess, RateModulatesOverThePeriod) {
+  PeriodicProcess process(2.0, 0.8, 1000.0);
+  EXPECT_NEAR(process.rate_at(250.0), 3.6, 1e-9);   // peak of the sine
+  EXPECT_NEAR(process.rate_at(750.0), 0.4, 1e-9);   // trough
+  EXPECT_NEAR(process.rate_at(0.0), 2.0, 1e-9);
+}
+
+TEST(PeriodicProcess, CountsFollowTheModulation) {
+  PeriodicProcess process(2.0, 0.8, 1000.0);
+  common::RngStream rng(6, 0);
+  double now = 0.0;
+  int peak_half = 0;
+  int trough_half = 0;
+  while (now < 50000.0) {
+    now += process.next_interarrival(rng, now);
+    const double phase = std::fmod(now, 1000.0);
+    (phase < 500.0 ? peak_half : trough_half) += 1;
+  }
+  // First half-period has rate 2(1 + 0.8 sin) averaged ~3.0, second ~1.0.
+  EXPECT_GT(static_cast<double>(peak_half) / trough_half, 2.0);
+}
+
+TEST(PeriodicProcess, LongRunRateIsBaseRate) {
+  PeriodicProcess process(1.5, 0.5, 200.0);
+  const auto gaps = sample_gaps(process, 100000, 7);
+  double total = 0.0;
+  for (double g : gaps) total += g;
+  EXPECT_NEAR(100000.0 / total, 1.5, 0.05);
+}
+
+TEST(PeriodicProcess, ValidatesParameters) {
+  EXPECT_THROW(PeriodicProcess(1.0, 1.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(PeriodicProcess(1.0, -0.1, 100.0), std::invalid_argument);
+  EXPECT_THROW(PeriodicProcess(1.0, 0.5, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- trace
+
+TEST(TraceProcess, ReplaysAndCycles) {
+  TraceProcess process({1.0, 2.0, 3.0});
+  common::RngStream rng(8, 0);
+  EXPECT_DOUBLE_EQ(process.next_interarrival(rng, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(process.next_interarrival(rng, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(process.next_interarrival(rng, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(process.next_interarrival(rng, 0.0), 1.0);
+  EXPECT_NEAR(process.mean_rate(), 0.5, 1e-12);
+}
+
+TEST(TraceProcess, RejectsBadTraces) {
+  EXPECT_THROW(TraceProcess({}), std::invalid_argument);
+  EXPECT_THROW(TraceProcess({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(TraceProcess({1.0, -2.0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------- model integration
+
+TEST(ModelIntegration, CustomProcessDrivesTheSystem) {
+  model::EcommerceConfig config;
+  config.arrival_rate = 1.0;  // overridden by the trace below
+  config.gc_enabled = false;
+  config.overhead_enabled = false;
+  common::RngStream a(9, 0), s(9, 1);
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, config, a, s);
+  system.set_arrival_process(std::make_unique<TraceProcess>(std::vector<double>{10.0}));
+  system.run_transactions(100);
+  // Deterministic arrivals every 10 s: the run spans at least 990 s.
+  EXPECT_GE(simulator.now(), 990.0);
+  EXPECT_EQ(system.metrics().arrivals, 100u);
+}
+
+TEST(ModelIntegration, ProcessCannotChangeMidRun) {
+  model::EcommerceConfig config;
+  common::RngStream a(10, 0), s(10, 1);
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, config, a, s);
+  system.run_transactions(10);
+  EXPECT_THROW(system.set_arrival_process(std::make_unique<PoissonProcess>(1.0)),
+               std::invalid_argument);
+}
+
+TEST(ModelIntegration, BurstyArrivalsInflateQueueingNotAging) {
+  // Same mean rate, Poisson vs bursty MMPP, no GC/overhead: the bursty run
+  // has a visibly larger RT variance (queueing spikes during bursts).
+  auto run_with = [](std::unique_ptr<ArrivalProcess> process) {
+    model::EcommerceConfig config;
+    config.arrival_rate = 1.8;
+    config.gc_enabled = false;
+    config.overhead_enabled = false;
+    common::RngStream a(11, 0), s(11, 1);
+    sim::Simulator simulator;
+    model::EcommerceSystem system(simulator, config, a, s);
+    system.set_arrival_process(std::move(process));
+    system.run_transactions(30000);
+    return system.metrics().response_time.stddev();
+  };
+  const double poisson_sd = run_with(std::make_unique<PoissonProcess>(1.8));
+  const double bursty_sd =
+      run_with(std::make_unique<MmppProcess>(1.0, 5.0, 200.0, 60.0));
+  EXPECT_GT(bursty_sd, poisson_sd * 1.3);
+}
+
+}  // namespace
+}  // namespace rejuv::workload
