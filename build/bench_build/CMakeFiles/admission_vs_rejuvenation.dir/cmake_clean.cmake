@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/admission_vs_rejuvenation"
+  "../bench/admission_vs_rejuvenation.pdb"
+  "CMakeFiles/admission_vs_rejuvenation.dir/admission_vs_rejuvenation.cpp.o"
+  "CMakeFiles/admission_vs_rejuvenation.dir/admission_vs_rejuvenation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_vs_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

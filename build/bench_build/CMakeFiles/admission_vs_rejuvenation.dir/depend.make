@@ -1,0 +1,2 @@
+# Empty dependencies file for admission_vs_rejuvenation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/burst_vs_aging"
+  "../bench/burst_vs_aging.pdb"
+  "CMakeFiles/burst_vs_aging.dir/burst_vs_aging.cpp.o"
+  "CMakeFiles/burst_vs_aging.dir/burst_vs_aging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_vs_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for burst_vs_aging.
+# This may be replaced when dependencies are built.

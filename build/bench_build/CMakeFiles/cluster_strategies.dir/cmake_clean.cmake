@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cluster_strategies"
+  "../bench/cluster_strategies.pdb"
+  "CMakeFiles/cluster_strategies.dir/cluster_strategies.cpp.o"
+  "CMakeFiles/cluster_strategies.dir/cluster_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

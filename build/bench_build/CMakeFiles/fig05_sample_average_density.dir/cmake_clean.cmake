@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_sample_average_density"
+  "../bench/fig05_sample_average_density.pdb"
+  "CMakeFiles/fig05_sample_average_density.dir/fig05_sample_average_density.cpp.o"
+  "CMakeFiles/fig05_sample_average_density.dir/fig05_sample_average_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sample_average_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

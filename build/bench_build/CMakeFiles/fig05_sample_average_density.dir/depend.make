@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_sample_average_density.
+# This may be replaced when dependencies are built.

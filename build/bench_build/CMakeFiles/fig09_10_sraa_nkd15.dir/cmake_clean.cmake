@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_10_sraa_nkd15"
+  "../bench/fig09_10_sraa_nkd15.pdb"
+  "CMakeFiles/fig09_10_sraa_nkd15.dir/fig09_10_sraa_nkd15.cpp.o"
+  "CMakeFiles/fig09_10_sraa_nkd15.dir/fig09_10_sraa_nkd15.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_sraa_nkd15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_10_sraa_nkd15.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_sraa_sample_doubled"
+  "../bench/fig11_sraa_sample_doubled.pdb"
+  "CMakeFiles/fig11_sraa_sample_doubled.dir/fig11_sraa_sample_doubled.cpp.o"
+  "CMakeFiles/fig11_sraa_sample_doubled.dir/fig11_sraa_sample_doubled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sraa_sample_doubled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

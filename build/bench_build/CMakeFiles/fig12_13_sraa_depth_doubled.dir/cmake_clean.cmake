@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_13_sraa_depth_doubled"
+  "../bench/fig12_13_sraa_depth_doubled.pdb"
+  "CMakeFiles/fig12_13_sraa_depth_doubled.dir/fig12_13_sraa_depth_doubled.cpp.o"
+  "CMakeFiles/fig12_13_sraa_depth_doubled.dir/fig12_13_sraa_depth_doubled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_13_sraa_depth_doubled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

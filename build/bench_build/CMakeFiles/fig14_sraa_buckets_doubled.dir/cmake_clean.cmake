@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_sraa_buckets_doubled"
+  "../bench/fig14_sraa_buckets_doubled.pdb"
+  "CMakeFiles/fig14_sraa_buckets_doubled.dir/fig14_sraa_buckets_doubled.cpp.o"
+  "CMakeFiles/fig14_sraa_buckets_doubled.dir/fig14_sraa_buckets_doubled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sraa_buckets_doubled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

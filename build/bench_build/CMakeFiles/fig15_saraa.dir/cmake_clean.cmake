@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_saraa"
+  "../bench/fig15_saraa.pdb"
+  "CMakeFiles/fig15_saraa.dir/fig15_saraa.cpp.o"
+  "CMakeFiles/fig15_saraa.dir/fig15_saraa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_saraa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_comparison"
+  "../bench/fig16_comparison.pdb"
+  "CMakeFiles/fig16_comparison.dir/fig16_comparison.cpp.o"
+  "CMakeFiles/fig16_comparison.dir/fig16_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_detectors"
+  "../bench/micro_detectors.pdb"
+  "CMakeFiles/micro_detectors.dir/micro_detectors.cpp.o"
+  "CMakeFiles/micro_detectors.dir/micro_detectors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

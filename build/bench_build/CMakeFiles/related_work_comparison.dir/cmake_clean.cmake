@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/related_work_comparison"
+  "../bench/related_work_comparison.pdb"
+  "CMakeFiles/related_work_comparison.dir/related_work_comparison.cpp.o"
+  "CMakeFiles/related_work_comparison.dir/related_work_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

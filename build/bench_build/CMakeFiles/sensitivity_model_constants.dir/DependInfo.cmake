@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sensitivity_model_constants.cpp" "bench_build/CMakeFiles/sensitivity_model_constants.dir/sensitivity_model_constants.cpp.o" "gcc" "bench_build/CMakeFiles/sensitivity_model_constants.dir/sensitivity_model_constants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rejuv_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rejuv_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/availability/CMakeFiles/rejuv_availability.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rejuv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rejuv_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rejuv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rejuv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/rejuv_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rejuv_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rejuv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rejuv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sensitivity_model_constants"
+  "../bench/sensitivity_model_constants.pdb"
+  "CMakeFiles/sensitivity_model_constants.dir/sensitivity_model_constants.cpp.o"
+  "CMakeFiles/sensitivity_model_constants.dir/sensitivity_model_constants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_model_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sensitivity_model_constants.
+# This may be replaced when dependencies are built.

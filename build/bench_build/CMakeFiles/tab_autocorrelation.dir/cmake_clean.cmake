@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_autocorrelation"
+  "../bench/tab_autocorrelation.pdb"
+  "CMakeFiles/tab_autocorrelation.dir/tab_autocorrelation.cpp.o"
+  "CMakeFiles/tab_autocorrelation.dir/tab_autocorrelation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_autocorrelation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_false_alarm"
+  "../bench/tab_false_alarm.pdb"
+  "CMakeFiles/tab_false_alarm.dir/tab_false_alarm.cpp.o"
+  "CMakeFiles/tab_false_alarm.dir/tab_false_alarm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_false_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

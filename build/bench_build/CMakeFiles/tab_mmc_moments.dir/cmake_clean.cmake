@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_mmc_moments"
+  "../bench/tab_mmc_moments.pdb"
+  "CMakeFiles/tab_mmc_moments.dir/tab_mmc_moments.cpp.o"
+  "CMakeFiles/tab_mmc_moments.dir/tab_mmc_moments.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mmc_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/time_vs_condition_based"
+  "../bench/time_vs_condition_based.pdb"
+  "CMakeFiles/time_vs_condition_based.dir/time_vs_condition_based.cpp.o"
+  "CMakeFiles/time_vs_condition_based.dir/time_vs_condition_based.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_vs_condition_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

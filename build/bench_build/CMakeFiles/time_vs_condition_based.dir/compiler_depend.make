@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for time_vs_condition_based.
+# This may be replaced when dependencies are built.

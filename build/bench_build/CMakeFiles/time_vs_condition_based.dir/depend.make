@@ -1,0 +1,2 @@
+# Empty dependencies file for time_vs_condition_based.
+# This may be replaced when dependencies are built.

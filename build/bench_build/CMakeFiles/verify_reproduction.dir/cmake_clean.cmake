@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/verify_reproduction"
+  "../bench/verify_reproduction.pdb"
+  "CMakeFiles/verify_reproduction.dir/verify_reproduction.cpp.o"
+  "CMakeFiles/verify_reproduction.dir/verify_reproduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_reproduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_rolling_rejuvenation.dir/cluster_rolling_rejuvenation.cpp.o"
+  "CMakeFiles/cluster_rolling_rejuvenation.dir/cluster_rolling_rejuvenation.cpp.o.d"
+  "cluster_rolling_rejuvenation"
+  "cluster_rolling_rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_rolling_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

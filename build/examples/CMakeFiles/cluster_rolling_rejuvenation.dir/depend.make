@@ -1,0 +1,2 @@
+# Empty dependencies file for cluster_rolling_rejuvenation.
+# This may be replaced when dependencies are built.

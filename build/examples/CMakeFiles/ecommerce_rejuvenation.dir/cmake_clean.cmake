@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_rejuvenation.dir/ecommerce_rejuvenation.cpp.o"
+  "CMakeFiles/ecommerce_rejuvenation.dir/ecommerce_rejuvenation.cpp.o.d"
+  "ecommerce_rejuvenation"
+  "ecommerce_rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

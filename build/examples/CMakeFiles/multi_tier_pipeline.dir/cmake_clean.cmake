@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tier_pipeline.dir/multi_tier_pipeline.cpp.o"
+  "CMakeFiles/multi_tier_pipeline.dir/multi_tier_pipeline.cpp.o.d"
+  "multi_tier_pipeline"
+  "multi_tier_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tier_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_traffic.dir/periodic_traffic.cpp.o"
+  "CMakeFiles/periodic_traffic.dir/periodic_traffic.cpp.o.d"
+  "periodic_traffic"
+  "periodic_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

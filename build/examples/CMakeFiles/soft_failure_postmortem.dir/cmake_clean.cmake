@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_failure_postmortem.dir/soft_failure_postmortem.cpp.o"
+  "CMakeFiles/soft_failure_postmortem.dir/soft_failure_postmortem.cpp.o.d"
+  "soft_failure_postmortem"
+  "soft_failure_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_failure_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

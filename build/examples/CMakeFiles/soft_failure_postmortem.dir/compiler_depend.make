@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for soft_failure_postmortem.
+# This may be replaced when dependencies are built.

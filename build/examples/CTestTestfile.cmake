@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;rejuv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ecommerce_rejuvenation "/root/repo/build/examples/ecommerce_rejuvenation")
+set_tests_properties(example_ecommerce_rejuvenation PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;rejuv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planning "/root/repo/build/examples/capacity_planning")
+set_tests_properties(example_capacity_planning PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;rejuv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_monitoring "/root/repo/build/examples/adaptive_monitoring")
+set_tests_properties(example_adaptive_monitoring PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;rejuv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cluster_rolling_rejuvenation "/root/repo/build/examples/cluster_rolling_rejuvenation")
+set_tests_properties(example_cluster_rolling_rejuvenation PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;16;rejuv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_periodic_traffic "/root/repo/build/examples/periodic_traffic")
+set_tests_properties(example_periodic_traffic PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;17;rejuv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_tier_pipeline "/root/repo/build/examples/multi_tier_pipeline")
+set_tests_properties(example_multi_tier_pipeline PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;18;rejuv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_soft_failure_postmortem "/root/repo/build/examples/soft_failure_postmortem")
+set_tests_properties(example_soft_failure_postmortem PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;19;rejuv_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_availability.dir/huang_model.cpp.o"
+  "CMakeFiles/rejuv_availability.dir/huang_model.cpp.o.d"
+  "librejuv_availability.a"
+  "librejuv_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

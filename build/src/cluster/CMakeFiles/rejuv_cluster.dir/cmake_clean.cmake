@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/rejuv_cluster.dir/cluster.cpp.o.d"
+  "librejuv_cluster.a"
+  "librejuv_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

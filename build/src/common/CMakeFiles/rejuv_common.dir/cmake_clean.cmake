@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_common.dir/flags.cpp.o"
+  "CMakeFiles/rejuv_common.dir/flags.cpp.o.d"
+  "CMakeFiles/rejuv_common.dir/rng.cpp.o"
+  "CMakeFiles/rejuv_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rejuv_common.dir/table.cpp.o"
+  "CMakeFiles/rejuv_common.dir/table.cpp.o.d"
+  "librejuv_common.a"
+  "librejuv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librejuv_common.a"
+)

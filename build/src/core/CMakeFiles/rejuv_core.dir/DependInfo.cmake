@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/rejuv_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/rejuv_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/bucket_cascade.cpp" "src/core/CMakeFiles/rejuv_core.dir/bucket_cascade.cpp.o" "gcc" "src/core/CMakeFiles/rejuv_core.dir/bucket_cascade.cpp.o.d"
+  "/root/repo/src/core/clta.cpp" "src/core/CMakeFiles/rejuv_core.dir/clta.cpp.o" "gcc" "src/core/CMakeFiles/rejuv_core.dir/clta.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/rejuv_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/rejuv_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/extensions.cpp" "src/core/CMakeFiles/rejuv_core.dir/extensions.cpp.o" "gcc" "src/core/CMakeFiles/rejuv_core.dir/extensions.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/rejuv_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/rejuv_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/saraa.cpp" "src/core/CMakeFiles/rejuv_core.dir/saraa.cpp.o" "gcc" "src/core/CMakeFiles/rejuv_core.dir/saraa.cpp.o.d"
+  "/root/repo/src/core/sraa.cpp" "src/core/CMakeFiles/rejuv_core.dir/sraa.cpp.o" "gcc" "src/core/CMakeFiles/rejuv_core.dir/sraa.cpp.o.d"
+  "/root/repo/src/core/static_rejuvenation.cpp" "src/core/CMakeFiles/rejuv_core.dir/static_rejuvenation.cpp.o" "gcc" "src/core/CMakeFiles/rejuv_core.dir/static_rejuvenation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rejuv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rejuv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_core.dir/baseline.cpp.o"
+  "CMakeFiles/rejuv_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/rejuv_core.dir/bucket_cascade.cpp.o"
+  "CMakeFiles/rejuv_core.dir/bucket_cascade.cpp.o.d"
+  "CMakeFiles/rejuv_core.dir/clta.cpp.o"
+  "CMakeFiles/rejuv_core.dir/clta.cpp.o.d"
+  "CMakeFiles/rejuv_core.dir/controller.cpp.o"
+  "CMakeFiles/rejuv_core.dir/controller.cpp.o.d"
+  "CMakeFiles/rejuv_core.dir/extensions.cpp.o"
+  "CMakeFiles/rejuv_core.dir/extensions.cpp.o.d"
+  "CMakeFiles/rejuv_core.dir/factory.cpp.o"
+  "CMakeFiles/rejuv_core.dir/factory.cpp.o.d"
+  "CMakeFiles/rejuv_core.dir/saraa.cpp.o"
+  "CMakeFiles/rejuv_core.dir/saraa.cpp.o.d"
+  "CMakeFiles/rejuv_core.dir/sraa.cpp.o"
+  "CMakeFiles/rejuv_core.dir/sraa.cpp.o.d"
+  "CMakeFiles/rejuv_core.dir/static_rejuvenation.cpp.o"
+  "CMakeFiles/rejuv_core.dir/static_rejuvenation.cpp.o.d"
+  "librejuv_core.a"
+  "librejuv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_harness.dir/experiment.cpp.o"
+  "CMakeFiles/rejuv_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/rejuv_harness.dir/paper.cpp.o"
+  "CMakeFiles/rejuv_harness.dir/paper.cpp.o.d"
+  "CMakeFiles/rejuv_harness.dir/report.cpp.o"
+  "CMakeFiles/rejuv_harness.dir/report.cpp.o.d"
+  "librejuv_harness.a"
+  "librejuv_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

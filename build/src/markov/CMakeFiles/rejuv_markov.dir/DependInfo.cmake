@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/ctmc.cpp" "src/markov/CMakeFiles/rejuv_markov.dir/ctmc.cpp.o" "gcc" "src/markov/CMakeFiles/rejuv_markov.dir/ctmc.cpp.o.d"
+  "/root/repo/src/markov/linalg.cpp" "src/markov/CMakeFiles/rejuv_markov.dir/linalg.cpp.o" "gcc" "src/markov/CMakeFiles/rejuv_markov.dir/linalg.cpp.o.d"
+  "/root/repo/src/markov/phase_type.cpp" "src/markov/CMakeFiles/rejuv_markov.dir/phase_type.cpp.o" "gcc" "src/markov/CMakeFiles/rejuv_markov.dir/phase_type.cpp.o.d"
+  "/root/repo/src/markov/sample_average.cpp" "src/markov/CMakeFiles/rejuv_markov.dir/sample_average.cpp.o" "gcc" "src/markov/CMakeFiles/rejuv_markov.dir/sample_average.cpp.o.d"
+  "/root/repo/src/markov/stationary.cpp" "src/markov/CMakeFiles/rejuv_markov.dir/stationary.cpp.o" "gcc" "src/markov/CMakeFiles/rejuv_markov.dir/stationary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rejuv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rejuv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

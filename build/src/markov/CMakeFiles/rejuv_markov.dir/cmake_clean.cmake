@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_markov.dir/ctmc.cpp.o"
+  "CMakeFiles/rejuv_markov.dir/ctmc.cpp.o.d"
+  "CMakeFiles/rejuv_markov.dir/linalg.cpp.o"
+  "CMakeFiles/rejuv_markov.dir/linalg.cpp.o.d"
+  "CMakeFiles/rejuv_markov.dir/phase_type.cpp.o"
+  "CMakeFiles/rejuv_markov.dir/phase_type.cpp.o.d"
+  "CMakeFiles/rejuv_markov.dir/sample_average.cpp.o"
+  "CMakeFiles/rejuv_markov.dir/sample_average.cpp.o.d"
+  "CMakeFiles/rejuv_markov.dir/stationary.cpp.o"
+  "CMakeFiles/rejuv_markov.dir/stationary.cpp.o.d"
+  "librejuv_markov.a"
+  "librejuv_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_model.dir/ecommerce.cpp.o"
+  "CMakeFiles/rejuv_model.dir/ecommerce.cpp.o.d"
+  "librejuv_model.a"
+  "librejuv_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/erlang.cpp" "src/queueing/CMakeFiles/rejuv_queueing.dir/erlang.cpp.o" "gcc" "src/queueing/CMakeFiles/rejuv_queueing.dir/erlang.cpp.o.d"
+  "/root/repo/src/queueing/mmc.cpp" "src/queueing/CMakeFiles/rejuv_queueing.dir/mmc.cpp.o" "gcc" "src/queueing/CMakeFiles/rejuv_queueing.dir/mmc.cpp.o.d"
+  "/root/repo/src/queueing/mmck.cpp" "src/queueing/CMakeFiles/rejuv_queueing.dir/mmck.cpp.o" "gcc" "src/queueing/CMakeFiles/rejuv_queueing.dir/mmck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rejuv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/rejuv_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rejuv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_queueing.dir/erlang.cpp.o"
+  "CMakeFiles/rejuv_queueing.dir/erlang.cpp.o.d"
+  "CMakeFiles/rejuv_queueing.dir/mmc.cpp.o"
+  "CMakeFiles/rejuv_queueing.dir/mmc.cpp.o.d"
+  "CMakeFiles/rejuv_queueing.dir/mmck.cpp.o"
+  "CMakeFiles/rejuv_queueing.dir/mmck.cpp.o.d"
+  "librejuv_queueing.a"
+  "librejuv_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

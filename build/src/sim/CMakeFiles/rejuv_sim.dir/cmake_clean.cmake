@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_sim.dir/collector.cpp.o"
+  "CMakeFiles/rejuv_sim.dir/collector.cpp.o.d"
+  "CMakeFiles/rejuv_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/rejuv_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rejuv_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rejuv_sim.dir/simulator.cpp.o.d"
+  "librejuv_sim.a"
+  "librejuv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/autocorrelation.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/stats/batch_means.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/batch_means.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/batch_means.cpp.o.d"
+  "/root/repo/src/stats/chi_squared.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/chi_squared.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/chi_squared.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/inference.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/inference.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/inference.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/p2_quantile.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/p2_quantile.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/p2_quantile.cpp.o.d"
+  "/root/repo/src/stats/quantiles.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/quantiles.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/quantiles.cpp.o.d"
+  "/root/repo/src/stats/running_stats.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/running_stats.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/running_stats.cpp.o.d"
+  "/root/repo/src/stats/trend.cpp" "src/stats/CMakeFiles/rejuv_stats.dir/trend.cpp.o" "gcc" "src/stats/CMakeFiles/rejuv_stats.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rejuv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/batch_means.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/batch_means.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/chi_squared.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/chi_squared.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/histogram.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/inference.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/inference.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/normal.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/p2_quantile.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/p2_quantile.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/quantiles.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/running_stats.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/running_stats.cpp.o.d"
+  "CMakeFiles/rejuv_stats.dir/trend.cpp.o"
+  "CMakeFiles/rejuv_stats.dir/trend.cpp.o.d"
+  "librejuv_stats.a"
+  "librejuv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_workload.dir/arrival_process.cpp.o"
+  "CMakeFiles/rejuv_workload.dir/arrival_process.cpp.o.d"
+  "librejuv_workload.a"
+  "librejuv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rejuv_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_completeness_test.dir/api_completeness_test.cpp.o"
+  "CMakeFiles/api_completeness_test.dir/api_completeness_test.cpp.o.d"
+  "api_completeness_test"
+  "api_completeness_test.pdb"
+  "api_completeness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_completeness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

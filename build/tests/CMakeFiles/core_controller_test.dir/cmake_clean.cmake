@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_controller_test.dir/core_controller_test.cpp.o"
+  "CMakeFiles/core_controller_test.dir/core_controller_test.cpp.o.d"
+  "core_controller_test"
+  "core_controller_test.pdb"
+  "core_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmck_admission_test.dir/mmck_admission_test.cpp.o"
+  "CMakeFiles/mmck_admission_test.dir/mmck_admission_test.cpp.o.d"
+  "mmck_admission_test"
+  "mmck_admission_test.pdb"
+  "mmck_admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmck_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

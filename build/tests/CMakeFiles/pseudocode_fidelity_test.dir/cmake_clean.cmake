@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudocode_fidelity_test.dir/pseudocode_fidelity_test.cpp.o"
+  "CMakeFiles/pseudocode_fidelity_test.dir/pseudocode_fidelity_test.cpp.o.d"
+  "pseudocode_fidelity_test"
+  "pseudocode_fidelity_test.pdb"
+  "pseudocode_fidelity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudocode_fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

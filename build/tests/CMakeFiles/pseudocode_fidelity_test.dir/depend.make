@@ -1,0 +1,2 @@
+# Empty dependencies file for pseudocode_fidelity_test.
+# This may be replaced when dependencies are built.

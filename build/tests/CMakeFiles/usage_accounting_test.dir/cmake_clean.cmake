@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_accounting_test.dir/usage_accounting_test.cpp.o"
+  "CMakeFiles/usage_accounting_test.dir/usage_accounting_test.cpp.o.d"
+  "usage_accounting_test"
+  "usage_accounting_test.pdb"
+  "usage_accounting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/api_completeness_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/p2_quantile_test[1]_include.cmake")
+include("/root/repo/build/tests/ks_test_test[1]_include.cmake")
+include("/root/repo/build/tests/markov_test[1]_include.cmake")
+include("/root/repo/build/tests/queueing_test[1]_include.cmake")
+include("/root/repo/build/tests/mmck_admission_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/process_test[1]_include.cmake")
+include("/root/repo/build/tests/core_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/pseudocode_fidelity_test[1]_include.cmake")
+include("/root/repo/build/tests/core_controller_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/usage_accounting_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/availability_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/crosscheck_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejuv_sim_cli.dir/rejuv_sim.cpp.o"
+  "CMakeFiles/rejuv_sim_cli.dir/rejuv_sim.cpp.o.d"
+  "rejuv-sim"
+  "rejuv-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejuv_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

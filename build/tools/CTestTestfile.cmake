@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_rejuv_sim_saraa "/root/repo/build/tools/rejuv-sim" "--algorithm=saraa" "--loads=0.5,9" "--txns=2000" "--reps=1")
+set_tests_properties(tool_rejuv_sim_saraa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rejuv_sim_clta_mmpp "/root/repo/build/tools/rejuv-sim" "--algorithm=clta" "--n=30" "--arrival=mmpp" "--loads=5" "--txns=2000")
+set_tests_properties(tool_rejuv_sim_clta_mmpp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rejuv_sim_calibrate "/root/repo/build/tools/rejuv-sim" "--algorithm=sraa" "--calibrate=500" "--loads=2" "--txns=3000" "--reps=1")
+set_tests_properties(tool_rejuv_sim_calibrate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rejuv_sim_extensions "/root/repo/build/tools/rejuv-sim" "--algorithm=bobbio-risk" "--threshold=20" "--loads=2" "--txns=2000" "--reps=1")
+set_tests_properties(tool_rejuv_sim_extensions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rejuv_sim_rejects_unknown_algorithm "/root/repo/build/tools/rejuv-sim" "--algorithm=nonsense")
+set_tests_properties(tool_rejuv_sim_rejects_unknown_algorithm PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rejuv_sim_rejects_bad_flag "/root/repo/build/tools/rejuv-sim" "positional")
+set_tests_properties(tool_rejuv_sim_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
