@@ -44,6 +44,9 @@ class BaselineEstimator {
 
   bool calibrated() const noexcept { return stats_.count() >= calibration_size_; }
 
+  /// Observations consumed toward the calibration window so far.
+  std::uint64_t observed() const noexcept { return stats_.count(); }
+
   /// The estimated baseline; only valid once calibrated().
   Baseline estimate() const;
 

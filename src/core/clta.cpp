@@ -18,7 +18,14 @@ Clta::Clta(CltaParams params, Baseline baseline)
 Decision Clta::observe(double value) {
   const auto average = window_.push(value);
   if (!average) return Decision::kContinue;
-  if (*average > threshold_) {
+  last_average_ = *average;
+  const bool exceeded = *average > threshold_;
+  if (tracer_ != nullptr) {
+    tracer_->sample(*average, threshold_, exceeded, /*bucket=*/-1, /*fill=*/0,
+                    static_cast<std::uint32_t>(params_.sample_size));
+    if (exceeded) tracer_->detector_triggered(*average, threshold_, /*bucket=*/-1, /*count=*/1);
+  }
+  if (exceeded) {
     window_.reset();
     return Decision::kRejuvenate;
   }
@@ -26,6 +33,15 @@ Decision Clta::observe(double value) {
 }
 
 void Clta::reset() { window_.reset(); }
+
+obs::DetectorSnapshot Clta::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.sample_size = static_cast<std::uint32_t>(params_.sample_size);
+  snapshot.pending = static_cast<std::uint32_t>(window_.pending());
+  snapshot.last_average = last_average_;
+  snapshot.current_target = threshold_;
+  return snapshot;
+}
 
 std::string Clta::name() const {
   return "CLTA(n=" + std::to_string(params_.sample_size) + ",z=" +

@@ -29,6 +29,7 @@ class Clta final : public Detector {
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
 
   const CltaParams& params() const noexcept { return params_; }
   /// The fixed decision threshold muX + z * sigmaX / sqrt(n).
@@ -40,6 +41,7 @@ class Clta final : public Detector {
   Baseline baseline_;
   stats::WindowAverage window_;
   double threshold_;
+  double last_average_ = 0.0;  ///< most recent completed window average
 };
 
 }  // namespace rejuv::core

@@ -13,11 +13,22 @@ bool RejuvenationController::observe(double value) {
   if (detector_ == nullptr) return false;
   if (cooldown_remaining_ > 0) {
     --cooldown_remaining_;
+    if (tracer_ != nullptr) tracer_->cooldown_suppressed(cooldown_remaining_);
+    if (suppression_counter_ != nullptr) suppression_counter_->increment();
     return false;
   }
   if (detector_->observe(value) == Decision::kRejuvenate) {
     trigger_indices_.push_back(observations_);
     cooldown_remaining_ = cooldown_observations_;
+    // The snapshot is taken after the decision, i.e. it shows the reset
+    // state the detector restarts from; the pre-reset evidence is in the
+    // detector_triggered event emitted just before this one.
+    // Guard on enabled(): taking the snapshot allocates, and the argument
+    // would be evaluated even when the emitter discards it.
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->rejuvenation_triggered(observations_, detector_->snapshot());
+    }
+    if (trigger_counter_ != nullptr) trigger_counter_->increment();
     return true;
   }
   return false;
@@ -26,11 +37,36 @@ bool RejuvenationController::observe(double value) {
 void RejuvenationController::notify_external_rejuvenation() {
   if (detector_ != nullptr) detector_->reset();
   cooldown_remaining_ = cooldown_observations_;
+  if (tracer_ != nullptr) tracer_->external_reset();
 }
 
 const Detector& RejuvenationController::detector() const {
   REJUV_EXPECT(detector_ != nullptr, "controller has no detector");
   return *detector_;
+}
+
+obs::DetectorSnapshot RejuvenationController::detector_snapshot() const {
+  if (detector_ == nullptr) {
+    obs::DetectorSnapshot snapshot;
+    snapshot.algorithm = "None";
+    return snapshot;
+  }
+  return detector_->snapshot();
+}
+
+void RejuvenationController::set_tracer(obs::Tracer* tracer) noexcept {
+  tracer_ = tracer;
+  if (detector_ != nullptr) detector_->set_tracer(tracer);
+}
+
+void RejuvenationController::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    trigger_counter_ = nullptr;
+    suppression_counter_ = nullptr;
+    return;
+  }
+  trigger_counter_ = &registry->counter("detector.rejuvenations_triggered");
+  suppression_counter_ = &registry->counter("detector.cooldown_suppressions");
 }
 
 }  // namespace rejuv::core

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/detector.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace rejuv::core {
 
@@ -39,12 +41,27 @@ class RejuvenationController {
   bool has_detector() const noexcept { return detector_ != nullptr; }
   const Detector& detector() const;
 
+  /// The detector's structured state right now (base view if detector-less).
+  obs::DetectorSnapshot detector_snapshot() const;
+
+  /// Attaches a tracer (forwarded to the detector): the controller emits
+  /// trigger events carrying the detector snapshot and cooldown-suppression
+  /// events. nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) noexcept;
+
+  /// Publishes trigger/suppression counts into `registry` (handles are
+  /// cached once; nullptr detaches).
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   std::unique_ptr<Detector> detector_;
   std::uint64_t cooldown_observations_;
   std::uint64_t cooldown_remaining_ = 0;
   std::uint64_t observations_ = 0;
   std::vector<std::uint64_t> trigger_indices_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* trigger_counter_ = nullptr;
+  obs::Counter* suppression_counter_ = nullptr;
 };
 
 }  // namespace rejuv::core

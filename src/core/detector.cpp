@@ -1,0 +1,15 @@
+#include "core/detector.h"
+
+namespace rejuv::core {
+
+obs::DetectorSnapshot Detector::base_snapshot() const {
+  obs::DetectorSnapshot snapshot;
+  snapshot.algorithm = name();
+  snapshot.baseline_mean = baseline().mean;
+  snapshot.baseline_stddev = baseline().stddev;
+  return snapshot;
+}
+
+obs::DetectorSnapshot Detector::snapshot() const { return base_snapshot(); }
+
+}  // namespace rejuv::core

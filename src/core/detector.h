@@ -11,6 +11,8 @@
 #include <string>
 
 #include "core/baseline.h"
+#include "obs/detector_snapshot.h"
+#include "obs/tracer.h"
 
 namespace rejuv::core {
 
@@ -39,10 +41,28 @@ class Detector {
   /// The service-level baseline (muX, sigmaX) the detector judges against.
   virtual const Baseline& baseline() const = 0;
 
+  /// Structured view of the internal decision state — everything the
+  /// paper's Fig. 6-8 pseudo-code carries between observations (bucket N,
+  /// fill d, active sample size n, last window average vs. target). The
+  /// base implementation reports only name and baseline; every concrete
+  /// detector overrides it with its full state.
+  virtual obs::DetectorSnapshot snapshot() const;
+
+  /// Attaches a structured event tracer (nullptr detaches). The detector
+  /// emits sample / escalation / trigger events through it; with no tracer
+  /// — the default — the observe() hot path is unchanged. Wrapper
+  /// detectors override to forward to their inner detector.
+  virtual void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  protected:
   Detector() = default;
   Detector(const Detector&) = default;
   Detector& operator=(const Detector&) = default;
+
+  /// snapshot() helper: name, baseline and nothing else.
+  obs::DetectorSnapshot base_snapshot() const;
+
+  obs::Tracer* tracer_ = nullptr;  ///< non-owning; nullptr = tracing off
 };
 
 }  // namespace rejuv::core

@@ -16,10 +16,14 @@ QuantileThresholdDetector::QuantileThresholdDetector(double threshold,
 }
 
 Decision QuantileThresholdDetector::observe(double value) {
+  last_value_ = value;
   if (value > threshold_) {
     ++run_length_;
     if (run_length_ >= required_) {
       run_length_ = 0;
+      if (tracer_ != nullptr) {
+        tracer_->detector_triggered(value, threshold_, /*bucket=*/-1, /*count=*/1);
+      }
       return Decision::kRejuvenate;
     }
   } else {
@@ -29,6 +33,16 @@ Decision QuantileThresholdDetector::observe(double value) {
 }
 
 void QuantileThresholdDetector::reset() { run_length_ = 0; }
+
+obs::DetectorSnapshot QuantileThresholdDetector::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.fill = static_cast<std::int32_t>(run_length_);   // exceedance run so far
+  snapshot.depth = static_cast<std::int32_t>(required_);
+  snapshot.sample_size = 1;
+  snapshot.last_average = last_value_;
+  snapshot.current_target = threshold_;
+  return snapshot;
+}
 
 std::string QuantileThresholdDetector::name() const {
   return "QuantileThreshold(x=" + std::to_string(threshold_).substr(0, 5) +
@@ -43,7 +57,22 @@ DeterministicThresholdPolicy::DeterministicThresholdPolicy(double max_degradatio
 }
 
 Decision DeterministicThresholdPolicy::observe(double value) {
-  return value >= max_level_ ? Decision::kRejuvenate : Decision::kContinue;
+  last_value_ = value;
+  if (value >= max_level_) {
+    if (tracer_ != nullptr) {
+      tracer_->detector_triggered(value, max_level_, /*bucket=*/-1, /*count=*/1);
+    }
+    return Decision::kRejuvenate;
+  }
+  return Decision::kContinue;
+}
+
+obs::DetectorSnapshot DeterministicThresholdPolicy::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.sample_size = 1;
+  snapshot.last_average = last_value_;
+  snapshot.current_target = max_level_;
+  return snapshot;
 }
 
 std::string DeterministicThresholdPolicy::name() const {
@@ -69,10 +98,21 @@ double RiskBasedPolicy::rejuvenation_probability(double value) const {
 }
 
 Decision RiskBasedPolicy::observe(double value) {
+  last_value_ = value;
   const double p = rejuvenation_probability(value);
-  if (p >= 1.0) return Decision::kRejuvenate;
-  if (p > 0.0 && rng_.uniform01() < p) return Decision::kRejuvenate;
-  return Decision::kContinue;
+  const bool trigger = p >= 1.0 || (p > 0.0 && rng_.uniform01() < p);
+  if (trigger && tracer_ != nullptr) {
+    tracer_->detector_triggered(value, confidence_level_, /*bucket=*/-1, /*count=*/1);
+  }
+  return trigger ? Decision::kRejuvenate : Decision::kContinue;
+}
+
+obs::DetectorSnapshot RiskBasedPolicy::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.sample_size = 1;
+  snapshot.last_average = last_value_;
+  snapshot.current_target = max_level_;
+  return snapshot;
 }
 
 std::string RiskBasedPolicy::name() const {
@@ -95,6 +135,7 @@ AdaptiveQuantileDetector::AdaptiveQuantileDetector(double quantile,
 }
 
 Decision AdaptiveQuantileDetector::observe(double value) {
+  last_value_ = value;
   if (!calibrated()) {
     estimator_.push(value);
     if (calibrated()) threshold_ = estimator_.quantile();
@@ -104,6 +145,9 @@ Decision AdaptiveQuantileDetector::observe(double value) {
     ++run_length_;
     if (run_length_ >= required_) {
       run_length_ = 0;
+      if (tracer_ != nullptr) {
+        tracer_->detector_triggered(value, threshold_, /*bucket=*/-1, /*count=*/1);
+      }
       return Decision::kRejuvenate;
     }
   } else {
@@ -113,6 +157,20 @@ Decision AdaptiveQuantileDetector::observe(double value) {
 }
 
 void AdaptiveQuantileDetector::reset() { run_length_ = 0; }
+
+obs::DetectorSnapshot AdaptiveQuantileDetector::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.fill = static_cast<std::int32_t>(run_length_);
+  snapshot.depth = static_cast<std::int32_t>(required_);
+  snapshot.sample_size = 1;
+  // While calibrating, pending counts observations consumed toward the
+  // calibration window and the target is not yet meaningful.
+  snapshot.pending =
+      calibrated() ? 0 : static_cast<std::uint32_t>(estimator_.count());
+  snapshot.last_average = last_value_;
+  snapshot.current_target = calibrated() ? threshold_ : 0.0;
+  return snapshot;
+}
 
 double AdaptiveQuantileDetector::threshold() const {
   REJUV_EXPECT(calibrated(), "threshold requested before calibration completed");
@@ -135,16 +193,31 @@ TrendDetector::TrendDetector(std::size_t window, double z_alpha, double min_slop
 }
 
 Decision TrendDetector::observe(double value) {
+  last_value_ = value;
   buffer_.push_back(value);
   if (buffer_.size() < window_) return Decision::kContinue;
   const auto test = stats::mann_kendall(buffer_);
   const double slope = stats::sen_slope(buffer_);
   buffer_.clear();
-  if (test.increasing(z_alpha_) && slope >= min_slope_) return Decision::kRejuvenate;
+  if (test.increasing(z_alpha_) && slope >= min_slope_) {
+    if (tracer_ != nullptr) {
+      tracer_->detector_triggered(slope, min_slope_, /*bucket=*/-1, /*count=*/1);
+    }
+    return Decision::kRejuvenate;
+  }
   return Decision::kContinue;
 }
 
 void TrendDetector::reset() { buffer_.clear(); }
+
+obs::DetectorSnapshot TrendDetector::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.sample_size = static_cast<std::uint32_t>(window_);
+  snapshot.pending = static_cast<std::uint32_t>(buffer_.size());
+  snapshot.last_average = last_value_;
+  snapshot.current_target = min_slope_;
+  return snapshot;
+}
 
 std::string TrendDetector::name() const {
   return "Trend(w=" + std::to_string(window_) + ",z=" + std::to_string(z_alpha_).substr(0, 4) +

@@ -38,6 +38,7 @@ class QuantileThresholdDetector final : public Detector {
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
 
   double threshold() const noexcept { return threshold_; }
   std::uint64_t run_length() const noexcept { return run_length_; }
@@ -47,6 +48,7 @@ class QuantileThresholdDetector final : public Detector {
   std::uint64_t required_;
   Baseline baseline_;
   std::uint64_t run_length_ = 0;
+  double last_value_ = 0.0;
 };
 
 /// Bobbio et al.'s deterministic policy: rejuvenate as soon as the observed
@@ -59,10 +61,12 @@ class DeterministicThresholdPolicy final : public Detector {
   void reset() override {}
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
 
  private:
   double max_level_;
   Baseline baseline_;
+  double last_value_ = 0.0;
 };
 
 /// Bobbio et al.'s risk-based policy: between the confidence level and the
@@ -79,6 +83,7 @@ class RiskBasedPolicy final : public Detector {
   void reset() override {}
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
 
   /// Rejuvenation probability assigned to an observation at `value`.
   double rejuvenation_probability(double value) const;
@@ -88,6 +93,7 @@ class RiskBasedPolicy final : public Detector {
   double max_level_;
   Baseline baseline_;
   common::RngStream rng_;
+  double last_value_ = 0.0;
 };
 
 /// Self-calibrating quantile rule: estimates the chosen upper quantile of
@@ -107,6 +113,7 @@ class AdaptiveQuantileDetector final : public Detector {
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
 
   bool calibrated() const noexcept { return estimator_.count() >= calibration_size_; }
   /// The frozen threshold; only meaningful once calibrated().
@@ -120,6 +127,7 @@ class AdaptiveQuantileDetector final : public Detector {
   stats::P2Quantile estimator_;
   double threshold_ = 0.0;
   std::uint64_t run_length_ = 0;
+  double last_value_ = 0.0;
 };
 
 /// Mann-Kendall trend monitor: collects disjoint windows of `window`
@@ -133,6 +141,7 @@ class TrendDetector final : public Detector {
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
 
   std::size_t pending_observations() const noexcept { return buffer_.size(); }
 
@@ -142,6 +151,7 @@ class TrendDetector final : public Detector {
   double min_slope_;
   Baseline baseline_;
   std::vector<double> buffer_;
+  double last_value_ = 0.0;
 };
 
 }  // namespace rejuv::core

@@ -62,10 +62,27 @@ Decision CalibratingDetector::observe(double value) {
       DetectorConfig calibrated = config_;
       calibrated.baseline = active_baseline_;
       inner_ = make_detector(calibrated);
+      inner_->set_tracer(tracer_);
     }
     return Decision::kContinue;
   }
   return inner_->observe(value);
+}
+
+obs::DetectorSnapshot CalibratingDetector::snapshot() const {
+  if (inner_ != nullptr) {
+    obs::DetectorSnapshot snapshot = inner_->snapshot();
+    snapshot.algorithm = name();
+    return snapshot;
+  }
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.pending = static_cast<std::uint32_t>(estimator_.observed());
+  return snapshot;
+}
+
+void CalibratingDetector::set_tracer(obs::Tracer* tracer) noexcept {
+  tracer_ = tracer;
+  if (inner_ != nullptr) inner_->set_tracer(tracer);
 }
 
 void CalibratingDetector::reset() {

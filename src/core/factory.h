@@ -66,6 +66,11 @@ class CalibratingDetector final : public Detector {
   /// Baseline so far: the estimate once calibrated, otherwise the config's
   /// placeholder.
   const Baseline& baseline() const override;
+  /// The inner detector's snapshot once calibrated; before that, a view of
+  /// the calibration progress (pending = observations consumed).
+  obs::DetectorSnapshot snapshot() const override;
+  /// Forwards the tracer to the inner detector (also on later creation).
+  void set_tracer(obs::Tracer* tracer) noexcept override;
 
   bool calibrated() const noexcept { return inner_ != nullptr; }
 

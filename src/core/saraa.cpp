@@ -31,21 +31,42 @@ Decision Saraa::observe(double value) {
   if (!average) return Decision::kContinue;
   // Target uses the n that produced this average (bucket transitions only
   // ever happen on window boundaries, so current_n_ is exactly that n).
-  const bool exceeded = *average > baseline_.scaled_target(
-                                       static_cast<double>(cascade_.bucket()), current_n_);
+  const auto bucket_before = static_cast<std::int32_t>(cascade_.bucket());
+  const double target =
+      baseline_.scaled_target(static_cast<double>(cascade_.bucket()), current_n_);
+  const bool exceeded = *average > target;
+  last_average_ = *average;
   const auto transition = cascade_.update(exceeded);
+  if (tracer_ != nullptr) {
+    tracer_->sample(*average, target, exceeded, static_cast<std::int32_t>(cascade_.bucket()),
+                    cascade_.fill(), static_cast<std::uint32_t>(current_n_));
+  }
   switch (transition) {
     case BucketCascade::Transition::kNone:
       return Decision::kContinue;
     case BucketCascade::Transition::kEscalated:
+      apply_schedule();
+      if (tracer_ != nullptr) {
+        tracer_->escalated(static_cast<std::int32_t>(cascade_.bucket()), cascade_.fill(),
+                           static_cast<std::uint32_t>(current_n_));
+      }
+      return Decision::kContinue;
     case BucketCascade::Transition::kDeescalated:
       apply_schedule();
+      if (tracer_ != nullptr) {
+        tracer_->deescalated(static_cast<std::int32_t>(cascade_.bucket()), cascade_.fill(),
+                             static_cast<std::uint32_t>(current_n_));
+      }
       return Decision::kContinue;
     case BucketCascade::Transition::kTriggered:
       // Fig. 7 resets n := norig alongside d and N.
       current_n_ = params_.initial_sample_size;
       window_.set_window(current_n_);
       window_.reset();
+      if (tracer_ != nullptr) {
+        tracer_->detector_triggered(*average, target, bucket_before,
+                                    static_cast<std::int32_t>(params_.buckets));
+      }
       return Decision::kRejuvenate;
   }
   return Decision::kContinue;
@@ -62,6 +83,21 @@ void Saraa::reset() {
   current_n_ = params_.initial_sample_size;
   window_.set_window(current_n_);
   window_.reset();
+}
+
+obs::DetectorSnapshot Saraa::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.has_cascade = true;
+  snapshot.bucket = static_cast<std::int32_t>(cascade_.bucket());
+  snapshot.bucket_count = static_cast<std::int32_t>(params_.buckets);
+  snapshot.fill = cascade_.fill();
+  snapshot.depth = params_.depth;
+  snapshot.sample_size = static_cast<std::uint32_t>(current_n_);
+  snapshot.pending = static_cast<std::uint32_t>(window_.pending());
+  snapshot.last_average = last_average_;
+  snapshot.current_target =
+      baseline_.scaled_target(static_cast<double>(cascade_.bucket()), current_n_);
+  return snapshot;
 }
 
 std::string Saraa::name() const {

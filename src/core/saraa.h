@@ -41,6 +41,7 @@ class Saraa final : public Detector {
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
 
   const SaraaParams& params() const noexcept { return params_; }
   const BucketCascade& cascade() const noexcept { return cascade_; }
@@ -56,6 +57,7 @@ class Saraa final : public Detector {
   BucketCascade cascade_;
   stats::WindowAverage window_;
   std::size_t current_n_;
+  double last_average_ = 0.0;  ///< most recent completed window average
 };
 
 }  // namespace rejuv::core

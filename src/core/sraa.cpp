@@ -16,15 +16,52 @@ Sraa::Sraa(SraaParams params, Baseline baseline)
 Decision Sraa::observe(double value) {
   const auto average = window_.push(value);
   if (!average) return Decision::kContinue;
-  const bool exceeded = *average > baseline_.bucket_target(cascade_.bucket());
-  return cascade_.update(exceeded) == BucketCascade::Transition::kTriggered
-             ? Decision::kRejuvenate
-             : Decision::kContinue;
+  const auto bucket_before = static_cast<std::int32_t>(cascade_.bucket());
+  const double target = baseline_.bucket_target(cascade_.bucket());
+  const bool exceeded = *average > target;
+  last_average_ = *average;
+  const auto transition = cascade_.update(exceeded);
+  if (tracer_ != nullptr) {
+    tracer_->sample(*average, target, exceeded, static_cast<std::int32_t>(cascade_.bucket()),
+                    cascade_.fill(), static_cast<std::uint32_t>(params_.sample_size));
+    switch (transition) {
+      case BucketCascade::Transition::kEscalated:
+        tracer_->escalated(static_cast<std::int32_t>(cascade_.bucket()), cascade_.fill(),
+                           static_cast<std::uint32_t>(params_.sample_size));
+        break;
+      case BucketCascade::Transition::kDeescalated:
+        tracer_->deescalated(static_cast<std::int32_t>(cascade_.bucket()), cascade_.fill(),
+                             static_cast<std::uint32_t>(params_.sample_size));
+        break;
+      case BucketCascade::Transition::kTriggered:
+        tracer_->detector_triggered(*average, target, bucket_before,
+                                    static_cast<std::int32_t>(params_.buckets));
+        break;
+      case BucketCascade::Transition::kNone:
+        break;
+    }
+  }
+  return transition == BucketCascade::Transition::kTriggered ? Decision::kRejuvenate
+                                                             : Decision::kContinue;
 }
 
 void Sraa::reset() {
   cascade_.reset();
   window_.reset();
+}
+
+obs::DetectorSnapshot Sraa::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.has_cascade = true;
+  snapshot.bucket = static_cast<std::int32_t>(cascade_.bucket());
+  snapshot.bucket_count = static_cast<std::int32_t>(params_.buckets);
+  snapshot.fill = cascade_.fill();
+  snapshot.depth = params_.depth;
+  snapshot.sample_size = static_cast<std::uint32_t>(params_.sample_size);
+  snapshot.pending = static_cast<std::uint32_t>(window_.pending());
+  snapshot.last_average = last_average_;
+  snapshot.current_target = baseline_.bucket_target(cascade_.bucket());
+  return snapshot;
 }
 
 std::string Sraa::name() const {

@@ -30,6 +30,7 @@ class Sraa final : public Detector {
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
 
   const SraaParams& params() const noexcept { return params_; }
   const BucketCascade& cascade() const noexcept { return cascade_; }
@@ -41,6 +42,7 @@ class Sraa final : public Detector {
   Baseline baseline_;
   BucketCascade cascade_;
   stats::WindowAverage window_;
+  double last_average_ = 0.0;  ///< most recent completed window average
 };
 
 }  // namespace rejuv::core

@@ -8,13 +8,47 @@ StaticRejuvenation::StaticRejuvenation(std::size_t buckets, int depth, Baseline 
 }
 
 Decision StaticRejuvenation::observe(double value) {
-  const bool exceeded = value > baseline_.bucket_target(cascade_.bucket());
-  return cascade_.update(exceeded) == BucketCascade::Transition::kTriggered
-             ? Decision::kRejuvenate
-             : Decision::kContinue;
+  const auto bucket_before = static_cast<std::int32_t>(cascade_.bucket());
+  const double target = baseline_.bucket_target(cascade_.bucket());
+  const bool exceeded = value > target;
+  last_value_ = value;
+  const auto transition = cascade_.update(exceeded);
+  if (tracer_ != nullptr) {
+    tracer_->sample(value, target, exceeded, static_cast<std::int32_t>(cascade_.bucket()),
+                    cascade_.fill(), /*sample_size=*/1);
+    switch (transition) {
+      case BucketCascade::Transition::kEscalated:
+        tracer_->escalated(static_cast<std::int32_t>(cascade_.bucket()), cascade_.fill(), 1);
+        break;
+      case BucketCascade::Transition::kDeescalated:
+        tracer_->deescalated(static_cast<std::int32_t>(cascade_.bucket()), cascade_.fill(), 1);
+        break;
+      case BucketCascade::Transition::kTriggered:
+        tracer_->detector_triggered(value, target, bucket_before,
+                                    static_cast<std::int32_t>(cascade_.bucket_count()));
+        break;
+      case BucketCascade::Transition::kNone:
+        break;
+    }
+  }
+  return transition == BucketCascade::Transition::kTriggered ? Decision::kRejuvenate
+                                                             : Decision::kContinue;
 }
 
 void StaticRejuvenation::reset() { cascade_.reset(); }
+
+obs::DetectorSnapshot StaticRejuvenation::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.has_cascade = true;
+  snapshot.bucket = static_cast<std::int32_t>(cascade_.bucket());
+  snapshot.bucket_count = static_cast<std::int32_t>(cascade_.bucket_count());
+  snapshot.fill = cascade_.fill();
+  snapshot.depth = cascade_.depth();
+  snapshot.sample_size = 1;  // per-observation rule
+  snapshot.last_average = last_value_;
+  snapshot.current_target = baseline_.bucket_target(cascade_.bucket());
+  return snapshot;
+}
 
 std::string StaticRejuvenation::name() const {
   return "Static(K=" + std::to_string(cascade_.bucket_count()) +

@@ -24,6 +24,7 @@ class StaticRejuvenation final : public Detector {
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
 
   /// Introspection for tests and monitoring dashboards.
   const BucketCascade& cascade() const noexcept { return cascade_; }
@@ -31,6 +32,7 @@ class StaticRejuvenation final : public Detector {
  private:
   Baseline baseline_;
   BucketCascade cascade_;
+  double last_value_ = 0.0;  ///< most recent observation
 };
 
 }  // namespace rejuv::core

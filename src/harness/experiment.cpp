@@ -33,14 +33,15 @@ SimulationProtocol SimulationProtocol::from_environment() {
 
 PointResult run_point(const core::DetectorConfig& detector_config,
                       const model::EcommerceConfig& system_template, double offered_load_cpus,
-                      const SimulationProtocol& protocol) {
+                      const SimulationProtocol& protocol, const Instrumentation& instruments) {
   return run_custom_point([&detector_config] { return core::make_detector(detector_config); },
-                          system_template, offered_load_cpus, protocol);
+                          system_template, offered_load_cpus, protocol, instruments);
 }
 
 PointResult run_custom_point(const DetectorFactory& make_detector,
                              const model::EcommerceConfig& system_template,
-                             double offered_load_cpus, const SimulationProtocol& protocol) {
+                             double offered_load_cpus, const SimulationProtocol& protocol,
+                             const Instrumentation& instruments) {
   REJUV_EXPECT(offered_load_cpus > 0.0, "offered load must be positive");
   REJUV_EXPECT(protocol.replications >= 1, "need at least one replication");
 
@@ -66,6 +67,19 @@ PointResult run_custom_point(const DetectorFactory& make_detector,
     core::RejuvenationController controller(make_detector());
     system.set_decision([&controller](double rt) { return controller.observe(rt); });
 
+    if (instruments.tracer != nullptr) {
+      instruments.tracer->set_time(0.0);
+      instruments.tracer->run_start(controller.detector_snapshot().algorithm, offered_load_cpus,
+                                    static_cast<std::uint32_t>(rep), protocol.base_seed);
+      system.set_tracer(instruments.tracer);
+      controller.set_tracer(instruments.tracer);
+    }
+    if (instruments.metrics != nullptr) {
+      simulator.set_metrics(instruments.metrics);
+      system.set_metrics(instruments.metrics);
+      controller.set_metrics(instruments.metrics);
+    }
+
     system.run_transactions(protocol.transactions_per_replication);
 
     const model::EcommerceMetrics& metrics = system.metrics();
@@ -78,6 +92,12 @@ PointResult run_custom_point(const DetectorFactory& make_detector,
     result.lost += metrics.lost();
     result.rejuvenations += metrics.rejuvenation_count;
     result.gc_count += metrics.gc_count;
+
+    if (instruments.tracer != nullptr) {
+      instruments.tracer->set_time(simulator.now());
+      instruments.tracer->run_end(metrics.completed);
+      instruments.tracer->flush();
+    }
   }
 
   result.avg_response_time = rt_overall.mean();

@@ -18,8 +18,22 @@
 
 #include "core/factory.h"
 #include "model/ecommerce.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace rejuv::harness {
+
+/// Optional observability wiring for a point run. When a tracer is given,
+/// every replication emits run_start/run_end plus the full event stream of
+/// model, controller and detector; a registry receives the simulator and
+/// model counters. Both pointers are non-owning and may be null
+/// independently. Traced points must run single-threaded (the tracer is
+/// single-writer), which run_custom_point's sequential replication loop
+/// already guarantees; parallel sweep fan-out never passes instruments.
+struct Instrumentation {
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
 
 /// How much simulation to run per (config, load) point.
 struct SimulationProtocol {
@@ -72,12 +86,13 @@ using DetectorFactory = std::function<std::unique_ptr<core::Detector>()>;
 /// detector per replication.
 PointResult run_point(const core::DetectorConfig& detector_config,
                       const model::EcommerceConfig& system_template, double offered_load_cpus,
-                      const SimulationProtocol& protocol);
+                      const SimulationProtocol& protocol, const Instrumentation& instruments = {});
 
 /// Same, for an arbitrary detector factory.
 PointResult run_custom_point(const DetectorFactory& make_detector,
                              const model::EcommerceConfig& system_template,
-                             double offered_load_cpus, const SimulationProtocol& protocol);
+                             double offered_load_cpus, const SimulationProtocol& protocol,
+                             const Instrumentation& instruments = {});
 
 /// Sweep for an arbitrary detector factory; `label` names the curve.
 SweepResult run_custom_sweep(const std::string& label, const DetectorFactory& make_detector,

@@ -92,12 +92,22 @@ void EcommerceSystem::admit_transaction() {
   ++metrics_.arrivals;
   if (config_.admission_limit > 0 && threads_in_system() >= config_.admission_limit) {
     ++metrics_.lost_to_admission;
+    if (tracer_ != nullptr) {
+      tracer_->set_time(simulator_.now());
+      tracer_->admission_rejected(threads_in_system());
+    }
+    if (admission_counter_ != nullptr) admission_counter_->increment();
     return;
   }
   if (down_ && !config_.queue_arrivals_during_downtime) {
     // Transactions offered while capacity is being restored are lost; the
     // paper defines rejuvenation cost as exactly this kind of loss.
     ++metrics_.lost_to_downtime;
+    if (tracer_ != nullptr) {
+      tracer_->set_time(simulator_.now());
+      tracer_->downtime_lost();
+    }
+    if (downtime_counter_ != nullptr) downtime_counter_->increment();
     return;
   }
   // Rule 2: FCFS queue for a CPU.
@@ -156,6 +166,11 @@ void EcommerceSystem::try_dispatch() {
 void EcommerceSystem::start_gc() {
   REJUV_ASSERT(gc_end_event_ == sim::kNoEvent, "GC triggered while one is in progress");
   ++metrics_.gc_count;
+  if (tracer_ != nullptr) {
+    tracer_->set_time(simulator_.now());
+    tracer_->gc_start(free_heap_mb());
+  }
+  if (gc_counter_ != nullptr) gc_counter_->increment();
   // Every thread running at GC start is delayed by the full pause and keeps
   // holding its CPU meanwhile; threads dispatched onto free CPUs during the
   // pause are not delayed (§3 delays the running threads only).
@@ -174,6 +189,10 @@ void EcommerceSystem::start_gc() {
 void EcommerceSystem::on_gc_end() {
   gc_end_event_ = sim::kNoEvent;
   account_usage();
+  if (tracer_ != nullptr) {
+    tracer_->set_time(simulator_.now());
+    tracer_->gc_end(garbage_mb_);
+  }
   garbage_mb_ = 0.0;  // all memory of completed transactions is reclaimed
   try_dispatch();
 }
@@ -193,6 +212,16 @@ void EcommerceSystem::on_completion(std::uint64_t thread_id) {
   // Rule 7: record the response time.
   ++metrics_.completed;
   metrics_.response_time.push(response_time);
+  if (tracer_ != nullptr) {
+    // Stamp the clock before the decision chain so detector and controller
+    // events emitted inside decision_() carry this completion's time.
+    tracer_->set_time(simulator_.now());
+    tracer_->transaction_completed(response_time);
+  }
+  if (completed_counter_ != nullptr) {
+    completed_counter_->increment();
+    rt_histogram_->observe(response_time);
+  }
   if (observer_) observer_(response_time);
 
   // Rule 8: consult the rejuvenation decision.
@@ -210,7 +239,16 @@ void EcommerceSystem::rejuvenate() {
     const bool cancelled = simulator_.cancel(entry.second.completion_event);
     REJUV_ASSERT(cancelled, "running thread lost its completion event");
   }
-  metrics_.lost_to_rejuvenation += running_.size() + queue_.size();
+  const std::size_t flushed = running_.size() + queue_.size();
+  if (tracer_ != nullptr) {
+    tracer_->set_time(simulator_.now());
+    tracer_->rejuvenation_executed(flushed);
+  }
+  if (rejuvenation_counter_ != nullptr) {
+    rejuvenation_counter_->increment();
+    flushed_counter_->increment(flushed);
+  }
+  metrics_.lost_to_rejuvenation += flushed;
   running_.clear();
   queue_.clear();
   account_usage();
@@ -232,6 +270,26 @@ void EcommerceSystem::rejuvenate() {
 }
 
 void EcommerceSystem::force_rejuvenation() { rejuvenate(); }
+
+void EcommerceSystem::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    completed_counter_ = nullptr;
+    gc_counter_ = nullptr;
+    admission_counter_ = nullptr;
+    downtime_counter_ = nullptr;
+    rejuvenation_counter_ = nullptr;
+    flushed_counter_ = nullptr;
+    rt_histogram_ = nullptr;
+    return;
+  }
+  completed_counter_ = &registry->counter("model.transactions_completed");
+  gc_counter_ = &registry->counter("model.gc_pauses");
+  admission_counter_ = &registry->counter("model.lost_to_admission");
+  downtime_counter_ = &registry->counter("model.lost_to_downtime");
+  rejuvenation_counter_ = &registry->counter("model.rejuvenations");
+  flushed_counter_ = &registry->counter("model.lost_to_rejuvenation");
+  rt_histogram_ = &registry->histogram("model.response_time_seconds");
+}
 
 void EcommerceSystem::account_usage() {
   const double elapsed = simulator_.now() - last_usage_update_;

@@ -35,6 +35,8 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 #include "stats/running_stats.h"
 #include "workload/arrival_process.h"
@@ -111,6 +113,17 @@ class EcommerceSystem {
   void set_decision(DecisionFn decision) { decision_ = std::move(decision); }
   void set_observer(ObserverFn observer) { observer_ = std::move(observer); }
 
+  /// Attaches a structured event tracer. The system stamps the simulation
+  /// clock before every emission (including before the decision function,
+  /// so detector/controller events carry the right time) and emits
+  /// transaction, GC, admission, downtime and rejuvenation events. The
+  /// default nullptr leaves the hot path untouched.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Publishes model counters and the response-time histogram into
+  /// `registry` (handles cached once; nullptr detaches).
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Replaces the default Poisson(config.arrival_rate) arrival process
   /// (§3 rule 1) with an arbitrary one — bursty MMPP, periodic, trace
   /// replay. Must be called before run_transactions().
@@ -186,6 +199,14 @@ class EcommerceSystem {
   std::unique_ptr<workload::ArrivalProcess> arrival_process_;
   DecisionFn decision_;
   ObserverFn observer_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Counter* gc_counter_ = nullptr;
+  obs::Counter* admission_counter_ = nullptr;
+  obs::Counter* downtime_counter_ = nullptr;
+  obs::Counter* rejuvenation_counter_ = nullptr;
+  obs::Counter* flushed_counter_ = nullptr;
+  obs::Histogram* rt_histogram_ = nullptr;
 
   std::deque<QueuedThread> queue_;
   std::unordered_map<std::uint64_t, RunningThread> running_;

@@ -1,0 +1,36 @@
+// Structured view of a rejuvenation detector's internal state.
+//
+// The paper's Fig. 6-8 pseudo-code carries exactly this state between
+// observations: the bucket pointer N, the fill counter d, the sample size n
+// in force, and the most recent window average judged against the current
+// target. A DetectorSnapshot freezes that state so a trigger event can be
+// explained after the fact ("bucket 4/5 overflowed at a sample average of
+// 31.2 s against a target of 25.0 s") instead of reducing every decision to
+// an opaque boolean. Detectors without a cascade (CLTA, the threshold
+// policies) reuse fill/depth for their own evidence counter where one
+// exists (e.g. a consecutive-exceedance run) and leave has_cascade false.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rejuv::obs {
+
+struct DetectorSnapshot {
+  std::string algorithm;          ///< Detector::name() at snapshot time
+  double baseline_mean = 0.0;     ///< muX
+  double baseline_stddev = 0.0;   ///< sigmaX
+
+  bool has_cascade = false;       ///< bucket/fill/depth describe a cascade
+  std::int32_t bucket = 0;        ///< N, current bucket pointer
+  std::int32_t bucket_count = 0;  ///< K
+  std::int32_t fill = 0;          ///< d (or the evidence run length)
+  std::int32_t depth = 0;         ///< D (or the required run length)
+
+  std::uint32_t sample_size = 0;  ///< n in force; 0 = per-observation rule
+  std::uint32_t pending = 0;      ///< observations toward the current window
+  double last_average = 0.0;      ///< most recent completed window average
+  double current_target = 0.0;    ///< threshold the next average is judged by
+};
+
+}  // namespace rejuv::obs

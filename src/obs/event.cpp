@@ -1,0 +1,67 @@
+#include "obs/event.h"
+
+#include <array>
+#include <utility>
+
+namespace rejuv::obs {
+
+namespace {
+
+constexpr std::array<std::pair<EventType, std::string_view>, 15> kNames{{
+    {EventType::kRunStart, "run_start"},
+    {EventType::kRunEnd, "run_end"},
+    {EventType::kTransactionCompleted, "txn"},
+    {EventType::kGcStart, "gc_start"},
+    {EventType::kGcEnd, "gc_end"},
+    {EventType::kAdmissionRejected, "admission_rejected"},
+    {EventType::kDowntimeLost, "downtime_lost"},
+    {EventType::kSample, "sample"},
+    {EventType::kEscalated, "escalated"},
+    {EventType::kDeescalated, "deescalated"},
+    {EventType::kDetectorTriggered, "detector_triggered"},
+    {EventType::kRejuvenationTriggered, "rejuvenation"},
+    {EventType::kCooldownSuppressed, "cooldown_suppressed"},
+    {EventType::kRejuvenationExecuted, "rejuvenation_executed"},
+    {EventType::kExternalReset, "external_reset"},
+}};
+
+}  // namespace
+
+std::string_view event_type_name(EventType type) {
+  for (const auto& [value, name] : kNames) {
+    if (value == type) return name;
+  }
+  return "unknown";
+}
+
+std::optional<EventType> parse_event_type(std::string_view name) {
+  for (const auto& [value, wire_name] : kNames) {
+    if (wire_name == name) return value;
+  }
+  return std::nullopt;
+}
+
+TraceEvent to_event(EventType type, const DetectorSnapshot& snapshot) {
+  TraceEvent event;
+  event.type = type;
+  event.average = snapshot.last_average;
+  event.target = snapshot.current_target;
+  event.bucket = snapshot.has_cascade ? snapshot.bucket : -1;
+  event.bucket_count = snapshot.bucket_count;
+  event.fill = snapshot.fill;
+  event.depth = snapshot.depth;
+  event.sample_size = snapshot.sample_size;
+  event.pending = snapshot.pending;
+  event.note = snapshot.algorithm;
+  return event;
+}
+
+bool operator==(const TraceEvent& a, const TraceEvent& b) {
+  return a.type == b.type && a.seq == b.seq && a.time == b.time && a.load == b.load &&
+         a.rep == b.rep && a.value == b.value && a.average == b.average && a.target == b.target &&
+         a.exceeded == b.exceeded && a.bucket == b.bucket && a.bucket_count == b.bucket_count &&
+         a.fill == b.fill && a.depth == b.depth && a.sample_size == b.sample_size &&
+         a.pending == b.pending && a.note == b.note;
+}
+
+}  // namespace rejuv::obs

@@ -1,0 +1,72 @@
+// Typed trace events: the vocabulary of the structured event tracer.
+//
+// Every record is one flat struct so that all three sinks (ring buffer,
+// JSONL, CSV) serialize the same fields and the trace-analysis tool can
+// parse a line back into the identical TraceEvent. Per-type field meaning
+// is documented on the enumerators; fields that do not apply to a type keep
+// their defaults (bucket = -1 marks "no cascade involved").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/detector_snapshot.h"
+
+namespace rejuv::obs {
+
+enum class EventType : std::uint8_t {
+  kRunStart,               ///< note = run label; value = base seed
+  kRunEnd,                 ///< value = completed transactions
+  kTransactionCompleted,   ///< value = response time (s)
+  kGcStart,                ///< value = free heap (MB) at trigger
+  kGcEnd,                  ///< value = garbage reclaimed (MB)
+  kAdmissionRejected,      ///< value = threads in system at rejection
+  kDowntimeLost,           ///< arrival lost during rejuvenation downtime
+  kSample,                 ///< window average judged: average/target/exceeded,
+                           ///< bucket/fill = cascade state *after* the update
+  kEscalated,              ///< bucket overflow: bucket = new N, sample_size = new n
+  kDeescalated,            ///< bucket underflow: bucket = new N, sample_size = new n
+  kDetectorTriggered,      ///< final exceedance, pre-reset view (average/target)
+  kRejuvenationTriggered,  ///< controller decision; value = observation index;
+                           ///< snapshot fields = post-reset detector state
+  kCooldownSuppressed,     ///< value = cooldown observations remaining
+  kRejuvenationExecuted,   ///< model flushed work; value = threads lost
+  kExternalReset,          ///< notify_external_rejuvenation reached the detector
+};
+
+/// Stable wire name, e.g. "txn" for kTransactionCompleted.
+std::string_view event_type_name(EventType type);
+
+/// Inverse of event_type_name; nullopt for an unknown name.
+std::optional<EventType> parse_event_type(std::string_view name);
+
+struct TraceEvent {
+  EventType type = EventType::kRunStart;
+  std::uint64_t seq = 0;       ///< monotone per-tracer sequence number
+  double time = 0.0;           ///< simulation time (s)
+  double load = 0.0;           ///< offered load (CPUs) of the enclosing run
+  std::uint32_t rep = 0;       ///< replication index of the enclosing run
+  double value = 0.0;          ///< primary payload (see EventType)
+  double average = 0.0;        ///< window average (detector events)
+  double target = 0.0;         ///< decision threshold (detector events)
+  bool exceeded = false;       ///< average > target (kSample)
+  std::int32_t bucket = -1;    ///< N after the update; -1 = no cascade
+  std::int32_t bucket_count = 0;  ///< K
+  std::int32_t fill = 0;          ///< d after the update
+  std::int32_t depth = 0;         ///< D
+  std::uint32_t sample_size = 0;  ///< n in force
+  std::uint32_t pending = 0;      ///< observations toward the current window
+  std::string note;               ///< label / algorithm name; "" = absent
+};
+
+/// Flattens a detector snapshot into an event of the given type (the
+/// algorithm name lands in `note`). Sequence/time/run fields are stamped by
+/// the Tracer on emission.
+TraceEvent to_event(EventType type, const DetectorSnapshot& snapshot);
+
+/// Field-wise equality (used by round-trip tests).
+bool operator==(const TraceEvent& a, const TraceEvent& b);
+
+}  // namespace rejuv::obs

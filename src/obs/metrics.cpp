@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/expect.h"
+
+namespace rejuv::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  REJUV_EXPECT(!bounds_.empty(), "histogram needs at least one bucket bound");
+  REJUV_EXPECT(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+               "histogram bounds must be strictly increasing");
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto cell = static_cast<std::size_t>(it - bounds_.begin());
+  cells_[cell].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t previous = count_.fetch_add(1, std::memory_order_relaxed);
+  // Single-writer fast path: plain load-modify-store keeps sum/min/max
+  // lock-free without a CAS loop; concurrent readers see a consistent cell.
+  sum_.store(sum_.load(std::memory_order_relaxed) + value, std::memory_order_relaxed);
+  if (previous == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+    return;
+  }
+  if (value < min_.load(std::memory_order_relaxed)) {
+    min_.store(value, std::memory_order_relaxed);
+  }
+  if (value > max_.load(std::memory_order_relaxed)) {
+    max_.store(value, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = cells_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::quantile(double p) const {
+  REJUV_EXPECT(p >= 0.0 && p <= 1.0, "quantile p must lie in [0, 1]");
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double rank = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      if (i == counts.size() - 1) return max();  // overflow bucket: best bound
+      const double lower = i == 0 ? std::min(min(), bounds_[0]) : bounds_[i - 1];
+      const double upper = bounds_[i];
+      if (counts[i] == 0) return upper;
+      const double within = (rank - static_cast<double>(cumulative)) /
+                            static_cast<double>(counts[i]);
+      return lower + within * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return max();
+}
+
+std::vector<double> default_latency_bounds_seconds() {
+  return {0.5, 1.0, 2.5, 5.0, 7.5, 10.0, 15.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> upper_bounds) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (upper_bounds.empty()) upper_bounds = default_latency_bounds_seconds();
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::scoped_lock lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::write(std::ostream& out) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    out << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << " " << gauge->value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << name << " count=" << histogram->count() << " mean=" << histogram->mean()
+        << " min=" << histogram->min() << " max=" << histogram->max()
+        << " p50=" << histogram->quantile(0.5) << " p95=" << histogram->quantile(0.95)
+        << " p99=" << histogram->quantile(0.99) << "\n";
+    const auto counts = histogram->bucket_counts();
+    const auto& bounds = histogram->upper_bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;
+      out << "  le=";
+      if (i < bounds.size()) {
+        out << bounds[i];
+      } else {
+        out << "+inf";
+      }
+      out << " " << counts[i] << "\n";
+    }
+  }
+}
+
+}  // namespace rejuv::obs

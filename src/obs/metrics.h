@@ -1,0 +1,107 @@
+// Metrics registry: counters, gauges and fixed-bucket latency histograms.
+//
+// Write-side contract: one writer thread per metric handle (the simulation
+// is single-threaded per replication; parallel sweeps hold one registry per
+// point or none). Writes are relaxed atomic operations, so the fast path is
+// a single lock-free RMW with no fences; concurrent *readers* (a dashboard
+// thread snapshotting mid-run) always see consistent individual cells, and
+// snapshot() is documented as approximate while a writer is active —
+// exactly the Prometheus client-library contract. Registration is the only
+// synchronized operation; handles returned by the registry are stable for
+// the registry's lifetime, so hot paths cache the pointer once and never
+// touch the name map again.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rejuv::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void increment(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= upper_bounds[i];
+/// one implicit overflow bucket counts the rest. Bounds are fixed at
+/// construction so observe() is a binary search plus one relaxed increment.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  double mean() const noexcept;
+  double min() const noexcept { return min_.load(std::memory_order_relaxed); }
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+  const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+  /// Copy of the per-bucket counts; index bounds_.size() is the overflow cell.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Quantile estimate by linear interpolation inside the owning bucket
+  /// (the classic histogram_quantile). `p` in [0, 1]; 0 when empty.
+  double quantile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Bounds suited to response times in seconds, spanning the §3 model's range
+/// from sub-second M/M/c waits to multi-GC-pause collapses.
+std::vector<double> default_latency_bounds_seconds();
+
+/// Named metric handles with snapshot-on-read reporting.
+class MetricsRegistry {
+ public:
+  /// Finds or creates; the reference is stable for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` applies only on first creation of `name`.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds = {});
+
+  /// Human-readable dump, sorted by metric name within each kind.
+  void write(std::ostream& out) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;  // registration and enumeration only
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace rejuv::obs

@@ -1,0 +1,193 @@
+#include "obs/trace_reader.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+
+#include "common/expect.h"
+
+namespace rejuv::obs {
+
+namespace {
+
+// Cursor over one JSONL line.
+struct Scanner {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+  void skip_spaces() {
+    while (!done() && (peek() == ' ' || peek() == '\t')) ++pos;
+  }
+  bool consume(char c) {
+    skip_spaces();
+    if (done() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+// Parses a double-quoted JSON string, undoing json_escape.
+std::optional<std::string> parse_string(Scanner& scanner) {
+  if (!scanner.consume('"')) return std::nullopt;
+  std::string value;
+  while (!scanner.done()) {
+    const char c = scanner.text[scanner.pos++];
+    if (c == '"') return value;
+    if (c != '\\') {
+      value.push_back(c);
+      continue;
+    }
+    if (scanner.done()) return std::nullopt;
+    const char escape = scanner.text[scanner.pos++];
+    switch (escape) {
+      case '"':
+      case '\\':
+      case '/':
+        value.push_back(escape);
+        break;
+      case 'n':
+        value.push_back('\n');
+        break;
+      case 'r':
+        value.push_back('\r');
+        break;
+      case 't':
+        value.push_back('\t');
+        break;
+      case 'b':
+        value.push_back('\b');
+        break;
+      case 'f':
+        value.push_back('\f');
+        break;
+      case 'u': {
+        if (scanner.pos + 4 > scanner.text.size()) return std::nullopt;
+        unsigned code = 0;
+        const auto* first = scanner.text.data() + scanner.pos;
+        const auto result = std::from_chars(first, first + 4, code, 16);
+        if (result.ptr != first + 4) return std::nullopt;
+        scanner.pos += 4;
+        // The writer only emits \u00XX control codes; anything wider is
+        // passed through as '?' rather than rejected.
+        value.push_back(code <= 0xFF ? static_cast<char>(code) : '?');
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;  // unterminated
+}
+
+std::optional<double> parse_number(Scanner& scanner) {
+  scanner.skip_spaces();
+  const auto* first = scanner.text.data() + scanner.pos;
+  const auto* last = scanner.text.data() + scanner.text.size();
+  double value = 0.0;
+  const auto result = std::from_chars(first, last, value);
+  if (result.ec != std::errc{} || result.ptr == first) return std::nullopt;
+  scanner.pos += static_cast<std::size_t>(result.ptr - first);
+  return value;
+}
+
+bool starts_with_at(const Scanner& scanner, std::string_view token) {
+  return scanner.text.substr(scanner.pos, token.size()) == token;
+}
+
+}  // namespace
+
+std::optional<TraceEvent> parse_trace_line(std::string_view line) {
+  Scanner scanner{line};
+  if (!scanner.consume('{')) return std::nullopt;
+
+  TraceEvent event;
+  bool saw_type = false;
+  bool first = true;
+  while (true) {
+    if (scanner.consume('}')) break;
+    if (!first && !scanner.consume(',')) return std::nullopt;
+    first = false;
+
+    const auto key = parse_string(scanner);
+    if (!key || !scanner.consume(':')) return std::nullopt;
+
+    scanner.skip_spaces();
+    if (scanner.done()) return std::nullopt;
+
+    if (scanner.peek() == '"') {
+      const auto text = parse_string(scanner);
+      if (!text) return std::nullopt;
+      if (*key == "type") {
+        const auto type = parse_event_type(*text);
+        if (!type) return std::nullopt;
+        event.type = *type;
+        saw_type = true;
+      } else if (*key == "note") {
+        event.note = *text;
+      }
+      continue;
+    }
+    if (starts_with_at(scanner, "true")) {
+      scanner.pos += 4;
+      if (*key == "exceeded") event.exceeded = true;
+      continue;
+    }
+    if (starts_with_at(scanner, "false")) {
+      scanner.pos += 5;
+      if (*key == "exceeded") event.exceeded = false;
+      continue;
+    }
+    const auto number = parse_number(scanner);
+    if (!number) return std::nullopt;
+    if (*key == "seq") {
+      event.seq = static_cast<std::uint64_t>(*number);
+    } else if (*key == "t") {
+      event.time = *number;
+    } else if (*key == "load") {
+      event.load = *number;
+    } else if (*key == "rep") {
+      event.rep = static_cast<std::uint32_t>(*number);
+    } else if (*key == "value") {
+      event.value = *number;
+    } else if (*key == "avg") {
+      event.average = *number;
+    } else if (*key == "target") {
+      event.target = *number;
+    } else if (*key == "exceeded") {
+      event.exceeded = *number != 0.0;
+    } else if (*key == "bucket") {
+      event.bucket = static_cast<std::int32_t>(*number);
+    } else if (*key == "k") {
+      event.bucket_count = static_cast<std::int32_t>(*number);
+    } else if (*key == "fill") {
+      event.fill = static_cast<std::int32_t>(*number);
+    } else if (*key == "depth") {
+      event.depth = static_cast<std::int32_t>(*number);
+    } else if (*key == "n") {
+      event.sample_size = static_cast<std::uint32_t>(*number);
+    } else if (*key == "pending") {
+      event.pending = static_cast<std::uint32_t>(*number);
+    }  // unknown keys are ignored
+  }
+  if (!saw_type) return std::nullopt;
+  return event;
+}
+
+std::vector<TraceEvent> read_trace(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto event = parse_trace_line(line)) events.push_back(std::move(*event));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  REJUV_EXPECT(in.good(), "cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+}  // namespace rejuv::obs

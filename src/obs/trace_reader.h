@@ -1,0 +1,30 @@
+// Reading JSONL traces back into TraceEvents.
+//
+// The parser understands exactly the flat one-object-per-line schema
+// JsonlSink writes (string / number / boolean values, no nesting), which is
+// all tools/rejuv_trace and the round-trip tests need. Unknown keys are
+// ignored so traces stay readable across schema additions.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace rejuv::obs {
+
+/// Parses one JSONL line; nullopt for blank lines or lines that are not a
+/// flat JSON object with a recognized "type".
+std::optional<TraceEvent> parse_trace_line(std::string_view line);
+
+/// Parses every line of a stream, skipping blanks and unparseable lines.
+std::vector<TraceEvent> read_trace(std::istream& in);
+
+/// Opens and parses a JSONL trace file; throws std::invalid_argument when
+/// the file cannot be opened.
+std::vector<TraceEvent> read_trace_file(const std::string& path);
+
+}  // namespace rejuv::obs

@@ -1,0 +1,14 @@
+#include "obs/tracer.h"
+
+namespace rejuv::obs {
+
+void Tracer::emit(TraceEvent event) {
+  if (sink_ == nullptr) return;
+  event.seq = seq_++;
+  event.time = time_;
+  event.load = load_;
+  event.rep = rep_;
+  sink_->record(event);
+}
+
+}  // namespace rejuv::obs

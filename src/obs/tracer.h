@@ -1,0 +1,183 @@
+// Structured event tracer.
+//
+// One Tracer instance is threaded through a simulation run: the model stamps
+// the simulation clock before feeding the detector chain, and every layer
+// (model, controller, detector) emits typed events through the convenience
+// emitters below. All emitters guard on `sink_ != nullptr` inline, so a
+// tracer with no sink attached — the default in every harness run — costs
+// one well-predicted branch per call site and performs no allocation, no
+// virtual dispatch and no formatting. Single-writer: a tracer belongs to one
+// simulation thread (parallel sweeps either trace nothing or run the traced
+// point sequentially).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/detector_snapshot.h"
+#include "obs/event.h"
+#include "obs/sink.h"
+
+namespace rejuv::obs {
+
+class Tracer {
+ public:
+  Tracer() = default;
+  /// `sink` is not owned and must outlive the tracer (nullptr = disabled).
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
+  void set_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  bool enabled() const noexcept { return sink_ != nullptr; }
+
+  /// Stamps the simulation time applied to subsequently emitted events.
+  void set_time(double now) noexcept { time_ = now; }
+  /// Stamps the run context (offered load, replication index).
+  void set_run(double load, std::uint32_t rep) noexcept {
+    load_ = load;
+    rep_ = rep;
+  }
+
+  std::uint64_t events_emitted() const noexcept { return seq_; }
+  void flush() {
+    if (sink_ != nullptr) sink_->flush();
+  }
+
+  /// Stamps seq/time/load/rep onto `event` and forwards it to the sink.
+  void emit(TraceEvent event);
+
+  // --- Run lifecycle (harness) ---
+  void run_start(const std::string& label, double load, std::uint32_t rep, std::uint64_t seed) {
+    set_run(load, rep);
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kRunStart;
+    event.value = static_cast<double>(seed);
+    event.note = label;
+    emit(std::move(event));
+  }
+  void run_end(std::uint64_t completed) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kRunEnd;
+    event.value = static_cast<double>(completed);
+    emit(std::move(event));
+  }
+
+  // --- Model events ---
+  void transaction_completed(double response_time) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kTransactionCompleted;
+    event.value = response_time;
+    emit(std::move(event));
+  }
+  void gc_start(double free_heap_mb) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kGcStart;
+    event.value = free_heap_mb;
+    emit(std::move(event));
+  }
+  void gc_end(double reclaimed_mb) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kGcEnd;
+    event.value = reclaimed_mb;
+    emit(std::move(event));
+  }
+  void admission_rejected(std::size_t threads_in_system) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kAdmissionRejected;
+    event.value = static_cast<double>(threads_in_system);
+    emit(std::move(event));
+  }
+  void downtime_lost() {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kDowntimeLost;
+    emit(std::move(event));
+  }
+  void rejuvenation_executed(std::size_t threads_lost) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kRejuvenationExecuted;
+    event.value = static_cast<double>(threads_lost);
+    emit(std::move(event));
+  }
+
+  // --- Detector events ---
+  void sample(double average, double target, bool exceeded, std::int32_t bucket,
+              std::int32_t fill, std::uint32_t sample_size) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kSample;
+    event.average = average;
+    event.target = target;
+    event.exceeded = exceeded;
+    event.bucket = bucket;
+    event.fill = fill;
+    event.sample_size = sample_size;
+    emit(std::move(event));
+  }
+  void escalated(std::int32_t bucket, std::int32_t fill, std::uint32_t sample_size) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kEscalated;
+    event.bucket = bucket;
+    event.fill = fill;
+    event.sample_size = sample_size;
+    emit(std::move(event));
+  }
+  void deescalated(std::int32_t bucket, std::int32_t fill, std::uint32_t sample_size) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kDeescalated;
+    event.bucket = bucket;
+    event.fill = fill;
+    event.sample_size = sample_size;
+    emit(std::move(event));
+  }
+  void detector_triggered(double average, double target, std::int32_t bucket,
+                          std::int32_t bucket_count) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kDetectorTriggered;
+    event.average = average;
+    event.target = target;
+    event.exceeded = true;
+    event.bucket = bucket;
+    event.bucket_count = bucket_count;
+    emit(std::move(event));
+  }
+
+  // --- Controller events ---
+  void rejuvenation_triggered(std::uint64_t observation_index, const DetectorSnapshot& snapshot) {
+    if (sink_ == nullptr) return;
+    TraceEvent event = to_event(EventType::kRejuvenationTriggered, snapshot);
+    event.value = static_cast<double>(observation_index);
+    emit(std::move(event));
+  }
+  void cooldown_suppressed(std::uint64_t remaining) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kCooldownSuppressed;
+    event.value = static_cast<double>(remaining);
+    emit(std::move(event));
+  }
+  void external_reset() {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kExternalReset;
+    emit(std::move(event));
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint64_t seq_ = 0;
+  double time_ = 0.0;
+  double load_ = 0.0;
+  std::uint32_t rep_ = 0;
+};
+
+}  // namespace rejuv::obs

@@ -21,8 +21,25 @@ bool Simulator::step() {
   auto [time, action] = events_.pop();
   now_ = time;
   ++executed_;
+  if (executed_counter_ != nullptr) {
+    executed_counter_->increment();
+    pending_gauge_->set(static_cast<double>(events_.size()));
+    clock_gauge_->set(now_);
+  }
   action();
   return true;
+}
+
+void Simulator::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    executed_counter_ = nullptr;
+    pending_gauge_ = nullptr;
+    clock_gauge_ = nullptr;
+    return;
+  }
+  executed_counter_ = &registry->counter("sim.events_executed");
+  pending_gauge_ = &registry->gauge("sim.pending_events");
+  clock_gauge_ = &registry->gauge("sim.clock_seconds");
 }
 
 void Simulator::run() {

@@ -1,0 +1,116 @@
+// The tracing fast path must be free when disabled: a tracer with no sink
+// attached performs no allocation, and attaching one to a full simulation
+// run changes neither the allocation count nor any simulation result.
+//
+// This test replaces the global allocator with a counting one, so it lives
+// in its own binary (the counter would otherwise tax every other test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/factory.h"
+#include "model/ecommerce.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+std::uint64_t allocations() { return g_allocations.load(std::memory_order_relaxed); }
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace rejuv;
+
+TEST(TracerOverheadTest, DisabledEmittersAllocateNothing) {
+  obs::Tracer tracer;  // no sink
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 10'000; ++i) {
+    tracer.set_time(static_cast<double>(i));
+    tracer.transaction_completed(1.0);
+    tracer.sample(10.0, 5.0, true, 2, 1, 4);
+    tracer.escalated(3, 0, 2);
+    tracer.deescalated(2, 1, 4);
+    tracer.detector_triggered(30.0, 25.0, 4, 5);
+    tracer.cooldown_suppressed(10);
+    tracer.gc_start(90.0);
+    tracer.gc_end(500.0);
+    tracer.admission_rejected(51);
+    tracer.downtime_lost();
+    tracer.rejuvenation_executed(100);
+    tracer.external_reset();
+  }
+  EXPECT_EQ(allocations(), before);
+  EXPECT_EQ(tracer.events_emitted(), 0u);
+}
+
+// One deterministic replication of the §3 model under SRAA.
+model::EcommerceMetrics run_replication(obs::Tracer* tracer, std::uint64_t* alloc_count) {
+  model::EcommerceConfig config;
+  config.arrival_rate = 9.0 * config.service_rate;
+
+  common::RngStream arrival_rng(20060625, 0);
+  common::RngStream service_rng(20060625, 1);
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, config, arrival_rng, service_rng);
+
+  core::DetectorConfig detector_config;
+  detector_config.algorithm = core::Algorithm::kSraa;
+  detector_config.sample_size = 2;
+  detector_config.buckets = 5;
+  detector_config.depth = 3;
+  core::RejuvenationController controller(core::make_detector(detector_config));
+  system.set_decision([&controller](double rt) { return controller.observe(rt); });
+
+  if (tracer != nullptr) {
+    system.set_tracer(tracer);
+    controller.set_tracer(tracer);
+  }
+
+  const std::uint64_t before = allocations();
+  system.run_transactions(5'000);
+  *alloc_count = allocations() - before;
+  return system.metrics();
+}
+
+TEST(TracerOverheadTest, NullSinkRunMatchesBaselineAllocationsAndResults) {
+  std::uint64_t baseline_allocs = 0;
+  const model::EcommerceMetrics baseline = run_replication(nullptr, &baseline_allocs);
+
+  obs::Tracer disabled;  // attached everywhere, but no sink
+  std::uint64_t traced_allocs = 0;
+  const model::EcommerceMetrics traced = run_replication(&disabled, &traced_allocs);
+
+  // Identical simulation results...
+  EXPECT_EQ(traced.completed, baseline.completed);
+  EXPECT_EQ(traced.arrivals, baseline.arrivals);
+  EXPECT_EQ(traced.rejuvenation_count, baseline.rejuvenation_count);
+  EXPECT_EQ(traced.gc_count, baseline.gc_count);
+  EXPECT_DOUBLE_EQ(traced.response_time.mean(), baseline.response_time.mean());
+  // ...and not a single extra allocation from the disabled tracer.
+  EXPECT_EQ(traced_allocs, baseline_allocs);
+  EXPECT_EQ(disabled.events_emitted(), 0u);
+  EXPECT_GT(baseline.completed, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI entry point: configure with warnings-as-errors, build, run the full
+# test suite, the reproduction self-check, every figure bench on the reduced
+# budget, and a tracer-overhead micro-bench smoke run.
+#
+# Usage: tools/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+# Pick a generator only on a fresh configure; an existing cache keeps its own
+# (CMake refuses to switch generators in place).
+GENERATOR_ARGS=()
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+
+echo "==> configure"
+cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DREJUV_WERROR=ON
+
+echo "==> build"
+cmake --build "$BUILD_DIR" -j
+
+echo "==> unit / integration tests"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "==> reproduction self-check"
+"$BUILD_DIR"/bench/verify_reproduction > /dev/null
+
+echo "==> figure benches (reduced budget)"
+for bench in "$BUILD_DIR"/bench/*; do
+  case "$(basename "$bench")" in
+    micro_*) continue ;;  # google-benchmark binaries run below
+  esac
+  [ -x "$bench" ] || continue
+  "$bench" > /dev/null
+done
+
+echo "==> tracer-overhead micro-bench smoke"
+"$BUILD_DIR"/bench/micro_obs --benchmark_min_time=0.05 \
+    --benchmark_filter='BM_(TracerEmit|EcommerceRun)' > /dev/null
+
+echo "==> ci.sh: all green"

@@ -26,6 +26,11 @@
 //   --arrival=poisson|mmpp|periodic [poisson]
 //   --burst-rate, --burst-duration, --normal-duration   MMPP parameters
 //   --amplitude, --period                               periodic parameters
+//   --trace=FILE           write a structured event trace (JSONL; a .csv
+//                          extension selects CSV). Forces sequential points.
+//                          Analyze with rejuv_trace.
+//   --metrics              dump the metrics registry to stderr at the end
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -38,6 +43,9 @@
 #include "harness/experiment.h"
 #include "harness/paper.h"
 #include "harness/report.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/tracer.h"
 
 namespace {
 
@@ -117,6 +125,11 @@ model::EcommerceConfig parse_system(const common::Flags& flags) {
   return config;
 }
 
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,11 +155,34 @@ int main(int argc, char** argv) {
     REJUV_EXPECT(arrival == "poisson" || arrival == "mmpp" || arrival == "periodic",
                  "unknown --arrival: " + arrival);
 
+    // Observability: --trace=FILE streams every event to a JSONL (or CSV)
+    // file; --metrics dumps the registry at the end. Tracing pins the run to
+    // one thread (the tracer is single-writer), which the per-load loop
+    // below already is.
+    std::ofstream trace_file;
+    std::unique_ptr<obs::TraceSink> trace_sink;
+    obs::Tracer tracer;
+    if (const auto trace_path = flags.get("trace")) {
+      trace_file.open(*trace_path);
+      REJUV_EXPECT(trace_file.is_open(), "cannot open --trace file: " + *trace_path);
+      if (ends_with(*trace_path, ".csv")) {
+        trace_sink = std::make_unique<obs::CsvSink>(trace_file);
+      } else {
+        trace_sink = std::make_unique<obs::JsonlSink>(trace_file);
+      }
+      tracer.set_sink(trace_sink.get());
+    }
+    obs::MetricsRegistry registry;
+    const bool want_metrics = flags.has("metrics");
+    harness::Instrumentation instruments;
+    instruments.tracer = tracer.enabled() ? &tracer : nullptr;
+    instruments.metrics = want_metrics ? &registry : nullptr;
+
     common::Table table({"load_cpus", "avg_rt", "max_rt", "loss", "rejuvenations", "gcs"});
     for (const double load : loads) {
       harness::PointResult point;
       if (arrival == "poisson") {
-        point = harness::run_custom_point(make_detector, system, load, protocol);
+        point = harness::run_custom_point(make_detector, system, load, protocol, instruments);
       } else {
         // One replication with the requested process (common random numbers
         // across loads via the fixed seed).
@@ -168,8 +204,25 @@ int main(int argc, char** argv) {
         }
         core::RejuvenationController controller(make_detector());
         ecommerce.set_decision([&controller](double rt) { return controller.observe(rt); });
+        if (instruments.tracer != nullptr) {
+          tracer.set_time(0.0);
+          tracer.run_start(controller.detector_snapshot().algorithm + " on " + arrival, load, 0,
+                           protocol.base_seed);
+          ecommerce.set_tracer(&tracer);
+          controller.set_tracer(&tracer);
+        }
+        if (instruments.metrics != nullptr) {
+          simulator.set_metrics(&registry);
+          ecommerce.set_metrics(&registry);
+          controller.set_metrics(&registry);
+        }
         ecommerce.run_transactions(protocol.transactions_per_replication);
         const auto& m = ecommerce.metrics();
+        if (instruments.tracer != nullptr) {
+          tracer.set_time(simulator.now());
+          tracer.run_end(m.completed);
+          tracer.flush();
+        }
         point.offered_load_cpus = load;
         point.avg_response_time = m.response_time.mean();
         point.max_response_time = m.response_time.count() > 0 ? m.response_time.max() : 0.0;
@@ -187,6 +240,12 @@ int main(int argc, char** argv) {
     }
 
     common::print_table(std::cout, label + " on " + arrival + " arrivals", table);
+    if (tracer.enabled()) {
+      tracer.flush();
+      std::cerr << "trace: " << tracer.events_emitted() << " events -> " << *flags.get("trace")
+                << "\n";
+    }
+    if (want_metrics) registry.write(std::cerr);
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "rejuv_sim: " << error.what() << "\n"

@@ -1,0 +1,285 @@
+// rejuv_trace — post-mortem analyzer for rejuv_sim event traces.
+//
+// Reads a JSONL trace produced with `rejuv_sim --trace=FILE` and
+// reconstructs, for every rejuvenation trigger, the story the raw decision
+// stream hides: when the bucket cascade first escalated, how it climbed,
+// which sample finally exceeded the target, how long detection took, and
+// how many threads the rejuvenation flushed. Excursions that climbed the
+// cascade but de-escalated back to bucket 0 without triggering are listed
+// as false-alarm candidates — the paper's sensitivity/false-positive
+// trade-off made visible per run.
+//
+// Usage:
+//   rejuv_trace FILE [--quiet] [--max-timeline=N]
+//
+//   --quiet           per-run summary table only, no per-trigger post-mortems
+//   --max-timeline=N  cap printed escalation-timeline lines per trigger [12]
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "obs/event.h"
+#include "obs/trace_reader.h"
+
+namespace {
+
+using namespace rejuv;
+using obs::EventType;
+using obs::TraceEvent;
+
+std::string fmt(double value, int digits = 2) { return common::format_double(value, digits); }
+
+/// One cascade excursion: escalations since the episode last sat at bucket 0.
+struct Excursion {
+  double start_time = -1.0;  ///< first escalation away from bucket 0
+  std::int32_t peak_bucket = 0;
+};
+
+/// Detection episode: everything between two triggers (or run start/end).
+struct Episode {
+  double start_time = 0.0;
+  double first_escalation_time = -1.0;
+  double first_exceeded_time = -1.0;
+  std::uint64_t samples = 0;
+  std::vector<std::string> timeline;  ///< formatted escalation transitions
+  Excursion open_excursion;
+};
+
+struct RunStats {
+  double load = 0.0;
+  std::uint32_t rep = 0;
+  std::string label;
+  std::uint64_t events = 0;
+  std::uint64_t transactions = 0;
+  std::uint64_t gc_pauses = 0;
+  std::uint64_t triggers = 0;
+  std::uint64_t suppressions = 0;
+  std::uint64_t false_alarms = 0;
+  std::vector<double> detect_times;  ///< per trigger, from first escalation
+
+  double mean_detect_time() const {
+    if (detect_times.empty()) return 0.0;
+    double sum = 0.0;
+    for (double t : detect_times) sum += t;
+    return sum / static_cast<double>(detect_times.size());
+  }
+};
+
+class Analyzer {
+ public:
+  Analyzer(bool quiet, std::size_t max_timeline) : quiet_(quiet), max_timeline_(max_timeline) {}
+
+  void consume(const TraceEvent& event) {
+    switch (event.type) {
+      case EventType::kRunStart:
+        finish_run();
+        run_ = RunStats{};
+        run_.load = event.load;
+        run_.rep = event.rep;
+        run_.label = event.note;
+        in_run_ = true;
+        episode_ = Episode{};
+        episode_.start_time = event.time;
+        if (!quiet_) {
+          std::cout << "\n== run: " << run_.label << " load=" << fmt(run_.load)
+                    << " rep=" << run_.rep << " ==\n";
+        }
+        break;
+      case EventType::kRunEnd:
+        note_open_excursion_as_false_alarm(event.time);
+        finish_run();
+        break;
+      case EventType::kTransactionCompleted:
+        ++run_.transactions;
+        break;
+      case EventType::kGcStart:
+        ++run_.gc_pauses;
+        break;
+      case EventType::kSample:
+        ++episode_.samples;
+        if (event.exceeded && episode_.first_exceeded_time < 0.0) {
+          episode_.first_exceeded_time = event.time;
+        }
+        break;
+      case EventType::kEscalated:
+        if (episode_.first_escalation_time < 0.0) episode_.first_escalation_time = event.time;
+        if (episode_.open_excursion.start_time < 0.0) {
+          episode_.open_excursion.start_time = event.time;
+        }
+        episode_.open_excursion.peak_bucket =
+            std::max(episode_.open_excursion.peak_bucket, event.bucket);
+        add_timeline_line(event.time, "escalate   -> bucket " + std::to_string(event.bucket),
+                          event);
+        break;
+      case EventType::kDeescalated:
+        add_timeline_line(event.time, "deescalate -> bucket " + std::to_string(event.bucket),
+                          event);
+        if (event.bucket == 0) note_open_excursion_as_false_alarm(event.time);
+        break;
+      case EventType::kDetectorTriggered:
+        // Pre-reset evidence; the controller's kRejuvenationTriggered (with
+        // the post-reset snapshot) follows immediately.
+        last_evidence_ = event;
+        has_evidence_ = true;
+        break;
+      case EventType::kRejuvenationTriggered:
+        ++run_.triggers;
+        report_trigger(event);
+        episode_ = Episode{};
+        episode_.start_time = event.time;
+        has_evidence_ = false;
+        break;
+      case EventType::kCooldownSuppressed:
+        ++run_.suppressions;
+        break;
+      case EventType::kRejuvenationExecuted:
+        if (!quiet_ && run_.triggers > 0) {
+          std::cout << "    threads flushed: " << static_cast<std::uint64_t>(event.value) << "\n";
+        }
+        break;
+      case EventType::kExternalReset:
+        episode_ = Episode{};
+        episode_.start_time = event.time;
+        break;
+      default:
+        break;
+    }
+    if (in_run_) ++run_.events;
+  }
+
+  void finish() {
+    finish_run();
+    common::Table table({"label", "load", "rep", "events", "txns", "gcs", "triggers",
+                         "suppressed", "false_alarms", "mean_ttd_s"});
+    for (const RunStats& run : finished_) {
+      table.add_row({run.label, fmt(run.load), std::to_string(run.rep),
+                     std::to_string(run.events), std::to_string(run.transactions),
+                     std::to_string(run.gc_pauses), std::to_string(run.triggers),
+                     std::to_string(run.suppressions), std::to_string(run.false_alarms),
+                     fmt(run.mean_detect_time())});
+    }
+    common::print_table(std::cout, "per-run summary", table);
+
+    std::uint64_t triggers = 0;
+    std::uint64_t false_alarms = 0;
+    for (const RunStats& run : finished_) {
+      triggers += run.triggers;
+      false_alarms += run.false_alarms;
+    }
+    std::cout << finished_.size() << " run(s), " << triggers << " trigger(s), " << false_alarms
+              << " false-alarm candidate(s)\n";
+  }
+
+ private:
+  void add_timeline_line(double time, const std::string& what, const TraceEvent& event) {
+    episode_.timeline.push_back("t=" + fmt(time, 1) + "s  " + what + " (fill " +
+                                std::to_string(event.fill) + ", n=" +
+                                std::to_string(event.sample_size) + ")");
+  }
+
+  void note_open_excursion_as_false_alarm(double time) {
+    if (episode_.open_excursion.start_time < 0.0) return;
+    ++run_.false_alarms;
+    if (!quiet_) {
+      std::cout << "  false-alarm candidate: t=" << fmt(episode_.open_excursion.start_time, 1)
+                << "s.." << fmt(time, 1) << "s climbed to bucket "
+                << episode_.open_excursion.peak_bucket << ", returned to 0 without trigger\n";
+    }
+    episode_.open_excursion = Excursion{};
+    episode_.first_escalation_time = -1.0;
+  }
+
+  void report_trigger(const TraceEvent& trigger) {
+    const double detect_from_escalation = episode_.first_escalation_time >= 0.0
+                                              ? trigger.time - episode_.first_escalation_time
+                                              : 0.0;
+    run_.detect_times.push_back(detect_from_escalation);
+    if (quiet_) return;
+
+    std::cout << "\n  trigger #" << run_.triggers << " at t=" << fmt(trigger.time, 1)
+              << "s (observation " << static_cast<std::uint64_t>(trigger.value) << ")\n";
+    if (has_evidence_) {
+      std::cout << "    evidence: average " << fmt(last_evidence_.average, 3) << " > target "
+                << fmt(last_evidence_.target, 3);
+      if (last_evidence_.bucket >= 0) {
+        std::cout << " in bucket " << last_evidence_.bucket << "/"
+                  << last_evidence_.bucket_count;
+      }
+      std::cout << "\n";
+    }
+    if (!episode_.timeline.empty()) {
+      std::cout << "    escalation timeline (" << episode_.timeline.size() << " transitions):\n";
+      const std::size_t shown = std::min(episode_.timeline.size(), max_timeline_);
+      const std::size_t skipped = episode_.timeline.size() - shown;
+      if (skipped > 0) std::cout << "      ... " << skipped << " earlier transitions ...\n";
+      for (std::size_t i = episode_.timeline.size() - shown; i < episode_.timeline.size(); ++i) {
+        std::cout << "      " << episode_.timeline[i] << "\n";
+      }
+    }
+    std::cout << "    time-to-detect: " << fmt(detect_from_escalation, 1)
+              << "s from first escalation";
+    if (episode_.first_exceeded_time >= 0.0) {
+      std::cout << ", " << fmt(trigger.time - episode_.first_exceeded_time, 1)
+                << "s from first exceeded sample";
+    }
+    std::cout << "\n    samples this episode: " << episode_.samples << "\n";
+  }
+
+  void finish_run() {
+    if (!in_run_) return;
+    finished_.push_back(run_);
+    in_run_ = false;
+  }
+
+  bool quiet_;
+  std::size_t max_timeline_;
+  bool in_run_ = false;
+  RunStats run_;
+  Episode episode_;
+  TraceEvent last_evidence_;
+  bool has_evidence_ = false;
+  std::vector<RunStats> finished_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    // The first non-flag argument is the trace path; remaining arguments are
+    // ordinary --key=value flags.
+    std::string path;
+    std::vector<const char*> flag_argv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0 && path.empty()) {
+        path = arg;
+      } else {
+        flag_argv.push_back(argv[i]);
+      }
+    }
+    const auto flags =
+        rejuv::common::Flags::parse(static_cast<int>(flag_argv.size()), flag_argv.data());
+    REJUV_EXPECT(!path.empty(), "usage: rejuv_trace FILE [--quiet] [--max-timeline=N]");
+    REJUV_EXPECT(path.size() < 4 || path.substr(path.size() - 4) != ".csv",
+                 "rejuv_trace reads JSONL traces; re-run rejuv_sim with a non-.csv --trace file");
+
+    const bool quiet = flags.has("quiet");
+    const auto max_timeline = static_cast<std::size_t>(flags.get_int("max-timeline", 12));
+
+    const std::vector<rejuv::obs::TraceEvent> events = rejuv::obs::read_trace_file(path);
+    REJUV_EXPECT(!events.empty(), "trace is empty: " + path);
+
+    Analyzer analyzer(quiet, max_timeline);
+    for (const rejuv::obs::TraceEvent& event : events) analyzer.consume(event);
+    analyzer.finish();
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "rejuv_trace: " << error.what() << "\n"
+              << "see the header of tools/rejuv_trace.cpp for usage\n";
+    return 1;
+  }
+}
