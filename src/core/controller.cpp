@@ -1,16 +1,33 @@
 #include "core/controller.h"
 
-#include "common/expect.h"
+#include <algorithm>
+
+#include "core/factory.h"
 
 namespace rejuv::core {
 
 RejuvenationController::RejuvenationController(std::unique_ptr<Detector> detector,
                                                std::uint64_t cooldown_observations)
-    : detector_(std::move(detector)), cooldown_observations_(cooldown_observations) {}
+    : detector_(detector != nullptr ? std::move(detector) : std::make_unique<NullDetector>()),
+      noop_(dynamic_cast<const NullDetector*>(detector_.get()) != nullptr),
+      cooldown_observations_(cooldown_observations) {}
+
+void RejuvenationController::record_trigger() {
+  trigger_indices_.push_back(observations_);
+  cooldown_remaining_ = cooldown_observations_;
+  // The snapshot is taken after the decision, i.e. it shows the reset
+  // state the detector restarts from; the pre-reset evidence is in the
+  // detector_triggered event emitted just before this one.
+  // Guard on enabled(): taking the snapshot allocates, and the argument
+  // would be evaluated even when the emitter discards it.
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->rejuvenation_triggered(observations_, detector_->snapshot());
+  }
+  if (trigger_counter_ != nullptr) trigger_counter_->increment();
+}
 
 bool RejuvenationController::observe(double value) {
   ++observations_;
-  if (detector_ == nullptr) return false;
   if (cooldown_remaining_ > 0) {
     --cooldown_remaining_;
     if (tracer_ != nullptr) tracer_->cooldown_suppressed(cooldown_remaining_);
@@ -18,45 +35,46 @@ bool RejuvenationController::observe(double value) {
     return false;
   }
   if (detector_->observe(value) == Decision::kRejuvenate) {
-    trigger_indices_.push_back(observations_);
-    cooldown_remaining_ = cooldown_observations_;
-    // The snapshot is taken after the decision, i.e. it shows the reset
-    // state the detector restarts from; the pre-reset evidence is in the
-    // detector_triggered event emitted just before this one.
-    // Guard on enabled(): taking the snapshot allocates, and the argument
-    // would be evaluated even when the emitter discards it.
-    if (tracer_ != nullptr && tracer_->enabled()) {
-      tracer_->rejuvenation_triggered(observations_, detector_->snapshot());
-    }
-    if (trigger_counter_ != nullptr) trigger_counter_->increment();
+    record_trigger();
     return true;
   }
   return false;
 }
 
+std::size_t RejuvenationController::observe_all(std::span<const double> values) {
+  std::size_t triggers = 0;
+  std::size_t consumed = 0;
+  while (consumed < values.size()) {
+    if (cooldown_remaining_ > 0) {
+      // Per-value path: each suppressed observation emits its own
+      // cooldown event, exactly as observe() would.
+      observe(values[consumed]);
+      ++consumed;
+      continue;
+    }
+    const std::span<const double> rest = values.subspan(consumed);
+    const std::size_t hit = detector_->observe_all(rest);
+    if (hit == rest.size()) {
+      observations_ += rest.size();
+      break;
+    }
+    observations_ += hit + 1;
+    consumed += hit + 1;
+    record_trigger();
+    ++triggers;
+  }
+  return triggers;
+}
+
 void RejuvenationController::notify_external_rejuvenation() {
-  if (detector_ != nullptr) detector_->reset();
+  detector_->reset();
   cooldown_remaining_ = cooldown_observations_;
   if (tracer_ != nullptr) tracer_->external_reset();
 }
 
-const Detector& RejuvenationController::detector() const {
-  REJUV_EXPECT(detector_ != nullptr, "controller has no detector");
-  return *detector_;
-}
-
-obs::DetectorSnapshot RejuvenationController::detector_snapshot() const {
-  if (detector_ == nullptr) {
-    obs::DetectorSnapshot snapshot;
-    snapshot.algorithm = "None";
-    return snapshot;
-  }
-  return detector_->snapshot();
-}
-
 void RejuvenationController::set_tracer(obs::Tracer* tracer) noexcept {
   tracer_ = tracer;
-  if (detector_ != nullptr) detector_->set_tracer(tracer);
+  detector_->set_tracer(tracer);
 }
 
 void RejuvenationController::set_metrics(obs::MetricsRegistry* registry) {

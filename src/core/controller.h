@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/detector.h"
@@ -20,7 +21,9 @@ namespace rejuv::core {
 
 class RejuvenationController {
  public:
-  /// Takes ownership of `detector` (may be null: never rejuvenates).
+  /// Takes ownership of `detector`. A nullptr is normalized to a
+  /// NullDetector ("never rejuvenate"), so the controller always holds a
+  /// live detector and no call path needs a null check.
   /// `cooldown_observations`: number of observations after a trigger during
   /// which further triggers are suppressed and the detector is not fed.
   explicit RejuvenationController(std::unique_ptr<Detector> detector,
@@ -28,6 +31,12 @@ class RejuvenationController {
 
   /// Feeds one observation; true means rejuvenate now.
   bool observe(double value);
+
+  /// Feeds a batch; returns the number of triggers in it. Trigger indices,
+  /// cooldown handling and emitted events are identical to calling
+  /// observe() per value — the cooldown-free stretches route through
+  /// Detector::observe_all, which is the monitor's batch-drain hot path.
+  std::size_t observe_all(std::span<const double> values);
 
   /// Informs the controller of an externally initiated rejuvenation so the
   /// detector state and cooldown are reset consistently.
@@ -38,11 +47,13 @@ class RejuvenationController {
   /// 1-based observation indices at which triggers fired.
   const std::vector<std::uint64_t>& trigger_indices() const noexcept { return trigger_indices_; }
 
-  bool has_detector() const noexcept { return detector_ != nullptr; }
-  const Detector& detector() const;
+  /// False when the controller holds the no-op NullDetector (explicitly via
+  /// Algorithm::kNone or normalized from a nullptr).
+  bool has_detector() const noexcept { return !noop_; }
+  const Detector& detector() const noexcept { return *detector_; }
 
-  /// The detector's structured state right now (base view if detector-less).
-  obs::DetectorSnapshot detector_snapshot() const;
+  /// The detector's structured state right now.
+  obs::DetectorSnapshot detector_snapshot() const { return detector_->snapshot(); }
 
   /// Attaches a tracer (forwarded to the detector): the controller emits
   /// trigger events carrying the detector snapshot and cooldown-suppression
@@ -54,7 +65,10 @@ class RejuvenationController {
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
+  void record_trigger();
+
   std::unique_ptr<Detector> detector_;
+  bool noop_;
   std::uint64_t cooldown_observations_;
   std::uint64_t cooldown_remaining_ = 0;
   std::uint64_t observations_ = 0;

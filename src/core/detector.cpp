@@ -2,6 +2,13 @@
 
 namespace rejuv::core {
 
+std::size_t Detector::observe_all(std::span<const double> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (observe(values[i]) == Decision::kRejuvenate) return i;
+  }
+  return values.size();
+}
+
 obs::DetectorSnapshot Detector::base_snapshot() const {
   obs::DetectorSnapshot snapshot;
   snapshot.algorithm = name();

@@ -8,6 +8,8 @@
 // the experiment harness are agnostic to the algorithm in use.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
 
 #include "core/baseline.h"
@@ -30,6 +32,14 @@ class Detector {
   /// detector has already reset its own state (as the paper's pseudo-code
   /// does inside `rejuvenation_routine(); d := 0; N := 0`).
   virtual Decision observe(double value) = 0;
+
+  /// Feeds `values` in order, stopping at the first kRejuvenate decision.
+  /// Returns the index of the triggering observation, or values.size() when
+  /// the whole batch was consumed without a trigger — callers that must see
+  /// every decision resume with the subspan past the returned index. The
+  /// default implementation loops observe(); overrides with a cheaper batch
+  /// path must produce byte-identical decisions.
+  virtual std::size_t observe_all(std::span<const double> values);
 
   /// Resets all internal state, e.g. after an externally initiated
   /// rejuvenation, so stale evidence does not leak across restarts.

@@ -20,10 +20,17 @@ std::string algorithm_name(Algorithm algorithm) {
   return "Unknown";
 }
 
+bool operator==(const DetectorConfig& a, const DetectorConfig& b) {
+  return a.algorithm == b.algorithm && a.sample_size == b.sample_size && a.buckets == b.buckets &&
+         a.depth == b.depth && a.quantile_z == b.quantile_z &&
+         a.saraa_accelerate == b.saraa_accelerate && a.baseline.mean == b.baseline.mean &&
+         a.baseline.stddev == b.baseline.stddev;
+}
+
 std::unique_ptr<Detector> make_detector(const DetectorConfig& config) {
   switch (config.algorithm) {
     case Algorithm::kNone:
-      return nullptr;
+      return std::make_unique<NullDetector>(config.baseline);
     case Algorithm::kStatic:
       return std::make_unique<StaticRejuvenation>(config.buckets, config.depth, config.baseline);
     case Algorithm::kSraa:
@@ -42,9 +49,7 @@ std::unique_ptr<Detector> make_detector(const DetectorConfig& config) {
 }
 
 std::string describe(const DetectorConfig& config) {
-  if (config.algorithm == Algorithm::kNone) return "None";
-  const auto detector = make_detector(config);
-  return detector->name();
+  return make_detector(config)->name();
 }
 
 CalibratingDetector::CalibratingDetector(DetectorConfig config, std::uint64_t calibration_size)

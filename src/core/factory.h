@@ -43,8 +43,30 @@ struct DetectorConfig {
   }
 };
 
-/// Builds the configured detector. Returns nullptr for Algorithm::kNone
-/// (callers treat a null detector as "never rejuvenate").
+/// Field-wise equality (spec round-trip tests compare parsed configs).
+bool operator==(const DetectorConfig& a, const DetectorConfig& b);
+inline bool operator!=(const DetectorConfig& a, const DetectorConfig& b) { return !(a == b); }
+
+/// The Algorithm::kNone detector: consumes observations and never
+/// rejuvenates (the unmanaged baseline). Having a real object instead of a
+/// nullptr lets every consumer — controller, harness, monitor — feed the
+/// detector unconditionally.
+class NullDetector final : public Detector {
+ public:
+  explicit NullDetector(Baseline baseline = {}) : baseline_(baseline) {}
+
+  Decision observe(double) override { return Decision::kContinue; }
+  std::size_t observe_all(std::span<const double> values) override { return values.size(); }
+  void reset() override {}
+  std::string name() const override { return "None"; }
+  const Baseline& baseline() const override { return baseline_; }
+
+ private:
+  Baseline baseline_;
+};
+
+/// Builds the configured detector; never null (Algorithm::kNone yields a
+/// NullDetector that never rejuvenates).
 std::unique_ptr<Detector> make_detector(const DetectorConfig& config);
 
 /// Human-readable description, e.g. "SRAA(n=2,K=5,D=3)".

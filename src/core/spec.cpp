@@ -1,0 +1,135 @@
+#include "core/spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+namespace {
+
+std::string lower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return result;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+[[noreturn]] void fail(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("bad detector spec \"" + std::string(text) + "\": " + why);
+}
+
+double parse_number(std::string_view text, std::string_view token) {
+  const std::string_view value = trim(token);
+  double result = 0.0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), result);
+  if (ec != std::errc{} || ptr != value.data() + value.size() || !std::isfinite(result)) {
+    std::string why = "\"";
+    why += token;
+    why += "\" is not a number";
+    fail(text, why);
+  }
+  return result;
+}
+
+std::size_t parse_count(std::string_view text, std::string_view key, std::string_view token) {
+  const double value = parse_number(text, token);
+  if (value < 1.0 || value != std::floor(value)) {
+    fail(text, std::string(key) + " must be a positive integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+DetectorConfig parse_spec(std::string_view text) {
+  const std::string_view spec = trim(text);
+  if (spec.empty()) fail(text, "empty spec");
+
+  const std::size_t open = spec.find('(');
+  std::string_view name = trim(spec.substr(0, open));
+  std::string_view args;
+  if (open != std::string_view::npos) {
+    if (spec.back() != ')') fail(text, "missing closing parenthesis");
+    args = spec.substr(open + 1, spec.size() - open - 2);
+  }
+
+  DetectorConfig config;
+  const std::string name_lower = lower(name);
+  if (name_lower == "none") {
+    config.algorithm = Algorithm::kNone;
+  } else if (name_lower == "static") {
+    config.algorithm = Algorithm::kStatic;
+  } else if (name_lower == "sraa") {
+    config.algorithm = Algorithm::kSraa;
+  } else if (name_lower == "saraa") {
+    config.algorithm = Algorithm::kSaraa;
+  } else if (name_lower == "saraa-noaccel") {
+    config.algorithm = Algorithm::kSaraa;
+    config.saraa_accelerate = false;
+  } else if (name_lower == "clta") {
+    config.algorithm = Algorithm::kClta;
+  } else {
+    fail(text, "unknown algorithm \"" + std::string(name) + "\"");
+  }
+
+  while (!args.empty()) {
+    const std::size_t comma = args.find(',');
+    const std::string_view kv =
+        comma == std::string_view::npos ? args : args.substr(0, comma);
+    args = comma == std::string_view::npos ? std::string_view{} : args.substr(comma + 1);
+
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) fail(text, "expected key=value, got \"" + std::string(kv) + "\"");
+    const std::string key = lower(trim(kv.substr(0, eq)));
+    const std::string_view value = kv.substr(eq + 1);
+    if (key == "n") {
+      config.sample_size = parse_count(text, key, value);
+    } else if (key == "k") {
+      config.buckets = parse_count(text, key, value);
+    } else if (key == "d") {
+      config.depth = static_cast<int>(parse_count(text, key, value));
+    } else if (key == "z") {
+      config.quantile_z = parse_number(text, value);
+    } else if (key == "mu") {
+      config.baseline.mean = parse_number(text, value);
+    } else if (key == "sigma") {
+      config.baseline.stddev = parse_number(text, value);
+    } else {
+      fail(text, "unknown key \"" + key + "\"");
+    }
+  }
+
+  validate_config(config);
+  return config;
+}
+
+void validate_config(const DetectorConfig& config) {
+  if (config.algorithm == Algorithm::kNone) return;
+  validate(config.baseline);
+  REJUV_EXPECT(config.sample_size >= 1, "sample size n must be at least 1");
+  REJUV_EXPECT(config.buckets >= 1, "bucket count K must be at least 1");
+  REJUV_EXPECT(config.depth >= 1, "bucket depth D must be at least 1");
+  if (config.algorithm == Algorithm::kClta) {
+    REJUV_EXPECT(std::isfinite(config.quantile_z) && config.quantile_z > 0.0,
+                 "CLTA z must be positive and finite");
+  }
+}
+
+const DetectorConfig& DetectorSpec::config() const {
+  validate_config(config_);
+  return config_;
+}
+
+}  // namespace rejuv::core

@@ -1,0 +1,96 @@
+// DetectorSpec: detector configuration as a first-class, round-trippable
+// string API.
+//
+// The harness sweeps, the rejuv-sim CLI and the online monitor all need to
+// name a detector configuration; before this header each of them assembled
+// a DetectorConfig field by field. DetectorSpec is the one vocabulary they
+// share: a fluent builder over DetectorConfig plus a parser for the exact
+// strings Detector::name() / describe() print, so
+//
+//   parse_spec(describe(config)) == config
+//
+// holds for every configuration the paper sweeps. The grammar is
+//
+//   spec    := name [ "(" kv ("," kv)* ")" ]
+//   name    := None | Static | SRAA | SARAA | SARAA-noaccel | CLTA
+//   kv      := key "=" number      key := n | K | D | z | mu | sigma
+//
+// with case-insensitive names/keys and optional whitespace. `mu`/`sigma`
+// override the SLA baseline (describe() never prints them; they exist so a
+// CLI spec can carry a non-default baseline in one token).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/factory.h"
+
+namespace rejuv::core {
+
+/// Parses a detector spec string into the equivalent DetectorConfig.
+/// Throws std::invalid_argument naming the offending token on bad input.
+DetectorConfig parse_spec(std::string_view text);
+
+/// Fluent builder over DetectorConfig. Example:
+///   auto detector = DetectorSpec(Algorithm::kSraa).n(2).k(5).d(3).build();
+class DetectorSpec {
+ public:
+  explicit DetectorSpec(Algorithm algorithm = Algorithm::kSaraa) {
+    config_.algorithm = algorithm;
+  }
+
+  /// Builder seeded from an existing config (e.g. to vary one knob).
+  explicit DetectorSpec(const DetectorConfig& config) : config_(config) {}
+
+  /// Builder seeded from a spec string; same grammar as parse_spec.
+  static DetectorSpec parse(std::string_view text) { return DetectorSpec(parse_spec(text)); }
+
+  DetectorSpec& n(std::size_t sample_size) {
+    config_.sample_size = sample_size;
+    return *this;
+  }
+  DetectorSpec& k(std::size_t buckets) {
+    config_.buckets = buckets;
+    return *this;
+  }
+  DetectorSpec& d(int depth) {
+    config_.depth = depth;
+    return *this;
+  }
+  DetectorSpec& z(double quantile_z) {
+    config_.quantile_z = quantile_z;
+    return *this;
+  }
+  DetectorSpec& accelerate(bool on) {
+    config_.saraa_accelerate = on;
+    return *this;
+  }
+  DetectorSpec& baseline(double mean, double stddev) {
+    config_.baseline = Baseline{mean, stddev};
+    return *this;
+  }
+  DetectorSpec& baseline(const Baseline& value) {
+    config_.baseline = value;
+    return *this;
+  }
+
+  /// The accumulated configuration (validated; throws on nonsense such as
+  /// a zero sample size or non-positive sigma).
+  const DetectorConfig& config() const;
+
+  /// Canonical spec string, e.g. "SRAA(n=2,K=5,D=3)"; parse(str()) round-trips.
+  std::string str() const { return describe(config()); }
+
+  /// Builds the configured detector (a NullDetector for Algorithm::kNone).
+  std::unique_ptr<Detector> build() const { return make_detector(config()); }
+
+ private:
+  DetectorConfig config_;
+};
+
+/// Throws std::invalid_argument unless `config` names a buildable detector
+/// (positive n/K/D where the algorithm uses them, valid baseline).
+void validate_config(const DetectorConfig& config);
+
+}  // namespace rejuv::core

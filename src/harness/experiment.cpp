@@ -6,6 +6,7 @@
 #include "common/expect.h"
 #include "common/flags.h"
 #include "core/controller.h"
+#include "core/spec.h"
 #include "sim/simulator.h"
 #include "stats/batch_means.h"
 
@@ -120,6 +121,33 @@ SweepResult run_sweep(const core::DetectorConfig& detector_config,
       loads, protocol);
   sweep.detector = detector_config;
   return sweep;
+}
+
+SweepResult run_sweep(const std::string& detector_spec,
+                      const model::EcommerceConfig& system_template, std::span<const double> loads,
+                      const SimulationProtocol& protocol) {
+  return run_sweep(core::parse_spec(detector_spec), system_template, loads, protocol);
+}
+
+std::vector<std::uint64_t> replay_trigger_indices(const DetectorFactory& make_detector,
+                                                  std::span<const double> series,
+                                                  std::uint64_t cooldown_observations) {
+  core::RejuvenationController controller(make_detector(), cooldown_observations);
+  // The batched replication loop: drain the series through the detector's
+  // batch path exactly the way a monitor shard drains its queue.
+  constexpr std::size_t kBatch = 4096;
+  for (std::size_t offset = 0; offset < series.size(); offset += kBatch) {
+    controller.observe_all(series.subspan(offset, std::min(kBatch, series.size() - offset)));
+  }
+  return controller.trigger_indices();
+}
+
+std::vector<std::uint64_t> replay_trigger_indices(const std::string& detector_spec,
+                                                  std::span<const double> series,
+                                                  std::uint64_t cooldown_observations) {
+  const core::DetectorConfig config = core::parse_spec(detector_spec);
+  return replay_trigger_indices([&config] { return core::make_detector(config); }, series,
+                                cooldown_observations);
 }
 
 SweepResult run_custom_sweep(const std::string& label, const DetectorFactory& make_detector,

@@ -104,6 +104,27 @@ SweepResult run_sweep(const core::DetectorConfig& detector_config,
                       const model::EcommerceConfig& system_template, std::span<const double> loads,
                       const SimulationProtocol& protocol);
 
+/// Spec-string convenience: `run_sweep("SRAA(n=2,K=5,D=3)", ...)`. The spec
+/// grammar is documented in core/spec.h; throws std::invalid_argument on a
+/// bad spec.
+SweepResult run_sweep(const std::string& detector_spec,
+                      const model::EcommerceConfig& system_template, std::span<const double> loads,
+                      const SimulationProtocol& protocol);
+
+/// Replays a recorded response-time series through a fresh controller and
+/// returns the 1-based trigger indices. This is the offline twin of the
+/// online monitor's batch drain: the series is fed in batches through
+/// Detector::observe_all, so a live monitor shard and this replay produce
+/// bit-identical decisions for the same spec, series, and cooldown.
+std::vector<std::uint64_t> replay_trigger_indices(const DetectorFactory& make_detector,
+                                                  std::span<const double> series,
+                                                  std::uint64_t cooldown_observations = 0);
+
+/// Same, from a detector spec string.
+std::vector<std::uint64_t> replay_trigger_indices(const std::string& detector_spec,
+                                                  std::span<const double> series,
+                                                  std::uint64_t cooldown_observations = 0);
+
 /// Runs sweeps for many configurations over the same grid (same workload
 /// realizations across configurations).
 std::vector<SweepResult> run_sweeps(std::span<const core::DetectorConfig> detector_configs,

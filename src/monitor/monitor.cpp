@@ -1,0 +1,310 @@
+#include "monitor/monitor.h"
+
+#include <mutex>
+#include <thread>
+
+#include "common/expect.h"
+
+namespace rejuv::monitor {
+
+namespace {
+
+/// Serializes a multi-threaded monitor's events into one single-threaded
+/// sink. Every tracer (ingest + one per shard) points here; the wrapped
+/// sink sees a totally ordered stream.
+class LockedSink final : public obs::TraceSink {
+ public:
+  explicit LockedSink(obs::TraceSink* inner) : inner_(inner) {}
+
+  void record(const obs::TraceEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->record(event);
+  }
+  void flush() override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->flush();
+  }
+
+ private:
+  std::mutex mutex_;
+  obs::TraceSink* inner_;
+};
+
+constexpr std::size_t kDrainBatch = 512;
+
+}  // namespace
+
+std::uint64_t MonitorStats::dropped() const {
+  std::uint64_t total = 0;
+  for (const ShardStats& shard : shards) total += shard.dropped;
+  return total;
+}
+
+std::uint64_t MonitorStats::processed() const {
+  std::uint64_t total = 0;
+  for (const ShardStats& shard : shards) total += shard.processed;
+  return total;
+}
+
+std::uint64_t MonitorStats::triggers() const {
+  std::uint64_t total = 0;
+  for (const ShardStats& shard : shards) total += shard.triggers;
+  return total;
+}
+
+std::uint64_t MonitorStats::actions() const {
+  std::uint64_t total = 0;
+  for (const ShardStats& shard : shards) total += shard.actions;
+  return total;
+}
+
+struct Monitor::Shard {
+  std::size_t index = 0;
+  std::unique_ptr<SpscQueue<double>> queue;
+  std::unique_ptr<core::RejuvenationController> controller;
+  obs::Tracer tracer;
+  ShardStats stats;
+  obs::Counter* processed_counter = nullptr;
+  obs::Counter* trigger_counter = nullptr;
+  obs::Counter* action_counter = nullptr;
+};
+
+Monitor::Monitor(MonitorConfig config) : config_(std::move(config)) {
+  REJUV_EXPECT(config_.shards >= 1, "monitor needs at least one shard");
+  REJUV_EXPECT(config_.hysteresis_triggers >= 1, "hysteresis must be at least 1 trigger");
+  REJUV_EXPECT(config_.idle_poll.count() > 0, "idle poll interval must be positive");
+}
+
+bool Monitor::stop_requested() const noexcept {
+  return stop_.load(std::memory_order_acquire) ||
+         (external_stop_ != nullptr && external_stop_->load(std::memory_order_acquire));
+}
+
+void Monitor::worker_loop(Shard& shard) {
+  // Shard-local clock: seconds since monitor start, so live traces carry
+  // wall-clock-ish timestamps the way simulated traces carry sim time.
+  const auto seconds_since_start = [this] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_).count();
+  };
+
+  shard.tracer.set_time(seconds_since_start());
+  shard.tracer.run_start(core::describe(config_.detector), 0.0,
+                         static_cast<std::uint32_t>(shard.index), 0);
+
+  const bool traced = shard.tracer.enabled();
+  std::uint64_t seen_triggers = 0;
+  std::uint64_t triggers_since_action = 0;
+  // Converts controller triggers accumulated since the last call into
+  // emitted actions, applying the hysteresis ratio. Reading the
+  // controller's trigger index list keeps the exact per-observation
+  // position of each trigger even on the batch path.
+  const auto drain_triggers = [&] {
+    const std::vector<std::uint64_t>& indices = shard.controller->trigger_indices();
+    while (seen_triggers < indices.size()) {
+      const std::uint64_t observation = indices[seen_triggers++];
+      ++shard.stats.triggers;
+      if (shard.trigger_counter != nullptr) shard.trigger_counter->increment();
+      if (++triggers_since_action >= config_.hysteresis_triggers) {
+        triggers_since_action = 0;
+        ++shard.stats.actions;
+        if (shard.action_counter != nullptr) shard.action_counter->increment();
+        if (action_callback_) {
+          RejuvenationAction action;
+          action.shard = shard.index;
+          action.shard_observation = observation;
+          action.trigger_number = shard.stats.triggers;
+          action_callback_(action);
+        }
+      }
+    }
+  };
+
+  std::vector<double> batch(kDrainBatch);
+  while (true) {
+    const std::size_t count = shard.queue->pop_batch(batch.data(), batch.size());
+    if (count == 0) {
+      if (shard.queue->closed() && shard.queue->size() == 0) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    shard.stats.processed += count;
+    if (shard.processed_counter != nullptr) shard.processed_counter->increment(count);
+    const std::span<const double> values(batch.data(), count);
+    if (!traced) {
+      // Hot path: hand the whole drained batch to the controller, which
+      // routes cooldown-free stretches through Detector::observe_all.
+      shard.controller->observe_all(values);
+    } else {
+      // Traced path: per-observation feeding keeps the event interleaving
+      // (txn -> sample -> trigger) identical to simulated traces.
+      for (const double value : values) {
+        shard.tracer.set_time(seconds_since_start());
+        shard.tracer.transaction_completed(value);
+        shard.controller->observe(value);
+      }
+    }
+    drain_triggers();
+  }
+
+  shard.tracer.set_time(seconds_since_start());
+  shard.tracer.run_end(shard.stats.processed);
+}
+
+MonitorStats Monitor::run(Source& source) {
+  stop_.store(false, std::memory_order_release);
+  start_time_ = std::chrono::steady_clock::now();
+
+  std::unique_ptr<LockedSink> locked_sink;
+  if (trace_sink_ != nullptr) locked_sink = std::make_unique<LockedSink>(trace_sink_);
+
+  // Ingest-side instrumentation (this thread is the only writer).
+  obs::Tracer ingest_tracer;
+  if (locked_sink != nullptr) ingest_tracer.set_sink(locked_sink.get());
+  obs::Counter* lines_counter = nullptr;
+  obs::Counter* observations_counter = nullptr;
+  obs::Counter* malformed_counter = nullptr;
+  obs::Counter* watchdog_counter = nullptr;
+  obs::Counter* dropped_counter = nullptr;
+  if (metrics_ != nullptr) {
+    lines_counter = &metrics_->counter("monitor.ingest.lines");
+    observations_counter = &metrics_->counter("monitor.ingest.observations");
+    malformed_counter = &metrics_->counter("monitor.ingest.malformed");
+    watchdog_counter = &metrics_->counter("monitor.ingest.watchdog_timeouts");
+    dropped_counter = &metrics_->counter("monitor.ingest.dropped");
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::thread> workers;
+  shards.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->queue = std::make_unique<SpscQueue<double>>(config_.queue_capacity);
+    std::unique_ptr<core::Detector> detector =
+        config_.calibrate > 0 && config_.detector.algorithm != core::Algorithm::kNone
+            ? std::make_unique<core::CalibratingDetector>(config_.detector, config_.calibrate)
+            : core::make_detector(config_.detector);
+    shard->controller = std::make_unique<core::RejuvenationController>(
+        std::move(detector), config_.cooldown_observations);
+    if (locked_sink != nullptr) {
+      shard->tracer.set_sink(locked_sink.get());
+      shard->controller->set_tracer(&shard->tracer);
+    }
+    if (metrics_ != nullptr) {
+      const std::string prefix = "monitor.shard" + std::to_string(i);
+      shard->processed_counter = &metrics_->counter(prefix + ".processed");
+      shard->trigger_counter = &metrics_->counter(prefix + ".triggers");
+      shard->action_counter = &metrics_->counter(prefix + ".actions");
+    }
+    shards.push_back(std::move(shard));
+  }
+  workers.reserve(config_.shards);
+  for (auto& shard : shards) {
+    workers.emplace_back([this, &shard] { worker_loop(*shard); });
+  }
+
+  const auto stamp_ingest_time = [&] {
+    ingest_tracer.set_time(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_).count());
+  };
+
+  MonitorStats stats;
+  stats.shards.resize(config_.shards);
+  stamp_ingest_time();
+  ingest_tracer.source_opened(source.describe());
+
+  auto last_data = std::chrono::steady_clock::now();
+  const bool watchdog_armed = config_.watchdog_timeout.count() > 0;
+  std::string line;
+  std::size_t next_shard = 0;
+  bool budget_reached = false;
+
+  while (!stop_requested() && !budget_reached) {
+    const Source::Status status = source.next_line(line, config_.idle_poll);
+    if (status == Source::Status::kEnd) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (status == Source::Status::kTimeout) {
+      if (watchdog_armed && now - last_data >= config_.watchdog_timeout) {
+        ++stats.watchdog_timeouts;
+        if (watchdog_counter != nullptr) watchdog_counter->increment();
+        stamp_ingest_time();
+        ingest_tracer.watchdog_timeout(static_cast<double>(config_.watchdog_timeout.count()));
+        // Re-arm so a persistently silent source fires once per timeout
+        // period, not once per poll tick.
+        last_data = now;
+      }
+      continue;
+    }
+    last_data = now;
+    ++stats.lines;
+    if (lines_counter != nullptr) lines_counter->increment();
+
+    const ParsedLine parsed = parse_observation(line);
+    switch (parsed.kind) {
+      case ParsedLine::Kind::kSkip:
+        ++stats.skipped;
+        continue;
+      case ParsedLine::Kind::kMalformed:
+        ++stats.malformed;
+        if (malformed_counter != nullptr) malformed_counter->increment();
+        stamp_ingest_time();
+        ingest_tracer.malformed_input(stats.lines, line.substr(0, 40));
+        continue;
+      case ParsedLine::Kind::kObservation:
+        break;
+    }
+
+    ++stats.parsed;
+    if (observations_counter != nullptr) observations_counter->increment();
+
+    Shard& shard = *shards[next_shard];
+    next_shard = (next_shard + 1) % config_.shards;
+    ShardStats& shard_stats = stats.shards[shard.index];
+    if (shard.queue->try_push(parsed.value)) {
+      ++shard_stats.enqueued;
+    } else if (config_.drop_when_full) {
+      ++shard_stats.dropped;
+      if (dropped_counter != nullptr) dropped_counter->increment();
+      stamp_ingest_time();
+      ingest_tracer.observation_dropped(static_cast<std::uint32_t>(shard.index),
+                                        shard_stats.dropped);
+    } else {
+      // Backpressure: stall ingest until the shard frees a slot. A stop
+      // request converts the stall into a drop so shutdown cannot wedge.
+      bool pushed = false;
+      while (!pushed && !stop_requested()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        pushed = shard.queue->try_push(parsed.value);
+      }
+      if (pushed) {
+        ++shard_stats.enqueued;
+      } else {
+        ++shard_stats.dropped;
+        if (dropped_counter != nullptr) dropped_counter->increment();
+        stamp_ingest_time();
+        ingest_tracer.observation_dropped(static_cast<std::uint32_t>(shard.index),
+                                          shard_stats.dropped);
+      }
+    }
+    if (config_.max_observations > 0 && stats.parsed >= config_.max_observations) {
+      budget_reached = true;
+    }
+  }
+
+  // Deterministic shutdown: close every queue, let workers drain what was
+  // enqueued, and join them before touching their stats.
+  for (auto& shard : shards) shard->queue->close();
+  for (std::thread& worker : workers) worker.join();
+  for (auto& shard : shards) {
+    stats.shards[shard->index].processed = shard->stats.processed;
+    stats.shards[shard->index].triggers = shard->stats.triggers;
+    stats.shards[shard->index].actions = shard->stats.actions;
+  }
+
+  stamp_ingest_time();
+  ingest_tracer.source_closed(stats.parsed);
+  ingest_tracer.flush();
+  return stats;
+}
+
+}  // namespace rejuv::monitor

@@ -1,0 +1,235 @@
+#include "monitor/source.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "common/expect.h"
+#include "obs/trace_reader.h"
+
+namespace rejuv::monitor {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 1 << 16;
+
+/// Waits for fd readability up to `timeout`. Returns true when readable.
+bool wait_readable(int fd, std::chrono::milliseconds timeout) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+/// Reads one chunk into the splitter. Returns bytes read; 0 = EOF, -1 = no
+/// data available right now (EAGAIN).
+long read_chunk(int fd, LineSplitter& splitter) {
+  char buffer[kReadChunk];
+  const ssize_t got = ::read(fd, buffer, sizeof buffer);
+  if (got > 0) splitter.feed(buffer, static_cast<std::size_t>(got));
+  if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) return -1;
+  return static_cast<long>(got);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ LineSplitter
+
+void LineSplitter::feed(const char* data, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      if (!pending_.empty() && pending_.back() == '\r') pending_.pop_back();
+      ready_.push_back(std::move(pending_));
+      pending_.clear();
+    } else {
+      pending_.push_back(c);
+    }
+  }
+}
+
+void LineSplitter::finish() {
+  if (pending_.empty()) return;
+  if (pending_.back() == '\r') pending_.pop_back();
+  ready_.push_back(std::move(pending_));
+  pending_.clear();
+}
+
+bool LineSplitter::pop(std::string& line) {
+  if (ready_.empty()) return false;
+  line = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+// ------------------------------------------------------- parse_observation
+
+ParsedLine parse_observation(std::string_view line) {
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.front()))) {
+    line.remove_prefix(1);
+  }
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back()))) {
+    line.remove_suffix(1);
+  }
+  if (line.empty() || line.front() == '#') return {ParsedLine::Kind::kSkip, 0.0};
+
+  if (line.front() == '{') {
+    const auto event = obs::parse_trace_line(line);
+    if (!event.has_value()) return {ParsedLine::Kind::kMalformed, 0.0};
+    if (event->type == obs::EventType::kTransactionCompleted) {
+      return {ParsedLine::Kind::kObservation, event->value};
+    }
+    return {ParsedLine::Kind::kSkip, 0.0};
+  }
+
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(line.data(), line.data() + line.size(), value);
+  if (ec != std::errc{} || ptr != line.data() + line.size() || !std::isfinite(value)) {
+    return {ParsedLine::Kind::kMalformed, 0.0};
+  }
+  return {ParsedLine::Kind::kObservation, value};
+}
+
+// ------------------------------------------------------------ VectorSource
+
+Source::Status VectorSource::next_line(std::string& line, std::chrono::milliseconds) {
+  if (next_ >= lines_.size()) return Status::kEnd;
+  line = lines_[next_++];
+  return Status::kLine;
+}
+
+// -------------------------------------------------------------- FileSource
+
+FileSource::FileSource(const std::string& path, bool follow) : path_(path), follow_(follow) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  REJUV_EXPECT(fd_ >= 0, "cannot open source file: " + path);
+}
+
+FileSource::~FileSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string FileSource::describe() const {
+  return (follow_ ? "follow:" : "file:") + path_;
+}
+
+Source::Status FileSource::next_line(std::string& line, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    if (splitter_.pop(line)) return Status::kLine;
+    if (eof_) return Status::kEnd;
+    const long got = read_chunk(fd_, splitter_);
+    if (got > 0) continue;
+    if (got == 0) {
+      // End of file: definitive for a plain file, provisional in follow
+      // mode (more bytes may be appended; sleep briefly and re-read).
+      if (!follow_) {
+        splitter_.finish();
+        eof_ = true;
+        continue;
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return Status::kTimeout;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// ------------------------------------------------------------- StdinSource
+
+Source::Status StdinSource::next_line(std::string& line, std::chrono::milliseconds timeout) {
+  while (true) {
+    if (splitter_.pop(line)) return Status::kLine;
+    if (eof_) return Status::kEnd;
+    if (!wait_readable(STDIN_FILENO, timeout)) return Status::kTimeout;
+    const long got = read_chunk(STDIN_FILENO, splitter_);
+    if (got == 0) {
+      splitter_.finish();
+      eof_ = true;
+    }
+  }
+}
+
+// --------------------------------------------------------------- TcpSource
+
+TcpSource::TcpSource(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  REJUV_EXPECT(listen_fd_ >= 0, "cannot create tcp socket");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0 ||
+      ::listen(listen_fd_, 4) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("cannot listen on tcp port " + std::to_string(port) + ": " +
+                                std::strerror(errno));
+  }
+  socklen_t length = sizeof address;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
+  port_ = ntohs(address.sin_port);
+}
+
+TcpSource::~TcpSource() {
+  if (client_fd_ >= 0) ::close(client_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::string TcpSource::describe() const { return "tcp:" + std::to_string(port_); }
+
+Source::Status TcpSource::next_line(std::string& line, std::chrono::milliseconds timeout) {
+  while (true) {
+    if (splitter_.pop(line)) return Status::kLine;
+    if (client_fd_ < 0) {
+      if (!wait_readable(listen_fd_, timeout)) return Status::kTimeout;
+      client_fd_ = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (client_fd_ < 0) return Status::kTimeout;
+      continue;
+    }
+    if (!wait_readable(client_fd_, timeout)) return Status::kTimeout;
+    const long got = read_chunk(client_fd_, splitter_);
+    if (got == 0) {
+      // Client hung up: flush its final partial line and accept the next
+      // reporter. The source itself stays live.
+      splitter_.finish();
+      ::close(client_fd_);
+      client_fd_ = -1;
+    }
+  }
+}
+
+// ------------------------------------------------------------- open_source
+
+std::unique_ptr<Source> open_source(const std::string& spec) {
+  if (spec == "stdin" || spec == "-") return std::make_unique<StdinSource>();
+  if (spec.rfind("file:", 0) == 0) return std::make_unique<FileSource>(spec.substr(5), false);
+  if (spec.rfind("follow:", 0) == 0) return std::make_unique<FileSource>(spec.substr(7), true);
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string port_text = spec.substr(4);
+    int port = -1;
+    const auto [ptr, ec] =
+        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() || port < 0 ||
+        port > 65535) {
+      throw std::invalid_argument("bad tcp port in source spec: " + spec);
+    }
+    return std::make_unique<TcpSource>(static_cast<std::uint16_t>(port));
+  }
+  throw std::invalid_argument("unknown source spec \"" + spec +
+                              "\" (expected stdin, file:PATH, follow:PATH or tcp:PORT)");
+}
+
+}  // namespace rejuv::monitor

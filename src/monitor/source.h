@@ -1,0 +1,147 @@
+// Observation sources for the online monitor.
+//
+// A Source yields the measurement stream one text line at a time with a
+// bounded wait, so the ingest loop can interleave reading with watchdog and
+// shutdown checks. Three production sources ship here — stdin, files
+// (optionally in tail-follow mode) and a line-oriented TCP listener — plus
+// an in-memory VectorSource for tests. Line payloads are either a plain
+// number per line (a response time in seconds) or a rejuv-sim JSONL trace
+// line, whose kTransactionCompleted events carry the response time; that
+// lets `rejuv-sim --trace` output be replayed through the monitor directly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rejuv::monitor {
+
+class Source {
+ public:
+  enum class Status {
+    kLine,     ///< `line` was filled with the next input line
+    kTimeout,  ///< nothing arrived within the wait budget; source still live
+    kEnd,      ///< end of stream; no further lines will ever arrive
+  };
+
+  virtual ~Source() = default;
+
+  /// Blocks up to `timeout` for the next line (without its terminator).
+  virtual Status next_line(std::string& line, std::chrono::milliseconds timeout) = 0;
+
+  /// Human-readable description, e.g. "tcp:9090" or "file:rt.jsonl".
+  virtual std::string describe() const = 0;
+};
+
+/// Opens a source from its spec string:
+///   "stdin" | "-"        read standard input
+///   "file:PATH"          read PATH to end-of-file
+///   "follow:PATH"        read PATH and keep tailing it (tail -f)
+///   "tcp:PORT"           listen on 127.0.0.1:PORT (0 = ephemeral) and read
+///                        line-oriented payloads from one client at a time
+/// Throws std::invalid_argument on an unknown scheme or unopenable target.
+std::unique_ptr<Source> open_source(const std::string& spec);
+
+/// Splits a byte stream into lines ('\n' terminated; a trailing '\r' is
+/// stripped so CRLF peers work). finish() flushes an unterminated tail.
+class LineSplitter {
+ public:
+  void feed(const char* data, std::size_t size);
+  /// Declares end-of-stream: an unterminated final line becomes poppable.
+  void finish();
+  bool pop(std::string& line);
+
+ private:
+  std::string pending_;
+  std::deque<std::string> ready_;
+};
+
+/// One parsed input line.
+struct ParsedLine {
+  enum class Kind {
+    kObservation,  ///< `value` holds a response time
+    kSkip,         ///< blank, comment, or a non-transaction trace event
+    kMalformed,    ///< not a number and not a parseable trace line
+  };
+  Kind kind = Kind::kSkip;
+  double value = 0.0;
+};
+
+/// Classifies a raw input line: plain finite number, '#' comment, blank, or
+/// JSONL trace event ("txn" events yield their response time, other valid
+/// trace events are skipped).
+ParsedLine parse_observation(std::string_view line);
+
+/// In-memory source for tests and programmatic feeding.
+class VectorSource final : public Source {
+ public:
+  explicit VectorSource(std::vector<std::string> lines) : lines_(std::move(lines)) {}
+
+  Status next_line(std::string& line, std::chrono::milliseconds timeout) override;
+  std::string describe() const override { return "vector"; }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t next_ = 0;
+};
+
+/// Reads a file to end-of-file; in follow mode, keeps polling for appended
+/// data instead of reporting kEnd.
+class FileSource final : public Source {
+ public:
+  FileSource(const std::string& path, bool follow);
+  ~FileSource() override;
+
+  Status next_line(std::string& line, std::chrono::milliseconds timeout) override;
+  std::string describe() const override;
+
+ private:
+  std::string path_;
+  bool follow_;
+  int fd_ = -1;
+  bool eof_ = false;
+  LineSplitter splitter_;
+};
+
+/// Reads standard input (fd 0) with poll-based waits.
+class StdinSource final : public Source {
+ public:
+  StdinSource() = default;
+
+  Status next_line(std::string& line, std::chrono::milliseconds timeout) override;
+  std::string describe() const override { return "stdin"; }
+
+ private:
+  bool eof_ = false;
+  LineSplitter splitter_;
+};
+
+/// Line-oriented TCP listener on 127.0.0.1. Serves one client at a time;
+/// when a client disconnects the source goes back to accepting (an online
+/// monitor outlives any one reporter), so it never reports kEnd on its own
+/// — the monitor ends a TCP run via stop or max-observations.
+class TcpSource final : public Source {
+ public:
+  /// Binds and listens immediately; port 0 picks an ephemeral port.
+  explicit TcpSource(std::uint16_t port);
+  ~TcpSource() override;
+
+  Status next_line(std::string& line, std::chrono::milliseconds timeout) override;
+  std::string describe() const override;
+
+  /// The actually bound port (resolves port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int client_fd_ = -1;
+  LineSplitter splitter_;
+};
+
+}  // namespace rejuv::monitor

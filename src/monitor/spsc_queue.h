@@ -1,0 +1,84 @@
+// Bounded single-producer / single-consumer ring queue.
+//
+// The monitor's ingest thread is the only producer and each shard worker
+// the only consumer of its queue, so the classic two-index lock-free ring
+// suffices: the producer owns tail_, the consumer owns head_, and each
+// side reads the other's index with acquire ordering only when its cached
+// copy says the ring looks full/empty. No locks, no CAS loops — one
+// release store per push and per batch pop. Capacity is rounded up to a
+// power of two so the index math is a mask.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace rejuv::monitor {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) {
+    REJUV_EXPECT(capacity >= 1, "queue capacity must be at least 1");
+    std::size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    ring_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// Producer side. False when the ring is full (the caller decides whether
+  /// to retry — backpressure — or drop).
+  bool try_push(const T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= ring_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= ring_.size()) return false;
+    }
+    ring_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: moves up to `max` elements into `out`, returns how many.
+  std::size_t pop_batch(T* out, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (tail_cache_ == head) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (tail_cache_ == head) return 0;
+    }
+    std::size_t count = tail_cache_ - head;
+    if (count > max) count = max;
+    for (std::size_t i = 0; i < count; ++i) out[i] = ring_[(head + i) & mask_];
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Producer signals end-of-stream; the consumer drains and exits once
+  /// closed() and empty.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+  bool closed() const noexcept { return closed_.load(std::memory_order_acquire); }
+
+  /// Approximate occupancy (exact from either owning thread).
+  std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+ private:
+  std::vector<T> ring_;
+  std::size_t mask_ = 0;
+  // Producer-owned line: tail index plus the producer's cached head.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+  // Consumer-owned line: head index plus the consumer's cached tail.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace rejuv::monitor

@@ -7,7 +7,7 @@ namespace rejuv::obs {
 
 namespace {
 
-constexpr std::array<std::pair<EventType, std::string_view>, 15> kNames{{
+constexpr std::array<std::pair<EventType, std::string_view>, 20> kNames{{
     {EventType::kRunStart, "run_start"},
     {EventType::kRunEnd, "run_end"},
     {EventType::kTransactionCompleted, "txn"},
@@ -23,6 +23,11 @@ constexpr std::array<std::pair<EventType, std::string_view>, 15> kNames{{
     {EventType::kCooldownSuppressed, "cooldown_suppressed"},
     {EventType::kRejuvenationExecuted, "rejuvenation_executed"},
     {EventType::kExternalReset, "external_reset"},
+    {EventType::kSourceOpened, "source_open"},
+    {EventType::kSourceClosed, "source_close"},
+    {EventType::kObservationDropped, "dropped"},
+    {EventType::kWatchdogTimeout, "watchdog"},
+    {EventType::kMalformedInput, "malformed"},
 }};
 
 }  // namespace

@@ -34,6 +34,12 @@ enum class EventType : std::uint8_t {
   kCooldownSuppressed,     ///< value = cooldown observations remaining
   kRejuvenationExecuted,   ///< model flushed work; value = threads lost
   kExternalReset,          ///< notify_external_rejuvenation reached the detector
+  // --- Online monitor (rejuv-monitor) events ---
+  kSourceOpened,           ///< note = source description
+  kSourceClosed,           ///< value = observations ingested over the source's life
+  kObservationDropped,     ///< backpressure drop; rep = shard, value = total drops there
+  kWatchdogTimeout,        ///< idle source; value = configured timeout (ms)
+  kMalformedInput,         ///< value = 1-based line number; note = offending prefix
 };
 
 /// Stable wire name, e.g. "txn" for kTransactionCompleted.

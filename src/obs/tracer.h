@@ -172,6 +172,49 @@ class Tracer {
     emit(std::move(event));
   }
 
+  // --- Online monitor (rejuv-monitor) events ---
+  void source_opened(const std::string& description) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kSourceOpened;
+    event.note = description;
+    emit(std::move(event));
+  }
+  void source_closed(std::uint64_t observations_ingested) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kSourceClosed;
+    event.value = static_cast<double>(observations_ingested);
+    emit(std::move(event));
+  }
+  /// `shard` lands in the rep field (the run context is re-stamped, as the
+  /// ingest thread emits drops for all shards); `total_dropped` is the
+  /// running drop count for that shard, so the last drop event carries the
+  /// final tally.
+  void observation_dropped(std::uint32_t shard, std::uint64_t total_dropped) {
+    if (sink_ == nullptr) return;
+    rep_ = shard;
+    TraceEvent event;
+    event.type = EventType::kObservationDropped;
+    event.value = static_cast<double>(total_dropped);
+    emit(std::move(event));
+  }
+  void watchdog_timeout(double timeout_ms) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kWatchdogTimeout;
+    event.value = timeout_ms;
+    emit(std::move(event));
+  }
+  void malformed_input(std::uint64_t line_number, const std::string& prefix) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kMalformedInput;
+    event.value = static_cast<double>(line_number);
+    event.note = prefix;
+    emit(std::move(event));
+  }
+
  private:
   TraceSink* sink_ = nullptr;
   std::uint64_t seq_ = 0;

@@ -83,10 +83,15 @@ TEST(Factory, BuildsEveryAlgorithm) {
   }
 }
 
-TEST(Factory, NoneAlgorithmYieldsNull) {
+TEST(Factory, NoneAlgorithmYieldsNullDetector) {
   DetectorConfig config;
   config.algorithm = Algorithm::kNone;
-  EXPECT_EQ(make_detector(config), nullptr);
+  const auto detector = make_detector(config);
+  ASSERT_NE(detector, nullptr);
+  EXPECT_EQ(detector->name(), "None");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(detector->observe(1e9), Decision::kContinue);
+  const double series[] = {1e9, 1e9, 1e9};
+  EXPECT_EQ(detector->observe_all(series), 3u);
   EXPECT_EQ(describe(config), "None");
 }
 
@@ -126,10 +131,13 @@ TEST(Controller, CountsTriggersAndIndices) {
 }
 
 TEST(Controller, NullDetectorNeverTriggers) {
+  // A nullptr detector is normalized to a NullDetector: observing is always
+  // legal and detector() never throws.
   RejuvenationController controller(nullptr);
   for (int i = 0; i < 100; ++i) EXPECT_FALSE(controller.observe(1e9));
   EXPECT_FALSE(controller.has_detector());
-  EXPECT_THROW(controller.detector(), std::invalid_argument);
+  EXPECT_EQ(controller.detector().name(), "None");
+  EXPECT_EQ(controller.rejuvenations(), 0u);
 }
 
 TEST(Controller, CooldownSuppressesRetriggering) {

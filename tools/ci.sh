@@ -3,10 +3,34 @@
 # test suite, the reproduction self-check, every figure bench on the reduced
 # budget, and a tracer-overhead micro-bench smoke run.
 #
-# Usage: tools/ci.sh [build-dir]   (default: build)
+# Usage: tools/ci.sh [build-dir]        full pipeline (default dir: build)
+#        tools/ci.sh tsan [build-dir]   ThreadSanitizer build + threaded tests
+#                                       (default dir: build-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# The tsan stage builds separately (TSan cannot share objects with the plain
+# build) and runs the test binaries that exercise real threads: the online
+# monitor runtime and the observability registry.
+if [ "${1:-}" = "tsan" ]; then
+  BUILD_DIR="${2:-build-tsan}"
+  GENERATOR_ARGS=()
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    GENERATOR_ARGS=(-G Ninja)
+  fi
+  echo "==> tsan configure"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DREJUV_TSAN=ON
+  echo "==> tsan build (threaded test binaries)"
+  cmake --build "$BUILD_DIR" -j --target monitor_test obs_test harness_test
+  echo "==> tsan run"
+  "$BUILD_DIR"/tests/monitor_test
+  "$BUILD_DIR"/tests/obs_test
+  "$BUILD_DIR"/tests/harness_test
+  echo "==> ci.sh tsan: all green"
+  exit 0
+fi
+
 BUILD_DIR="${1:-build}"
 
 # Pick a generator only on a fresh configure; an existing cache keeps its own

@@ -1,0 +1,141 @@
+// rejuv_monitor — online rejuvenation monitoring over a live metric stream.
+//
+// Runs the paper's detection algorithms against a live stream of response
+// times instead of the offline simulation harness. Input is one observation
+// per line: either a plain number (seconds) or a rejuv-sim JSONL trace line
+// (whose "txn" events carry the response time), so a simulated run can be
+// replayed through the monitor unchanged:
+//
+//   rejuv-sim --algorithm=saraa --loads=9 --trace=run.jsonl
+//   rejuv-monitor --detector='SARAA(n=2,K=5,D=3)' --source=file:run.jsonl
+//
+//   seq 1 100000 | rejuv-monitor --detector='SRAA(n=2,K=5,D=3)'
+//   rejuv-monitor --source=tcp:9090 --shards=4 --watchdog-ms=5000
+//
+// Each emitted rejuvenation action prints one line to stdout; the summary
+// goes to stderr. SIGINT/SIGTERM shut down cleanly (queues drain, stats are
+// final). Flags (defaults in brackets):
+//   --detector=SPEC        detector spec, e.g. 'SRAA(n=2,K=5,D=3)',
+//                          'CLTA(n=30,z=1.96)', 'SARAA-noaccel(n=2,K=5,D=3)',
+//                          'None'; optional mu=/sigma= keys set the baseline
+//                          [SARAA(n=2,K=5,D=3)]
+//   --source=SPEC          stdin | file:PATH | follow:PATH | tcp:PORT [stdin]
+//   --shards=N             worker shards, round-robin routing [1]
+//   --queue=N              per-shard queue capacity (power of 2) [4096]
+//   --cooldown=N           controller cooldown in observations [0]
+//   --hysteresis=N         detector triggers per emitted action [1]
+//   --drop                 drop on a full queue instead of blocking ingest
+//   --watchdog-ms=N        idle-source watchdog timeout, 0 = off [0]
+//   --max-obs=N            stop after N observations, 0 = unbounded [0]
+//   --calibrate=N          estimate the baseline from the first N healthy
+//                          observations per shard [off]
+//   --trace=FILE           structured event trace (JSONL; .csv selects CSV);
+//                          analyze with rejuv-trace
+//   --metrics              dump the metrics registry to stderr at the end
+//   --quiet                suppress per-action stdout lines
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+
+#include "common/expect.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/spec.h"
+#include "monitor/monitor.h"
+#include "monitor/source.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+
+namespace {
+
+using namespace rejuv;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto flags = common::Flags::parse(argc, argv);
+
+    monitor::MonitorConfig config;
+    config.detector =
+        core::parse_spec(flags.get("detector").value_or("SARAA(n=2,K=5,D=3)"));
+    config.shards = static_cast<std::size_t>(flags.get_int("shards", 1));
+    config.queue_capacity = static_cast<std::size_t>(flags.get_int("queue", 4096));
+    config.cooldown_observations = static_cast<std::uint64_t>(flags.get_int("cooldown", 0));
+    config.hysteresis_triggers = static_cast<std::uint64_t>(flags.get_int("hysteresis", 1));
+    config.drop_when_full = flags.has("drop");
+    config.watchdog_timeout = std::chrono::milliseconds(flags.get_int("watchdog-ms", 0));
+    config.max_observations = static_cast<std::uint64_t>(flags.get_int("max-obs", 0));
+    config.calibrate = static_cast<std::uint64_t>(flags.get_int("calibrate", 0));
+
+    const std::string source_spec = flags.get("source").value_or("stdin");
+    const auto source = monitor::open_source(source_spec);
+
+    monitor::Monitor engine(config);
+    engine.set_stop_flag(&g_stop);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    const bool quiet = flags.has("quiet");
+    if (!quiet) {
+      engine.set_action_callback([](const monitor::RejuvenationAction& action) {
+        // One parseable line per action so downstream automation can pipe
+        // the decision stream.
+        std::cout << "rejuvenate shard=" << action.shard << " obs=" << action.shard_observation
+                  << " trigger=" << action.trigger_number << "\n"
+                  << std::flush;
+      });
+    }
+
+    std::ofstream trace_file;
+    std::unique_ptr<obs::TraceSink> trace_sink;
+    if (const auto trace_path = flags.get("trace")) {
+      trace_file.open(*trace_path);
+      REJUV_EXPECT(trace_file.is_open(), "cannot open --trace file: " + *trace_path);
+      if (ends_with(*trace_path, ".csv")) {
+        trace_sink = std::make_unique<obs::CsvSink>(trace_file);
+      } else {
+        trace_sink = std::make_unique<obs::JsonlSink>(trace_file);
+      }
+      engine.set_trace_sink(trace_sink.get());
+    }
+    obs::MetricsRegistry registry;
+    const bool want_metrics = flags.has("metrics");
+    if (want_metrics) engine.set_metrics(&registry);
+
+    std::cerr << "rejuv-monitor: " << core::describe(config.detector) << " on " << source_spec
+              << ", " << config.shards << " shard(s), queue " << config.queue_capacity << ", "
+              << (config.drop_when_full ? "drop" : "block") << " on backpressure\n";
+
+    const monitor::MonitorStats stats = engine.run(*source);
+
+    common::Table table({"shard", "enqueued", "dropped", "processed", "triggers", "actions"});
+    for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+      const monitor::ShardStats& shard = stats.shards[i];
+      table.add_row({std::to_string(i), std::to_string(shard.enqueued),
+                     std::to_string(shard.dropped), std::to_string(shard.processed),
+                     std::to_string(shard.triggers), std::to_string(shard.actions)});
+    }
+    common::print_table(std::cerr, "per-shard summary", table);
+    std::cerr << "lines=" << stats.lines << " observations=" << stats.parsed
+              << " skipped=" << stats.skipped << " malformed=" << stats.malformed
+              << " dropped=" << stats.dropped() << " watchdog_timeouts=" << stats.watchdog_timeouts
+              << " triggers=" << stats.triggers() << " actions=" << stats.actions() << "\n";
+    if (want_metrics) registry.write(std::cerr);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "rejuv_monitor: " << error.what() << "\n"
+              << "see the header of tools/rejuv_monitor.cpp for usage\n";
+    return 1;
+  }
+}

@@ -12,6 +12,10 @@
 //   rejuv_sim --algorithm=none --no-gc           # pure M/M/16 baseline
 //
 // Flags (defaults in brackets):
+//   --detector=SPEC        full detector spec string, e.g. 'SRAA(n=2,K=5,D=3)'
+//                          or 'CLTA(n=30,z=1.96)'; overrides --algorithm and
+//                          the parameter flags below (composes with
+//                          --calibrate). Same grammar as rejuv-monitor.
 //   --algorithm=none|static|sraa|saraa|clta|quantile|trend|bobbio-det|bobbio-risk [saraa]
 //   --n, --k, --d          algorithm parameters [2, 5, 3]
 //   --z                    CLTA quantile / trend z_alpha [1.96]
@@ -40,6 +44,7 @@
 #include "core/controller.h"
 #include "core/extensions.h"
 #include "core/factory.h"
+#include "core/spec.h"
 #include "harness/experiment.h"
 #include "harness/paper.h"
 #include "harness/report.h"
@@ -56,6 +61,22 @@ core::Baseline parse_baseline(const common::Flags& flags) {
 }
 
 harness::DetectorFactory parse_detector(const common::Flags& flags, std::string& label) {
+  const auto calibrate_spec = flags.get_int("calibrate", 0);
+  if (const auto spec = flags.get("detector")) {
+    // Spec strings round-trip through core::parse_spec/describe, so the label
+    // is always the canonical form regardless of how the user spelled it.
+    const core::DetectorConfig config = core::parse_spec(*spec);
+    if (calibrate_spec > 0 && config.algorithm != core::Algorithm::kNone) {
+      label = "Calibrating[" + core::describe(config) + "]";
+      return [config, calibrate_spec] {
+        return std::make_unique<core::CalibratingDetector>(
+            config, static_cast<std::uint64_t>(calibrate_spec));
+      };
+    }
+    label = core::describe(config);
+    return [config] { return core::make_detector(config); };
+  }
+
   const std::string algorithm = flags.get("algorithm").value_or("saraa");
   const auto n = static_cast<std::size_t>(flags.get_int("n", 2));
   const auto k = static_cast<std::size_t>(flags.get_int("k", 5));

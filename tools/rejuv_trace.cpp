@@ -1,13 +1,20 @@
-// rejuv_trace — post-mortem analyzer for rejuv_sim event traces.
+// rejuv_trace — post-mortem analyzer for rejuv_sim / rejuv_monitor traces.
 //
-// Reads a JSONL trace produced with `rejuv_sim --trace=FILE` and
-// reconstructs, for every rejuvenation trigger, the story the raw decision
-// stream hides: when the bucket cascade first escalated, how it climbed,
-// which sample finally exceeded the target, how long detection took, and
-// how many threads the rejuvenation flushed. Excursions that climbed the
-// cascade but de-escalated back to bucket 0 without triggering are listed
-// as false-alarm candidates — the paper's sensitivity/false-positive
-// trade-off made visible per run.
+// Reads a JSONL trace produced with `rejuv_sim --trace=FILE` or
+// `rejuv-monitor --trace=FILE` and reconstructs, for every rejuvenation
+// trigger, the story the raw decision stream hides: when the bucket cascade
+// first escalated, how it climbed, which sample finally exceeded the target,
+// how long detection took, and how many threads the rejuvenation flushed.
+// Excursions that climbed the cascade but de-escalated back to bucket 0
+// without triggering are listed as false-alarm candidates — the paper's
+// sensitivity/false-positive trade-off made visible per run.
+//
+// Simulator traces are sequential (one run at a time); monitor traces
+// interleave events from several shards, each stamped with its shard id in
+// the `rep` field. The analyzer therefore routes every event to a per-run
+// lane keyed by (load, rep), so shard streams are reconstructed
+// independently, and tallies the monitor's ingest-level events (sources,
+// drops, watchdog timeouts, malformed lines) in a global summary.
 //
 // Usage:
 //   rejuv_trace FILE [--quiet] [--max-timeline=N]
@@ -16,7 +23,9 @@
 //   --max-timeline=N  cap printed escalation-timeline lines per trigger [12]
 #include <algorithm>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/expect.h"
@@ -69,90 +78,131 @@ struct RunStats {
   }
 };
 
+/// Per-run reconstruction state. Every event is stamped with its run context
+/// (load, rep) — a monitor shard or a simulator replication — so interleaved
+/// streams demultiplex cleanly into one lane each.
+struct Lane {
+  bool in_run = false;
+  RunStats run;
+  Episode episode;
+  TraceEvent last_evidence;
+  bool has_evidence = false;
+};
+
 class Analyzer {
  public:
   Analyzer(bool quiet, std::size_t max_timeline) : quiet_(quiet), max_timeline_(max_timeline) {}
 
   void consume(const TraceEvent& event) {
+    // Ingest-level monitor events describe the whole process, not one run;
+    // tally them globally and keep them out of every lane's event count.
+    switch (event.type) {
+      case EventType::kSourceOpened:
+        ++sources_opened_;
+        return;
+      case EventType::kSourceClosed:
+        ++sources_closed_;
+        observations_ingested_ += static_cast<std::uint64_t>(event.value);
+        return;
+      case EventType::kObservationDropped:
+        // value carries the shard's running drop total; keep the latest.
+        drops_by_shard_[event.rep] = static_cast<std::uint64_t>(event.value);
+        return;
+      case EventType::kWatchdogTimeout:
+        ++watchdog_timeouts_;
+        return;
+      case EventType::kMalformedInput:
+        ++malformed_;
+        return;
+      default:
+        break;
+    }
+
+    Lane& lane = lanes_[{event.load, event.rep}];
     switch (event.type) {
       case EventType::kRunStart:
-        finish_run();
-        run_ = RunStats{};
-        run_.load = event.load;
-        run_.rep = event.rep;
-        run_.label = event.note;
-        in_run_ = true;
-        episode_ = Episode{};
-        episode_.start_time = event.time;
+        finish_run(lane);
+        lane.run = RunStats{};
+        lane.run.load = event.load;
+        lane.run.rep = event.rep;
+        lane.run.label = event.note;
+        lane.in_run = true;
+        lane.episode = Episode{};
+        lane.episode.start_time = event.time;
         if (!quiet_) {
-          std::cout << "\n== run: " << run_.label << " load=" << fmt(run_.load)
-                    << " rep=" << run_.rep << " ==\n";
+          std::cout << "\n== run: " << lane.run.label << " load=" << fmt(lane.run.load)
+                    << " rep=" << lane.run.rep << " ==\n";
         }
         break;
       case EventType::kRunEnd:
-        note_open_excursion_as_false_alarm(event.time);
-        finish_run();
+        note_open_excursion_as_false_alarm(lane, event.time);
+        finish_run(lane);
         break;
       case EventType::kTransactionCompleted:
-        ++run_.transactions;
+        ++lane.run.transactions;
         break;
       case EventType::kGcStart:
-        ++run_.gc_pauses;
+        ++lane.run.gc_pauses;
         break;
       case EventType::kSample:
-        ++episode_.samples;
-        if (event.exceeded && episode_.first_exceeded_time < 0.0) {
-          episode_.first_exceeded_time = event.time;
+        ++lane.episode.samples;
+        if (event.exceeded && lane.episode.first_exceeded_time < 0.0) {
+          lane.episode.first_exceeded_time = event.time;
         }
         break;
       case EventType::kEscalated:
-        if (episode_.first_escalation_time < 0.0) episode_.first_escalation_time = event.time;
-        if (episode_.open_excursion.start_time < 0.0) {
-          episode_.open_excursion.start_time = event.time;
+        if (lane.episode.first_escalation_time < 0.0) {
+          lane.episode.first_escalation_time = event.time;
         }
-        episode_.open_excursion.peak_bucket =
-            std::max(episode_.open_excursion.peak_bucket, event.bucket);
-        add_timeline_line(event.time, "escalate   -> bucket " + std::to_string(event.bucket),
-                          event);
+        if (lane.episode.open_excursion.start_time < 0.0) {
+          lane.episode.open_excursion.start_time = event.time;
+        }
+        lane.episode.open_excursion.peak_bucket =
+            std::max(lane.episode.open_excursion.peak_bucket, event.bucket);
+        add_timeline_line(lane, event.time,
+                          "escalate   -> bucket " + std::to_string(event.bucket), event);
         break;
       case EventType::kDeescalated:
-        add_timeline_line(event.time, "deescalate -> bucket " + std::to_string(event.bucket),
-                          event);
-        if (event.bucket == 0) note_open_excursion_as_false_alarm(event.time);
+        add_timeline_line(lane, event.time,
+                          "deescalate -> bucket " + std::to_string(event.bucket), event);
+        if (event.bucket == 0) note_open_excursion_as_false_alarm(lane, event.time);
         break;
       case EventType::kDetectorTriggered:
         // Pre-reset evidence; the controller's kRejuvenationTriggered (with
         // the post-reset snapshot) follows immediately.
-        last_evidence_ = event;
-        has_evidence_ = true;
+        lane.last_evidence = event;
+        lane.has_evidence = true;
         break;
       case EventType::kRejuvenationTriggered:
-        ++run_.triggers;
-        report_trigger(event);
-        episode_ = Episode{};
-        episode_.start_time = event.time;
-        has_evidence_ = false;
+        ++lane.run.triggers;
+        report_trigger(lane, event);
+        lane.episode = Episode{};
+        lane.episode.start_time = event.time;
+        lane.has_evidence = false;
         break;
       case EventType::kCooldownSuppressed:
-        ++run_.suppressions;
+        ++lane.run.suppressions;
         break;
       case EventType::kRejuvenationExecuted:
-        if (!quiet_ && run_.triggers > 0) {
+        if (!quiet_ && lane.run.triggers > 0) {
           std::cout << "    threads flushed: " << static_cast<std::uint64_t>(event.value) << "\n";
         }
         break;
       case EventType::kExternalReset:
-        episode_ = Episode{};
-        episode_.start_time = event.time;
+        lane.episode = Episode{};
+        lane.episode.start_time = event.time;
         break;
       default:
         break;
     }
-    if (in_run_) ++run_.events;
+    if (lane.in_run) ++lane.run.events;
   }
 
   void finish() {
-    finish_run();
+    // Lanes still open (a monitor killed before run_end) are flushed in key
+    // order so every shard appears in the summary.
+    for (auto& entry : lanes_) finish_run(entry.second);
+
     common::Table table({"label", "load", "rep", "events", "txns", "gcs", "triggers",
                          "suppressed", "false_alarms", "mean_ttd_s"});
     for (const RunStats& run : finished_) {
@@ -172,77 +222,95 @@ class Analyzer {
     }
     std::cout << finished_.size() << " run(s), " << triggers << " trigger(s), " << false_alarms
               << " false-alarm candidate(s)\n";
+
+    if (sources_opened_ > 0 || watchdog_timeouts_ > 0 || malformed_ > 0 ||
+        !drops_by_shard_.empty()) {
+      std::uint64_t dropped = 0;
+      for (const auto& entry : drops_by_shard_) dropped += entry.second;
+      std::cout << "monitor: sources opened=" << sources_opened_ << " closed=" << sources_closed_
+                << " observations=" << observations_ingested_ << " dropped=" << dropped
+                << " watchdog_timeouts=" << watchdog_timeouts_ << " malformed=" << malformed_
+                << "\n";
+    }
   }
 
  private:
-  void add_timeline_line(double time, const std::string& what, const TraceEvent& event) {
-    episode_.timeline.push_back("t=" + fmt(time, 1) + "s  " + what + " (fill " +
-                                std::to_string(event.fill) + ", n=" +
-                                std::to_string(event.sample_size) + ")");
+  void add_timeline_line(Lane& lane, double time, const std::string& what,
+                         const TraceEvent& event) {
+    lane.episode.timeline.push_back("t=" + fmt(time, 1) + "s  " + what + " (fill " +
+                                    std::to_string(event.fill) + ", n=" +
+                                    std::to_string(event.sample_size) + ")");
   }
 
-  void note_open_excursion_as_false_alarm(double time) {
-    if (episode_.open_excursion.start_time < 0.0) return;
-    ++run_.false_alarms;
+  void note_open_excursion_as_false_alarm(Lane& lane, double time) {
+    if (lane.episode.open_excursion.start_time < 0.0) return;
+    ++lane.run.false_alarms;
     if (!quiet_) {
-      std::cout << "  false-alarm candidate: t=" << fmt(episode_.open_excursion.start_time, 1)
-                << "s.." << fmt(time, 1) << "s climbed to bucket "
-                << episode_.open_excursion.peak_bucket << ", returned to 0 without trigger\n";
+      std::cout << "  false-alarm candidate: t="
+                << fmt(lane.episode.open_excursion.start_time, 1) << "s.." << fmt(time, 1)
+                << "s climbed to bucket " << lane.episode.open_excursion.peak_bucket
+                << ", returned to 0 without trigger\n";
     }
-    episode_.open_excursion = Excursion{};
-    episode_.first_escalation_time = -1.0;
+    lane.episode.open_excursion = Excursion{};
+    lane.episode.first_escalation_time = -1.0;
   }
 
-  void report_trigger(const TraceEvent& trigger) {
-    const double detect_from_escalation = episode_.first_escalation_time >= 0.0
-                                              ? trigger.time - episode_.first_escalation_time
+  void report_trigger(Lane& lane, const TraceEvent& trigger) {
+    const double detect_from_escalation = lane.episode.first_escalation_time >= 0.0
+                                              ? trigger.time - lane.episode.first_escalation_time
                                               : 0.0;
-    run_.detect_times.push_back(detect_from_escalation);
+    lane.run.detect_times.push_back(detect_from_escalation);
     if (quiet_) return;
 
-    std::cout << "\n  trigger #" << run_.triggers << " at t=" << fmt(trigger.time, 1)
-              << "s (observation " << static_cast<std::uint64_t>(trigger.value) << ")\n";
-    if (has_evidence_) {
-      std::cout << "    evidence: average " << fmt(last_evidence_.average, 3) << " > target "
-                << fmt(last_evidence_.target, 3);
-      if (last_evidence_.bucket >= 0) {
-        std::cout << " in bucket " << last_evidence_.bucket << "/"
-                  << last_evidence_.bucket_count;
+    std::cout << "\n  trigger #" << lane.run.triggers << " at t=" << fmt(trigger.time, 1)
+              << "s (observation " << static_cast<std::uint64_t>(trigger.value) << ", run load="
+              << fmt(lane.run.load) << " rep=" << lane.run.rep << ")\n";
+    if (lane.has_evidence) {
+      std::cout << "    evidence: average " << fmt(lane.last_evidence.average, 3) << " > target "
+                << fmt(lane.last_evidence.target, 3);
+      if (lane.last_evidence.bucket >= 0) {
+        std::cout << " in bucket " << lane.last_evidence.bucket << "/"
+                  << lane.last_evidence.bucket_count;
       }
       std::cout << "\n";
     }
-    if (!episode_.timeline.empty()) {
-      std::cout << "    escalation timeline (" << episode_.timeline.size() << " transitions):\n";
-      const std::size_t shown = std::min(episode_.timeline.size(), max_timeline_);
-      const std::size_t skipped = episode_.timeline.size() - shown;
+    if (!lane.episode.timeline.empty()) {
+      std::cout << "    escalation timeline (" << lane.episode.timeline.size()
+                << " transitions):\n";
+      const std::size_t shown = std::min(lane.episode.timeline.size(), max_timeline_);
+      const std::size_t skipped = lane.episode.timeline.size() - shown;
       if (skipped > 0) std::cout << "      ... " << skipped << " earlier transitions ...\n";
-      for (std::size_t i = episode_.timeline.size() - shown; i < episode_.timeline.size(); ++i) {
-        std::cout << "      " << episode_.timeline[i] << "\n";
+      for (std::size_t i = lane.episode.timeline.size() - shown;
+           i < lane.episode.timeline.size(); ++i) {
+        std::cout << "      " << lane.episode.timeline[i] << "\n";
       }
     }
     std::cout << "    time-to-detect: " << fmt(detect_from_escalation, 1)
               << "s from first escalation";
-    if (episode_.first_exceeded_time >= 0.0) {
-      std::cout << ", " << fmt(trigger.time - episode_.first_exceeded_time, 1)
+    if (lane.episode.first_exceeded_time >= 0.0) {
+      std::cout << ", " << fmt(trigger.time - lane.episode.first_exceeded_time, 1)
                 << "s from first exceeded sample";
     }
-    std::cout << "\n    samples this episode: " << episode_.samples << "\n";
+    std::cout << "\n    samples this episode: " << lane.episode.samples << "\n";
   }
 
-  void finish_run() {
-    if (!in_run_) return;
-    finished_.push_back(run_);
-    in_run_ = false;
+  void finish_run(Lane& lane) {
+    if (!lane.in_run) return;
+    finished_.push_back(lane.run);
+    lane.in_run = false;
   }
 
   bool quiet_;
   std::size_t max_timeline_;
-  bool in_run_ = false;
-  RunStats run_;
-  Episode episode_;
-  TraceEvent last_evidence_;
-  bool has_evidence_ = false;
+  std::map<std::pair<double, std::uint32_t>, Lane> lanes_;
   std::vector<RunStats> finished_;
+  // Monitor ingest-level tallies (absent in pure simulator traces).
+  std::uint64_t sources_opened_ = 0;
+  std::uint64_t sources_closed_ = 0;
+  std::uint64_t observations_ingested_ = 0;
+  std::uint64_t watchdog_timeouts_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::map<std::uint32_t, std::uint64_t> drops_by_shard_;
 };
 
 }  // namespace
