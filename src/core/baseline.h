@@ -52,6 +52,12 @@ class BaselineEstimator {
 
   std::uint64_t calibration_size() const noexcept { return calibration_size_; }
 
+  /// The underlying Welford accumulator (checkpoint save).
+  const stats::RunningStats& stats() const noexcept { return stats_; }
+  /// Replaces the accumulator with a previously saved one (checkpoint
+  /// restore); the calibrated() predicate reflects the restored count.
+  void restore(const stats::RunningStats& stats) noexcept { stats_ = stats; }
+
  private:
   std::uint64_t calibration_size_;
   stats::RunningStats stats_;

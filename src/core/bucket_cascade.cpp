@@ -40,4 +40,11 @@ void BucketCascade::reset() noexcept {
   bucket_ = 0;
 }
 
+void BucketCascade::restore(std::size_t bucket, int fill) {
+  REJUV_EXPECT(bucket < bucket_count_, "restored bucket pointer out of range");
+  REJUV_EXPECT(fill >= 0 && fill <= depth_, "restored fill out of range");
+  bucket_ = bucket;
+  fill_ = fill;
+}
+
 }  // namespace rejuv::core

@@ -38,6 +38,10 @@ class BucketCascade {
   /// Returns to the initial state (d = 0, N = 0).
   void reset() noexcept;
 
+  /// Restores a saved (N, d) pair (checkpoint restore). Validates the pair
+  /// against this cascade's K and D.
+  void restore(std::size_t bucket, int fill);
+
  private:
   int depth_;
   std::size_t bucket_count_;

@@ -1,0 +1,73 @@
+// Checkpointable detector and controller state.
+//
+// A monitor that crashes mid-escalation must not lose the evidence the
+// cascade has accumulated: on restart it would silently re-observe the
+// degradation from scratch, exactly the "significant and lasting" window the
+// paper's detectors exist to close. DetectorState is the flat superset of
+// every algorithm's mutable decision state — bucket pointer N and fill d,
+// the partially accumulated averaging window, SARAA's current sample size,
+// and the calibration accumulator — and ControllerState adds the
+// operational wrapper's counters (observation index, cooldown, trigger
+// history). Both are plain value types; serialization to the versioned
+// JSONL checkpoint journal lives in monitor/checkpoint.h.
+//
+// The restore contract is bit-exactness: a detector restored from a saved
+// state and fed the remaining stream suffix makes byte-identical decisions
+// to an uninterrupted detector fed the whole stream (the chaos suite pins
+// this down per algorithm).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rejuv::core {
+
+/// Version of the checkpoint state schema. Bump when fields change meaning;
+/// readers reject records with a version they do not understand.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Flat, algorithm-agnostic snapshot of a detector's mutable decision
+/// state. Fields that do not apply to an algorithm keep their defaults;
+/// `algorithm` carries Detector::name() so restore can reject a checkpoint
+/// saved by a differently configured detector.
+struct DetectorState {
+  std::string algorithm;  ///< Detector::name() at save time
+
+  // Bucket cascade (Static / SRAA / SARAA).
+  bool has_cascade = false;
+  std::uint64_t bucket = 0;  ///< N
+  std::int64_t fill = 0;     ///< d
+
+  // Averaging window (SRAA / SARAA / CLTA): the partially accumulated block.
+  bool has_window = false;
+  std::uint64_t window_length = 0;  ///< length of the block in progress
+  std::uint64_t window_next = 0;    ///< length of the following block
+  std::uint64_t window_count = 0;   ///< observations accumulated so far
+  double window_sum = 0.0;          ///< running sum of the partial block
+  std::uint64_t current_n = 0;      ///< SARAA's schedule-controlled n
+
+  double last_average = 0.0;  ///< most recent completed window average
+
+  // Calibration (CalibratingDetector): the Welford accumulator while the
+  // baseline estimate is still being collected, and the baseline in force.
+  bool calibrating = false;
+  std::uint64_t calibration_count = 0;
+  double calibration_mean = 0.0;
+  double calibration_m2 = 0.0;
+  double calibration_min = 0.0;
+  double calibration_max = 0.0;
+  double baseline_mean = 0.0;
+  double baseline_stddev = 0.0;
+};
+
+/// RejuvenationController state: everything needed to resume the decision
+/// stream at observation `observations` + 1.
+struct ControllerState {
+  std::uint64_t observations = 0;
+  std::uint64_t cooldown_remaining = 0;
+  std::vector<std::uint64_t> trigger_indices;  ///< 1-based, absolute
+  DetectorState detector;
+};
+
+}  // namespace rejuv::core

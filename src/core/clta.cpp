@@ -34,6 +34,25 @@ Decision Clta::observe(double value) {
 
 void Clta::reset() { window_.reset(); }
 
+DetectorState Clta::save_state() const {
+  DetectorState state = Detector::save_state();
+  state.has_window = true;
+  state.window_length = window_.current_window();
+  state.window_next = window_.window();
+  state.window_count = window_.pending();
+  state.window_sum = window_.partial_sum();
+  state.last_average = last_average_;
+  return state;
+}
+
+void Clta::restore_state(const DetectorState& state) {
+  Detector::restore_state(state);
+  window_.restore(static_cast<std::size_t>(state.window_length),
+                  static_cast<std::size_t>(state.window_next),
+                  static_cast<std::size_t>(state.window_count), state.window_sum);
+  last_average_ = state.last_average;
+}
+
 obs::DetectorSnapshot Clta::snapshot() const {
   obs::DetectorSnapshot snapshot = base_snapshot();
   snapshot.sample_size = static_cast<std::uint32_t>(params_.sample_size);

@@ -30,6 +30,8 @@ class Clta final : public Detector {
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
   obs::DetectorSnapshot snapshot() const override;
+  DetectorState save_state() const override;
+  void restore_state(const DetectorState& state) override;
 
   const CltaParams& params() const noexcept { return params_; }
   /// The fixed decision threshold muX + z * sigmaX / sqrt(n).

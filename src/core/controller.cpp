@@ -77,6 +77,22 @@ void RejuvenationController::set_tracer(obs::Tracer* tracer) noexcept {
   detector_->set_tracer(tracer);
 }
 
+ControllerState RejuvenationController::save_state() const {
+  ControllerState state;
+  state.observations = observations_;
+  state.cooldown_remaining = cooldown_remaining_;
+  state.trigger_indices = trigger_indices_;
+  state.detector = detector_->save_state();
+  return state;
+}
+
+void RejuvenationController::restore_state(const ControllerState& state) {
+  detector_->restore_state(state.detector);
+  observations_ = state.observations;
+  cooldown_remaining_ = state.cooldown_remaining;
+  trigger_indices_ = state.trigger_indices;
+}
+
 void RejuvenationController::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     trigger_counter_ = nullptr;

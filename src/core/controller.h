@@ -64,6 +64,13 @@ class RejuvenationController {
   /// cached once; nullptr detaches).
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Snapshot of the controller's resumable state (counters, cooldown,
+  /// trigger history, detector state) for the checkpoint journal.
+  ControllerState save_state() const;
+  /// Restores a snapshot taken by save_state() on an identically configured
+  /// controller; throws if the detector spec does not match.
+  void restore_state(const ControllerState& state);
+
  private:
   void record_trigger();
 

@@ -1,5 +1,7 @@
 #include "core/detector.h"
 
+#include "common/expect.h"
+
 namespace rejuv::core {
 
 std::size_t Detector::observe_all(std::span<const double> values) {
@@ -18,5 +20,17 @@ obs::DetectorSnapshot Detector::base_snapshot() const {
 }
 
 obs::DetectorSnapshot Detector::snapshot() const { return base_snapshot(); }
+
+DetectorState Detector::save_state() const {
+  DetectorState state;
+  state.algorithm = name();
+  return state;
+}
+
+void Detector::restore_state(const DetectorState& state) {
+  REJUV_EXPECT(state.algorithm == name(), "checkpoint algorithm mismatch: saved \"" +
+                                              state.algorithm + "\", restoring into \"" + name() +
+                                              "\"");
+}
 
 }  // namespace rejuv::core

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/baseline.h"
+#include "core/checkpoint.h"
 #include "obs/detector_snapshot.h"
 #include "obs/tracer.h"
 
@@ -57,6 +58,20 @@ class Detector {
   /// base implementation reports only name and baseline; every concrete
   /// detector overrides it with its full state.
   virtual obs::DetectorSnapshot snapshot() const;
+
+  /// Serializes the mutable decision state for crash recovery. The base
+  /// implementation records only the algorithm name (sufficient for
+  /// stateless detectors); stateful detectors extend it with their cascade,
+  /// partial window and calibration fields.
+  virtual DetectorState save_state() const;
+
+  /// Restores state saved by save_state() on an identically configured
+  /// detector. Throws std::invalid_argument when `state.algorithm` does not
+  /// match this detector's name() or a field is out of range — a checkpoint
+  /// must never be silently restored into the wrong detector. A restored
+  /// detector fed the stream suffix past the save point makes bit-identical
+  /// decisions to an uninterrupted one fed the whole stream.
+  virtual void restore_state(const DetectorState& state);
 
   /// Attaches a structured event tracer (nullptr detaches). The detector
   /// emits sample / escalation / trigger events through it; with no tracer

@@ -94,6 +94,46 @@ void CalibratingDetector::reset() {
   if (inner_ != nullptr) inner_->reset();
 }
 
+DetectorState CalibratingDetector::save_state() const {
+  if (inner_ == nullptr) {
+    DetectorState state = Detector::save_state();
+    state.calibrating = true;
+    const stats::RunningStats& stats = estimator_.stats();
+    state.calibration_count = stats.count();
+    state.calibration_mean = stats.raw_mean();
+    state.calibration_m2 = stats.m2();
+    state.calibration_min = stats.min();
+    state.calibration_max = stats.max();
+    return state;
+  }
+  DetectorState state = inner_->save_state();
+  state.algorithm = name();
+  state.baseline_mean = active_baseline_.mean;
+  state.baseline_stddev = active_baseline_.stddev;
+  return state;
+}
+
+void CalibratingDetector::restore_state(const DetectorState& state) {
+  Detector::restore_state(state);
+  if (state.calibrating) {
+    inner_.reset();
+    stats::RunningStats stats;
+    stats.restore(state.calibration_count, state.calibration_mean, state.calibration_m2,
+                  state.calibration_min, state.calibration_max);
+    estimator_.restore(stats);
+    active_baseline_ = config_.baseline;
+    return;
+  }
+  active_baseline_ = Baseline{state.baseline_mean, state.baseline_stddev};
+  DetectorConfig calibrated = config_;
+  calibrated.baseline = active_baseline_;
+  inner_ = make_detector(calibrated);
+  inner_->set_tracer(tracer_);
+  DetectorState inner_state = state;
+  inner_state.algorithm = inner_->name();
+  inner_->restore_state(inner_state);
+}
+
 std::string CalibratingDetector::name() const {
   return "Calibrating[" + (inner_ != nullptr ? inner_->name() : describe(config_)) + "]";
 }

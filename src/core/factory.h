@@ -93,6 +93,12 @@ class CalibratingDetector final : public Detector {
   obs::DetectorSnapshot snapshot() const override;
   /// Forwards the tracer to the inner detector (also on later creation).
   void set_tracer(obs::Tracer* tracer) noexcept override;
+  /// Captures the calibration accumulator while calibrating, otherwise the
+  /// inner detector's state plus the active baseline.
+  DetectorState save_state() const override;
+  /// Rebuilds the inner detector from the saved baseline when the saved
+  /// state was post-calibration.
+  void restore_state(const DetectorState& state) override;
 
   bool calibrated() const noexcept { return inner_ != nullptr; }
 

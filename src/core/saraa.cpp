@@ -85,6 +85,32 @@ void Saraa::reset() {
   window_.reset();
 }
 
+DetectorState Saraa::save_state() const {
+  DetectorState state = Detector::save_state();
+  state.has_cascade = true;
+  state.bucket = cascade_.bucket();
+  state.fill = cascade_.fill();
+  state.has_window = true;
+  state.window_length = window_.current_window();
+  state.window_next = window_.window();
+  state.window_count = window_.pending();
+  state.window_sum = window_.partial_sum();
+  state.current_n = current_n_;
+  state.last_average = last_average_;
+  return state;
+}
+
+void Saraa::restore_state(const DetectorState& state) {
+  Detector::restore_state(state);
+  REJUV_EXPECT(state.current_n >= 1, "SARAA checkpoint current_n must be at least 1");
+  cascade_.restore(static_cast<std::size_t>(state.bucket), static_cast<int>(state.fill));
+  current_n_ = static_cast<std::size_t>(state.current_n);
+  window_.restore(static_cast<std::size_t>(state.window_length),
+                  static_cast<std::size_t>(state.window_next),
+                  static_cast<std::size_t>(state.window_count), state.window_sum);
+  last_average_ = state.last_average;
+}
+
 obs::DetectorSnapshot Saraa::snapshot() const {
   obs::DetectorSnapshot snapshot = base_snapshot();
   snapshot.has_cascade = true;

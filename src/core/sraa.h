@@ -31,6 +31,8 @@ class Sraa final : public Detector {
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
   obs::DetectorSnapshot snapshot() const override;
+  DetectorState save_state() const override;
+  void restore_state(const DetectorState& state) override;
 
   const SraaParams& params() const noexcept { return params_; }
   const BucketCascade& cascade() const noexcept { return cascade_; }

@@ -37,6 +37,21 @@ Decision StaticRejuvenation::observe(double value) {
 
 void StaticRejuvenation::reset() { cascade_.reset(); }
 
+DetectorState StaticRejuvenation::save_state() const {
+  DetectorState state = Detector::save_state();
+  state.has_cascade = true;
+  state.bucket = cascade_.bucket();
+  state.fill = cascade_.fill();
+  state.last_average = last_value_;
+  return state;
+}
+
+void StaticRejuvenation::restore_state(const DetectorState& state) {
+  Detector::restore_state(state);
+  cascade_.restore(static_cast<std::size_t>(state.bucket), static_cast<int>(state.fill));
+  last_value_ = state.last_average;
+}
+
 obs::DetectorSnapshot StaticRejuvenation::snapshot() const {
   obs::DetectorSnapshot snapshot = base_snapshot();
   snapshot.has_cascade = true;

@@ -25,6 +25,8 @@ class StaticRejuvenation final : public Detector {
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
   obs::DetectorSnapshot snapshot() const override;
+  DetectorState save_state() const override;
+  void restore_state(const DetectorState& state) override;
 
   /// Introspection for tests and monitoring dashboards.
   const BucketCascade& cascade() const noexcept { return cascade_; }

@@ -1,0 +1,148 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace rejuv::faults {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view item, const std::string& why) {
+  throw std::invalid_argument("bad fault spec item \"" + std::string(item) + "\": " + why);
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view item, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_spec(item, std::string("cannot parse ") + what);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDisconnect:
+      return "disconnect";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kPartial:
+      return "partial";
+    case FaultKind::kGarble:
+      return "garble";
+    case FaultKind::kEof:
+      return "eof";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    std::string_view item = spec.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos : comma - start);
+    start = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) {
+      if (spec.empty()) break;  // an entirely empty spec is a valid empty plan
+      bad_spec(item, "empty item");
+    }
+
+    if (item.rfind("seed=", 0) == 0) {
+      plan.seed = parse_u64(item.substr(5), item, "seed");
+      continue;
+    }
+
+    const std::size_t at = item.find('@');
+    if (at == std::string_view::npos) {
+      bad_spec(item, "expected seed=N or KIND@LINE");
+    }
+    const std::string_view kind_text = item.substr(0, at);
+    std::string_view rest = item.substr(at + 1);
+
+    FaultSpec fault;
+    if (kind_text == "disconnect") {
+      fault.kind = FaultKind::kDisconnect;
+    } else if (kind_text == "stall") {
+      fault.kind = FaultKind::kStall;
+    } else if (kind_text == "partial") {
+      fault.kind = FaultKind::kPartial;
+    } else if (kind_text == "garble") {
+      fault.kind = FaultKind::kGarble;
+    } else if (kind_text == "eof") {
+      fault.kind = FaultKind::kEof;
+    } else {
+      bad_spec(item, "unknown fault kind \"" + std::string(kind_text) + "\"");
+    }
+
+    // Optional suffix: ":MSms" (stall) or "xCOUNT" (garble).
+    const std::size_t colon = rest.find(':');
+    const std::size_t x = rest.find('x');
+    std::string_view line_text = rest;
+    if (colon != std::string_view::npos) {
+      if (fault.kind != FaultKind::kStall) bad_spec(item, "only stall takes a :MSms duration");
+      line_text = rest.substr(0, colon);
+      std::string_view ms_text = rest.substr(colon + 1);
+      if (ms_text.size() < 3 || ms_text.substr(ms_text.size() - 2) != "ms") {
+        bad_spec(item, "duration must end in \"ms\"");
+      }
+      fault.duration = std::chrono::milliseconds(
+          parse_u64(ms_text.substr(0, ms_text.size() - 2), item, "duration"));
+    } else if (x != std::string_view::npos) {
+      if (fault.kind != FaultKind::kGarble) bad_spec(item, "only garble takes an xCOUNT burst");
+      line_text = rest.substr(0, x);
+      fault.count = parse_u64(rest.substr(x + 1), item, "count");
+      if (fault.count == 0) bad_spec(item, "burst count must be at least 1");
+    }
+
+    fault.at_line = parse_u64(line_text, item, "line position");
+    if (fault.at_line == 0) bad_spec(item, "line positions are 1-based");
+    plan.faults.push_back(fault);
+  }
+
+  std::stable_sort(plan.faults.begin(), plan.faults.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) { return a.at_line < b.at_line; });
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string text = "seed=";
+  text += std::to_string(seed);
+  for (const FaultSpec& fault : faults) {
+    text += ",";
+    text += fault_kind_name(fault.kind);
+    text += "@";
+    text += std::to_string(fault.at_line);
+    if (fault.kind == FaultKind::kStall) {
+      text += ":";
+      text += std::to_string(fault.duration.count());
+      text += "ms";
+    } else if (fault.kind == FaultKind::kGarble && fault.count != 1) {
+      text += "x";
+      text += std::to_string(fault.count);
+    }
+  }
+  return text;
+}
+
+std::string garble_line(std::uint64_t seed, std::uint64_t at_line, std::uint64_t index) {
+  // One SplitMix64 draw keyed on (seed, position, index) gives a stable
+  // 16-hex-digit garbage token; the '!' prefix guarantees the parser
+  // classifies it as malformed (not a number, comment, or JSON).
+  common::SplitMix64 rng(seed ^ (at_line * 0x9e3779b97f4a7c15ULL) ^ index);
+  const std::uint64_t bits = rng.next();
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string line = "!chaos-";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    line.push_back(kHex[(bits >> shift) & 0xF]);
+  }
+  return line;
+}
+
+}  // namespace rejuv::faults

@@ -1,0 +1,67 @@
+// Deterministic fault plans for chaos-testing the monitor's input path.
+//
+// A FaultPlan is a seed plus a list of fault primitives pinned to 1-based
+// line positions of the clean input stream. Because every primitive fires at
+// an exact line index and all injected content is derived from the seed,
+// running the same plan twice produces byte-identical behaviour — the chaos
+// suite and the CLI determinism test both depend on this. Plans are written
+// in a compact spec grammar so they can travel through the rejuv-monitor
+// command line:
+//
+//   plan      := item ("," item)*
+//   item      := "seed=" N | primitive "@" LINE suffix?
+//   primitive := "disconnect" | "stall" | "partial" | "garble" | "eof"
+//   suffix    := ":" MS "ms"   (stall only: stall duration)
+//              | "x" COUNT    (garble only: malformed lines in the burst)
+//
+// Example: "seed=42,garble@100x3,disconnect@500,stall@800:40ms,eof@1200".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rejuv::faults {
+
+enum class FaultKind : std::uint8_t {
+  kDisconnect,  ///< source reports kError once; recoverable via reopen()
+  kStall,       ///< source yields kTimeout for a wall-clock duration
+  kPartial,     ///< one extra kTimeout before the line (a short read)
+  kGarble,      ///< a burst of malformed lines injected before the line
+  kEof,         ///< source reports kEnd; resumable via reopen()
+};
+
+/// Spec-grammar name, e.g. "disconnect".
+std::string_view fault_kind_name(FaultKind kind);
+
+/// One fault primitive, armed at a clean-stream line position.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDisconnect;
+  /// Fires just before the at_line-th clean line (1-based) is delivered.
+  std::uint64_t at_line = 1;
+  /// kGarble: number of malformed lines in the burst.
+  std::uint64_t count = 1;
+  /// kStall: how long the source stays silent.
+  std::chrono::milliseconds duration{50};
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> faults;  ///< kept sorted by at_line (parse sorts)
+
+  /// Parses the spec grammar above; throws std::invalid_argument with a
+  /// pointed message on any malformed item.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Canonical spec string; parse(describe()) reproduces the plan.
+  std::string describe() const;
+};
+
+/// The deterministic malformed payload injected by a garble burst: line
+/// `index` (0-based within the burst) ahead of clean line `at_line`, under
+/// `seed`. Exposed so tests can predict injected bytes exactly.
+std::string garble_line(std::uint64_t seed, std::uint64_t at_line, std::uint64_t index);
+
+}  // namespace rejuv::faults

@@ -1,0 +1,59 @@
+// FaultyQueue: a deterministic backpressure injector for SpscQueue.
+//
+// Timing-based queue-full scenarios are inherently flaky in tests; this
+// decorator instead refuses exact, pre-planned try_push attempts (1-based
+// attempt indices), so the monitor's backpressure and drop paths can be
+// exercised with a reproducible refusal pattern and zero timing dependence.
+// Everything else forwards to the wrapped queue unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "monitor/spsc_queue.h"
+
+namespace rejuv::faults {
+
+template <typename T>
+class FaultyQueue {
+ public:
+  /// Wraps `queue` (not owned; must outlive the decorator). `refusals` are
+  /// the 1-based try_push attempt indices to reject.
+  FaultyQueue(monitor::SpscQueue<T>& queue, std::vector<std::uint64_t> refusals)
+      : queue_(queue), refusals_(std::move(refusals)) {
+    std::sort(refusals_.begin(), refusals_.end());
+  }
+
+  /// Counts the attempt; planned attempts fail as if the ring were full.
+  bool try_push(const T& value) {
+    const std::uint64_t attempt = ++attempts_;
+    while (next_refusal_ < refusals_.size() && refusals_[next_refusal_] < attempt) {
+      ++next_refusal_;
+    }
+    if (next_refusal_ < refusals_.size() && refusals_[next_refusal_] == attempt) {
+      ++next_refusal_;
+      ++refused_;
+      return false;
+    }
+    return queue_.try_push(value);
+  }
+
+  std::size_t pop_batch(T* out, std::size_t max) { return queue_.pop_batch(out, max); }
+  void close() noexcept { queue_.close(); }
+  bool closed() const noexcept { return queue_.closed(); }
+  std::size_t size() const noexcept { return queue_.size(); }
+  std::size_t capacity() const noexcept { return queue_.capacity(); }
+
+  std::uint64_t attempts() const noexcept { return attempts_; }
+  std::uint64_t refused() const noexcept { return refused_; }
+
+ private:
+  monitor::SpscQueue<T>& queue_;
+  std::vector<std::uint64_t> refusals_;
+  std::size_t next_refusal_ = 0;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t refused_ = 0;
+};
+
+}  // namespace rejuv::faults

@@ -1,0 +1,97 @@
+#include "faults/faulty_source.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/expect.h"
+
+namespace rejuv::faults {
+
+FaultySource::FaultySource(std::unique_ptr<monitor::Source> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  REJUV_EXPECT(inner_ != nullptr, "faulty source needs an inner source");
+}
+
+std::string FaultySource::describe() const { return "faulty(" + inner_->describe() + ")"; }
+
+monitor::SourceStats FaultySource::stats() const {
+  monitor::SourceStats stats = inner_->stats();
+  stats.faults_injected += faults_injected_;
+  return stats;
+}
+
+std::string FaultySource::last_error() const {
+  return last_error_.empty() ? inner_->last_error() : last_error_;
+}
+
+bool FaultySource::reopen() {
+  if (error_active_ || eof_active_) {
+    // The failure was injected; the inner source never actually broke, so
+    // "reopening" is just dropping the injected condition.
+    error_active_ = false;
+    eof_active_ = false;
+    last_error_.clear();
+    return true;
+  }
+  return inner_->reopen();
+}
+
+monitor::Source::Status FaultySource::next_line(std::string& line,
+                                                std::chrono::milliseconds timeout) {
+  if (error_active_) return Status::kError;
+  if (eof_active_) return Status::kEnd;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    // Fire every primitive armed at the position of the next clean line.
+    // Returning primitives (disconnect/eof/partial) leave next_fault_
+    // advanced, so re-entry after recovery continues with the next one.
+    while (next_fault_ < plan_.faults.size() &&
+           plan_.faults[next_fault_].at_line == position_) {
+      const FaultSpec& fault = plan_.faults[next_fault_++];
+      ++faults_injected_;
+      switch (fault.kind) {
+        case FaultKind::kDisconnect:
+          error_active_ = true;
+          last_error_ = "injected disconnect@" + std::to_string(fault.at_line);
+          return Status::kError;
+        case FaultKind::kEof:
+          eof_active_ = true;
+          return Status::kEnd;
+        case FaultKind::kStall:
+          stalled_ = true;
+          stall_until_ = std::chrono::steady_clock::now() + fault.duration;
+          break;
+        case FaultKind::kPartial:
+          // Model a short read: the caller sees one empty wait before the
+          // line arrives intact on the next call.
+          return Status::kTimeout;
+        case FaultKind::kGarble:
+          garbles_left_ = fault.count;
+          garble_at_line_ = fault.at_line;
+          garble_index_ = 0;
+          break;
+      }
+    }
+    if (garbles_left_ > 0) {
+      line = garble_line(plan_.seed, garble_at_line_, garble_index_++);
+      --garbles_left_;
+      return Status::kLine;
+    }
+    if (stalled_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now < stall_until_) {
+        std::this_thread::sleep_until(std::min(stall_until_, deadline));
+        if (stall_until_ > deadline) return Status::kTimeout;
+      }
+      stalled_ = false;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const Status status =
+        inner_->next_line(line, std::max(remaining, std::chrono::milliseconds(0)));
+    if (status == Status::kLine) ++position_;
+    return status;
+  }
+}
+
+}  // namespace rejuv::faults

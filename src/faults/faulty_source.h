@@ -1,0 +1,56 @@
+// FaultySource: a Source decorator that executes a FaultPlan.
+//
+// The decorator sits between the monitor's ingest loop and any real source
+// (vector, file, tcp) and fires each primitive of the plan just before the
+// corresponding clean line is delivered. Faults are positional, not timed,
+// so the same plan over the same input is byte-identical across runs. Every
+// primitive is decision-lossless in blocking mode: disconnect and eof are
+// recoverable via reopen() (without touching the healthy inner source),
+// stall and partial only delay delivery, and garbled lines are rejected by
+// the observation parser without consuming a clean line.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "faults/fault_plan.h"
+#include "monitor/source.h"
+
+namespace rejuv::faults {
+
+class FaultySource final : public monitor::Source {
+ public:
+  /// Takes ownership of `inner`; the plan is fixed for the source's life.
+  FaultySource(std::unique_ptr<monitor::Source> inner, FaultPlan plan);
+
+  Status next_line(std::string& line, std::chrono::milliseconds timeout) override;
+  std::string describe() const override;
+  /// Inner stats plus the number of plan primitives fired so far.
+  monitor::SourceStats stats() const override;
+  std::string last_error() const override;
+  /// Clears an injected disconnect/eof (the healthy inner source is not
+  /// touched); otherwise forwards to the inner source.
+  bool reopen() override;
+
+  /// Plan primitives fired so far.
+  std::uint64_t faults_injected() const noexcept { return faults_injected_; }
+
+ private:
+  std::unique_ptr<monitor::Source> inner_;
+  FaultPlan plan_;
+  std::size_t next_fault_ = 0;    ///< first un-fired entry of plan_.faults
+  std::uint64_t position_ = 1;    ///< 1-based index of the next clean line
+  std::uint64_t garbles_left_ = 0;     ///< malformed lines still to inject
+  std::uint64_t garble_at_line_ = 0;   ///< burst position, for payload derivation
+  std::uint64_t garble_index_ = 0;     ///< next index within the burst
+  bool error_active_ = false;          ///< injected disconnect awaiting reopen
+  bool eof_active_ = false;            ///< injected eof awaiting reopen
+  bool stalled_ = false;
+  std::chrono::steady_clock::time_point stall_until_{};
+  std::uint64_t faults_injected_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace rejuv::faults

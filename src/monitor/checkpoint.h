@@ -1,0 +1,69 @@
+// Versioned JSONL checkpoint journal for the online monitor.
+//
+// Each record is one self-contained JSON line carrying one shard's full
+// resumable state (controller counters, trigger history, detector state)
+// plus enough identity — schema version, detector spec, shard topology — to
+// refuse a checkpoint that does not match the monitor restoring it. The
+// journal is append-only and flushed per record, so a crash can at worst
+// leave one torn final line; the reader skips any line that does not parse
+// and keeps the LAST valid record per shard, which makes recovery robust
+// against partial writes without fsync gymnastics. Doubles are serialized
+// via std::to_chars shortest-round-trip form, so a restored detector is
+// bit-identical to the saved one.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/checkpoint.h"
+
+namespace rejuv::monitor {
+
+/// One shard's checkpoint record.
+struct ShardCheckpoint {
+  std::uint32_t version = core::kCheckpointVersion;
+  std::string spec;                 ///< detector spec, for identity checks
+  std::uint32_t shard = 0;          ///< which shard this record belongs to
+  std::uint32_t shard_count = 1;    ///< topology at save time
+  std::uint64_t triggers_since_action = 0;  ///< hysteresis accumulator
+  core::ControllerState controller;
+};
+
+/// Serializes a record to one JSON line (no trailing newline).
+std::string to_json(const ShardCheckpoint& checkpoint);
+
+/// Parses one journal line; nullopt when the line is torn, malformed, or
+/// carries an unknown schema version.
+std::optional<ShardCheckpoint> parse_checkpoint_line(std::string_view line);
+
+/// Append-only journal writer; append() is thread-safe (shard workers
+/// checkpoint concurrently) and flushes each record.
+class CheckpointWriter {
+ public:
+  /// Opens `path` for appending; throws std::invalid_argument on failure.
+  explicit CheckpointWriter(const std::string& path);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  void append(const ShardCheckpoint& checkpoint);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+};
+
+/// Scans the journal and returns the last valid record of each shard,
+/// sorted by shard index. Unreadable file => empty vector (a fresh start);
+/// torn or corrupt lines are skipped silently.
+std::vector<ShardCheckpoint> read_latest_checkpoints(const std::string& path);
+
+}  // namespace rejuv::monitor

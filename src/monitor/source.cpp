@@ -4,11 +4,13 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -32,16 +34,30 @@ bool wait_readable(int fd, std::chrono::milliseconds timeout) {
 }
 
 /// Reads one chunk into the splitter. Returns bytes read; 0 = EOF, -1 = no
-/// data available right now (EAGAIN).
+/// data available right now (EAGAIN/EINTR), -2 = hard I/O error (errno
+/// preserved for the caller's message).
 long read_chunk(int fd, LineSplitter& splitter) {
   char buffer[kReadChunk];
   const ssize_t got = ::read(fd, buffer, sizeof buffer);
   if (got > 0) splitter.feed(buffer, static_cast<std::size_t>(got));
-  if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) return -1;
+  if (got < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return -1;
+    return -2;
+  }
   return static_cast<long>(got);
 }
 
 }  // namespace
+
+void ignore_sigpipe() {
+  // Function-local static: the handler is installed exactly once no matter
+  // how many sources race here (C++11 magic-statics initialization).
+  static const bool installed = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
+}
 
 // ------------------------------------------------------------ LineSplitter
 
@@ -111,8 +127,7 @@ Source::Status VectorSource::next_line(std::string& line, std::chrono::milliseco
 // -------------------------------------------------------------- FileSource
 
 FileSource::FileSource(const std::string& path, bool follow) : path_(path), follow_(follow) {
-  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  REJUV_EXPECT(fd_ >= 0, "cannot open source file: " + path);
+  REJUV_EXPECT(open_file(/*from_start=*/true), "cannot open source file: " + path);
 }
 
 FileSource::~FileSource() {
@@ -123,13 +138,53 @@ std::string FileSource::describe() const {
   return (follow_ ? "follow:" : "file:") + path_;
 }
 
+bool FileSource::open_file(bool from_start) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  fd_ = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) {
+    last_error_ = "cannot open " + path_ + ": " + std::strerror(errno);
+    return false;
+  }
+  struct stat status {};
+  if (::fstat(fd_, &status) == 0) {
+    inode_ = static_cast<std::uint64_t>(status.st_ino);
+    if (!from_start) {
+      // Resume where the previous incarnation left off, or at the new end
+      // if the file shrank underneath us.
+      const auto size = static_cast<std::uint64_t>(status.st_size);
+      offset_ = offset_ > size ? size : offset_;
+      ::lseek(fd_, static_cast<off_t>(offset_), SEEK_SET);
+    }
+  }
+  if (from_start) offset_ = 0;
+  eof_ = false;
+  return true;
+}
+
+bool FileSource::reopen() {
+  if (!open_file(/*from_start=*/false)) return false;
+  last_error_.clear();
+  return true;
+}
+
 Source::Status FileSource::next_line(std::string& line, std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (true) {
     if (splitter_.pop(line)) return Status::kLine;
     if (eof_) return Status::kEnd;
     const long got = read_chunk(fd_, splitter_);
-    if (got > 0) continue;
+    if (got > 0) {
+      offset_ += static_cast<std::uint64_t>(got);
+      continue;
+    }
+    if (got == -2) {
+      last_error_ = "read error on " + path_ + ": " + std::strerror(errno);
+      ++stats_.errors;
+      return Status::kError;
+    }
     if (got == 0) {
       // End of file: definitive for a plain file, provisional in follow
       // mode (more bytes may be appended; sleep briefly and re-read).
@@ -138,6 +193,26 @@ Source::Status FileSource::next_line(std::string& line, std::chrono::millisecond
         eof_ = true;
         continue;
       }
+      // Follow mode at EOF: check for rotation/truncation. A new inode at
+      // the path (logrotate moved the file aside) or a size below our
+      // offset (copytruncate) means the writer switched files; flush the
+      // old tail and restart from the top of the new one.
+      struct stat status {};
+      if (::stat(path_.c_str(), &status) == 0) {
+        const bool rotated = static_cast<std::uint64_t>(status.st_ino) != inode_;
+        const bool truncated = static_cast<std::uint64_t>(status.st_size) < offset_;
+        if (rotated || truncated) {
+          splitter_.finish();
+          if (open_file(/*from_start=*/true)) {
+            ++stats_.reconnects;
+            continue;
+          }
+          ++stats_.errors;
+          return Status::kError;
+        }
+      }
+      // stat failure here is transient (rotation in progress); fall through
+      // to the timeout wait and retry.
     }
     if (std::chrono::steady_clock::now() >= deadline) return Status::kTimeout;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -152,6 +227,11 @@ Source::Status StdinSource::next_line(std::string& line, std::chrono::millisecon
     if (eof_) return Status::kEnd;
     if (!wait_readable(STDIN_FILENO, timeout)) return Status::kTimeout;
     const long got = read_chunk(STDIN_FILENO, splitter_);
+    if (got == -2) {
+      last_error_ = std::string("read error on stdin: ") + std::strerror(errno);
+      ++stats_.errors;
+      return Status::kError;
+    }
     if (got == 0) {
       splitter_.finish();
       eof_ = true;
@@ -161,9 +241,12 @@ Source::Status StdinSource::next_line(std::string& line, std::chrono::millisecon
 
 // --------------------------------------------------------------- TcpSource
 
-TcpSource::TcpSource(std::uint16_t port) {
+bool TcpSource::open_listener(std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  REJUV_EXPECT(listen_fd_ >= 0, "cannot create tcp socket");
+  if (listen_fd_ < 0) {
+    last_error_ = std::string("cannot create tcp socket: ") + std::strerror(errno);
+    return false;
+  }
   const int enable = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
 
@@ -173,14 +256,24 @@ TcpSource::TcpSource(std::uint16_t port) {
   address.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0 ||
       ::listen(listen_fd_, 4) != 0) {
+    last_error_ = "cannot listen on tcp port " + std::to_string(port) + ": " +
+                  std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
-    throw std::invalid_argument("cannot listen on tcp port " + std::to_string(port) + ": " +
-                                std::strerror(errno));
+    return false;
   }
   socklen_t length = sizeof address;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
   port_ = ntohs(address.sin_port);
+  return true;
+}
+
+TcpSource::TcpSource(std::uint16_t port) {
+  // A reporter that dies mid-write must not take the monitor down with a
+  // SIGPIPE; installing the ignore here covers every process that creates a
+  // TCP source, including tests.
+  ignore_sigpipe();
+  if (!open_listener(port)) throw std::invalid_argument(last_error_);
 }
 
 TcpSource::~TcpSource() {
@@ -190,20 +283,40 @@ TcpSource::~TcpSource() {
 
 std::string TcpSource::describe() const { return "tcp:" + std::to_string(port_); }
 
+bool TcpSource::reopen() {
+  if (listen_fd_ >= 0) return true;
+  if (!open_listener(port_)) return false;
+  last_error_.clear();
+  return true;
+}
+
 Source::Status TcpSource::next_line(std::string& line, std::chrono::milliseconds timeout) {
   while (true) {
     if (splitter_.pop(line)) return Status::kLine;
+    if (listen_fd_ < 0) {
+      last_error_ = "tcp listener lost";
+      return Status::kError;
+    }
     if (client_fd_ < 0) {
       if (!wait_readable(listen_fd_, timeout)) return Status::kTimeout;
       client_fd_ = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
       if (client_fd_ < 0) return Status::kTimeout;
+      // Every accepted client after the first is a reporter coming back
+      // (or a replacement); that is the monitor's reconnect event.
+      if (clients_served_ > 0) ++stats_.reconnects;
+      ++clients_served_;
       continue;
     }
     if (!wait_readable(client_fd_, timeout)) return Status::kTimeout;
     const long got = read_chunk(client_fd_, splitter_);
-    if (got == 0) {
-      // Client hung up: flush its final partial line and accept the next
-      // reporter. The source itself stays live.
+    if (got == 0 || got == -2) {
+      // Client hung up (or reset): flush its final partial line and accept
+      // the next reporter. The source itself stays live — a hard client
+      // error is counted but treated exactly like a disconnect.
+      if (got == -2) {
+        last_error_ = std::string("tcp client read error: ") + std::strerror(errno);
+        ++stats_.errors;
+      }
       splitter_.finish();
       ::close(client_fd_);
       client_fd_ = -1;

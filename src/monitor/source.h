@@ -21,12 +21,23 @@
 
 namespace rejuv::monitor {
 
+/// Resilience counters every source carries. Plain integers only — stats()
+/// is polled from the ingest hot path after every next_line call, and the
+/// caller diffs consecutive snapshots to trace each increment as an event.
+struct SourceStats {
+  std::uint64_t reconnects = 0;       ///< transport re-established (rotation, re-accept)
+  std::uint64_t errors = 0;           ///< I/O failures observed
+  std::uint64_t restarts = 0;         ///< supervisor-driven reopen() successes
+  std::uint64_t faults_injected = 0;  ///< fault-plan primitives fired (FaultySource)
+};
+
 class Source {
  public:
   enum class Status {
     kLine,     ///< `line` was filled with the next input line
     kTimeout,  ///< nothing arrived within the wait budget; source still live
     kEnd,      ///< end of stream; no further lines will ever arrive
+    kError,    ///< I/O failure; last_error() says what, reopen() may recover
   };
 
   virtual ~Source() = default;
@@ -36,7 +47,24 @@ class Source {
 
   /// Human-readable description, e.g. "tcp:9090" or "file:rt.jsonl".
   virtual std::string describe() const = 0;
+
+  /// Resilience counters accumulated so far.
+  virtual SourceStats stats() const { return {}; }
+
+  /// Explanation of the most recent kError; "" when none occurred.
+  virtual std::string last_error() const { return {}; }
+
+  /// Attempts to re-establish the source after kError (or after kEnd, for
+  /// streams that can resume). Returns true when the source is live again.
+  /// The default says "unrecoverable", which is right for stdin and vectors.
+  virtual bool reopen() { return false; }
 };
+
+/// Installs SIG_IGN for SIGPIPE once per process (idempotent, thread-safe).
+/// A monitor must not die because a TCP reporter vanished mid-write; with
+/// SIGPIPE ignored, writes to a dead peer fail with EPIPE instead, which the
+/// sources handle as an ordinary disconnect.
+void ignore_sigpipe();
 
 /// Opens a source from its spec string:
 ///   "stdin" | "-"        read standard input
@@ -91,7 +119,9 @@ class VectorSource final : public Source {
 };
 
 /// Reads a file to end-of-file; in follow mode, keeps polling for appended
-/// data instead of reporting kEnd.
+/// data instead of reporting kEnd, and survives log rotation: when the path
+/// suddenly names a different inode (or the file shrank below the read
+/// offset), the source reopens it from the start and counts a reconnect.
 class FileSource final : public Source {
  public:
   FileSource(const std::string& path, bool follow);
@@ -99,12 +129,25 @@ class FileSource final : public Source {
 
   Status next_line(std::string& line, std::chrono::milliseconds timeout) override;
   std::string describe() const override;
+  SourceStats stats() const override { return stats_; }
+  std::string last_error() const override { return last_error_; }
+  /// Reopens the path and seeks back to the previous offset (or the file
+  /// end, if it shrank). Clears a prior kError.
+  bool reopen() override;
 
  private:
+  /// Closes and reopens path_; returns false (with last_error_ set) when the
+  /// path cannot be opened. `from_start` rereads from offset 0.
+  bool open_file(bool from_start);
+
   std::string path_;
   bool follow_;
   int fd_ = -1;
   bool eof_ = false;
+  std::uint64_t offset_ = 0;      ///< bytes consumed from the current inode
+  std::uint64_t inode_ = 0;       ///< inode backing fd_, for rotation checks
+  SourceStats stats_;
+  std::string last_error_;
   LineSplitter splitter_;
 };
 
@@ -115,16 +158,24 @@ class StdinSource final : public Source {
 
   Status next_line(std::string& line, std::chrono::milliseconds timeout) override;
   std::string describe() const override { return "stdin"; }
+  SourceStats stats() const override { return stats_; }
+  std::string last_error() const override { return last_error_; }
 
  private:
   bool eof_ = false;
+  SourceStats stats_;
+  std::string last_error_;
   LineSplitter splitter_;
 };
 
 /// Line-oriented TCP listener on 127.0.0.1. Serves one client at a time;
-/// when a client disconnects the source goes back to accepting (an online
-/// monitor outlives any one reporter), so it never reports kEnd on its own
-/// — the monitor ends a TCP run via stop or max-observations.
+/// when a client disconnects (cleanly or by reset) the source goes back to
+/// accepting (an online monitor outlives any one reporter), so it never
+/// reports kEnd on its own — the monitor ends a TCP run via stop or
+/// max-observations. Each re-accept after the first client counts as a
+/// reconnect; a hard client error counts as an error but does not kill the
+/// listener. Constructing a TcpSource installs the process-wide SIGPIPE
+/// ignore (see ignore_sigpipe).
 class TcpSource final : public Source {
  public:
   /// Binds and listens immediately; port 0 picks an ephemeral port.
@@ -133,14 +184,26 @@ class TcpSource final : public Source {
 
   Status next_line(std::string& line, std::chrono::milliseconds timeout) override;
   std::string describe() const override;
+  SourceStats stats() const override { return stats_; }
+  std::string last_error() const override { return last_error_; }
+  /// Rebuilds the listen socket on the same port if it was lost; true when
+  /// the listener is live (possibly still without a client).
+  bool reopen() override;
 
   /// The actually bound port (resolves port 0).
   std::uint16_t port() const noexcept { return port_; }
 
  private:
+  /// Creates, binds and listens on port_; false (with last_error_ set) on
+  /// failure.
+  bool open_listener(std::uint16_t port);
+
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
   int client_fd_ = -1;
+  std::uint64_t clients_served_ = 0;
+  SourceStats stats_;
+  std::string last_error_;
   LineSplitter splitter_;
 };
 

@@ -1,0 +1,115 @@
+#include "monitor/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace rejuv::monitor {
+
+SourceSupervisor::SourceSupervisor(std::unique_ptr<Source> inner, BackoffPolicy policy)
+    : inner_(std::move(inner)), policy_(policy) {
+  REJUV_EXPECT(inner_ != nullptr, "supervisor needs a source");
+  REJUV_EXPECT(policy_.initial.count() >= 0, "backoff initial delay must be non-negative");
+  REJUV_EXPECT(policy_.max >= policy_.initial, "backoff max must be at least the initial delay");
+  REJUV_EXPECT(policy_.multiplier >= 1.0, "backoff multiplier must be at least 1");
+}
+
+std::string SourceSupervisor::describe() const {
+  return "supervised(" + inner_->describe() + ")";
+}
+
+SourceStats SourceSupervisor::stats() const {
+  SourceStats stats = inner_->stats();
+  stats.restarts += restarts_;
+  return stats;
+}
+
+std::string SourceSupervisor::last_error() const {
+  return last_error_.empty() ? inner_->last_error() : last_error_;
+}
+
+std::chrono::milliseconds SourceSupervisor::backoff_delay(const BackoffPolicy& policy,
+                                                          std::uint64_t attempt) {
+  // Exponential schedule, capped: base = min(max, initial * multiplier^k).
+  double base = static_cast<double>(policy.initial.count()) *
+                std::pow(policy.multiplier, static_cast<double>(attempt));
+  base = std::min(base, static_cast<double>(policy.max.count()));
+  // Deterministic half-jitter: uniform in [base/2, base). Jitter decorrelates
+  // reconnect storms across monitors while keeping each monitor's schedule
+  // reproducible from (seed, attempt) alone.
+  common::SplitMix64 rng(policy.seed ^ (attempt + 1));
+  const double u = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+  const double delay = base / 2.0 + base / 2.0 * u;
+  return std::chrono::milliseconds(static_cast<std::int64_t>(delay));
+}
+
+Source::Status SourceSupervisor::next_line(std::string& line,
+                                           std::chrono::milliseconds timeout) {
+  if (dead_) return pending_status_;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (backing_off_) {
+      if (now < backoff_until_) {
+        // Wait out the backoff, but never past this call's budget: a long
+        // delay spans several kTimeout returns so the caller stays in
+        // control between them.
+        const auto wait_until = std::min(backoff_until_, deadline);
+        std::this_thread::sleep_until(wait_until);
+        if (backoff_until_ > deadline) return Status::kTimeout;
+      }
+      // Backoff elapsed: one reopen attempt.
+      if (inner_->reopen()) {
+        backing_off_ = false;
+        ++restarts_;
+      } else {
+        if (attempts_ >= policy_.max_restarts) {
+          dead_ = true;
+          return pending_status_;
+        }
+        backoff_until_ = std::chrono::steady_clock::now() + backoff_delay(policy_, attempts_);
+        ++attempts_;
+        continue;
+      }
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const Status status =
+        inner_->next_line(line, std::max(remaining, std::chrono::milliseconds(0)));
+    switch (status) {
+      case Status::kLine:
+        // A delivered line proves the stream recovered; the failure budget
+        // starts over.
+        attempts_ = 0;
+        last_error_.clear();
+        return Status::kLine;
+      case Status::kTimeout:
+        if (std::chrono::steady_clock::now() >= deadline) return Status::kTimeout;
+        continue;
+      case Status::kEnd:
+        if (!policy_.retry_on_eof || policy_.max_restarts == 0) return Status::kEnd;
+        pending_status_ = Status::kEnd;
+        break;
+      case Status::kError:
+        last_error_ = inner_->last_error();
+        if (policy_.max_restarts == 0) return Status::kError;
+        pending_status_ = Status::kError;
+        break;
+    }
+    // Inner failure: schedule the next reopen attempt. attempts_ counts
+    // failure events (inner failures and failed reopens alike) since the
+    // last delivered line; crossing the budget is terminal.
+    if (attempts_ >= policy_.max_restarts) {
+      dead_ = true;
+      return pending_status_;
+    }
+    backing_off_ = true;
+    backoff_until_ = std::chrono::steady_clock::now() + backoff_delay(policy_, attempts_);
+    ++attempts_;
+  }
+}
+
+}  // namespace rejuv::monitor

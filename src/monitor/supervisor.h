@@ -1,0 +1,80 @@
+// SourceSupervisor: restart-with-backoff wrapper around any Source.
+//
+// A production monitor's input can fail in ways the source itself cannot
+// hide — the log file it tails becomes unreadable, the listener socket is
+// lost, a fault plan injects a disconnect. The supervisor absorbs the
+// resulting kError (and optionally kEnd) statuses: it waits out an
+// exponentially growing, deterministically jittered backoff delay, calls
+// reopen() on the inner source, and resumes reading. Only after the retry
+// budget is exhausted does the underlying status escape to the caller, so
+// the ingest loop sees either lines, timeouts, or a definitively dead
+// stream. All waiting happens inside next_line's bounded budget: a backoff
+// longer than one call's timeout simply spans several kTimeout returns,
+// which keeps the ingest loop's watchdog and shutdown checks responsive.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "monitor/source.h"
+
+namespace rejuv::monitor {
+
+/// Restart policy of a SourceSupervisor.
+struct BackoffPolicy {
+  /// Delay before the first reopen attempt; doubles (see multiplier) per
+  /// consecutive failure up to `max`.
+  std::chrono::milliseconds initial{100};
+  std::chrono::milliseconds max{5000};
+  double multiplier = 2.0;
+  /// Seed of the deterministic jitter: the k-th attempt's delay is drawn
+  /// uniformly from [base/2, base) where base is the exponential schedule.
+  /// Same seed, same delays — chaos tests rely on this.
+  std::uint64_t seed = 0;
+  /// Consecutive reopen failures tolerated before the stream is declared
+  /// dead. 0 disables supervision entirely (failures pass through).
+  std::uint64_t max_restarts = 8;
+  /// Treat kEnd like a failure and retry it, for streams that can resume
+  /// after an EOF (a fault plan's eof primitive, a rewritten input file).
+  /// A clean EOF on the final attempt still surfaces as kEnd, not kError.
+  bool retry_on_eof = false;
+};
+
+class SourceSupervisor final : public Source {
+ public:
+  /// Takes ownership of `inner`.
+  SourceSupervisor(std::unique_ptr<Source> inner, BackoffPolicy policy);
+
+  Status next_line(std::string& line, std::chrono::milliseconds timeout) override;
+  std::string describe() const override;
+  /// Inner stats plus the supervisor's own restart count.
+  SourceStats stats() const override;
+  std::string last_error() const override;
+
+  /// Successful reopen() cycles driven by this supervisor.
+  std::uint64_t restarts() const noexcept { return restarts_; }
+  /// True once the retry budget is exhausted; next_line keeps returning the
+  /// terminal status.
+  bool dead() const noexcept { return dead_; }
+  const Source& inner() const noexcept { return *inner_; }
+
+  /// The deterministic backoff schedule: delay before reopen attempt
+  /// `attempt` (0-based). Pure — exposed for tests and documentation.
+  static std::chrono::milliseconds backoff_delay(const BackoffPolicy& policy,
+                                                 std::uint64_t attempt);
+
+ private:
+  std::unique_ptr<Source> inner_;
+  BackoffPolicy policy_;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t attempts_ = 0;  ///< consecutive failed cycles since last good line
+  bool dead_ = false;
+  bool backing_off_ = false;
+  Status pending_status_ = Status::kEnd;  ///< status to surface if the budget runs out
+  std::chrono::steady_clock::time_point backoff_until_{};
+  std::string last_error_;
+};
+
+}  // namespace rejuv::monitor

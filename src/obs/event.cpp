@@ -7,7 +7,7 @@ namespace rejuv::obs {
 
 namespace {
 
-constexpr std::array<std::pair<EventType, std::string_view>, 20> kNames{{
+constexpr std::array<std::pair<EventType, std::string_view>, 26> kNames{{
     {EventType::kRunStart, "run_start"},
     {EventType::kRunEnd, "run_end"},
     {EventType::kTransactionCompleted, "txn"},
@@ -28,6 +28,12 @@ constexpr std::array<std::pair<EventType, std::string_view>, 20> kNames{{
     {EventType::kObservationDropped, "dropped"},
     {EventType::kWatchdogTimeout, "watchdog"},
     {EventType::kMalformedInput, "malformed"},
+    {EventType::kSourceError, "source_error"},
+    {EventType::kSourceReconnected, "source_reconnect"},
+    {EventType::kSourceRestarted, "source_restart"},
+    {EventType::kFaultInjected, "fault_injected"},
+    {EventType::kCheckpointSaved, "checkpoint_save"},
+    {EventType::kCheckpointRestored, "checkpoint_restore"},
 }};
 
 }  // namespace

@@ -40,6 +40,13 @@ enum class EventType : std::uint8_t {
   kObservationDropped,     ///< backpressure drop; rep = shard, value = total drops there
   kWatchdogTimeout,        ///< idle source; value = configured timeout (ms)
   kMalformedInput,         ///< value = 1-based line number; note = offending prefix
+  // --- Fault tolerance (sources, supervisor, checkpoints) ---
+  kSourceError,            ///< source I/O failure; note = error text; value = total errors
+  kSourceReconnected,      ///< source re-established itself; value = total reconnects
+  kSourceRestarted,        ///< supervisor reopened the source; value = total restarts
+  kFaultInjected,          ///< fault-plan primitive fired; value = total faults injected
+  kCheckpointSaved,        ///< rep = shard; value = observations covered by the record
+  kCheckpointRestored,     ///< rep = shard; value = observations resumed from
 };
 
 /// Stable wire name, e.g. "txn" for kTransactionCompleted.

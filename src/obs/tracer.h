@@ -215,6 +215,55 @@ class Tracer {
     emit(std::move(event));
   }
 
+  // --- Fault tolerance (sources, supervisor, checkpoints) ---
+  void source_error(const std::string& message, std::uint64_t total_errors) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kSourceError;
+    event.value = static_cast<double>(total_errors);
+    event.note = message;
+    emit(std::move(event));
+  }
+  void source_reconnected(std::uint64_t total_reconnects) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kSourceReconnected;
+    event.value = static_cast<double>(total_reconnects);
+    emit(std::move(event));
+  }
+  void source_restarted(std::uint64_t total_restarts) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kSourceRestarted;
+    event.value = static_cast<double>(total_restarts);
+    emit(std::move(event));
+  }
+  void fault_injected(const std::string& description, std::uint64_t total_faults) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kFaultInjected;
+    event.value = static_cast<double>(total_faults);
+    event.note = description;
+    emit(std::move(event));
+  }
+  /// `shard` lands in the rep field, like observation_dropped.
+  void checkpoint_saved(std::uint32_t shard, std::uint64_t observations) {
+    if (sink_ == nullptr) return;
+    rep_ = shard;
+    TraceEvent event;
+    event.type = EventType::kCheckpointSaved;
+    event.value = static_cast<double>(observations);
+    emit(std::move(event));
+  }
+  void checkpoint_restored(std::uint32_t shard, std::uint64_t observations) {
+    if (sink_ == nullptr) return;
+    rep_ = shard;
+    TraceEvent event;
+    event.type = EventType::kCheckpointRestored;
+    event.value = static_cast<double>(observations);
+    emit(std::move(event));
+  }
+
  private:
   TraceSink* sink_ = nullptr;
   std::uint64_t seq_ = 0;

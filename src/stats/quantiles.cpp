@@ -45,6 +45,17 @@ void WindowAverage::set_window(std::size_t window) {
   if (count_ == 0) current_window_ = window;
 }
 
+void WindowAverage::restore(std::size_t current_window, std::size_t next_window,
+                            std::size_t count, double sum) {
+  REJUV_EXPECT(current_window >= 1 && next_window >= 1,
+               "restored window must hold at least one observation");
+  REJUV_EXPECT(count < current_window, "restored block must be incomplete");
+  current_window_ = current_window;
+  next_window_ = next_window;
+  count_ = count;
+  sum_ = sum;
+}
+
 void WindowAverage::reset() noexcept {
   count_ = 0;
   sum_ = 0.0;

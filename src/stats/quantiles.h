@@ -38,6 +38,15 @@ class WindowAverage {
 
   std::size_t window() const noexcept { return next_window_; }
   std::size_t pending() const noexcept { return count_; }
+  /// Length of the block currently being accumulated (checkpoint save; may
+  /// differ from window() while a pre-resize block is still completing).
+  std::size_t current_window() const noexcept { return current_window_; }
+  /// Running sum of the partially accumulated block (checkpoint save).
+  double partial_sum() const noexcept { return sum_; }
+
+  /// Restores a partially accumulated block saved via the accessors above
+  /// (checkpoint restore). `count` must be smaller than `current_window`.
+  void restore(std::size_t current_window, std::size_t next_window, std::size_t count, double sum);
 
   /// Drops any partially accumulated block and applies a pending resize.
   void reset() noexcept;

@@ -21,6 +21,15 @@ void RunningStats::push(double value) noexcept {
   m2_ += delta * (value - mean_);
 }
 
+void RunningStats::restore(std::uint64_t count, double mean, double m2, double min,
+                           double max) noexcept {
+  count_ = count;
+  mean_ = mean;
+  m2_ = m2;
+  min_ = min;
+  max_ = max;
+}
+
 void RunningStats::merge(const RunningStats& other) noexcept {
   if (other.count_ == 0) return;
   if (count_ == 0) {

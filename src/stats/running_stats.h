@@ -20,9 +20,18 @@ class RunningStats {
 
   void reset() noexcept { *this = RunningStats{}; }
 
+  /// Replaces the accumulator state with previously saved raw moments
+  /// (checkpoint restore). The values must come from `count`/`raw_mean`/
+  /// `m2`/`min`/`max` of another instance for the statistics to stay valid.
+  void restore(std::uint64_t count, double mean, double m2, double min, double max) noexcept;
+
   std::uint64_t count() const noexcept { return count_; }
   /// Arithmetic mean; 0 when empty.
   double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// The running mean without the empty-case guard (checkpoint save).
+  double raw_mean() const noexcept { return mean_; }
+  /// Sum of squared deviations from the running mean (checkpoint save).
+  double m2() const noexcept { return m2_; }
   /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
   double variance() const noexcept;
   /// Population variance (n denominator); 0 when empty.

@@ -6,6 +6,8 @@
 # Usage: tools/ci.sh [build-dir]        full pipeline (default dir: build)
 #        tools/ci.sh tsan [build-dir]   ThreadSanitizer build + threaded tests
 #                                       (default dir: build-tsan)
+#        tools/ci.sh asan [build-dir]   ASan+UBSan build + the full test suite
+#                                       (default dir: build-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,12 +24,33 @@ if [ "${1:-}" = "tsan" ]; then
   echo "==> tsan configure"
   cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DREJUV_TSAN=ON
   echo "==> tsan build (threaded test binaries)"
-  cmake --build "$BUILD_DIR" -j --target monitor_test obs_test harness_test
+  cmake --build "$BUILD_DIR" -j --target monitor_test faults_test obs_test harness_test
   echo "==> tsan run"
   "$BUILD_DIR"/tests/monitor_test
+  "$BUILD_DIR"/tests/faults_test
   "$BUILD_DIR"/tests/obs_test
   "$BUILD_DIR"/tests/harness_test
   echo "==> ci.sh tsan: all green"
+  exit 0
+fi
+
+# The asan stage runs the ENTIRE test suite (including the chaos suite and
+# the CLI smoke tests) under AddressSanitizer + UndefinedBehaviorSanitizer:
+# fault-injection code paths — reconnects, torn checkpoint lines, partial
+# reads — are exactly where lifetime bugs hide.
+if [ "${1:-}" = "asan" ]; then
+  BUILD_DIR="${2:-build-asan}"
+  GENERATOR_ARGS=()
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    GENERATOR_ARGS=(-G Ninja)
+  fi
+  echo "==> asan configure"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DREJUV_SANITIZE=ON
+  echo "==> asan build"
+  cmake --build "$BUILD_DIR" -j
+  echo "==> asan run (full test suite)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+  echo "==> ci.sh asan: all green"
   exit 0
 fi
 

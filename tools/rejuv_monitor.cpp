@@ -10,11 +10,13 @@
 //   rejuv-monitor --detector='SARAA(n=2,K=5,D=3)' --source=file:run.jsonl
 //
 //   seq 1 100000 | rejuv-monitor --detector='SRAA(n=2,K=5,D=3)'
-//   rejuv-monitor --source=tcp:9090 --shards=4 --watchdog-ms=5000
+//   rejuv-monitor --source=tcp:9090 --shards=4 --watchdog-ms=5000 --retry=8
 //
 // Each emitted rejuvenation action prints one line to stdout; the summary
 // goes to stderr. SIGINT/SIGTERM shut down cleanly (queues drain, stats are
-// final). Flags (defaults in brackets):
+// final). Exit codes: 0 = clean end of stream (or budget/stop), 1 = bad
+// configuration, 2 = the run ended on an unrecoverable source I/O error.
+// Flags (defaults in brackets):
 //   --detector=SPEC        detector spec, e.g. 'SRAA(n=2,K=5,D=3)',
 //                          'CLTA(n=30,z=1.96)', 'SARAA-noaccel(n=2,K=5,D=3)',
 //                          'None'; optional mu=/sigma= keys set the baseline
@@ -29,6 +31,25 @@
 //   --max-obs=N            stop after N observations, 0 = unbounded [0]
 //   --calibrate=N          estimate the baseline from the first N healthy
 //                          observations per shard [off]
+//   --retry=N              supervise the source: tolerate up to N consecutive
+//                          failures, reconnecting with backoff [0 = off]
+//   --backoff-ms=I[:M]     initial (and max) reconnect backoff delay [100:5000]
+//   --backoff-seed=N       seed of the deterministic backoff jitter [0]
+//   --retry-on-eof         treat EOF as a failure and retry it (with --retry)
+//   --fault-plan=SPEC      inject deterministic faults, e.g.
+//                          'seed=7,disconnect@100,stall@200:50ms,garble@300x5,
+//                          partial@400,eof@500' (see docs/ROBUSTNESS.md)
+//   --checkpoint=PATH      JSONL checkpoint journal; restores from it when it
+//                          already holds records for this spec and topology
+//   --checkpoint-every=N   also checkpoint every N observations per shard
+//                          [0 = at shutdown only]
+//   --no-resume-replay     the source continues where the saved run stopped;
+//                          do not skip restored observations (default: the
+//                          replayed prefix is skipped for file:/follow:)
+//   --logical-time         stamp trace events with stream positions instead
+//                          of wall-clock seconds (byte-stable traces)
+//   --inline               process on the ingest thread, no workers/queues
+//                          (requires --shards=1; deterministic interleaving)
 //   --trace=FILE           structured event trace (JSONL; .csv selects CSV);
 //                          analyze with rejuv-trace
 //   --metrics              dump the metrics registry to stderr at the end
@@ -42,8 +63,11 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/spec.h"
+#include "faults/fault_plan.h"
+#include "faults/faulty_source.h"
 #include "monitor/monitor.h"
 #include "monitor/source.h"
+#include "monitor/supervisor.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 
@@ -58,6 +82,22 @@ void handle_signal(int) { g_stop.store(true, std::memory_order_release); }
 bool ends_with(const std::string& text, const std::string& suffix) {
   return text.size() >= suffix.size() &&
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+// "--backoff-ms=100" or "--backoff-ms=100:5000".
+void parse_backoff(const std::string& text, monitor::BackoffPolicy& policy) {
+  const std::size_t colon = text.find(':');
+  const std::string initial = text.substr(0, colon);
+  policy.initial = std::chrono::milliseconds(std::stoll(initial));
+  if (colon != std::string::npos) {
+    policy.max = std::chrono::milliseconds(std::stoll(text.substr(colon + 1)));
+  } else if (policy.max < policy.initial) {
+    policy.max = policy.initial;
+  }
 }
 
 }  // namespace
@@ -77,9 +117,38 @@ int main(int argc, char** argv) {
     config.watchdog_timeout = std::chrono::milliseconds(flags.get_int("watchdog-ms", 0));
     config.max_observations = static_cast<std::uint64_t>(flags.get_int("max-obs", 0));
     config.calibrate = static_cast<std::uint64_t>(flags.get_int("calibrate", 0));
+    config.logical_time = flags.has("logical-time");
+    config.inline_processing = flags.has("inline");
+    config.checkpoint_path = flags.get("checkpoint").value_or("");
+    config.checkpoint_every = static_cast<std::uint64_t>(flags.get_int("checkpoint-every", 0));
 
     const std::string source_spec = flags.get("source").value_or("stdin");
-    const auto source = monitor::open_source(source_spec);
+    // Sources that replay the stream from the start need the restored
+    // prefix skipped; tcp/stdin continue where the saved run stopped.
+    config.resume_skip = !config.checkpoint_path.empty() && !flags.has("no-resume-replay") &&
+                         (starts_with(source_spec, "file:") || starts_with(source_spec, "follow:"));
+
+    // A dying downstream reader must surface as a write error, never as a
+    // process-killing SIGPIPE (also covers TcpSource internally).
+    monitor::ignore_sigpipe();
+
+    std::unique_ptr<monitor::Source> source = monitor::open_source(source_spec);
+    if (const auto plan_spec = flags.get("fault-plan")) {
+      source = std::make_unique<faults::FaultySource>(std::move(source),
+                                                      faults::FaultPlan::parse(*plan_spec));
+    }
+    const auto retry = static_cast<std::uint64_t>(flags.get_int("retry", 0));
+    const bool retry_on_eof = flags.has("retry-on-eof");
+    if (retry > 0) {
+      monitor::BackoffPolicy policy;
+      policy.max_restarts = retry;
+      policy.retry_on_eof = retry_on_eof;
+      policy.seed = static_cast<std::uint64_t>(flags.get_int("backoff-seed", 0));
+      if (const auto backoff = flags.get("backoff-ms")) parse_backoff(*backoff, policy);
+      source = std::make_unique<monitor::SourceSupervisor>(std::move(source), policy);
+    } else {
+      REJUV_EXPECT(!retry_on_eof, "--retry-on-eof needs --retry=N with N > 0");
+    }
 
     monitor::Monitor engine(config);
     engine.set_stop_flag(&g_stop);
@@ -113,8 +182,9 @@ int main(int argc, char** argv) {
     const bool want_metrics = flags.has("metrics");
     if (want_metrics) engine.set_metrics(&registry);
 
-    std::cerr << "rejuv-monitor: " << core::describe(config.detector) << " on " << source_spec
-              << ", " << config.shards << " shard(s), queue " << config.queue_capacity << ", "
+    std::cerr << "rejuv-monitor: " << core::describe(config.detector) << " on "
+              << source->describe() << ", " << config.shards << " shard(s), queue "
+              << config.queue_capacity << ", "
               << (config.drop_when_full ? "drop" : "block") << " on backpressure\n";
 
     const monitor::MonitorStats stats = engine.run(*source);
@@ -131,7 +201,23 @@ int main(int argc, char** argv) {
               << " skipped=" << stats.skipped << " malformed=" << stats.malformed
               << " dropped=" << stats.dropped() << " watchdog_timeouts=" << stats.watchdog_timeouts
               << " triggers=" << stats.triggers() << " actions=" << stats.actions() << "\n";
+    if (stats.source_errors > 0 || stats.source_reconnects > 0 || stats.source_restarts > 0 ||
+        stats.faults_injected > 0) {
+      std::cerr << "source_errors=" << stats.source_errors
+                << " reconnects=" << stats.source_reconnects
+                << " restarts=" << stats.source_restarts
+                << " faults_injected=" << stats.faults_injected << "\n";
+    }
+    if (!config.checkpoint_path.empty()) {
+      std::cerr << "checkpoints=" << stats.checkpoints()
+                << " restored_observations=" << stats.restored_observations
+                << " resume_skipped=" << stats.resume_skipped << "\n";
+    }
     if (want_metrics) registry.write(std::cerr);
+    if (stats.source_error) {
+      std::cerr << "rejuv_monitor: source failed: " << stats.source_error_message << "\n";
+      return 2;
+    }
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "rejuv_monitor: " << error.what() << "\n"

@@ -114,6 +114,25 @@ class Analyzer {
       case EventType::kMalformedInput:
         ++malformed_;
         return;
+      case EventType::kSourceError:
+        // value carries the running error total; keep the latest.
+        source_errors_ = std::max(source_errors_, static_cast<std::uint64_t>(event.value));
+        return;
+      case EventType::kSourceReconnected:
+        source_reconnects_ = std::max(source_reconnects_, static_cast<std::uint64_t>(event.value));
+        return;
+      case EventType::kSourceRestarted:
+        source_restarts_ = std::max(source_restarts_, static_cast<std::uint64_t>(event.value));
+        return;
+      case EventType::kFaultInjected:
+        faults_injected_ = std::max(faults_injected_, static_cast<std::uint64_t>(event.value));
+        return;
+      case EventType::kCheckpointSaved:
+        ++checkpoints_saved_;
+        return;
+      case EventType::kCheckpointRestored:
+        ++checkpoints_restored_;
+        return;
       default:
         break;
     }
@@ -232,6 +251,14 @@ class Analyzer {
                 << " watchdog_timeouts=" << watchdog_timeouts_ << " malformed=" << malformed_
                 << "\n";
     }
+    if (source_errors_ > 0 || source_reconnects_ > 0 || source_restarts_ > 0 ||
+        faults_injected_ > 0 || checkpoints_saved_ > 0 || checkpoints_restored_ > 0) {
+      std::cout << "resilience: source_errors=" << source_errors_
+                << " reconnects=" << source_reconnects_ << " restarts=" << source_restarts_
+                << " faults_injected=" << faults_injected_
+                << " checkpoints_saved=" << checkpoints_saved_
+                << " checkpoints_restored=" << checkpoints_restored_ << "\n";
+    }
   }
 
  private:
@@ -311,6 +338,13 @@ class Analyzer {
   std::uint64_t watchdog_timeouts_ = 0;
   std::uint64_t malformed_ = 0;
   std::map<std::uint32_t, std::uint64_t> drops_by_shard_;
+  // Fault-tolerance tallies (running totals in the events; keep the latest).
+  std::uint64_t source_errors_ = 0;
+  std::uint64_t source_reconnects_ = 0;
+  std::uint64_t source_restarts_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t checkpoints_saved_ = 0;
+  std::uint64_t checkpoints_restored_ = 0;
 };
 
 }  // namespace
