@@ -1,0 +1,261 @@
+#include "benchlib/suites.h"
+
+#include <memory>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/bucket_cascade.h"
+#include "core/clta.h"
+#include "core/factory.h"
+#include "core/saraa.h"
+#include "core/sraa.h"
+#include "core/static_rejuvenation.h"
+#include "monitor/checkpoint.h"
+#include "monitor/spsc_queue.h"
+#include "obs/sink.h"
+#include "obs/tracer.h"
+#include "sim/event_queue.h"
+
+namespace rejuv::benchlib {
+
+namespace {
+
+using namespace rejuv;
+
+constexpr std::size_t kDataSize = 1 << 14;  // power of two: index is a mask
+constexpr std::size_t kDataMask = kDataSize - 1;
+constexpr std::size_t kBatch = 512;  // monitor-like drain batch
+
+/// Deterministic response-time-like stream around the paper's (5, 5)
+/// baseline: uniform in [0, 10], so bucket-0 exceedance probability is ~0.5
+/// and the cascade genuinely wanders (the steady-state mix of escalations,
+/// de-escalations and occasional triggers a live detector sees).
+std::shared_ptr<std::vector<double>> make_observations() {
+  auto data = std::make_shared<std::vector<double>>(kDataSize);
+  common::RngStream rng(0xB3'5EED, 0);
+  for (double& value : *data) value = 10.0 * rng.uniform01();
+  return data;
+}
+
+/// Feeds `count` observations one at a time.
+void feed_observe(core::Detector& detector, const std::vector<double>& data,
+                  std::uint64_t count) {
+  std::uint64_t triggers = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    triggers += detector.observe(data[i & kDataMask]) == core::Decision::kRejuvenate ? 1u : 0u;
+  }
+  do_not_optimize(triggers);
+}
+
+/// Feeds `count` observations through observe_all in kBatch-sized spans,
+/// resuming past triggers exactly as the monitor's drain loop does.
+void feed_observe_all(core::Detector& detector, const std::vector<double>& data,
+                      std::uint64_t count) {
+  std::uint64_t triggers = 0;
+  std::uint64_t done = 0;
+  std::size_t offset = 0;
+  while (done < count) {
+    const std::size_t len =
+        count - done < kBatch ? static_cast<std::size_t>(count - done) : kBatch;
+    std::span<const double> batch(data.data() + offset, len);
+    while (!batch.empty()) {
+      const std::size_t index = detector.observe_all(batch);
+      if (index == batch.size()) break;
+      ++triggers;
+      batch = batch.subspan(index + 1);
+    }
+    done += len;
+    offset = (offset + len) & kDataMask;
+  }
+  do_not_optimize(triggers);
+}
+
+void register_detector_suite(Registry& registry) {
+  const auto data = make_observations();
+  const core::Baseline baseline{5.0, 5.0};
+
+  const auto sraa = std::make_shared<core::Sraa>(core::SraaParams{2, 5, 3}, baseline);
+  registry.add("detector", "detector.sraa.observe",
+               [data, sraa](std::uint64_t n) { feed_observe(*sraa, *data, n); });
+  const auto sraa_batch = std::make_shared<core::Sraa>(core::SraaParams{2, 5, 3}, baseline);
+  registry.add("detector", "detector.sraa.observe_all",
+               [data, sraa_batch](std::uint64_t n) { feed_observe_all(*sraa_batch, *data, n); });
+
+  const auto saraa = std::make_shared<core::Saraa>(core::SaraaParams{2, 5, 3, true}, baseline);
+  registry.add("detector", "detector.saraa.observe",
+               [data, saraa](std::uint64_t n) { feed_observe(*saraa, *data, n); });
+  const auto saraa_batch =
+      std::make_shared<core::Saraa>(core::SaraaParams{2, 5, 3, true}, baseline);
+  registry.add("detector", "detector.saraa.observe_all", [data, saraa_batch](std::uint64_t n) {
+    feed_observe_all(*saraa_batch, *data, n);
+  });
+
+  const auto clta = std::make_shared<core::Clta>(core::CltaParams{30, 1.96}, baseline);
+  registry.add("detector", "detector.clta.observe",
+               [data, clta](std::uint64_t n) { feed_observe(*clta, *data, n); });
+  const auto clta_batch = std::make_shared<core::Clta>(core::CltaParams{30, 1.96}, baseline);
+  registry.add("detector", "detector.clta.observe_all",
+               [data, clta_batch](std::uint64_t n) { feed_observe_all(*clta_batch, *data, n); });
+
+  const auto static_det = std::make_shared<core::StaticRejuvenation>(5, 3, baseline);
+  registry.add("detector", "detector.static.observe",
+               [data, static_det](std::uint64_t n) { feed_observe(*static_det, *data, n); });
+
+  const auto cascade = std::make_shared<core::BucketCascade>(3, 5);
+  registry.add("detector", "detector.cascade.update", [data, cascade](std::uint64_t n) {
+    std::uint64_t transitions = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      transitions += cascade->update((*data)[i & kDataMask] > 5.0) !=
+                             core::BucketCascade::Transition::kNone
+                         ? 1u
+                         : 0u;
+    }
+    do_not_optimize(transitions);
+  });
+}
+
+void register_sim_suite(Registry& registry) {
+  const auto data = make_observations();
+
+  // Steady-state future-event list at ~1024 pending events: each operation
+  // pops the earliest event and schedules a replacement a random offset
+  // ahead, which is exactly the completion-event churn of the §3 model.
+  const auto queue = std::make_shared<sim::EventQueue>();
+  registry.add("sim", "sim.event_queue.push_pop", [data, queue](std::uint64_t n) {
+    if (queue->empty()) {
+      for (std::size_t i = 0; i < 1024; ++i) {
+        queue->push((*data)[i & kDataMask], [] {});
+      }
+    }
+    double credit = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto [time, action] = queue->pop();
+      credit = time;
+      queue->push(time + (*data)[i & kDataMask] + 1e-3, std::move(action));
+    }
+    do_not_optimize(credit);
+  });
+
+  // Schedule + cancel: the GC-postpone and rejuvenation-flush paths cancel
+  // live events, so true-removal cost matters as much as pop.
+  const auto cancel_queue = std::make_shared<sim::EventQueue>();
+  registry.add("sim", "sim.event_queue.schedule_cancel",
+               [data, cancel_queue](std::uint64_t n) {
+                 if (cancel_queue->empty()) {
+                   for (std::size_t i = 0; i < 1024; ++i) {
+                     cancel_queue->push((*data)[i & kDataMask], [] {});
+                   }
+                 }
+                 std::uint64_t cancelled = 0;
+                 for (std::uint64_t i = 0; i < n; ++i) {
+                   const sim::EventId id =
+                       cancel_queue->push((*data)[i & kDataMask] + 10.0, [] {});
+                   cancelled += cancel_queue->cancel(id) ? 1u : 0u;
+                 }
+                 do_not_optimize(cancelled);
+               });
+}
+
+void register_monitor_suite(Registry& registry) {
+  const auto data = make_observations();
+
+  // Single-threaded ping-pong over the SPSC ring: measures the queue's
+  // per-element cost (index math, the release/acquire pair) without
+  // cross-core noise; one operation = one push, pops amortized per batch.
+  struct SpscFixture {
+    monitor::SpscQueue<double> queue{4096};
+    std::vector<double> drain = std::vector<double>(kBatch);
+    std::size_t pending = 0;
+  };
+  const auto spsc = std::make_shared<SpscFixture>();
+  registry.add("monitor", "monitor.spsc.push_pop", [data, spsc](std::uint64_t n) {
+    std::uint64_t popped = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      (void)spsc->queue.try_push((*data)[i & kDataMask]);
+      if (++spsc->pending == kBatch) {
+        popped += spsc->queue.pop_batch(spsc->drain.data(), kBatch);
+        spsc->pending = 0;
+      }
+    }
+    do_not_optimize(popped);
+  });
+
+  // One full checkpoint record: serialize a mid-escalation SRAA controller
+  // state to its JSONL line and parse it back — the per-interval cost of
+  // --checkpoint-every.
+  const auto checkpoint = std::make_shared<monitor::ShardCheckpoint>([] {
+    monitor::ShardCheckpoint record;
+    record.spec = "SRAA(n=2,K=5,D=3)";
+    record.shard = 1;
+    record.shard_count = 4;
+    record.controller.observations = 123456;
+    record.controller.cooldown_remaining = 17;
+    record.controller.trigger_indices = {1000, 2000, 40000, 100000};
+    record.controller.detector.algorithm = "SRAA(n=2,K=5,D=3)";
+    record.controller.detector.has_cascade = true;
+    record.controller.detector.bucket = 3;
+    record.controller.detector.fill = 2;
+    record.controller.detector.has_window = true;
+    record.controller.detector.window_length = 2;
+    record.controller.detector.window_next = 2;
+    record.controller.detector.window_count = 1;
+    record.controller.detector.window_sum = 7.25;
+    record.controller.detector.last_average = 11.5;
+    return record;
+  }());
+  registry.add("monitor", "monitor.checkpoint.roundtrip", [checkpoint](std::uint64_t n) {
+    std::uint64_t parsed_obs = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::string line = monitor::to_json(*checkpoint);
+      const auto parsed = monitor::parse_checkpoint_line(line);
+      parsed_obs += parsed ? parsed->controller.observations : 0;
+    }
+    do_not_optimize(parsed_obs);
+  });
+}
+
+void register_obs_suite(Registry& registry) {
+  // The disabled path is the branch every untraced simulation pays per
+  // event; it must stay in the low single-digit nanoseconds.
+  const auto disabled = std::make_shared<obs::Tracer>();
+  registry.add("obs", "obs.tracer.disabled_emit", [disabled](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      disabled->set_time(static_cast<double>(i));
+      disabled->sample(10.0, 5.0, true, 2, 1, 4);
+    }
+    do_not_optimize(disabled->events_emitted());
+  });
+
+  // Full JSONL formatting + stream write per event (buffer recycled so the
+  // benchmark measures formatting, not unbounded string growth).
+  struct JsonlFixture {
+    std::ostringstream out;
+    std::unique_ptr<obs::JsonlSink> sink = std::make_unique<obs::JsonlSink>(out);
+    obs::Tracer tracer{sink.get()};
+  };
+  const auto jsonl = std::make_shared<JsonlFixture>();
+  registry.add("obs", "obs.tracer.jsonl_emit", [jsonl](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if ((i & 0xFFF) == 0) {
+        jsonl->out.str("");
+        jsonl->out.clear();
+      }
+      jsonl->tracer.set_time(static_cast<double>(i));
+      jsonl->tracer.sample(10.0, 5.0, true, 2, 1, 4);
+    }
+    do_not_optimize(jsonl->tracer.events_emitted());
+  });
+}
+
+}  // namespace
+
+void register_standard_suites(Registry& registry) {
+  register_detector_suite(registry);
+  register_sim_suite(registry);
+  register_monitor_suite(registry);
+  register_obs_suite(registry);
+}
+
+}  // namespace rejuv::benchlib

@@ -1,0 +1,28 @@
+// The repo's standard benchmark suites.
+//
+// Four suites cover every hot path a production monitor exercises per
+// observation or per event:
+//
+//   detector — Detector::observe and observe_all for SRAA, SARAA, CLTA and
+//              the static cascade, plus the raw BucketCascade update. These
+//              are the per-observation decision costs the paper's §5 sweeps
+//              multiply by millions of transactions.
+//   sim      — future-event-list push/pop and schedule/cancel, the
+//              simulator's per-event cost.
+//   monitor  — the SPSC ring the ingest thread feeds and the checkpoint
+//              record serialize/parse round trip.
+//   obs      — tracer emit cost with no sink (the always-on branch) and
+//              with a JSONL sink (the traced-run overhead).
+//
+// Workload data is deterministic (fixed-seed RngStream), so two runs on the
+// same machine measure the same instruction stream.
+#pragma once
+
+#include "benchlib/benchlib.h"
+
+namespace rejuv::benchlib {
+
+/// Registers every standard suite into `registry`.
+void register_standard_suites(Registry& registry);
+
+}  // namespace rejuv::benchlib

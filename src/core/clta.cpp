@@ -32,6 +32,25 @@ Decision Clta::observe(double value) {
   return Decision::kContinue;
 }
 
+std::size_t Clta::observe_all(std::span<const double> values) {
+  // Untraced batch path: the threshold is fixed for the detector's whole
+  // lifetime, so each window is one vectorizable accumulation plus a single
+  // compare at the boundary. The traced path loops observe() to keep the
+  // event stream identical.
+  if (tracer_ != nullptr) return Detector::observe_all(values);
+  bool triggered = false;
+  const std::size_t consumed = window_.push_all(values, [&](double average) {
+    last_average_ = average;
+    if (average > threshold_) {
+      window_.reset();
+      triggered = true;
+      return false;
+    }
+    return true;
+  });
+  return triggered ? consumed - 1 : values.size();
+}
+
 void Clta::reset() { window_.reset(); }
 
 DetectorState Clta::save_state() const {

@@ -6,6 +6,12 @@
 // depth are implicitly one. z is a standard-normal quantile chosen for the
 // acceptable false-alarm probability (1.96 for a nominal 2.5%; the exact
 // false-alarm rate is slightly higher, see markov::SampleAverageDistribution).
+//
+// The trigger comparison is STRICT, matching the paper's Fig. 8 pseudo-code
+// "if x̄u > muX + N * sigmaX / sqrt(n)": a window average exactly equal to
+// the threshold does not rejuvenate. tests/clta_boundary_test.cpp pins this
+// down (the continuous RT distribution makes equality a measure-zero event,
+// but replayed/quantized traces can hit it).
 #pragma once
 
 #include <string>
@@ -26,6 +32,7 @@ class Clta final : public Detector {
   Clta(CltaParams params, Baseline baseline);
 
   Decision observe(double value) override;
+  std::size_t observe_all(std::span<const double> values) override;
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }

@@ -24,6 +24,11 @@ Saraa::Saraa(SaraaParams params, Baseline baseline)
       current_n_(params.initial_sample_size) {
   REJUV_EXPECT(params.initial_sample_size >= 1, "SARAA norig must be at least 1");
   validate(baseline_);
+  refresh_target();
+}
+
+void Saraa::refresh_target() {
+  target_ = baseline_.scaled_target(static_cast<double>(cascade_.bucket()), current_n_);
 }
 
 Decision Saraa::observe(double value) {
@@ -32,8 +37,7 @@ Decision Saraa::observe(double value) {
   // Target uses the n that produced this average (bucket transitions only
   // ever happen on window boundaries, so current_n_ is exactly that n).
   const auto bucket_before = static_cast<std::int32_t>(cascade_.bucket());
-  const double target =
-      baseline_.scaled_target(static_cast<double>(cascade_.bucket()), current_n_);
+  const double target = target_;
   const bool exceeded = *average > target;
   last_average_ = *average;
   const auto transition = cascade_.update(exceeded);
@@ -46,6 +50,7 @@ Decision Saraa::observe(double value) {
       return Decision::kContinue;
     case BucketCascade::Transition::kEscalated:
       apply_schedule();
+      refresh_target();
       if (tracer_ != nullptr) {
         tracer_->escalated(static_cast<std::int32_t>(cascade_.bucket()), cascade_.fill(),
                            static_cast<std::uint32_t>(current_n_));
@@ -53,6 +58,7 @@ Decision Saraa::observe(double value) {
       return Decision::kContinue;
     case BucketCascade::Transition::kDeescalated:
       apply_schedule();
+      refresh_target();
       if (tracer_ != nullptr) {
         tracer_->deescalated(static_cast<std::int32_t>(cascade_.bucket()), cascade_.fill(),
                              static_cast<std::uint32_t>(current_n_));
@@ -63,6 +69,7 @@ Decision Saraa::observe(double value) {
       current_n_ = params_.initial_sample_size;
       window_.set_window(current_n_);
       window_.reset();
+      refresh_target();
       if (tracer_ != nullptr) {
         tracer_->detector_triggered(*average, target, bucket_before,
                                     static_cast<std::int32_t>(params_.buckets));
@@ -70,6 +77,36 @@ Decision Saraa::observe(double value) {
       return Decision::kRejuvenate;
   }
   return Decision::kContinue;
+}
+
+std::size_t Saraa::observe_all(std::span<const double> values) {
+  // Same structure as Sraa::observe_all: the traced path keeps the event
+  // stream identical by looping observe(); the untraced path accumulates
+  // windows in one pass, handling the acceleration schedule only at block
+  // boundaries (the only place bucket or n can change).
+  if (tracer_ != nullptr) return Detector::observe_all(values);
+  bool triggered = false;
+  const std::size_t consumed = window_.push_all(values, [&](double average) {
+    last_average_ = average;
+    switch (cascade_.update(average > target_)) {
+      case BucketCascade::Transition::kNone:
+        return true;
+      case BucketCascade::Transition::kEscalated:
+      case BucketCascade::Transition::kDeescalated:
+        apply_schedule();
+        refresh_target();
+        return true;
+      case BucketCascade::Transition::kTriggered:
+        current_n_ = params_.initial_sample_size;
+        window_.set_window(current_n_);
+        window_.reset();
+        refresh_target();
+        triggered = true;
+        return false;
+    }
+    return true;
+  });
+  return triggered ? consumed - 1 : values.size();
 }
 
 void Saraa::apply_schedule() {
@@ -83,6 +120,7 @@ void Saraa::reset() {
   current_n_ = params_.initial_sample_size;
   window_.set_window(current_n_);
   window_.reset();
+  refresh_target();
 }
 
 DetectorState Saraa::save_state() const {
@@ -109,6 +147,7 @@ void Saraa::restore_state(const DetectorState& state) {
                   static_cast<std::size_t>(state.window_next),
                   static_cast<std::size_t>(state.window_count), state.window_sum);
   last_average_ = state.last_average;
+  refresh_target();
 }
 
 obs::DetectorSnapshot Saraa::snapshot() const {

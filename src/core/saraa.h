@@ -38,6 +38,7 @@ class Saraa final : public Detector {
   Saraa(SaraaParams params, Baseline baseline);
 
   Decision observe(double value) override;
+  std::size_t observe_all(std::span<const double> values) override;
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
@@ -53,12 +54,17 @@ class Saraa final : public Detector {
 
  private:
   void apply_schedule();
+  /// Recomputes the cached target muX + N * sigmaX / sqrt(n); call after
+  /// every bucket transition or sample-size change (this is where the sqrt
+  /// lives — hoisted out of the per-window path).
+  void refresh_target();
 
   SaraaParams params_;
   Baseline baseline_;
   BucketCascade cascade_;
   stats::WindowAverage window_;
   std::size_t current_n_;
+  double target_ = 0.0;        ///< cached scaled target for (bucket, n)
   double last_average_ = 0.0;  ///< most recent completed window average
 };
 

@@ -11,16 +11,18 @@ Sraa::Sraa(SraaParams params, Baseline baseline)
       window_(params.sample_size) {
   REJUV_EXPECT(params.sample_size >= 1, "SRAA sample size n must be at least 1");
   validate(baseline_);
+  refresh_target();
 }
 
 Decision Sraa::observe(double value) {
   const auto average = window_.push(value);
   if (!average) return Decision::kContinue;
   const auto bucket_before = static_cast<std::int32_t>(cascade_.bucket());
-  const double target = baseline_.bucket_target(cascade_.bucket());
+  const double target = target_;
   const bool exceeded = *average > target;
   last_average_ = *average;
   const auto transition = cascade_.update(exceeded);
+  if (transition != BucketCascade::Transition::kNone) refresh_target();
   if (tracer_ != nullptr) {
     tracer_->sample(*average, target, exceeded, static_cast<std::int32_t>(cascade_.bucket()),
                     cascade_.fill(), static_cast<std::uint32_t>(params_.sample_size));
@@ -45,9 +47,27 @@ Decision Sraa::observe(double value) {
                                                              : Decision::kContinue;
 }
 
+std::size_t Sraa::observe_all(std::span<const double> values) {
+  // The traced path must emit the identical event stream, so it defers to
+  // the per-observation loop; the untraced path accumulates each window in
+  // a single pass and touches the cascade only at block boundaries.
+  if (tracer_ != nullptr) return Detector::observe_all(values);
+  bool triggered = false;
+  const std::size_t consumed = window_.push_all(values, [&](double average) {
+    last_average_ = average;
+    const auto transition = cascade_.update(average > target_);
+    if (transition == BucketCascade::Transition::kNone) return true;
+    refresh_target();
+    triggered = transition == BucketCascade::Transition::kTriggered;
+    return !triggered;
+  });
+  return triggered ? consumed - 1 : values.size();
+}
+
 void Sraa::reset() {
   cascade_.reset();
   window_.reset();
+  refresh_target();
 }
 
 DetectorState Sraa::save_state() const {
@@ -71,6 +91,7 @@ void Sraa::restore_state(const DetectorState& state) {
                   static_cast<std::size_t>(state.window_next),
                   static_cast<std::size_t>(state.window_count), state.window_sum);
   last_average_ = state.last_average;
+  refresh_target();
 }
 
 obs::DetectorSnapshot Sraa::snapshot() const {

@@ -27,6 +27,7 @@ class Sraa final : public Detector {
   Sraa(SraaParams params, Baseline baseline);
 
   Decision observe(double value) override;
+  std::size_t observe_all(std::span<const double> values) override;
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
@@ -40,10 +41,16 @@ class Sraa final : public Detector {
   std::size_t pending_observations() const noexcept { return window_.pending(); }
 
  private:
+  /// Recomputes the cached bucket target; call after every bucket move.
+  void refresh_target() noexcept { target_ = baseline_.bucket_target(cascade_.bucket()); }
+
   SraaParams params_;
   Baseline baseline_;
   BucketCascade cascade_;
   stats::WindowAverage window_;
+  /// Current bucket's target muX + N * sigmaX, cached so the steady-state
+  /// window path performs no recomputation; refreshed on bucket transitions.
+  double target_ = 0.0;
   double last_average_ = 0.0;  ///< most recent completed window average
 };
 

@@ -5,14 +5,16 @@ namespace rejuv::core {
 StaticRejuvenation::StaticRejuvenation(std::size_t buckets, int depth, Baseline baseline)
     : baseline_(baseline), cascade_(depth, buckets) {
   validate(baseline_);
+  refresh_target();
 }
 
 Decision StaticRejuvenation::observe(double value) {
   const auto bucket_before = static_cast<std::int32_t>(cascade_.bucket());
-  const double target = baseline_.bucket_target(cascade_.bucket());
+  const double target = target_;
   const bool exceeded = value > target;
   last_value_ = value;
   const auto transition = cascade_.update(exceeded);
+  if (transition != BucketCascade::Transition::kNone) refresh_target();
   if (tracer_ != nullptr) {
     tracer_->sample(value, target, exceeded, static_cast<std::int32_t>(cascade_.bucket()),
                     cascade_.fill(), /*sample_size=*/1);
@@ -35,7 +37,25 @@ Decision StaticRejuvenation::observe(double value) {
                                                              : Decision::kContinue;
 }
 
-void StaticRejuvenation::reset() { cascade_.reset(); }
+std::size_t StaticRejuvenation::observe_all(std::span<const double> values) {
+  // Per-observation rule: no window to accumulate, but the batch path still
+  // pays neither virtual dispatch nor target recomputation per value.
+  if (tracer_ != nullptr) return Detector::observe_all(values);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double value = values[i];
+    last_value_ = value;
+    const auto transition = cascade_.update(value > target_);
+    if (transition == BucketCascade::Transition::kNone) continue;
+    refresh_target();
+    if (transition == BucketCascade::Transition::kTriggered) return i;
+  }
+  return values.size();
+}
+
+void StaticRejuvenation::reset() {
+  cascade_.reset();
+  refresh_target();
+}
 
 DetectorState StaticRejuvenation::save_state() const {
   DetectorState state = Detector::save_state();
@@ -50,6 +70,7 @@ void StaticRejuvenation::restore_state(const DetectorState& state) {
   Detector::restore_state(state);
   cascade_.restore(static_cast<std::size_t>(state.bucket), static_cast<int>(state.fill));
   last_value_ = state.last_average;
+  refresh_target();
 }
 
 obs::DetectorSnapshot StaticRejuvenation::snapshot() const {

@@ -21,6 +21,7 @@ class StaticRejuvenation final : public Detector {
   StaticRejuvenation(std::size_t buckets, int depth, Baseline baseline);
 
   Decision observe(double value) override;
+  std::size_t observe_all(std::span<const double> values) override;
   void reset() override;
   std::string name() const override;
   const Baseline& baseline() const override { return baseline_; }
@@ -32,8 +33,12 @@ class StaticRejuvenation final : public Detector {
   const BucketCascade& cascade() const noexcept { return cascade_; }
 
  private:
+  /// Recomputes the cached bucket target; call after every bucket move.
+  void refresh_target() noexcept { target_ = baseline_.bucket_target(cascade_.bucket()); }
+
   Baseline baseline_;
   BucketCascade cascade_;
+  double target_ = 0.0;      ///< cached muX + N * sigmaX for the current bucket
   double last_value_ = 0.0;  ///< most recent observation
 };
 

@@ -51,6 +51,45 @@ class WindowAverage {
   /// Drops any partially accumulated block and applies a pending resize.
   void reset() noexcept;
 
+  /// Feeds `values` in order, invoking `on_average(average)` once per
+  /// completed block, exactly as a loop of push() would — the running sum is
+  /// accumulated left to right from the current partial state, so block
+  /// averages are bit-identical to the sequential path. `on_average` returns
+  /// false to stop consuming (the detector batch paths stop at a trigger);
+  /// it may call set_window()/reset(), which take effect from the next
+  /// block. Returns the number of values consumed; the value completing the
+  /// last delivered block is values[consumed - 1].
+  ///
+  /// This is the detectors' observe_all hot path: the inner accumulation
+  /// loop touches no member state and carries no per-value branches beyond
+  /// the loop bound, so the compiler can vectorize it.
+  template <typename OnAverage>
+  std::size_t push_all(std::span<const double> values, OnAverage&& on_average) {
+    std::size_t consumed = 0;
+    while (consumed < values.size()) {
+      const std::size_t window = current_window_;
+      const std::size_t room = window - count_;
+      const std::size_t take =
+          room < values.size() - consumed ? room : values.size() - consumed;
+      double sum = sum_;
+      for (std::size_t i = 0; i < take; ++i) sum += values[consumed + i];
+      consumed += take;
+      if (take < room) {  // batch exhausted mid-block
+        sum_ = sum;
+        count_ += take;
+        return consumed;
+      }
+      // Block boundary: commit exactly as push() does, then hand the
+      // average out (the callback may retarget or resize the window).
+      const double average = sum / static_cast<double>(window);
+      count_ = 0;
+      sum_ = 0.0;
+      current_window_ = next_window_;
+      if (!on_average(average)) return consumed;
+    }
+    return consumed;
+  }
+
  private:
   std::size_t current_window_;
   std::size_t next_window_;

@@ -1,0 +1,198 @@
+// Benchlib unit tests: robust statistics, the timing harness, the
+// BENCH.json writer/reader pair, and the ratio-based regression gate. The
+// suite validates the measurement machinery with fast deterministic bodies;
+// the actual hot-path numbers come from tools/rejuv_bench.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "benchlib/benchlib.h"
+#include "benchlib/suites.h"
+
+namespace {
+
+using namespace rejuv;
+
+TEST(BenchStatsTest, MedianOddAndEvenCounts) {
+  EXPECT_DOUBLE_EQ(benchlib::median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(benchlib::median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(benchlib::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  // The input need not be sorted and must not be mutated in place (taken by
+  // value); a skewed outlier cannot move the median.
+  EXPECT_DOUBLE_EQ(benchlib::median({1.0, 2.0, 3.0, 4.0, 1e9}), 3.0);
+  EXPECT_THROW(benchlib::median({}), std::exception);
+}
+
+TEST(BenchStatsTest, MedianAbsoluteDeviation) {
+  // Deviations from 3: {2, 1, 0, 1, 2} -> median 1.
+  EXPECT_DOUBLE_EQ(benchlib::median_abs_deviation({1.0, 2.0, 3.0, 4.0, 5.0}, 3.0), 1.0);
+  // Constant sample: zero spread regardless of center offset convention.
+  EXPECT_DOUBLE_EQ(benchlib::median_abs_deviation({7.0, 7.0, 7.0}, 7.0), 0.0);
+}
+
+TEST(BenchRunnerTest, RunsExactlyTheCalibratedIterationCount) {
+  // The contract is run(n) performs exactly n operations; the harness may
+  // call run() multiple times (calibration, warmup, timed reps) but every
+  // call's count must be honored and the final result must reflect the
+  // calibrated count.
+  std::atomic<std::uint64_t> total{0};
+  std::uint64_t last_count = 0;
+  benchlib::Benchmark benchmark{
+      "test", "test.counter", [&total, &last_count](std::uint64_t n) {
+        last_count = n;
+        total.fetch_add(n, std::memory_order_relaxed);
+        for (std::uint64_t i = 0; i < n; ++i) benchlib::do_not_optimize(i);
+      }};
+
+  benchlib::BenchOptions options;
+  options.repetitions = 3;
+  options.warmup_repetitions = 1;
+  options.min_rep_seconds = 1e-4;
+  const benchlib::BenchResult result = benchlib::run_benchmark(benchmark, options);
+
+  EXPECT_EQ(result.suite, "test");
+  EXPECT_EQ(result.name, "test.counter");
+  EXPECT_EQ(result.iterations, last_count);
+  EXPECT_EQ(result.repetitions, 3);
+  EXPECT_GT(result.median_ns, 0.0);
+  EXPECT_LE(result.min_ns, result.median_ns);
+  EXPECT_LE(result.median_ns, result.max_ns);
+  EXPECT_GT(result.ops_per_second, 0.0);
+  EXPECT_GT(total.load(), 0u);
+}
+
+TEST(BenchRunnerTest, RegistryRejectsDuplicateNamesAndEmptyFields) {
+  benchlib::Registry registry;
+  registry.add("suite", "suite.a", [](std::uint64_t) {});
+  EXPECT_THROW(registry.add("other", "suite.a", [](std::uint64_t) {}), std::exception);
+  EXPECT_THROW(registry.add("", "suite.b", [](std::uint64_t) {}), std::exception);
+  EXPECT_THROW(registry.add("suite", "", [](std::uint64_t) {}), std::exception);
+}
+
+TEST(BenchRunnerTest, SuiteAndFilterSelection) {
+  benchlib::Registry registry;
+  registry.add("alpha", "alpha.one", [](std::uint64_t) {});
+  registry.add("alpha", "alpha.two", [](std::uint64_t) {});
+  registry.add("beta", "beta.one", [](std::uint64_t) {});
+  ASSERT_EQ(registry.suites(), (std::vector<std::string>{"alpha", "beta"}));
+
+  benchlib::BenchOptions options;
+  options.repetitions = 1;
+  options.warmup_repetitions = 0;
+  options.min_rep_seconds = 0.0;
+
+  EXPECT_EQ(registry.run(options).size(), 3u);
+  EXPECT_EQ(registry.run(options, "alpha").size(), 2u);
+  EXPECT_EQ(registry.run(options, "all", "one").size(), 2u);
+  EXPECT_EQ(registry.run(options, "beta", "two").size(), 0u);
+}
+
+TEST(BenchRunnerTest, StandardSuitesCoverTheHotPaths) {
+  // The acceptance floor for rejuv-bench: at least 8 benchmarks across the
+  // detector, sim, monitor and obs suites.
+  benchlib::Registry registry;
+  benchlib::register_standard_suites(registry);
+  EXPECT_GE(registry.benchmarks().size(), 8u);
+  EXPECT_EQ(registry.suites(),
+            (std::vector<std::string>{"detector", "sim", "monitor", "obs"}));
+}
+
+benchlib::BenchResult make_result(const std::string& name, double median_ns) {
+  benchlib::BenchResult result;
+  result.suite = "test";
+  result.name = name;
+  result.median_ns = median_ns;
+  result.mad_ns = 0.1;
+  result.mean_ns = median_ns;
+  result.min_ns = median_ns;
+  result.max_ns = median_ns;
+  result.ops_per_second = 1e9 / median_ns;
+  result.iterations = 1000;
+  result.repetitions = 5;
+  return result;
+}
+
+TEST(BenchJsonTest, WriteParseRoundTrip) {
+  benchlib::RunMetadata metadata;
+  metadata.git_sha = "abc1234";
+  metadata.mode = "quick";
+  metadata.repetitions = 5;
+  metadata.min_rep_seconds = 0.01;
+
+  std::ostringstream out;
+  benchlib::write_json(out, metadata,
+                       {make_result("detector.sraa.observe", 5.5),
+                        make_result("obs.tracer.disabled_emit", 0.333333333)});
+
+  const auto parsed = benchlib::parse_bench_json(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->git_sha, "abc1234");
+  ASSERT_EQ(parsed->median_ns.size(), 2u);
+  // to_chars shortest-round-trip formatting: the re-read medians are
+  // bit-identical to what was written, not merely close.
+  EXPECT_DOUBLE_EQ(parsed->median_ns.at("detector.sraa.observe"), 5.5);
+  EXPECT_DOUBLE_EQ(parsed->median_ns.at("obs.tracer.disabled_emit"), 0.333333333);
+}
+
+TEST(BenchJsonTest, EmptyResultListStillRoundTrips) {
+  std::ostringstream out;
+  benchlib::write_json(out, {}, {});
+  const auto parsed = benchlib::parse_bench_json(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->median_ns.empty());
+}
+
+TEST(BenchJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(benchlib::parse_bench_json("").has_value());
+  EXPECT_FALSE(benchlib::parse_bench_json("not json").has_value());
+  EXPECT_FALSE(benchlib::parse_bench_json("{\"benchmarks\": [").has_value());
+  EXPECT_FALSE(benchlib::parse_bench_json("{} trailing").has_value());
+}
+
+TEST(BenchGateTest, RegressionImprovementAndMissingClassification) {
+  benchlib::BaselineFile baseline;
+  baseline.git_sha = "base123";
+  baseline.median_ns = {{"steady", 10.0}, {"slower", 10.0}, {"faster", 10.0}};
+
+  const auto report = benchlib::compare_to_baseline(
+      {make_result("steady", 12.0),     // 1.2x: within the 2x gate
+       make_result("slower", 25.0),     // 2.5x: regression
+       make_result("faster", 3.0),      // 0.3x: improvement past 1/2x
+       make_result("brand_new", 1.0)},  // absent from baseline: warned only
+      baseline, 2.0);
+
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].name, "slower");
+  EXPECT_DOUBLE_EQ(report.regressions[0].ratio, 2.5);
+  EXPECT_EQ(report.improved, (std::vector<std::string>{"faster"}));
+  EXPECT_EQ(report.missing_in_baseline, (std::vector<std::string>{"brand_new"}));
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(BenchGateTest, PassesWhenEveryBenchmarkIsWithinRatio) {
+  benchlib::BaselineFile baseline;
+  baseline.median_ns = {{"a", 10.0}, {"b", 5.0}};
+  const auto report = benchlib::compare_to_baseline(
+      {make_result("a", 19.9), make_result("b", 5.0)}, baseline, 2.0);
+  EXPECT_TRUE(report.passed());
+  EXPECT_TRUE(report.regressions.empty());
+  // Exactly at the boundary is not a regression (strictly greater-than gate).
+  const auto boundary = benchlib::compare_to_baseline(
+      {make_result("a", 20.0)}, baseline, 2.0);
+  EXPECT_TRUE(boundary.passed());
+}
+
+TEST(BenchGateTest, NonPositiveBaselineEntriesAreNotGated) {
+  // A zero median (a degenerate baseline) must not divide-by-zero its way
+  // into an infinite ratio; it is treated as missing.
+  benchlib::BaselineFile baseline;
+  baseline.median_ns = {{"zero", 0.0}};
+  const auto report =
+      benchlib::compare_to_baseline({make_result("zero", 1.0)}, baseline, 2.0);
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.missing_in_baseline, (std::vector<std::string>{"zero"}));
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// CLTA boundary behaviour (paper Fig. 8), pinned at the edges where the
+// general-purpose tests never land:
+//
+//   * n = 1: every observation is its own window; CLTA degenerates to a
+//     per-observation threshold test at muX + z * sigmaX.
+//   * Exact threshold equality: the trigger comparison is STRICT ("x̄u >
+//     threshold" in the pseudo-code), so an average exactly equal to the
+//     threshold does not rejuvenate, while the next representable double
+//     above it does. Equality is measure-zero for continuous response
+//     times, but replayed or quantized traces can and do hit it; the
+//     strictness choice is documented in core/clta.h.
+//   * Calibration shorter than the window (CalibratingDetector with
+//     calibration_size < n): calibration observations never trigger, and
+//     the first decision can only happen once a full post-calibration
+//     window has accumulated.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/clta.h"
+#include "core/factory.h"
+
+namespace {
+
+using namespace rejuv;
+
+// muX = 5, sigmaX = 2.5, z = 2, n = 1 -> threshold exactly 10.0: every
+// quantity below is exactly representable, so the equality cases are exact
+// by construction, not within an epsilon.
+const core::Baseline kBaseline{5.0, 2.5};
+
+TEST(CltaBoundaryTest, WindowOfOneIsAPerObservationThreshold) {
+  core::Clta clta(core::CltaParams{1, 2.0}, kBaseline);
+  ASSERT_DOUBLE_EQ(clta.threshold(), 10.0);
+
+  EXPECT_EQ(clta.observe(9.999), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(10.001), core::Decision::kRejuvenate);
+  // The trigger resets the window; the detector keeps operating.
+  EXPECT_EQ(clta.pending_observations(), 0u);
+  EXPECT_EQ(clta.observe(3.0), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(11.0), core::Decision::kRejuvenate);
+}
+
+TEST(CltaBoundaryTest, ExactThresholdEqualityDoesNotTrigger) {
+  core::Clta clta(core::CltaParams{1, 2.0}, kBaseline);
+  // x̄u == threshold: strictly-greater comparison says keep running.
+  EXPECT_EQ(clta.observe(10.0), core::Decision::kContinue);
+  // One ulp above the threshold is already "greater".
+  const double above = std::nextafter(10.0, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(clta.observe(above), core::Decision::kRejuvenate);
+}
+
+TEST(CltaBoundaryTest, ExactThresholdAverageDoesNotTriggerWithWiderWindow) {
+  // n = 4, z = 4: threshold = 5 + 4 * 2.5 / sqrt(4) = 10 exactly.
+  core::Clta clta(core::CltaParams{4, 4.0}, kBaseline);
+  ASSERT_DOUBLE_EQ(clta.threshold(), 10.0);
+
+  // {12, 8, 11, 9}: sum 40, average exactly 10 -> equality, no trigger.
+  EXPECT_EQ(clta.observe(12.0), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(8.0), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(11.0), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(9.0), core::Decision::kContinue);
+  EXPECT_EQ(clta.pending_observations(), 0u);
+
+  // Same window shifted up by 1 on the last observation: average 10.25 > 10.
+  EXPECT_EQ(clta.observe(12.0), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(8.0), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(11.0), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(10.0), core::Decision::kRejuvenate);
+}
+
+TEST(CltaBoundaryTest, DecisionOnlyAtWindowBoundaries) {
+  // Observations inside a window never trigger, however extreme: the
+  // algorithm judges window averages, not samples.
+  core::Clta clta(core::CltaParams{4, 2.0}, kBaseline);
+  EXPECT_EQ(clta.observe(1e6), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(1e6), core::Decision::kContinue);
+  EXPECT_EQ(clta.observe(1e6), core::Decision::kContinue);
+  EXPECT_EQ(clta.pending_observations(), 3u);
+  EXPECT_EQ(clta.observe(1e6), core::Decision::kRejuvenate);
+}
+
+core::DetectorConfig clta_config(std::size_t n, double z) {
+  core::DetectorConfig config;
+  config.algorithm = core::Algorithm::kClta;
+  config.sample_size = n;
+  config.quantile_z = z;
+  return config;
+}
+
+TEST(CltaBoundaryTest, CalibrationShorterThanWindowNeverTriggersEarly) {
+  // Calibration (4 observations) is shorter than the CLTA window (n = 8).
+  // Degraded values during calibration must not trigger, and after
+  // calibration the first decision happens only once the first full
+  // post-calibration window completes.
+  core::CalibratingDetector detector(clta_config(8, 2.0), 4);
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(detector.observe(1e3), core::Decision::kContinue)
+        << "calibration observation " << i << " must never trigger";
+    EXPECT_EQ(detector.calibrated(), i == 3);
+  }
+  // Calibrated on a constant stream: muX = 1e3, and the degenerate zero
+  // sigma falls back to 1.0 (factory.cpp) so the inner detector exists.
+  EXPECT_DOUBLE_EQ(detector.baseline().mean, 1e3);
+  EXPECT_DOUBLE_EQ(detector.baseline().stddev, 1.0);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(detector.observe(2e3), core::Decision::kContinue)
+        << "mid-window observation " << i << " must wait for the full window";
+  }
+  EXPECT_EQ(detector.observe(2e3), core::Decision::kRejuvenate);
+}
+
+TEST(CltaBoundaryTest, MinimalCalibrationStillCompletesBeforeDeciding) {
+  // The smallest calibration window the estimator allows (2, so a standard
+  // deviation exists) against n = 2: calibration fixes the baseline, then
+  // windows decide as usual.
+  core::CalibratingDetector detector(clta_config(2, 2.0), 2);
+  EXPECT_EQ(detector.observe(5.0), core::Decision::kContinue);
+  EXPECT_FALSE(detector.calibrated());
+  EXPECT_EQ(detector.observe(5.0), core::Decision::kContinue);
+  ASSERT_TRUE(detector.calibrated());
+  EXPECT_DOUBLE_EQ(detector.baseline().mean, 5.0);
+
+  EXPECT_EQ(detector.observe(100.0), core::Decision::kContinue);  // half a window
+  EXPECT_EQ(detector.observe(100.0), core::Decision::kRejuvenate);
+}
+
+}  // namespace

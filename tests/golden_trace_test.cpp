@@ -1,0 +1,190 @@
+// Golden-trace regression tests: fixed-seed simulation runs are replayed
+// in-process and byte-compared against JSONL traces committed under
+// tests/golden/. Any change to event emission order, field formatting, or
+// simulation determinism shows up as a one-line diff here instead of as a
+// silent drift in every downstream trace consumer.
+//
+// The traces are regenerated through exactly the code path `rejuv_sim
+// --trace=FILE` uses (harness::run_custom_point with a JsonlSink-backed
+// tracer), so the goldens also pin the CLI's observable output.
+//
+// To refresh after an intentional format or simulation change:
+//
+//   REJUV_REGEN_GOLDEN=1 ./build/tests/golden_trace_test
+//
+// then re-run the suite (and tools/ci.sh) before committing the new files;
+// tools/CMakeLists.txt additionally pins the rejuv-trace summaries of these
+// traces, which must be regenerated together (see tests/golden/README.md).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "harness/experiment.h"
+#include "obs/sink.h"
+#include "obs/trace_reader.h"
+#include "obs/tracer.h"
+
+#ifndef REJUV_GOLDEN_DIR
+#error "REJUV_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+using namespace rejuv;
+
+struct GoldenCase {
+  const char* file;  ///< name under tests/golden/
+  core::DetectorConfig detector;
+  double load = 9.0;
+  std::uint64_t transactions = 2'000;
+  std::uint64_t replications = 1;
+};
+
+std::vector<GoldenCase> golden_cases() {
+  core::DetectorConfig saraa;
+  saraa.algorithm = core::Algorithm::kSaraa;
+  saraa.sample_size = 2;
+  saraa.buckets = 5;
+  saraa.depth = 3;
+
+  core::DetectorConfig clta;
+  clta.algorithm = core::Algorithm::kClta;
+  clta.sample_size = 30;
+  clta.quantile_z = 1.96;
+
+  // Two replications for SARAA so the trace interleaves (load, rep) lanes;
+  // one for CLTA to keep the committed bytes lean. Load 9.5 of 10 CPUs is
+  // degraded enough that both algorithms actually trigger within the run.
+  return {
+      {"saraa_n2_K5_D3_load9.5.jsonl", saraa, 9.5, 2'000, 2},
+      {"clta_n30_z1.96_load9.5.jsonl", clta, 9.5, 2'000, 1},
+  };
+}
+
+std::string golden_path(const GoldenCase& test_case) {
+  return std::string(REJUV_GOLDEN_DIR) + "/" + test_case.file;
+}
+
+/// Regenerates the trace for one case through the rejuv_sim --trace path:
+/// sequential replications, JSONL sink, DSN seed.
+std::string regenerate(const GoldenCase& test_case) {
+  std::ostringstream trace;
+  obs::JsonlSink sink(trace);
+  obs::Tracer tracer(&sink);
+
+  harness::SimulationProtocol protocol;
+  protocol.transactions_per_replication = test_case.transactions;
+  protocol.replications = test_case.replications;
+  protocol.base_seed = 20060625;
+  protocol.parallel_points = false;
+
+  harness::Instrumentation instruments;
+  instruments.tracer = &tracer;
+
+  const model::EcommerceConfig system;
+  (void)harness::run_custom_point(
+      [&test_case] { return core::make_detector(test_case.detector); }, system, test_case.load,
+      protocol, instruments);
+  return trace.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// 1-based line number of the first difference, or 0 when equal.
+std::size_t first_diff_line(const std::string& a, const std::string& b) {
+  std::istringstream sa(a);
+  std::istringstream sb(b);
+  std::string la;
+  std::string lb;
+  std::size_t line = 0;
+  for (;;) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    ++line;
+    if (!ga && !gb) return 0;
+    if (ga != gb || la != lb) return line;
+  }
+}
+
+TEST(GoldenTraceTest, RegeneratedTracesMatchCommittedGoldens) {
+  const bool regen = std::getenv("REJUV_REGEN_GOLDEN") != nullptr;
+  for (const GoldenCase& test_case : golden_cases()) {
+    const std::string path = golden_path(test_case);
+    const std::string trace = regenerate(test_case);
+    ASSERT_FALSE(trace.empty()) << test_case.file;
+
+    if (regen) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+      out << trace;
+      continue;
+    }
+
+    const std::string committed = read_file(path);
+    ASSERT_FALSE(committed.empty())
+        << path << " missing; regenerate with REJUV_REGEN_GOLDEN=1 " << "golden_trace_test";
+    EXPECT_EQ(trace.size(), committed.size()) << test_case.file;
+    const std::size_t diff_line = first_diff_line(trace, committed);
+    EXPECT_EQ(diff_line, 0u)
+        << test_case.file << ": regenerated trace first differs at line " << diff_line
+        << " — an intentional format/simulation change needs REJUV_REGEN_GOLDEN=1 plus "
+           "refreshed summary goldens";
+  }
+}
+
+TEST(GoldenTraceTest, GoldenLinesRoundTripThroughParserAndSerializer) {
+  // Every committed line must survive parse -> to_json byte-identically:
+  // the reader understands everything the sink writes, with no field
+  // reordering, lossy double formatting, or silently dropped events.
+  for (const GoldenCase& test_case : golden_cases()) {
+    std::ifstream in(golden_path(test_case));
+    ASSERT_TRUE(in.is_open()) << golden_path(test_case);
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      const auto event = obs::parse_trace_line(line);
+      ASSERT_TRUE(event.has_value())
+          << test_case.file << ":" << line_number << ": unparseable: " << line;
+      EXPECT_EQ(obs::to_json(*event), line) << test_case.file << ":" << line_number;
+    }
+    EXPECT_GT(line_number, 0u) << test_case.file;
+  }
+}
+
+TEST(GoldenTraceTest, ReadTraceFileParsesEveryGoldenLine) {
+  for (const GoldenCase& test_case : golden_cases()) {
+    const std::string path = golden_path(test_case);
+    const std::string committed = read_file(path);
+    ASSERT_FALSE(committed.empty()) << path;
+    std::size_t lines = 0;
+    std::istringstream stream(committed);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (!line.empty()) ++lines;
+    }
+    const auto events = obs::read_trace_file(path);
+    EXPECT_EQ(events.size(), lines) << path << ": reader dropped lines";
+    // A golden without a single trigger would pin nothing interesting;
+    // guard against load/transaction tweaks degrading the case.
+    bool has_trigger = false;
+    for (const auto& event : events) {
+      if (event.type == obs::EventType::kRejuvenationTriggered) has_trigger = true;
+    }
+    EXPECT_TRUE(has_trigger) << path << ": golden run never triggered rejuvenation";
+  }
+}
+
+}  // namespace

@@ -1,6 +1,9 @@
-// The tracing fast path must be free when disabled: a tracer with no sink
-// attached performs no allocation, and attaching one to a full simulation
-// run changes neither the allocation count nor any simulation result.
+// Hot paths must be allocation-free in steady state: a tracer with no sink
+// attached performs no allocation, attaching one to a full simulation run
+// changes neither the allocation count nor any simulation result, and the
+// detectors' observe / observe_all loops never touch the heap once
+// constructed — the monitor drains millions of observations per second
+// through them.
 //
 // This test replaces the global allocator with a counting one, so it lives
 // in its own binary (the counter would otherwise tax every other test).
@@ -8,11 +11,18 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <span>
+#include <vector>
 
 #include "common/rng.h"
+#include "core/clta.h"
 #include "core/controller.h"
 #include "core/factory.h"
+#include "core/saraa.h"
+#include "core/sraa.h"
+#include "core/static_rejuvenation.h"
 #include "model/ecommerce.h"
 #include "obs/tracer.h"
 #include "sim/simulator.h"
@@ -91,6 +101,66 @@ model::EcommerceMetrics run_replication(obs::Tracer* tracer, std::uint64_t* allo
   system.run_transactions(5'000);
   *alloc_count = allocations() - before;
   return system.metrics();
+}
+
+/// A healthy/degraded mix around the (5, 5) baseline so every cascade path
+/// — escalation, de-escalation, trigger reset — runs inside the counted
+/// region, not just the within-bucket fast path.
+std::vector<double> make_mixed_stream(std::size_t count) {
+  std::vector<double> values(count);
+  common::RngStream rng(0xA110C, 7);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool degraded = (i / 64) % 3 == 2;  // every third block of 64
+    values[i] = degraded ? 15.0 + 25.0 * rng.uniform01() : 10.0 * rng.uniform01();
+  }
+  return values;
+}
+
+std::vector<std::unique_ptr<core::Detector>> make_all_detectors() {
+  const core::Baseline baseline{5.0, 5.0};
+  std::vector<std::unique_ptr<core::Detector>> detectors;
+  detectors.push_back(std::make_unique<core::StaticRejuvenation>(5, 3, baseline));
+  detectors.push_back(std::make_unique<core::Sraa>(core::SraaParams{2, 5, 3}, baseline));
+  detectors.push_back(std::make_unique<core::Saraa>(core::SaraaParams{2, 5, 3, true}, baseline));
+  detectors.push_back(std::make_unique<core::Clta>(core::CltaParams{30, 1.96}, baseline));
+  return detectors;
+}
+
+TEST(DetectorOverheadTest, SteadyStateObserveAllocatesNothing) {
+  const std::vector<double> values = make_mixed_stream(4'096);
+  for (const auto& detector : make_all_detectors()) {
+    std::uint64_t triggers = 0;
+    const std::uint64_t before = allocations();
+    for (const double value : values) {
+      triggers += detector->observe(value) == core::Decision::kRejuvenate ? 1u : 0u;
+    }
+    EXPECT_EQ(allocations(), before)
+        << detector->name() << ": observe() allocated on the steady-state path";
+    EXPECT_GT(triggers, 0u) << detector->name() << ": stream too tame to cover trigger paths";
+  }
+}
+
+TEST(DetectorOverheadTest, BatchObserveAllAllocatesNothing) {
+  const std::vector<double> values = make_mixed_stream(4'096);
+  for (const auto& detector : make_all_detectors()) {
+    std::uint64_t triggers = 0;
+    const std::uint64_t before = allocations();
+    std::span<const double> remaining(values);
+    while (!remaining.empty()) {
+      const std::size_t batch_len = remaining.size() < 512 ? remaining.size() : 512;
+      std::span<const double> batch = remaining.subspan(0, batch_len);
+      while (!batch.empty()) {
+        const std::size_t index = detector->observe_all(batch);
+        if (index == batch.size()) break;
+        ++triggers;
+        batch = batch.subspan(index + 1);
+      }
+      remaining = remaining.subspan(batch_len);
+    }
+    EXPECT_EQ(allocations(), before)
+        << detector->name() << ": observe_all() allocated on the batch path";
+    EXPECT_GT(triggers, 0u) << detector->name() << ": stream too tame to cover trigger paths";
+  }
 }
 
 TEST(TracerOverheadTest, NullSinkRunMatchesBaselineAllocationsAndResults) {

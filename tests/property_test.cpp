@@ -1,0 +1,281 @@
+// Property-based detector tests: randomized response-time streams exercise
+// every algorithm against the invariants the paper's pseudo-code promises
+// but example-based tests can only spot-check.
+//
+// Each case draws a parameter set and a piecewise-stationary stream (healthy
+// and degraded regimes) from a seeded RngStream, so failures reproduce from
+// the printed (case, seed) alone. Invariants pinned per observation:
+//
+//   1. The bucket pointer stays in [0, K-1] and the fill in [0, D].
+//   2. The cascade never skips a level: |delta N| <= 1 per observation,
+//      except the trigger reset, which lands exactly at N = 0.
+//   3. observe_all over arbitrary chunkings is bit-identical to the
+//      observe() loop — same trigger indices, same final serialized state.
+//   4. save_state -> restore_state -> continue equals an uninterrupted run
+//      (the checkpoint restore contract of core/checkpoint.h).
+//   5. SARAA's window obeys n = floor(1 + (norig - 1) * (1 - N/K)) at every
+//      bucket whenever acceleration is on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/clta.h"
+#include "core/detector.h"
+#include "core/saraa.h"
+#include "core/sraa.h"
+#include "core/static_rejuvenation.h"
+
+namespace {
+
+using namespace rejuv;
+
+constexpr std::uint64_t kRootSeed = 0x5EED'20060625ULL;
+constexpr int kCasesPerDetector = 120;
+constexpr std::size_t kStreamLength = 400;
+
+/// Piecewise-stationary stream: healthy stretches uniform in [0, 10] around
+/// the (5, 5) baseline, degraded stretches uniform in [10, 40], with regime
+/// flips every 20-80 observations, so cascades genuinely climb, fall back,
+/// and trigger within one case.
+std::vector<double> make_stream(common::RngStream& rng) {
+  std::vector<double> stream;
+  stream.reserve(kStreamLength);
+  bool degraded = false;
+  std::size_t regime_left = 0;
+  while (stream.size() < kStreamLength) {
+    if (regime_left == 0) {
+      degraded = rng.uniform01() < 0.4;
+      regime_left = 20 + static_cast<std::size_t>(rng.uniform01() * 60.0);
+    }
+    stream.push_back(degraded ? 10.0 + 30.0 * rng.uniform01() : 10.0 * rng.uniform01());
+    --regime_left;
+  }
+  return stream;
+}
+
+/// Serialized-state equality, field by field and bit-exact on doubles: the
+/// restore and batch contracts promise byte-identical state, not "close".
+void expect_state_eq(const core::DetectorState& a, const core::DetectorState& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.algorithm, b.algorithm) << context;
+  EXPECT_EQ(a.has_cascade, b.has_cascade) << context;
+  EXPECT_EQ(a.bucket, b.bucket) << context;
+  EXPECT_EQ(a.fill, b.fill) << context;
+  EXPECT_EQ(a.has_window, b.has_window) << context;
+  EXPECT_EQ(a.window_length, b.window_length) << context;
+  EXPECT_EQ(a.window_next, b.window_next) << context;
+  EXPECT_EQ(a.window_count, b.window_count) << context;
+  EXPECT_EQ(a.window_sum, b.window_sum) << context;
+  EXPECT_EQ(a.current_n, b.current_n) << context;
+  EXPECT_EQ(a.last_average, b.last_average) << context;
+}
+
+/// Feeds `stream` one observation at a time, checking the bucket-range and
+/// no-level-skip invariants after every decision; collects 0-based trigger
+/// indices into `triggers` (out-parameter so ASSERT_* can abort the case).
+void observe_with_invariants(core::Detector& detector, std::span<const double> stream,
+                             const std::string& context,
+                             std::vector<std::size_t>& triggers) {
+  auto before = detector.snapshot();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const core::Decision decision = detector.observe(stream[i]);
+    const auto after = detector.snapshot();
+    if (after.has_cascade) {
+      ASSERT_GE(after.bucket, 0) << context << " obs " << i;
+      ASSERT_LT(after.bucket, after.bucket_count) << context << " obs " << i;
+      ASSERT_GE(after.fill, 0) << context << " obs " << i;
+      ASSERT_LE(after.fill, after.depth) << context << " obs " << i;
+      if (decision == core::Decision::kRejuvenate) {
+        ASSERT_EQ(after.bucket, 0) << context << " obs " << i << ": trigger must reset to 0";
+      } else {
+        ASSERT_LE(after.bucket - before.bucket, 1)
+            << context << " obs " << i << ": escalation skipped a level";
+        ASSERT_GE(after.bucket - before.bucket, -1)
+            << context << " obs " << i << ": de-escalation skipped a level";
+      }
+    }
+    if (decision == core::Decision::kRejuvenate) triggers.push_back(i);
+    before = after;
+  }
+}
+
+/// Feeds `stream` through observe_all in rng-drawn chunks (1..16), resuming
+/// past every trigger as the monitor's drain loop does; returns the 0-based
+/// absolute trigger indices.
+std::vector<std::size_t> observe_all_chunked(core::Detector& detector,
+                                             std::span<const double> stream,
+                                             common::RngStream& rng) {
+  std::vector<std::size_t> triggers;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    std::size_t chunk = 1 + static_cast<std::size_t>(rng.uniform01() * 16.0);
+    if (chunk > stream.size() - offset) chunk = stream.size() - offset;
+    std::span<const double> batch = stream.subspan(offset, chunk);
+    while (!batch.empty()) {
+      const std::size_t index = detector.observe_all(batch);
+      if (index == batch.size()) break;
+      triggers.push_back(static_cast<std::size_t>(batch.data() + index - stream.data()));
+      batch = batch.subspan(index + 1);
+    }
+    offset += chunk;
+  }
+  return triggers;
+}
+
+/// One full property case: reference observe() run with per-observation
+/// invariants, chunked observe_all equivalence, and checkpoint split-resume
+/// equivalence, for three identically configured detectors.
+void run_case(const std::function<std::unique_ptr<core::Detector>()>& make,
+              std::span<const double> stream, common::RngStream& rng,
+              const std::string& context) {
+  const auto reference = make();
+  std::vector<std::size_t> triggers;
+  observe_with_invariants(*reference, stream, context, triggers);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Invariant 3: arbitrary chunking through the batch path changes nothing.
+  const auto batched = make();
+  const auto batch_triggers = observe_all_chunked(*batched, stream, rng);
+  EXPECT_EQ(batch_triggers, triggers) << context << ": observe_all diverged from observe";
+  expect_state_eq(batched->save_state(), reference->save_state(),
+                  context + ": final state after batch feed");
+
+  // Invariant 4: save at a random split, restore into a fresh instance,
+  // finish the stream — decisions and final state must match.
+  const auto split = static_cast<std::size_t>(rng.uniform01() * static_cast<double>(stream.size()));
+  const auto interrupted = make();
+  std::vector<std::size_t> resumed_triggers;
+  for (std::size_t i = 0; i < split; ++i) {
+    if (interrupted->observe(stream[i]) == core::Decision::kRejuvenate) {
+      resumed_triggers.push_back(i);
+    }
+  }
+  const core::DetectorState checkpoint = interrupted->save_state();
+  const auto restored = make();
+  restored->restore_state(checkpoint);
+  expect_state_eq(restored->save_state(), checkpoint, context + ": restore round trip");
+  for (std::size_t i = split; i < stream.size(); ++i) {
+    if (restored->observe(stream[i]) == core::Decision::kRejuvenate) {
+      resumed_triggers.push_back(i);
+    }
+  }
+  EXPECT_EQ(resumed_triggers, triggers)
+      << context << ": restore at obs " << split << " diverged from uninterrupted run";
+  expect_state_eq(restored->save_state(), reference->save_state(),
+                  context + ": final state after restore at obs " + std::to_string(split));
+}
+
+TEST(DetectorPropertyTest, StaticRejuvenationStreams) {
+  for (int c = 0; c < kCasesPerDetector; ++c) {
+    common::RngStream rng(kRootSeed, static_cast<std::uint64_t>(c));
+    const std::size_t buckets = 2 + static_cast<std::size_t>(rng.uniform01() * 5.0);
+    const int depth = 1 + static_cast<int>(rng.uniform01() * 4.0);
+    const auto stream = make_stream(rng);
+    run_case(
+        [&] {
+          return std::make_unique<core::StaticRejuvenation>(buckets, depth,
+                                                            core::Baseline{5.0, 5.0});
+        },
+        stream, rng, "Static case " + std::to_string(c));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DetectorPropertyTest, SraaStreams) {
+  for (int c = 0; c < kCasesPerDetector; ++c) {
+    common::RngStream rng(kRootSeed, 1000 + static_cast<std::uint64_t>(c));
+    core::SraaParams params;
+    params.sample_size = 1 + static_cast<std::size_t>(rng.uniform01() * 4.0);
+    params.buckets = 2 + static_cast<std::size_t>(rng.uniform01() * 5.0);
+    params.depth = 1 + static_cast<int>(rng.uniform01() * 4.0);
+    const auto stream = make_stream(rng);
+    run_case([&] { return std::make_unique<core::Sraa>(params, core::Baseline{5.0, 5.0}); },
+             stream, rng, "SRAA case " + std::to_string(c));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DetectorPropertyTest, SaraaStreams) {
+  for (int c = 0; c < kCasesPerDetector; ++c) {
+    common::RngStream rng(kRootSeed, 2000 + static_cast<std::uint64_t>(c));
+    core::SaraaParams params;
+    params.initial_sample_size = 1 + static_cast<std::size_t>(rng.uniform01() * 5.0);
+    params.buckets = 2 + static_cast<std::size_t>(rng.uniform01() * 5.0);
+    params.depth = 1 + static_cast<int>(rng.uniform01() * 4.0);
+    params.accelerate = rng.uniform01() < 0.75;  // include the ablation too
+    const auto stream = make_stream(rng);
+    run_case([&] { return std::make_unique<core::Saraa>(params, core::Baseline{5.0, 5.0}); },
+             stream, rng, "SARAA case " + std::to_string(c));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DetectorPropertyTest, CltaStreams) {
+  for (int c = 0; c < kCasesPerDetector; ++c) {
+    common::RngStream rng(kRootSeed, 3000 + static_cast<std::uint64_t>(c));
+    core::CltaParams params;
+    params.sample_size = 1 + static_cast<std::size_t>(rng.uniform01() * 30.0);
+    params.quantile_z = 1.0 + rng.uniform01() * 2.0;
+    const auto stream = make_stream(rng);
+    run_case([&] { return std::make_unique<core::Clta>(params, core::Baseline{5.0, 5.0}); },
+             stream, rng, "CLTA case " + std::to_string(c));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DetectorPropertyTest, SaraaScheduleHoldsAtEveryBucket) {
+  // Invariant 5: whenever acceleration is on, the sample size in force is
+  // exactly the paper's n = floor(1 + (norig - 1) * (1 - N/K)) for the
+  // current bucket N — including right after triggers reset N to 0.
+  for (int c = 0; c < kCasesPerDetector; ++c) {
+    common::RngStream rng(kRootSeed, 4000 + static_cast<std::uint64_t>(c));
+    core::SaraaParams params;
+    params.initial_sample_size = 2 + static_cast<std::size_t>(rng.uniform01() * 6.0);
+    params.buckets = 2 + static_cast<std::size_t>(rng.uniform01() * 5.0);
+    params.depth = 1 + static_cast<int>(rng.uniform01() * 3.0);
+    params.accelerate = true;
+    core::Saraa saraa(params, core::Baseline{5.0, 5.0});
+    const auto stream = make_stream(rng);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      (void)saraa.observe(stream[i]);
+      const std::size_t expected = core::saraa_sample_size(
+          params.initial_sample_size, saraa.cascade().bucket(), params.buckets);
+      ASSERT_EQ(saraa.current_sample_size(), expected)
+          << "SARAA schedule case " << c << " obs " << i << " bucket "
+          << saraa.cascade().bucket();
+    }
+  }
+}
+
+TEST(DetectorPropertyTest, SaraaScheduleFormulaSpotChecks) {
+  // The closed form at the edges: full window at bucket 0, window 1 at the
+  // last bucket when norig spans the cascade, and monotone non-increasing in
+  // between.
+  for (std::size_t norig = 1; norig <= 8; ++norig) {
+    for (std::size_t buckets = 1; buckets <= 8; ++buckets) {
+      std::size_t previous = norig;
+      for (std::size_t bucket = 0; bucket < buckets; ++bucket) {
+        const std::size_t n = core::saraa_sample_size(norig, bucket, buckets);
+        const double ratio =
+            1.0 - static_cast<double>(bucket) / static_cast<double>(buckets);
+        const auto expected = static_cast<std::size_t>(
+            1.0 + (static_cast<double>(norig) - 1.0) * ratio);
+        EXPECT_EQ(n, expected) << "norig=" << norig << " N=" << bucket << " K=" << buckets;
+        EXPECT_GE(n, 1u);
+        EXPECT_LE(n, norig);
+        EXPECT_LE(n, previous) << "schedule must shrink as N climbs";
+        previous = n;
+      }
+      EXPECT_EQ(core::saraa_sample_size(norig, 0, buckets), norig)
+          << "bucket 0 must use the full window";
+    }
+  }
+}
+
+}  // namespace

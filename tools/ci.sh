@@ -8,6 +8,9 @@
 #                                       (default dir: build-tsan)
 #        tools/ci.sh asan [build-dir]   ASan+UBSan build + the full test suite
 #                                       (default dir: build-asan)
+#        tools/ci.sh bench [build-dir]  hot-path perf gate: rejuv-bench quick
+#                                       mode vs bench/baseline.json (exit 3
+#                                       on a >2x regression; default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,13 +27,37 @@ if [ "${1:-}" = "tsan" ]; then
   echo "==> tsan configure"
   cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DREJUV_TSAN=ON
   echo "==> tsan build (threaded test binaries)"
-  cmake --build "$BUILD_DIR" -j --target monitor_test faults_test obs_test harness_test
+  cmake --build "$BUILD_DIR" -j --target monitor_test faults_test obs_test harness_test \
+      property_test
   echo "==> tsan run"
   "$BUILD_DIR"/tests/monitor_test
   "$BUILD_DIR"/tests/faults_test
   "$BUILD_DIR"/tests/obs_test
   "$BUILD_DIR"/tests/harness_test
+  "$BUILD_DIR"/tests/property_test
   echo "==> ci.sh tsan: all green"
+  exit 0
+fi
+
+# The bench stage is the perf regression gate: the full rejuv-bench suite in
+# quick mode against the committed baseline. A benchmark more than 2x slower
+# than bench/baseline.json fails the stage (exit 3 from rejuv-bench); new
+# benchmarks without a baseline entry only warn. Refresh the baseline with:
+#   ./build/tools/rejuv-bench --suite=all --quick --out=bench/baseline.json
+if [ "${1:-}" = "bench" ]; then
+  BUILD_DIR="${2:-build}"
+  GENERATOR_ARGS=()
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    GENERATOR_ARGS=(-G Ninja)
+  fi
+  echo "==> bench configure"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}"
+  echo "==> bench build"
+  cmake --build "$BUILD_DIR" -j --target rejuv_bench_cli
+  echo "==> bench run + perf gate (quick mode, max-ratio 2.0)"
+  "$BUILD_DIR"/tools/rejuv-bench --suite=all --quick \
+      --out="$BUILD_DIR"/BENCH.json --check=bench/baseline.json --max-ratio=2.0
+  echo "==> ci.sh bench: all green"
   exit 0
 fi
 
