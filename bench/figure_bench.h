@@ -6,7 +6,10 @@
 // the response-time table, the loss table, a per-config summary, and the
 // side-by-side comparison against the paper's quoted spot values.
 //
-// Flags: --loads=0.5,1,...  --txns=N  --reps=N  --seed=N
+// Flags: --loads=0.5,1,...  --txns=N  --reps=N  --seed=N  --threads=N
+// All figure binaries share one process-wide work-stealing pool, so nested
+// sweeps cannot oversubscribe the host; --threads (or REJUV_THREADS) sizes
+// it, REJUV_SEQUENTIAL=1 bypasses it.
 #pragma once
 
 #include <iostream>
@@ -16,6 +19,7 @@
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "exec/pool.h"
 #include "harness/experiment.h"
 #include "harness/paper.h"
 #include "harness/report.h"
@@ -38,6 +42,9 @@ inline FigureOptions parse_figure_options(int argc, const char* const* argv) {
   options.protocol.base_seed = static_cast<std::uint64_t>(
       flags.get_int("seed", static_cast<std::int64_t>(options.protocol.base_seed)));
   options.loads = flags.get_double_list("loads", harness::default_load_grid());
+  if (const auto threads = flags.get_int("threads", 0); threads > 0) {
+    exec::ThreadPool::configure_shared(static_cast<std::size_t>(threads));
+  }
   return options;
 }
 

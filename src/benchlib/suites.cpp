@@ -1,5 +1,6 @@
 #include "benchlib/suites.h"
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <sstream>
@@ -7,6 +8,8 @@
 
 #include "common/rng.h"
 #include "core/bucket_cascade.h"
+#include "exec/pool.h"
+#include "exec/work_stealing_deque.h"
 #include "core/clta.h"
 #include "core/factory.h"
 #include "core/saraa.h"
@@ -158,6 +161,124 @@ void register_sim_suite(Registry& registry) {
                });
 }
 
+void register_event_queue_suite(Registry& registry) {
+  const auto data = make_observations();
+
+  // Steady-state churn at depth 4096 — the regime a heavily loaded sweep
+  // point runs in (one completion event per busy CPU plus GC/rejuvenation
+  // timers). Pop-earliest + schedule-replacement is the per-event cost the
+  // simulator pays millions of times per replication.
+  const auto deep = std::make_shared<sim::EventQueue>();
+  registry.add("event_queue", "event_queue.push_pop_4096", [data, deep](std::uint64_t n) {
+    if (deep->empty()) {
+      for (std::size_t i = 0; i < 4096; ++i) {
+        deep->push((*data)[i & kDataMask], [] {});
+      }
+    }
+    double credit = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto [time, action] = deep->pop();
+      credit = time;
+      deep->push(time + (*data)[i & kDataMask] + 1e-3, std::move(action));
+    }
+    do_not_optimize(credit);
+  });
+
+  // Reschedule: cancel a live mid-heap event and push its replacement — the
+  // GC-postpone pattern. Unlike schedule_cancel (which cancels the event it
+  // just pushed), this removes from arbitrary heap positions, exercising
+  // both sift directions of the removal path.
+  struct RescheduleFixture {
+    sim::EventQueue queue;
+    std::vector<sim::EventId> live;
+    double now = 0.0;
+  };
+  const auto resched = std::make_shared<RescheduleFixture>();
+  registry.add("event_queue", "event_queue.reschedule", [data, resched](std::uint64_t n) {
+    constexpr std::size_t kLive = 1024;
+    if (resched->live.empty()) {
+      resched->live.reserve(kLive);
+      for (std::size_t i = 0; i < kLive; ++i) {
+        resched->live.push_back(resched->queue.push((*data)[i & kDataMask], [] {}));
+      }
+    }
+    std::uint64_t cancelled = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sim::EventId& slot = resched->live[i % kLive];
+      cancelled += resched->queue.cancel(slot) ? 1u : 0u;
+      resched->now += 1e-3;
+      slot = resched->queue.push(resched->now + (*data)[i & kDataMask], [] {});
+    }
+    do_not_optimize(cancelled);
+  });
+
+  // Fill-then-drain from empty: amortized cost of one push plus one pop over
+  // a full 4096-event cycle — the startup/flush transient (rejuvenation
+  // drops every pending completion, then the queue refills).
+  const auto drain = std::make_shared<sim::EventQueue>();
+  registry.add("event_queue", "event_queue.fill_drain", [data, drain](std::uint64_t n) {
+    double credit = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      drain->push((*data)[i & kDataMask], [] {});
+      if (drain->size() == 4096) {
+        while (!drain->empty()) credit = drain->pop().first;
+      }
+    }
+    while (!drain->empty()) credit = drain->pop().first;
+    do_not_optimize(credit);
+  });
+}
+
+void register_exec_suite(Registry& registry) {
+  // Owner-side deque ops with no contention: the floor for task bookkeeping
+  // on the pool's hot path (every spawned task is one push + one pop).
+  const auto deque = std::make_shared<exec::WorkStealingDeque<std::uint64_t>>();
+  registry.add("exec", "exec.deque.push_pop", [deque](std::uint64_t n) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      deque->push(i);
+      sum += deque->pop().value_or(0);
+    }
+    do_not_optimize(sum);
+  });
+
+  // Per-task dispatch + join overhead through a TaskGroup on a live pool:
+  // what one (point × replication) work item costs before any simulation
+  // work happens. Submitted in kBatch-sized groups so wait() runs at
+  // realistic fan-out, not once per task.
+  const auto pool = std::make_shared<exec::ThreadPool>(exec::ThreadPool::default_thread_count());
+  registry.add("exec", "exec.pool.dispatch", [pool](std::uint64_t n) {
+    std::atomic<std::uint64_t> count{0};
+    std::uint64_t submitted = 0;
+    while (submitted < n) {
+      const std::uint64_t batch = n - submitted < kBatch ? n - submitted : kBatch;
+      exec::TaskGroup group(*pool);
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        group.run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+      group.wait();
+      submitted += batch;
+    }
+    do_not_optimize(count.load());
+  });
+
+  // parallel_map fan-out per index, including the ordered result buffer the
+  // harness's bit-identity guarantee rides on.
+  registry.add("exec", "exec.parallel_map.fanout", [pool](std::uint64_t n) {
+    std::uint64_t checksum = 0;
+    std::uint64_t mapped = 0;
+    while (mapped < n) {
+      const std::size_t batch =
+          n - mapped < kBatch ? static_cast<std::size_t>(n - mapped) : kBatch;
+      const std::vector<std::uint64_t> results = exec::parallel_map<std::uint64_t>(
+          *pool, batch, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+      checksum += results.back();
+      mapped += batch;
+    }
+    do_not_optimize(checksum);
+  });
+}
+
 void register_monitor_suite(Registry& registry) {
   const auto data = make_observations();
 
@@ -254,6 +375,8 @@ void register_obs_suite(Registry& registry) {
 void register_standard_suites(Registry& registry) {
   register_detector_suite(registry);
   register_sim_suite(registry);
+  register_event_queue_suite(registry);
+  register_exec_suite(registry);
   register_monitor_suite(registry);
   register_obs_suite(registry);
 }

@@ -3,16 +3,22 @@
 // Four suites cover every hot path a production monitor exercises per
 // observation or per event:
 //
-//   detector — Detector::observe and observe_all for SRAA, SARAA, CLTA and
-//              the static cascade, plus the raw BucketCascade update. These
-//              are the per-observation decision costs the paper's §5 sweeps
-//              multiply by millions of transactions.
-//   sim      — future-event-list push/pop and schedule/cancel, the
-//              simulator's per-event cost.
-//   monitor  — the SPSC ring the ingest thread feeds and the checkpoint
-//              record serialize/parse round trip.
-//   obs      — tracer emit cost with no sink (the always-on branch) and
-//              with a JSONL sink (the traced-run overhead).
+//   detector    — Detector::observe and observe_all for SRAA, SARAA, CLTA
+//                 and the static cascade, plus the raw BucketCascade update.
+//                 These are the per-observation decision costs the paper's
+//                 §5 sweeps multiply by millions of transactions.
+//   sim         — future-event-list push/pop and schedule/cancel at depth
+//                 1024, the simulator's per-event cost.
+//   event_queue — the 4-ary heap under deeper and nastier regimes: steady
+//                 churn at depth 4096, mid-heap reschedule (the GC-postpone
+//                 pattern), and full fill/drain cycles.
+//   exec        — the work-stealing execution engine: owner-side deque ops,
+//                 per-task dispatch + join through a TaskGroup, and
+//                 parallel_map fan-out (the sweep harness's work-item cost).
+//   monitor     — the SPSC ring the ingest thread feeds and the checkpoint
+//                 record serialize/parse round trip.
+//   obs         — tracer emit cost with no sink (the always-on branch) and
+//                 with a JSONL sink (the traced-run overhead).
 //
 // Workload data is deterministic (fixed-seed RngStream), so two runs on the
 // same machine measure the same instruction stream.

@@ -1,0 +1,220 @@
+#include "exec/pool.h"
+
+#include "common/expect.h"
+#include "common/flags.h"
+
+namespace rejuv::exec {
+
+namespace {
+
+// Identifies the worker a thread belongs to, so tasks spawned from inside
+// the pool go to the spawning worker's own deque.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker_index = 0;
+
+std::size_t clamp_min_one(std::size_t n) { return n == 0 ? 1 : n; }
+
+// configure_shared / shared handshake. The size is latched before the
+// first shared() call; afterwards it is fixed for the process lifetime.
+std::mutex g_shared_mutex;
+std::size_t g_shared_threads = 0;  // 0 = not configured, use the default
+bool g_shared_created = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  REJUV_EXPECT(threads >= 1, "a thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) workers_.push_back(std::make_unique<Worker>());
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (auto& worker : workers_) worker->thread.join();
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  const std::int64_t env = common::env_int("REJUV_THREADS", 0);
+  if (env >= 1) return static_cast<std::size_t>(env);
+  return clamp_min_one(std::thread::hardware_concurrency());
+}
+
+void ThreadPool::configure_shared(std::size_t threads) {
+  REJUV_EXPECT(threads >= 1, "--threads must be at least 1");
+  std::lock_guard<std::mutex> lock(g_shared_mutex);
+  if (g_shared_created && g_shared_threads != threads) {
+    throw std::logic_error("the shared thread pool is already running with " +
+                           std::to_string(g_shared_threads) +
+                           " threads; configure_shared must be called before first use");
+  }
+  g_shared_threads = threads;
+}
+
+ThreadPool& ThreadPool::shared() {
+  // The latch under the mutex makes the (configure, create) pair atomic;
+  // the static itself handles concurrent first calls.
+  {
+    std::lock_guard<std::mutex> lock(g_shared_mutex);
+    if (!g_shared_created) {
+      if (g_shared_threads == 0) g_shared_threads = default_thread_count();
+      g_shared_created = true;
+    }
+  }
+  static ThreadPool pool(g_shared_threads);
+  return pool;
+}
+
+void ThreadPool::enqueue(Task* task) {
+  queued_.fetch_add(1, std::memory_order_release);
+  if (tl_pool == this) {
+    workers_[tl_worker_index]->deque.push(task);
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    inject_.push_back(task);
+  }
+  // Empty critical section: a worker that checked the predicate and is
+  // about to sleep either saw the enqueue above or will see the notify.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_one();
+}
+
+ThreadPool::Task* ThreadPool::take_task(std::size_t self) {
+  if (self != kExternal) {
+    if (auto task = workers_[self]->deque.pop()) {
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return *task;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (!inject_.empty()) {
+      Task* task = inject_.front();
+      inject_.pop_front();
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
+      return task;
+    }
+  }
+  // Two steal passes over the other workers, starting from a rotating
+  // victim so thieves spread out instead of convoying on worker 0.
+  const std::size_t n = workers_.size();
+  const std::size_t start = steal_seed_.fetch_add(1, std::memory_order_relaxed);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t victim = (start + i) % n;
+      if (victim == self) continue;
+      if (auto task = workers_[victim]->deque.steal()) {
+        queued_.fetch_sub(1, std::memory_order_acq_rel);
+        return *task;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::execute(Task* task) {
+  std::exception_ptr error;
+  try {
+    task->fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  TaskGroup* group = task->group;
+  delete task;
+  group->task_finished(error);
+}
+
+bool ThreadPool::run_one(std::size_t self) {
+  Task* task = take_task(self);
+  if (task == nullptr) return false;
+  execute(task);
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  for (;;) {
+    if (run_one(index)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) <= 0) {
+      return;
+    }
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // wait() on the normal path is the place to observe task errors.
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  auto task = std::make_unique<ThreadPool::Task>();
+  task->fn = std::move(fn);
+  task->group = this;
+  pool_.enqueue(task.release());
+}
+
+void TaskGroup::task_finished(std::exception_ptr error) {
+  // The decrement and the notification both happen under the mutex: a
+  // waiter can only observe pending == 0 under the same mutex, so it
+  // cannot return (and destroy this group) while a completer is still
+  // inside this function.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error != nullptr && error_ == nullptr) error_ = error;
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) cv_.notify_all();
+}
+
+void TaskGroup::wait() {
+  const std::size_t self =
+      tl_pool == &pool_ ? tl_worker_index : ThreadPool::kExternal;
+  for (;;) {
+    if (pending_.load(std::memory_order_acquire) == 0) break;
+    if (pool_.run_one(self)) continue;
+    // Nothing claimable: the group's unfinished tasks are mid-execution on
+    // other threads (a task in some worker's deque always has an awake
+    // owner that will pop it), so sleeping until the count reaches zero
+    // cannot deadlock.
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+    break;
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {  // no point paying dispatch for a single item
+    fn(0);
+    return;
+  }
+  TaskGroup group(pool);
+  for (std::size_t i = 0; i < count; ++i) {
+    group.run([&fn, i] { fn(i); });
+  }
+  group.wait();
+}
+
+}  // namespace rejuv::exec

@@ -1,0 +1,157 @@
+// Fixed-size work-stealing thread pool and fork/join task groups.
+//
+// The experiment harness fans a sweep out as (load point × replication)
+// work items — up to a hundred independent simulations for the paper's
+// full §5 protocol — and this pool is what runs them: a fixed set of
+// workers, one Chase–Lev deque each, plus a mutex-guarded injection queue
+// for tasks submitted from outside the pool. Tasks spawned from inside a
+// worker go to that worker's own deque (LIFO, cache-hot); idle workers
+// steal from the others (FIFO, oldest first).
+//
+// Determinism contract: the pool schedules, it never reorders results.
+// TaskGroup/parallel_for_each/parallel_map run each index exactly once
+// with no shared state of their own; parallel_map writes result i into
+// slot i, so a reduction over the returned vector visits results in index
+// order regardless of which worker ran what when. A deterministic task set
+// therefore produces bit-identical reductions at any thread count,
+// including 1 — the property the harness's REJUV_SEQUENTIAL cross-check
+// and the parallel-sweep CI smoke pin down.
+//
+// Sizing: exactly one process-wide pool (shared()), sized from
+// REJUV_THREADS or std::thread::hardware_concurrency(). Nested sweeps
+// (figure binaries that call run_sweeps from several layers) reuse it, so
+// wide sweeps can no longer oversubscribe the host the way per-point
+// std::async did. Tests that need a specific size construct their own
+// ThreadPool instances.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/work_stealing_deque.h"
+
+namespace rejuv::exec {
+
+class TaskGroup;
+
+class ThreadPool {
+ public:
+  /// Starts exactly `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers. All TaskGroups using this pool must have been
+  /// waited; destroying a pool with tasks still queued is a logic error.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Pool size the process-wide pool uses: REJUV_THREADS when set (>= 1),
+  /// otherwise std::thread::hardware_concurrency() (>= 1).
+  static std::size_t default_thread_count();
+
+  /// Overrides the size of the not-yet-created shared pool (the --threads
+  /// flag). Throws std::logic_error if the shared pool already exists with
+  /// a different size; call before the first shared() use.
+  static void configure_shared(std::size_t threads);
+
+  /// The process-wide pool, created on first use.
+  static ThreadPool& shared();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  struct Worker {
+    WorkStealingDeque<Task*> deque;
+    std::thread thread;
+  };
+
+  void enqueue(Task* task);
+  /// Claims and runs one task if any is visible. `self` is the calling
+  /// worker's index in this pool, or npos for an external helper thread.
+  bool run_one(std::size_t self);
+  Task* take_task(std::size_t self);
+  void worker_loop(std::size_t index);
+  static void execute(Task* task);
+
+  static constexpr std::size_t kExternal = static_cast<std::size_t>(-1);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex inject_mutex_;
+  std::deque<Task*> inject_;
+  std::atomic<std::int64_t> queued_{0};  ///< tasks enqueued but not yet claimed
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> steal_seed_{0};
+};
+
+/// A fork/join scope: run() submits tasks, wait() blocks until every one
+/// of them (including tasks they spawned into the same group) finished.
+/// wait() does not idle — the waiting thread helps execute pool tasks, so
+/// nested groups on a saturated pool cannot deadlock. The first exception
+/// thrown by any task is captured and rethrown from wait(); later ones are
+/// swallowed (their tasks still count as finished).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::shared()) : pool_(pool) {}
+
+  /// Waits for stragglers; any pending exception is swallowed here, so
+  /// call wait() explicitly on every non-error path.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits one task. May be called from inside a task of this group.
+  void run(std::function<void()> fn);
+
+  /// Blocks (helping) until all submitted tasks completed, then rethrows
+  /// the first captured exception, if any. May be called repeatedly.
+  void wait();
+
+ private:
+  friend class ThreadPool;
+
+  void task_finished(std::exception_ptr error);
+
+  ThreadPool& pool_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::exception_ptr error_;
+};
+
+/// Runs fn(0) ... fn(count - 1), each exactly once, in parallel on `pool`;
+/// returns when all are done. Exceptions: first one rethrown.
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& fn);
+
+/// Ordered parallel map: result i of fn(i) lands in slot i of the returned
+/// vector, so reducing the vector front to back is a deterministic ordered
+/// reduction no matter how the items were scheduled. Result must be
+/// default-constructible and movable.
+template <typename Result, typename Fn>
+std::vector<Result> parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  std::vector<Result> results(count);
+  parallel_for_each(pool, count,
+                    [&results, &fn](std::size_t index) { results[index] = fn(index); });
+  return results;
+}
+
+}  // namespace rejuv::exec

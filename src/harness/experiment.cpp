@@ -1,16 +1,106 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
-#include <future>
 
 #include "common/expect.h"
 #include "common/flags.h"
 #include "core/controller.h"
 #include "core/spec.h"
+#include "exec/pool.h"
 #include "sim/simulator.h"
 #include "stats/batch_means.h"
 
 namespace rejuv::harness {
+
+namespace {
+
+/// Everything one replication contributes to its point. Replications are
+/// pure functions of (factory, config, protocol, rep) — each owns its
+/// simulator and RNG streams — so they can run on any worker; the merge
+/// happens afterwards, always in replication order.
+struct ReplicationOutcome {
+  stats::RunningStats response_time;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t rejuvenations = 0;
+  std::uint64_t gc_count = 0;
+};
+
+ReplicationOutcome run_replication(const DetectorFactory& make_detector,
+                                   const model::EcommerceConfig& config,
+                                   double offered_load_cpus, const SimulationProtocol& protocol,
+                                   std::uint64_t rep, const Instrumentation& instruments) {
+  // Stream ids are a function of the replication only, never of the
+  // detector, so every configuration faces the same workload.
+  common::RngStream arrival_rng(protocol.base_seed, 2 * rep);
+  common::RngStream service_rng(protocol.base_seed, 2 * rep + 1);
+
+  sim::Simulator simulator;
+  model::EcommerceSystem system(simulator, config, arrival_rng, service_rng);
+
+  core::RejuvenationController controller(make_detector());
+  system.set_decision([&controller](double rt) { return controller.observe(rt); });
+
+  if (instruments.tracer != nullptr) {
+    instruments.tracer->set_time(0.0);
+    instruments.tracer->run_start(controller.detector_snapshot().algorithm, offered_load_cpus,
+                                  static_cast<std::uint32_t>(rep), protocol.base_seed);
+    system.set_tracer(instruments.tracer);
+    controller.set_tracer(instruments.tracer);
+  }
+  if (instruments.metrics != nullptr) {
+    simulator.set_metrics(instruments.metrics);
+    system.set_metrics(instruments.metrics);
+    controller.set_metrics(instruments.metrics);
+  }
+
+  system.run_transactions(protocol.transactions_per_replication);
+
+  const model::EcommerceMetrics& metrics = system.metrics();
+  if (instruments.tracer != nullptr) {
+    instruments.tracer->set_time(simulator.now());
+    instruments.tracer->run_end(metrics.completed);
+    instruments.tracer->flush();
+  }
+  return {metrics.response_time, metrics.arrivals,           metrics.completed,
+          metrics.lost(),        metrics.rejuvenation_count, metrics.gc_count};
+}
+
+/// Merges replication outcomes into a PointResult, in replication order —
+/// the single merge path both the sequential and the parallel runs go
+/// through, which is what makes them bit-identical.
+PointResult finalize_point(double offered_load_cpus, std::span<const ReplicationOutcome> outcomes) {
+  PointResult result;
+  result.offered_load_cpus = offered_load_cpus;
+
+  stats::RunningStats rt_overall;
+  std::vector<double> replication_rt_means;
+  std::uint64_t arrivals_total = 0;
+  for (const ReplicationOutcome& outcome : outcomes) {
+    rt_overall.merge(outcome.response_time);
+    if (outcome.response_time.count() > 0) {
+      replication_rt_means.push_back(outcome.response_time.mean());
+    }
+    arrivals_total += outcome.arrivals;
+    result.completed += outcome.completed;
+    result.lost += outcome.lost;
+    result.rejuvenations += outcome.rejuvenations;
+    result.gc_count += outcome.gc_count;
+  }
+
+  result.avg_response_time = rt_overall.mean();
+  result.max_response_time = rt_overall.count() > 0 ? rt_overall.max() : 0.0;
+  result.loss_fraction =
+      arrivals_total == 0 ? 0.0
+                          : static_cast<double>(result.lost) / static_cast<double>(arrivals_total);
+  if (replication_rt_means.size() >= 2) {
+    result.rt_half_width = stats::replication_interval(replication_rt_means).half_width;
+  }
+  return result;
+}
+
+}  // namespace
 
 SimulationProtocol SimulationProtocol::paper_protocol() {
   SimulationProtocol protocol;
@@ -49,67 +139,24 @@ PointResult run_custom_point(const DetectorFactory& make_detector,
   model::EcommerceConfig config = system_template;
   config.arrival_rate = offered_load_cpus * config.service_rate;
 
-  PointResult result;
-  result.offered_load_cpus = offered_load_cpus;
+  // Traced/metered runs stay on the calling thread: the tracer is a
+  // single-writer sink and the replication order is part of its output.
+  const bool instrumented = instruments.tracer != nullptr || instruments.metrics != nullptr;
+  if (protocol.parallel_points && !instrumented && protocol.replications > 1) {
+    const std::vector<ReplicationOutcome> outcomes = exec::parallel_map<ReplicationOutcome>(
+        exec::ThreadPool::shared(), protocol.replications, [&](std::size_t rep) {
+          return run_replication(make_detector, config, offered_load_cpus, protocol, rep, {});
+        });
+    return finalize_point(offered_load_cpus, outcomes);
+  }
 
-  stats::RunningStats rt_overall;
-  std::vector<double> replication_rt_means;
-  std::uint64_t arrivals_total = 0;
-
+  std::vector<ReplicationOutcome> outcomes;
+  outcomes.reserve(protocol.replications);
   for (std::uint64_t rep = 0; rep < protocol.replications; ++rep) {
-    // Stream ids are a function of the replication only, never of the
-    // detector, so every configuration faces the same workload.
-    common::RngStream arrival_rng(protocol.base_seed, 2 * rep);
-    common::RngStream service_rng(protocol.base_seed, 2 * rep + 1);
-
-    sim::Simulator simulator;
-    model::EcommerceSystem system(simulator, config, arrival_rng, service_rng);
-
-    core::RejuvenationController controller(make_detector());
-    system.set_decision([&controller](double rt) { return controller.observe(rt); });
-
-    if (instruments.tracer != nullptr) {
-      instruments.tracer->set_time(0.0);
-      instruments.tracer->run_start(controller.detector_snapshot().algorithm, offered_load_cpus,
-                                    static_cast<std::uint32_t>(rep), protocol.base_seed);
-      system.set_tracer(instruments.tracer);
-      controller.set_tracer(instruments.tracer);
-    }
-    if (instruments.metrics != nullptr) {
-      simulator.set_metrics(instruments.metrics);
-      system.set_metrics(instruments.metrics);
-      controller.set_metrics(instruments.metrics);
-    }
-
-    system.run_transactions(protocol.transactions_per_replication);
-
-    const model::EcommerceMetrics& metrics = system.metrics();
-    rt_overall.merge(metrics.response_time);
-    if (metrics.response_time.count() > 0) {
-      replication_rt_means.push_back(metrics.response_time.mean());
-    }
-    arrivals_total += metrics.arrivals;
-    result.completed += metrics.completed;
-    result.lost += metrics.lost();
-    result.rejuvenations += metrics.rejuvenation_count;
-    result.gc_count += metrics.gc_count;
-
-    if (instruments.tracer != nullptr) {
-      instruments.tracer->set_time(simulator.now());
-      instruments.tracer->run_end(metrics.completed);
-      instruments.tracer->flush();
-    }
+    outcomes.push_back(
+        run_replication(make_detector, config, offered_load_cpus, protocol, rep, instruments));
   }
-
-  result.avg_response_time = rt_overall.mean();
-  result.max_response_time = rt_overall.count() > 0 ? rt_overall.max() : 0.0;
-  result.loss_fraction =
-      arrivals_total == 0 ? 0.0
-                          : static_cast<double>(result.lost) / static_cast<double>(arrivals_total);
-  if (replication_rt_means.size() >= 2) {
-    result.rt_half_width = stats::replication_interval(replication_rt_means).half_width;
-  }
-  return result;
+  return finalize_point(offered_load_cpus, outcomes);
 }
 
 SweepResult run_sweep(const core::DetectorConfig& detector_config,
@@ -153,21 +200,35 @@ std::vector<std::uint64_t> replay_trigger_indices(const std::string& detector_sp
 SweepResult run_custom_sweep(const std::string& label, const DetectorFactory& make_detector,
                              const model::EcommerceConfig& system_template,
                              std::span<const double> loads, const SimulationProtocol& protocol) {
+  REJUV_EXPECT(protocol.replications >= 1, "need at least one replication");
+  for (const double load : loads) {
+    REJUV_EXPECT(load > 0.0, "offered load must be positive");
+  }
   SweepResult sweep;
   sweep.label = label;
-  if (protocol.parallel_points && loads.size() > 1) {
-    // Every point is an isolated deterministic simulation (own simulator,
-    // own RNG streams derived from (seed, replication)), so fan-out is safe
-    // and the collected results are identical to the sequential order.
-    std::vector<std::future<PointResult>> futures;
-    futures.reserve(loads.size());
-    for (double load : loads) {
-      futures.push_back(std::async(std::launch::async, [&, load] {
-        return run_custom_point(make_detector, system_template, load, protocol);
-      }));
-    }
+  const std::uint64_t reps = protocol.replications;
+  if (protocol.parallel_points && loads.size() * reps > 1) {
+    // Fan out at (point × replication) granularity on the process-wide
+    // pool: the paper protocol's 20 points × 5 replications become 100
+    // independent work items instead of 20 threads with serial inner
+    // loops, and the pool caps concurrency at its fixed worker count no
+    // matter how wide the sweep is. Every replication is an isolated
+    // deterministic simulation; outcomes land in their (point, rep) slot
+    // and merge in index order, so the result is bit-identical to the
+    // sequential order.
+    const std::vector<ReplicationOutcome> outcomes = exec::parallel_map<ReplicationOutcome>(
+        exec::ThreadPool::shared(), loads.size() * reps, [&](std::size_t item) {
+          const std::size_t point = item / reps;
+          model::EcommerceConfig config = system_template;
+          config.arrival_rate = loads[point] * config.service_rate;
+          return run_replication(make_detector, config, loads[point], protocol,
+                                 static_cast<std::uint64_t>(item % reps), {});
+        });
     sweep.points.reserve(loads.size());
-    for (auto& future : futures) sweep.points.push_back(future.get());
+    for (std::size_t point = 0; point < loads.size(); ++point) {
+      sweep.points.push_back(finalize_point(
+          loads[point], std::span(outcomes).subspan(point * reps, reps)));
+    }
     return sweep;
   }
   sweep.points.reserve(loads.size());

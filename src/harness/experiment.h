@@ -28,8 +28,9 @@ namespace rejuv::harness {
 /// model, controller and detector; a registry receives the simulator and
 /// model counters. Both pointers are non-owning and may be null
 /// independently. Traced points must run single-threaded (the tracer is
-/// single-writer), which run_custom_point's sequential replication loop
-/// already guarantees; parallel sweep fan-out never passes instruments.
+/// single-writer): run_custom_point falls back to its sequential
+/// replication loop whenever either pointer is set, and parallel sweep
+/// fan-out never passes instruments.
 struct Instrumentation {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
@@ -40,9 +41,13 @@ struct SimulationProtocol {
   std::uint64_t transactions_per_replication = 20'000;
   std::uint64_t replications = 2;
   std::uint64_t base_seed = 20060625;  ///< DSN 2006 conference date
-  /// Run the points of a sweep on worker threads. Results are bit-identical
-  /// to the sequential order (every point owns its simulator and RNG
-  /// streams); this only changes wall-clock time.
+  /// Fan sweeps and points out over the process-wide work-stealing pool
+  /// (exec::ThreadPool::shared()) at (point × replication) granularity.
+  /// Results are bit-identical to the sequential order: every replication
+  /// owns its simulator and RNG streams, outcomes land in indexed slots,
+  /// and both paths merge through the same code in replication order —
+  /// this only changes wall-clock time. Sized by --threads/REJUV_THREADS,
+  /// default hardware concurrency; REJUV_SEQUENTIAL=1 disables.
   bool parallel_points = true;
 
   /// The paper's full protocol: 5 x 100,000 transactions.
@@ -77,8 +82,8 @@ struct SweepResult {
 /// Builds a fresh detector per replication; may return nullptr ("never
 /// rejuvenate"). Used to sweep detectors that DetectorConfig cannot
 /// describe (the extension detectors of core/extensions.h). Must be safe to
-/// invoke from several threads at once (sweeps parallelize across load
-/// points unless the protocol disables it).
+/// invoke from several threads at once (sweeps parallelize across
+/// (point, replication) work items unless the protocol disables it).
 using DetectorFactory = std::function<std::unique_ptr<core::Detector>()>;
 
 /// Runs one point: `protocol.replications` independent runs of the system at

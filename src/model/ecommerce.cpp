@@ -30,6 +30,32 @@ EcommerceSystem::EcommerceSystem(sim::Simulator& simulator, EcommerceConfig conf
       service_rng_(service_rng),
       arrival_process_(std::make_unique<workload::PoissonProcess>(config.arrival_rate)) {
   validate(config_);
+  queue_times_.resize(64);  // ring capacity; must stay a power of two
+  running_.resize(config_.cpus);
+  free_slots_.reserve(config_.cpus);
+  reset_free_slots();
+}
+
+void EcommerceSystem::reset_free_slots() {
+  free_slots_.clear();
+  // Descending, so dispatch acquires slots 0, 1, 2, ... from a clean start.
+  for (std::size_t i = config_.cpus; i > 0; --i) {
+    free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+}
+
+void EcommerceSystem::queue_push_back(double arrival_time) {
+  if (queue_count_ == queue_times_.size()) {
+    // Unwrap into a doubled buffer; from then on the new capacity is reused.
+    std::vector<double> grown(queue_times_.size() * 2);
+    for (std::size_t i = 0; i < queue_count_; ++i) {
+      grown[i] = queue_times_[(queue_head_ + i) & (queue_times_.size() - 1)];
+    }
+    queue_times_ = std::move(grown);
+    queue_head_ = 0;
+  }
+  queue_times_[(queue_head_ + queue_count_) & (queue_times_.size() - 1)] = arrival_time;
+  ++queue_count_;
 }
 
 void EcommerceSystem::set_arrival_process(std::unique_ptr<workload::ArrivalProcess> process) {
@@ -111,7 +137,7 @@ void EcommerceSystem::admit_transaction() {
     return;
   }
   // Rule 2: FCFS queue for a CPU.
-  queue_.push_back({simulator_.now()});
+  queue_push_back(simulator_.now());
   try_dispatch();
 }
 
@@ -121,15 +147,15 @@ void EcommerceSystem::try_dispatch() {
   // not otherwise stop dispatch — §3 delays only the *running* threads — but
   // at high load all CPUs are held by those delayed threads, which is what
   // starves dispatch and builds the post-GC backlog.
-  while (!down_ && busy_cpus_ < config_.cpus && !queue_.empty() &&
+  while (!down_ && busy_cpus_ < config_.cpus && queue_count_ > 0 &&
          (!config_.gc_enabled || free_heap_mb() >= config_.alloc_mb)) {
-    const QueuedThread thread = queue_.front();
-    queue_.pop_front();
+    const double arrival_time = queue_pop_front();
 
     // Rule 3 + 4: exponential processing time, doubled under kernel overhead.
     // The thread being dispatched still counts toward the concurrency level.
-    double processing = sim::exponential(service_rng_, config_.service_rate);
-    const std::size_t concurrency = queue_.size() + running_.size() + 1;
+    // service_rate was validated positive at construction.
+    double processing = sim::exponential_unchecked(service_rng_, config_.service_rate);
+    const std::size_t concurrency = queue_count_ + busy_cpus_ + 1;
     if (config_.overhead_enabled && concurrency > config_.thread_overhead_threshold) {
       processing *= config_.overhead_factor;
     }
@@ -139,11 +165,14 @@ void EcommerceSystem::try_dispatch() {
     ++busy_cpus_;
     live_mb_ += config_.alloc_mb;
 
-    const std::uint64_t thread_id = next_thread_id_++;
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
     const double completion_time = simulator_.now() + processing;
-    const sim::EventId event =
-        simulator_.schedule_at(completion_time, [this, thread_id] { on_completion(thread_id); });
-    running_.emplace(thread_id, RunningThread{thread.arrival_time, completion_time, event});
+    RunningThread& thread = running_[slot];
+    thread.arrival_time = arrival_time;
+    thread.completion_time = completion_time;
+    thread.completion_event =
+        simulator_.schedule_at(completion_time, [this, slot] { on_completion(slot); });
 
     // Rule 6: a full GC is scheduled when the allocation leaves less free
     // heap than the threshold. A GC already in progress absorbs re-triggers.
@@ -157,7 +186,7 @@ void EcommerceSystem::try_dispatch() {
   // stays garbage until a GC) nothing would ever trigger one and the queued
   // threads would be stranded. Only fires when there is garbage to reclaim,
   // so it cannot livelock on a heap held entirely by live allocations.
-  if (config_.gc_enabled && gc_end_event_ == sim::kNoEvent && !down_ && !queue_.empty() &&
+  if (config_.gc_enabled && gc_end_event_ == sim::kNoEvent && !down_ && queue_count_ > 0 &&
       busy_cpus_ < config_.cpus && free_heap_mb() < config_.alloc_mb && garbage_mb_ > 0.0) {
     start_gc();
   }
@@ -174,13 +203,14 @@ void EcommerceSystem::start_gc() {
   // Every thread running at GC start is delayed by the full pause and keeps
   // holding its CPU meanwhile; threads dispatched onto free CPUs during the
   // pause are not delayed (§3 delays the running threads only).
-  for (auto& [thread_id, thread] : running_) {
+  for (std::uint32_t slot = 0; slot < running_.size(); ++slot) {
+    RunningThread& thread = running_[slot];
+    if (thread.completion_event == sim::kNoEvent) continue;
     const bool cancelled = simulator_.cancel(thread.completion_event);
     REJUV_ASSERT(cancelled, "running thread lost its completion event");
     thread.completion_time += config_.gc_pause_seconds;
-    const std::uint64_t id_copy = thread_id;
     thread.completion_event = simulator_.schedule_at(
-        thread.completion_time, [this, id_copy] { on_completion(id_copy); });
+        thread.completion_time, [this, slot] { on_completion(slot); });
   }
   gc_end_event_ =
       simulator_.schedule_after(config_.gc_pause_seconds, [this] { on_gc_end(); });
@@ -197,11 +227,12 @@ void EcommerceSystem::on_gc_end() {
   try_dispatch();
 }
 
-void EcommerceSystem::on_completion(std::uint64_t thread_id) {
-  const auto it = running_.find(thread_id);
-  REJUV_ASSERT(it != running_.end(), "completion for an unknown thread");
-  const double response_time = simulator_.now() - it->second.arrival_time;
-  running_.erase(it);
+void EcommerceSystem::on_completion(std::uint32_t slot) {
+  RunningThread& thread = running_[slot];
+  REJUV_ASSERT(thread.completion_event != sim::kNoEvent, "completion for an unknown thread");
+  const double response_time = simulator_.now() - thread.arrival_time;
+  thread.completion_event = sim::kNoEvent;
+  free_slots_.push_back(slot);
   REJUV_ASSERT(busy_cpus_ >= 1, "completion with no busy CPU");
   account_usage();
   --busy_cpus_;
@@ -235,11 +266,13 @@ void EcommerceSystem::on_completion(std::uint64_t thread_id) {
 void EcommerceSystem::rejuvenate() {
   ++metrics_.rejuvenation_count;
   // Terminate all running threads and release their completion events.
-  for (auto& entry : running_) {
-    const bool cancelled = simulator_.cancel(entry.second.completion_event);
+  for (RunningThread& thread : running_) {
+    if (thread.completion_event == sim::kNoEvent) continue;
+    const bool cancelled = simulator_.cancel(thread.completion_event);
     REJUV_ASSERT(cancelled, "running thread lost its completion event");
+    thread.completion_event = sim::kNoEvent;
   }
-  const std::size_t flushed = running_.size() + queue_.size();
+  const std::size_t flushed = busy_cpus_ + queue_count_;
   if (tracer_ != nullptr) {
     tracer_->set_time(simulator_.now());
     tracer_->rejuvenation_executed(flushed);
@@ -249,8 +282,9 @@ void EcommerceSystem::rejuvenate() {
     flushed_counter_->increment(flushed);
   }
   metrics_.lost_to_rejuvenation += flushed;
-  running_.clear();
-  queue_.clear();
+  reset_free_slots();
+  queue_head_ = 0;
+  queue_count_ = 0;
   account_usage();
   busy_cpus_ = 0;
   // Release all resources held by threads: heap (live and garbage) and CPUs.

@@ -28,11 +28,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "obs/metrics.h"
@@ -160,9 +159,9 @@ class EcommerceSystem {
   double average_heap_occupancy() const;
 
   // --- Introspection (tests, live dashboards) ---
-  std::size_t threads_in_system() const noexcept { return queue_.size() + running_.size(); }
-  std::size_t threads_running() const noexcept { return running_.size(); }
-  std::size_t threads_queued() const noexcept { return queue_.size(); }
+  std::size_t threads_in_system() const noexcept { return queue_count_ + busy_cpus_; }
+  std::size_t threads_running() const noexcept { return busy_cpus_; }
+  std::size_t threads_queued() const noexcept { return queue_count_; }
   double live_mb() const noexcept { return live_mb_; }
   double garbage_mb() const noexcept { return garbage_mb_; }
   double free_heap_mb() const noexcept { return config_.heap_mb - live_mb_ - garbage_mb_; }
@@ -170,13 +169,17 @@ class EcommerceSystem {
   bool down() const noexcept { return down_; }
 
  private:
-  struct QueuedThread {
-    double arrival_time;
-  };
+  /// One CPU's running thread. A running thread holds a CPU for its whole
+  /// lifetime (§3 rule 2), so the registry is a fixed array of
+  /// config_.cpus slots recycled through a free list: dispatch and
+  /// completion are O(1) with no per-transaction allocation, and the
+  /// completion event captures the 32-bit slot index, which keeps the
+  /// closure inside std::function's small buffer. completion_event ==
+  /// sim::kNoEvent marks a free slot.
   struct RunningThread {
-    double arrival_time;
-    double completion_time;
-    sim::EventId completion_event;
+    double arrival_time = 0.0;
+    double completion_time = 0.0;
+    sim::EventId completion_event = sim::kNoEvent;
   };
 
   void on_arrival();
@@ -189,8 +192,20 @@ class EcommerceSystem {
   void try_dispatch();
   void start_gc();
   void on_gc_end();
-  void on_completion(std::uint64_t thread_id);
+  void on_completion(std::uint32_t slot);
   void rejuvenate();
+  void reset_free_slots();
+
+  // FCFS queue (§3 rule 2) of arrival times, as a grow-by-doubling ring
+  // buffer: a deque's chunked storage allocates on the hot path, the ring
+  // reuses its high-water storage for the rest of the run.
+  void queue_push_back(double arrival_time);
+  double queue_pop_front() noexcept {
+    const double arrival_time = queue_times_[queue_head_];
+    queue_head_ = (queue_head_ + 1) & (queue_times_.size() - 1);
+    --queue_count_;
+    return arrival_time;
+  }
 
   sim::Simulator& simulator_;
   EcommerceConfig config_;
@@ -208,9 +223,11 @@ class EcommerceSystem {
   obs::Counter* flushed_counter_ = nullptr;
   obs::Histogram* rt_histogram_ = nullptr;
 
-  std::deque<QueuedThread> queue_;
-  std::unordered_map<std::uint64_t, RunningThread> running_;
-  std::uint64_t next_thread_id_ = 1;
+  std::vector<double> queue_times_;  ///< ring buffer, power-of-two capacity
+  std::size_t queue_head_ = 0;
+  std::size_t queue_count_ = 0;
+  std::vector<RunningThread> running_;       ///< one slot per CPU
+  std::vector<std::uint32_t> free_slots_;    ///< free running_ slots, LIFO
   std::size_t busy_cpus_ = 0;
   double live_mb_ = 0.0;
   double garbage_mb_ = 0.0;

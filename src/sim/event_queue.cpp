@@ -7,34 +7,101 @@
 
 namespace rejuv::sim {
 
+std::uint32_t EventQueue::acquire_node() {
+  if (!free_.empty()) {
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+  const std::uint32_t index = static_cast<std::uint32_t>(nodes_.size());
+  REJUV_ASSERT(index != kFreeSlot, "event slab exhausted");
+  nodes_.emplace_back();
+  // Keep the free list's capacity ahead of the node count so release_node
+  // (and therefore clear()) can never need to allocate.
+  if (free_.capacity() < nodes_.capacity()) free_.reserve(nodes_.capacity());
+  return index;
+}
+
+void EventQueue::release_node(std::uint32_t index) noexcept {
+  Node& node = nodes_[index];
+  node.action = nullptr;
+  node.heap_slot = kFreeSlot;
+  ++node.generation;
+  free_.push_back(index);  // cannot reallocate: capacity >= nodes_.size()
+}
+
+void EventQueue::place(std::size_t slot, const Entry& entry) noexcept {
+  heap_[slot] = entry;
+  nodes_[entry.node].heap_slot = static_cast<std::uint32_t>(slot);
+}
+
+void EventQueue::sift_up(std::size_t slot, Entry entry) noexcept {
+  while (slot > 0) {
+    const std::size_t parent = (slot - 1) / kArity;
+    if (!entry_less(entry, heap_[parent])) break;
+    place(slot, heap_[parent]);
+    slot = parent;
+  }
+  place(slot, entry);
+}
+
+void EventQueue::sift_down(std::size_t slot, Entry entry) noexcept {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = kArity * slot + 1;
+    if (first >= n) break;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    std::size_t best = first;
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (entry_less(heap_[child], heap_[best])) best = child;
+    }
+    if (!entry_less(heap_[best], entry)) break;
+    place(slot, heap_[best]);
+    slot = best;
+  }
+  place(slot, entry);
+}
+
 EventId EventQueue::push(double time, std::function<void()> action) {
   REJUV_EXPECT(std::isfinite(time), "event time must be finite");
   REJUV_EXPECT(static_cast<bool>(action), "event action must be callable");
-  const EventId id = next_event_id_++;
-  heap_.push_back({time, id, std::move(action)});
-  positions_[id] = heap_.size() - 1;
-  sift_up(heap_.size() - 1);
-  return id;
+  const std::uint32_t index = acquire_node();
+  Node& node = nodes_[index];
+  node.action = std::move(action);
+  heap_.emplace_back();  // reserves space; sift_up fills the hole
+  sift_up(heap_.size() - 1, Entry{time, next_seq_++, index});
+  return make_id(index, node.generation);
+}
+
+bool EventQueue::pending(EventId id) const noexcept {
+  if (id == kNoEvent) return false;
+  const std::uint64_t index = (id >> 32) - 1;
+  if (index >= nodes_.size()) return false;
+  const Node& node = nodes_[index];
+  return node.generation == static_cast<std::uint32_t>(id) && node.heap_slot != kFreeSlot;
+}
+
+// Deletes the entry at `slot` by moving the heap's last entry into it.
+void EventQueue::remove_slot(std::size_t slot) noexcept {
+  if (slot == heap_.size() - 1) {
+    heap_.pop_back();
+    return;
+  }
+  const Entry moved = heap_.back();
+  heap_.pop_back();
+  if (entry_less(moved, heap_[slot])) {
+    sift_up(slot, moved);
+  } else {
+    sift_down(slot, moved);
+  }
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = positions_.find(id);
-  if (it == positions_.end()) return false;
-  const std::size_t slot = it->second;
-  positions_.erase(it);
-  if (slot == heap_.size() - 1) {
-    heap_.pop_back();
-    return true;
-  }
-  Entry moved = std::move(heap_.back());
-  heap_.pop_back();
-  const bool goes_up = less(moved, heap_[slot]);
-  place(slot, std::move(moved));
-  if (goes_up) {
-    sift_up(slot);
-  } else {
-    sift_down(slot);
-  }
+  if (!pending(id)) return false;
+  const std::uint32_t index = static_cast<std::uint32_t>((id >> 32) - 1);
+  const std::uint32_t slot = nodes_[index].heap_slot;
+  release_node(index);
+  remove_slot(slot);
   return true;
 }
 
@@ -45,59 +112,22 @@ double EventQueue::next_time() const {
 
 EventId EventQueue::next_id() const {
   REJUV_EXPECT(!heap_.empty(), "next_id on an empty queue");
-  return heap_.front().id;
+  const std::uint32_t index = heap_.front().node;
+  return make_id(index, nodes_[index].generation);
 }
 
 std::pair<double, std::function<void()>> EventQueue::pop() {
   REJUV_EXPECT(!heap_.empty(), "pop on an empty queue");
-  Entry top = std::move(heap_.front());
-  positions_.erase(top.id);
-  if (heap_.size() == 1) {
-    heap_.pop_back();
-  } else {
-    Entry moved = std::move(heap_.back());
-    heap_.pop_back();
-    place(0, std::move(moved));
-    sift_down(0);
-  }
-  return {top.time, std::move(top.action)};
+  const Entry top = heap_.front();
+  std::function<void()> action = std::move(nodes_[top.node].action);
+  release_node(top.node);
+  remove_slot(0);
+  return {top.time, std::move(action)};
 }
 
 void EventQueue::clear() noexcept {
+  for (const Entry& entry : heap_) release_node(entry.node);
   heap_.clear();
-  positions_.clear();
-}
-
-void EventQueue::place(std::size_t slot, Entry entry) {
-  positions_[entry.id] = slot;
-  heap_[slot] = std::move(entry);
-}
-
-void EventQueue::sift_up(std::size_t slot) {
-  while (slot > 0) {
-    const std::size_t parent = (slot - 1) / 2;
-    if (!less(heap_[slot], heap_[parent])) break;
-    positions_[heap_[slot].id] = parent;
-    positions_[heap_[parent].id] = slot;
-    std::swap(heap_[slot], heap_[parent]);
-    slot = parent;
-  }
-}
-
-void EventQueue::sift_down(std::size_t slot) {
-  const std::size_t n = heap_.size();
-  while (true) {
-    const std::size_t left = 2 * slot + 1;
-    const std::size_t right = left + 1;
-    std::size_t smallest = slot;
-    if (left < n && less(heap_[left], heap_[smallest])) smallest = left;
-    if (right < n && less(heap_[right], heap_[smallest])) smallest = right;
-    if (smallest == slot) return;
-    positions_[heap_[slot].id] = smallest;
-    positions_[heap_[smallest].id] = slot;
-    std::swap(heap_[slot], heap_[smallest]);
-    slot = smallest;
-  }
 }
 
 }  // namespace rejuv::sim

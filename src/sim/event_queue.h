@@ -4,15 +4,25 @@
 // garbage collection fires, and discards all scheduled completions on
 // rejuvenation, so cancellation must actually remove events rather than
 // lazily skip them (a rejuvenating system would otherwise accumulate dead
-// events across the whole run). Implemented as an indexed binary heap:
-// a position map from event id to heap slot keeps cancellation O(log n).
-// Ties in time break by insertion order (id), giving deterministic FIFO
-// semantics for simultaneous events.
+// events across the whole run). Ties in time break by insertion order,
+// giving deterministic FIFO semantics for simultaneous events.
+//
+// This is the simulator's hottest structure — every simulated transaction
+// passes through it several times — so it is built for the steady state:
+//   * a 4-ary implicit heap of 24-byte {time, seq, node} entries (a parent
+//     and its four children span at most two cache lines, so sift-down
+//     does ~half the line fetches of a binary heap at the same depth);
+//   * actions live in a slab of nodes recycled through a free list, and
+//     handles carry a generation tag, so pending()/cancel() are O(1) array
+//     lookups instead of hash-map probes;
+//   * after warm-up, push/pop/cancel allocate nothing: heap and slab reuse
+//     their high-water storage, and the model's action closures fit
+//     std::function's small-buffer optimisation (asserted by the counting
+//     allocator in obs_overhead_test).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 namespace rejuv::sim {
@@ -24,7 +34,7 @@ using EventId = std::uint64_t;
 /// "no event scheduled".
 inline constexpr EventId kNoEvent = 0;
 
-/// Min-heap of (time, id) with user actions attached.
+/// Min-heap of (time, insertion order) with user actions attached.
 class EventQueue {
  public:
   /// Schedules `action` at absolute `time`. Returns a unique non-zero id.
@@ -47,28 +57,52 @@ class EventQueue {
   std::pair<double, std::function<void()>> pop();
 
   /// Whether an id is still pending.
-  bool pending(EventId id) const { return positions_.count(id) != 0; }
+  bool pending(EventId id) const noexcept;
 
   /// Discards all pending events.
   void clear() noexcept;
 
  private:
+  /// Heap entries are small and trivially copyable; the action stays put
+  /// in its slab node while the entry moves through the heap. `seq` is a
+  /// monotonic insertion counter — node indices are recycled, so they
+  /// cannot serve as the FIFO tie-break the way the old monotonic ids did.
   struct Entry {
     double time;
-    EventId id;
-    std::function<void()> action;
+    std::uint64_t seq;
+    std::uint32_t node;
   };
 
-  bool less(const Entry& a, const Entry& b) const noexcept {
-    return a.time < b.time || (a.time == b.time && a.id < b.id);
+  /// Slab node. `generation` increments on every release, invalidating
+  /// outstanding handles to previous occupants of the slot.
+  struct Node {
+    std::function<void()> action;
+    std::uint32_t generation = 0;
+    std::uint32_t heap_slot = kFreeSlot;
+  };
+
+  static constexpr std::uint32_t kFreeSlot = static_cast<std::uint32_t>(-1);
+  static constexpr std::size_t kArity = 4;
+
+  static EventId make_id(std::uint32_t node, std::uint32_t generation) noexcept {
+    return (static_cast<EventId>(node) + 1) << 32 | generation;
   }
-  void sift_up(std::size_t slot);
-  void sift_down(std::size_t slot);
-  void place(std::size_t slot, Entry entry);
+
+  static bool entry_less(const Entry& a, const Entry& b) noexcept {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  std::uint32_t acquire_node();
+  void release_node(std::uint32_t index) noexcept;
+  void place(std::size_t slot, const Entry& entry) noexcept;
+  void sift_up(std::size_t slot, Entry entry) noexcept;
+  void sift_down(std::size_t slot, Entry entry) noexcept;
+  void remove_slot(std::size_t slot) noexcept;
 
   std::vector<Entry> heap_;
-  std::unordered_map<EventId, std::size_t> positions_;
-  EventId next_event_id_ = 1;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;  ///< capacity kept >= nodes_.capacity()
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace rejuv::sim

@@ -4,12 +4,14 @@
 #include <numeric>
 
 #include "common/expect.h"
+#include "sim/variates.h"
 
 namespace rejuv::workload {
 
 namespace {
 double exponential(common::RngStream& rng, double rate) {
-  return -std::log(rng.uniform01_open_below()) / rate;
+  // Rates are validated by the process constructors.
+  return sim::exponential_unchecked(rng, rate);
 }
 }  // namespace
 

@@ -1,0 +1,290 @@
+// Tests for rejuv::exec: the Chase–Lev work-stealing deque, the fixed-size
+// thread pool, task-group fork/join semantics (including exception
+// propagation and nested groups), and the deterministic parallel_map
+// ordering the experiment harness's bit-identity guarantee rests on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/pool.h"
+#include "exec/work_stealing_deque.h"
+
+namespace rejuv::exec {
+namespace {
+
+// ------------------------------------------------- WorkStealingDeque
+
+TEST(WorkStealingDeque, OwnerPopsLifo) {
+  WorkStealingDeque<int> deque;
+  for (int i = 0; i < 10; ++i) deque.push(i);
+  for (int i = 9; i >= 0; --i) {
+    const auto item = deque.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(deque.pop().has_value());
+}
+
+TEST(WorkStealingDeque, StealTakesOldestFirst) {
+  WorkStealingDeque<int> deque;
+  for (int i = 0; i < 10; ++i) deque.push(i);
+  for (int i = 0; i < 5; ++i) {
+    const auto item = deque.steal();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  // The owner still pops its (newest) half LIFO.
+  for (int i = 9; i >= 5; --i) {
+    const auto item = deque.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(deque.steal().has_value());
+}
+
+TEST(WorkStealingDeque, GrowsPastInitialCapacity) {
+  WorkStealingDeque<int> deque(8);
+  constexpr int kCount = 10000;
+  for (int i = 0; i < kCount; ++i) deque.push(i);
+  EXPECT_EQ(deque.size_estimate(), static_cast<std::size_t>(kCount));
+  long long sum = 0;
+  while (const auto item = deque.pop()) sum += *item;
+  EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+// Owner pops concurrently with several thieves; every pushed item must be
+// claimed by exactly one side. Exercises the pop/steal race on the last
+// element from many interleavings.
+TEST(WorkStealingDeque, ConcurrentStealConservesItems) {
+  WorkStealingDeque<int> deque;
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  std::atomic<long long> stolen_sum{0};
+  std::atomic<int> stolen_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (const auto item = deque.steal()) {
+          stolen_sum.fetch_add(*item, std::memory_order_relaxed);
+          stolen_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  long long popped_sum = 0;
+  int popped_count = 0;
+  // Interleave pushes and pops so the deque repeatedly empties and refills.
+  for (int i = 0; i < kItems; ++i) {
+    deque.push(i);
+    if (i % 3 == 0) {
+      if (const auto item = deque.pop()) {
+        popped_sum += *item;
+        ++popped_count;
+      }
+    }
+  }
+  while (const auto item = deque.pop()) {
+    popped_sum += *item;
+    ++popped_count;
+  }
+  // Lagging thieves may still be mid-steal; give them a moment to finish.
+  while (popped_count + stolen_count.load(std::memory_order_acquire) < kItems) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& thief : thieves) thief.join();
+
+  EXPECT_EQ(popped_count + stolen_count.load(), kItems);
+  EXPECT_EQ(popped_sum + stolen_sum.load(), static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+// ------------------------------------------------- ThreadPool / TaskGroup
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    constexpr int kTasks = 500;
+    std::vector<std::atomic<int>> hits(kTasks);
+    TaskGroup group(pool);
+    for (int i = 0; i < kTasks; ++i) {
+      group.run([&hits, i] { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+    }
+    group.wait();
+    for (int i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+    }
+  }
+}
+
+TEST(TaskGroup, WaitMayBeCalledRepeatedlyAndGroupReused) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  group.run([&] { count.fetch_add(1); });
+  group.wait();
+  group.wait();  // idempotent on an empty group
+  EXPECT_EQ(count.load(), 1);
+  group.run([&] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(TaskGroup, PropagatesFirstExceptionFromWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> survivors{0};
+  for (int i = 0; i < 16; ++i) {
+    group.run([&survivors, i] {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+      survivors.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // All tasks still counted as finished; the group is reusable.
+  EXPECT_EQ(survivors.load(), 15);
+  group.run([&survivors] { survivors.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(survivors.load(), 16);
+}
+
+TEST(TaskGroup, TasksMaySpawnIntoTheirOwnGroup) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    group.run([&] {
+      count.fetch_add(1);
+      group.run([&] { count.fetch_add(1); });
+    });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 16);
+}
+
+// A task that opens its own group and waits inside a saturated one-thread
+// pool: wait() must help execute pool tasks or this deadlocks.
+TEST(TaskGroup, NestedGroupOnSingleThreadPoolDoesNotDeadlock) {
+  ThreadPool pool(1);
+  TaskGroup outer(pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 4; ++i) {
+    outer.run([&] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.run([&] { count.fetch_add(1); });
+      }
+      inner.wait();
+      count.fetch_add(100);
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(count.load(), 4 * 100 + 16);
+}
+
+// Seeded stress: tasks of randomized size spawn randomized subtasks from
+// inside the pool (so both the injection queue and the per-worker deques,
+// and therefore stealing, are exercised). The grand total must match.
+TEST(TaskGroup, SeededStealStressConservesWork) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    common::RngStream rng(seed, 0);
+    std::atomic<long long> sum{0};
+    long long expected = 0;
+    for (int i = 0; i < 200; ++i) {
+      const int children = static_cast<int>(rng.uniform01() * 8.0);
+      const int spin = static_cast<int>(rng.uniform01() * 400.0);
+      expected += 1 + children;
+      group.run([&group, &sum, children, spin] {
+        // A little work so steals actually overlap with execution.
+        volatile int x = 0;
+        for (int s = 0; s < spin; ++s) x = x + 1;
+        sum.fetch_add(1);
+        for (int c = 0; c < children; ++c) {
+          group.run([&sum] { sum.fetch_add(1); });
+        }
+      });
+    }
+    group.wait();
+    EXPECT_EQ(sum.load(), expected) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------- parallel_for_each / map
+
+TEST(ParallelForEach, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for_each(pool, kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForEach, HandlesEmptyAndSingleItem) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for_each(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for_each(pool, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelMap, ResultsLandInIndexOrderAtAnyThreadCount) {
+  std::vector<std::uint64_t> reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    const std::vector<std::uint64_t> results =
+        parallel_map<std::uint64_t>(pool, 256, [](std::size_t i) {
+          // Deterministic per-index value with real computation behind it.
+          common::RngStream rng(42, static_cast<std::uint64_t>(i));
+          std::uint64_t acc = 0;
+          for (int k = 0; k < 100; ++k) acc += rng();
+          return acc;
+        });
+    ASSERT_EQ(results.size(), 256u);
+    if (reference.empty()) {
+      reference = results;
+    } else {
+      EXPECT_EQ(results, reference) << threads << " threads";
+    }
+  }
+}
+
+// ------------------------------------------------- shared pool / sizing
+
+TEST(ThreadPoolShared, EnvOverrideControlsDefaultThreadCount) {
+  ASSERT_EQ(setenv("REJUV_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ASSERT_EQ(unsetenv("REJUV_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPoolShared, ConfigureAfterCreationRejectsDifferentSize) {
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t size = pool.thread_count();
+  EXPECT_NO_THROW(ThreadPool::configure_shared(size));  // same size: no-op
+  EXPECT_THROW(ThreadPool::configure_shared(size + 1), std::logic_error);
+  EXPECT_THROW(ThreadPool::configure_shared(0), std::invalid_argument);
+  // The singleton is usable like any pool.
+  std::atomic<int> count{0};
+  parallel_for_each(pool, 32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace rejuv::exec

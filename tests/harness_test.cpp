@@ -133,6 +133,59 @@ TEST(RunCustomSweep, LabelsAndDeterminismMatchConfigSweep) {
   EXPECT_EQ(by_factory.points[0].rejuvenations, by_config.points[0].rejuvenations);
 }
 
+// The pooled (point × replication) fan-out must be *bit*-identical to the
+// forced-sequential path — every field, compared with exact equality, over
+// a multi-point multi-replication sweep. This is the in-process twin of
+// the CLI smoke that diffs --threads=4 CSV output against
+// REJUV_SEQUENTIAL=1 (the shared pool's size is process-wide, so the
+// thread-count axis is exercised there and in exec_test's
+// ParallelMap.ResultsLandInIndexOrderAtAnyThreadCount).
+TEST(RunCustomSweep, ParallelSweepBitIdenticalToSequential) {
+  const std::vector<double> loads{2.0, 5.0, 9.0};
+  SimulationProtocol parallel = tiny_protocol();
+  parallel.replications = 3;
+  parallel.parallel_points = true;
+  SimulationProtocol sequential = parallel;
+  sequential.parallel_points = false;
+
+  const auto config = sraa_config({2, 5, 3});
+  const auto par = run_sweep(config, paper_system(), loads, parallel);
+  const auto seq = run_sweep(config, paper_system(), loads, sequential);
+
+  ASSERT_EQ(par.points.size(), seq.points.size());
+  for (std::size_t i = 0; i < par.points.size(); ++i) {
+    const PointResult& p = par.points[i];
+    const PointResult& s = seq.points[i];
+    // EXPECT_EQ on doubles is exact comparison, not a tolerance.
+    EXPECT_EQ(p.offered_load_cpus, s.offered_load_cpus) << "point " << i;
+    EXPECT_EQ(p.avg_response_time, s.avg_response_time) << "point " << i;
+    EXPECT_EQ(p.rt_half_width, s.rt_half_width) << "point " << i;
+    EXPECT_EQ(p.loss_fraction, s.loss_fraction) << "point " << i;
+    EXPECT_EQ(p.max_response_time, s.max_response_time) << "point " << i;
+    EXPECT_EQ(p.completed, s.completed) << "point " << i;
+    EXPECT_EQ(p.lost, s.lost) << "point " << i;
+    EXPECT_EQ(p.rejuvenations, s.rejuvenations) << "point " << i;
+    EXPECT_EQ(p.gc_count, s.gc_count) << "point " << i;
+  }
+}
+
+TEST(RunCustomPoint, ParallelReplicationsBitIdenticalToSequential) {
+  SimulationProtocol parallel = tiny_protocol();
+  parallel.replications = 4;
+  parallel.parallel_points = true;
+  SimulationProtocol sequential = parallel;
+  sequential.parallel_points = false;
+  const auto p = run_point(sraa_config({2, 5, 3}), paper_system(), 9.0, parallel);
+  const auto s = run_point(sraa_config({2, 5, 3}), paper_system(), 9.0, sequential);
+  EXPECT_EQ(p.avg_response_time, s.avg_response_time);
+  EXPECT_EQ(p.rt_half_width, s.rt_half_width);
+  EXPECT_EQ(p.max_response_time, s.max_response_time);
+  EXPECT_EQ(p.completed, s.completed);
+  EXPECT_EQ(p.lost, s.lost);
+  EXPECT_EQ(p.rejuvenations, s.rejuvenations);
+  EXPECT_EQ(p.gc_count, s.gc_count);
+}
+
 // ------------------------------------------------------- sweeps
 
 TEST(RunSweep, CoversAllLoadsInOrder) {

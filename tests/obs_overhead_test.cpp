@@ -25,6 +25,7 @@
 #include "core/static_rejuvenation.h"
 #include "model/ecommerce.h"
 #include "obs/tracer.h"
+#include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -72,6 +73,42 @@ TEST(TracerOverheadTest, DisabledEmittersAllocateNothing) {
   }
   EXPECT_EQ(allocations(), before);
   EXPECT_EQ(tracer.events_emitted(), 0u);
+}
+
+// Steady-state event scheduling must be allocation-free: once the queue's
+// node slab and heap have grown to the working depth, pop + push cycles
+// (the simulator's per-event pattern) and cancel + push cycles (the
+// GC-postpone pattern) recycle slab nodes and never touch the heap. The
+// closure stays within libstdc++'s std::function small-buffer size, exactly
+// like the model's completion closures.
+TEST(EventQueueOverheadTest, SteadyStateSchedulingAllocatesNothing) {
+  sim::EventQueue queue;
+  common::RngStream rng(0x5EED, 3);
+  constexpr std::size_t kDepth = 512;
+  double drained = 0.0;
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    queue.push(rng.uniform01() * 100.0, [&drained] { drained += 1.0; });
+  }
+  // Warm one full cycle so every lazily grown buffer reaches capacity.
+  for (int i = 0; i < 2'000; ++i) {
+    auto [time, action] = queue.pop();
+    queue.push(time + rng.uniform01() + 1e-6, std::move(action));
+  }
+
+  const std::uint64_t before = allocations();
+  sim::EventId last = queue.next_id();
+  for (int i = 0; i < 10'000; ++i) {
+    auto [time, action] = queue.pop();
+    action();
+    last = queue.push(time + rng.uniform01() + 1e-6, std::move(action));
+  }
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(queue.cancel(last));
+    last = queue.push(queue.next_time() + rng.uniform01() + 1e-6, [&drained] { drained += 1.0; });
+  }
+  EXPECT_EQ(allocations(), before) << "steady-state scheduling touched the heap";
+  EXPECT_EQ(queue.size(), kDepth);
+  EXPECT_GT(drained, 0.0);
 }
 
 // One deterministic replication of the §3 model under SRAA.

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -103,6 +106,66 @@ TEST(EventQueue, StressRandomPushPopCancelKeepsHeapConsistent) {
     EXPECT_GE(queue.next_time(), prev);
     prev = queue.pop().first;
   }
+}
+
+// Randomized differential test against a std::multimap oracle: 10k mixed
+// push / pop / cancel / reschedule operations must agree with the oracle on
+// every popped (time, event) pair — including FIFO order among equal times,
+// which a std::multimap preserves among equal keys. Times are drawn from a
+// coarse grid so ties are common, and cancelled ids are re-probed so the
+// generation check on recycled nodes is exercised too.
+TEST(EventQueue, MatchesMultimapOracleUnderMixedOps) {
+  using Oracle = std::multimap<double, std::uint64_t>;  // time -> insertion token
+  EventQueue queue;
+  common::RngStream rng(11, 0);
+  Oracle oracle;
+  std::vector<std::pair<EventId, Oracle::iterator>> live;
+  std::uint64_t next_token = 0;
+  std::uint64_t popped_token = 0;
+
+  const auto push_event = [&](double time) {
+    const std::uint64_t token = next_token++;
+    const EventId id = queue.push(time, [&popped_token, token] { popped_token = token; });
+    live.emplace_back(id, oracle.emplace(time, token));
+  };
+  const auto pop_and_check = [&] {
+    ASSERT_EQ(queue.size(), oracle.size());
+    const auto expect = oracle.begin();
+    ASSERT_EQ(queue.next_time(), expect->first);
+    EXPECT_TRUE(queue.pending(queue.next_id()));
+    auto [time, action] = queue.pop();
+    action();
+    EXPECT_EQ(time, expect->first);
+    EXPECT_EQ(popped_token, expect->second);
+    oracle.erase(expect);
+    // The popped event's `live` entry goes stale (dangling oracle iterator);
+    // it is never dereferenced because cancel() on a dead id returns false.
+  };
+
+  for (int round = 0; round < 10'000; ++round) {
+    const double action = rng.uniform01();
+    // Coarse time grid: ~32 distinct values, so equal-time ties are routine.
+    const double time = std::floor(rng.uniform01() * 32.0) / 8.0;
+    if (action < 0.40 || queue.empty()) {
+      push_event(time);
+    } else if (action < 0.70) {
+      pop_and_check();
+    } else if (!live.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform01() * static_cast<double>(live.size()));
+      const auto [id, it] = live[pick];
+      const bool was_pending = queue.pending(id);
+      EXPECT_EQ(queue.cancel(id), was_pending);
+      if (was_pending) {
+        oracle.erase(it);
+        if (action < 0.85) push_event(time);  // reschedule flavor: cancel + re-push
+      }
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      EXPECT_FALSE(queue.pending(id));  // cancelled or already executed: gone either way
+    }
+  }
+  while (!queue.empty()) pop_and_check();
+  EXPECT_TRUE(oracle.empty());
 }
 
 TEST(EventQueue, RejectsBadEvents) {

@@ -11,13 +11,18 @@
 #        tools/ci.sh bench [build-dir]  hot-path perf gate: rejuv-bench quick
 #                                       mode vs bench/baseline.json (exit 3
 #                                       on a >2x regression; default: build)
+#        tools/ci.sh sweep [build-dir]  parallel-sweep determinism smoke: a
+#                                       --threads=4 sweep's CSV must be
+#                                       byte-identical to REJUV_SEQUENTIAL=1
+#                                       (default dir: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 # The tsan stage builds separately (TSan cannot share objects with the plain
 # build) and runs the test binaries that exercise real threads: the online
-# monitor runtime and the observability registry.
+# monitor runtime, the observability registry, and the work-stealing
+# execution engine (exec_test plus the parallel-sweep harness tests).
 if [ "${1:-}" = "tsan" ]; then
   BUILD_DIR="${2:-build-tsan}"
   GENERATOR_ARGS=()
@@ -27,15 +32,43 @@ if [ "${1:-}" = "tsan" ]; then
   echo "==> tsan configure"
   cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DREJUV_TSAN=ON
   echo "==> tsan build (threaded test binaries)"
-  cmake --build "$BUILD_DIR" -j --target monitor_test faults_test obs_test harness_test \
-      property_test
+  cmake --build "$BUILD_DIR" -j --target monitor_test faults_test obs_test exec_test \
+      harness_test property_test
   echo "==> tsan run"
   "$BUILD_DIR"/tests/monitor_test
   "$BUILD_DIR"/tests/faults_test
   "$BUILD_DIR"/tests/obs_test
+  "$BUILD_DIR"/tests/exec_test
   "$BUILD_DIR"/tests/harness_test
   "$BUILD_DIR"/tests/property_test
   echo "==> ci.sh tsan: all green"
+  exit 0
+fi
+
+# The sweep stage is the end-to-end determinism gate for the parallel sweep
+# engine: one multi-point, multi-replication sweep fanned out over four pool
+# threads must produce a CSV byte-identical to the same sweep forced
+# sequential. Any scheduling-dependent result — a racy merge, a stolen RNG
+# stream, a reordered reduction — shows up here as a diff.
+if [ "${1:-}" = "sweep" ]; then
+  BUILD_DIR="${2:-build}"
+  GENERATOR_ARGS=()
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    GENERATOR_ARGS=(-G Ninja)
+  fi
+  echo "==> sweep configure"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}"
+  echo "==> sweep build"
+  cmake --build "$BUILD_DIR" -j --target rejuv_sim_cli
+  SWEEP_ARGS=(--algorithm=saraa --loads=2,5,9 --txns=5000 --reps=3 --seed=20060625)
+  echo "==> sweep run (--threads=4 vs REJUV_SEQUENTIAL=1)"
+  "$BUILD_DIR"/tools/rejuv-sim "${SWEEP_ARGS[@]}" --threads=4 \
+      --csv="$BUILD_DIR"/sweep_parallel.csv > /dev/null
+  REJUV_SEQUENTIAL=1 "$BUILD_DIR"/tools/rejuv-sim "${SWEEP_ARGS[@]}" \
+      --csv="$BUILD_DIR"/sweep_sequential.csv > /dev/null
+  echo "==> sweep compare"
+  cmp "$BUILD_DIR"/sweep_parallel.csv "$BUILD_DIR"/sweep_sequential.csv
+  echo "==> ci.sh sweep: all green"
   exit 0
 fi
 

@@ -25,6 +25,14 @@
 //                          observations instead (adaptive mode) [off]
 //   --loads=...            offered loads in CPUs [paper grid]
 //   --txns, --reps, --seed simulation protocol [20000, 2, 20060625]
+//   --threads=N            size of the shared work-stealing pool that runs
+//                          the (load x replication) fan-out [REJUV_THREADS
+//                          if set, else hardware concurrency]. Results are
+//                          bit-identical at any thread count; set
+//                          REJUV_SEQUENTIAL=1 to bypass the pool entirely.
+//   --csv=FILE             also write the assessment table as CSV to FILE
+//                          (exact bytes; used by the CI parallel-vs-
+//                          sequential smoke diff)
 //   --downtime=SECONDS     rejuvenation restore time [0]
 //   --no-gc, --no-overhead disable aging mechanisms
 //   --arrival=poisson|mmpp|periodic [poisson]
@@ -45,6 +53,7 @@
 #include "core/extensions.h"
 #include "core/factory.h"
 #include "core/spec.h"
+#include "exec/pool.h"
 #include "harness/experiment.h"
 #include "harness/paper.h"
 #include "harness/report.h"
@@ -164,6 +173,9 @@ int main(int argc, char** argv) {
         flags.get_int("reps", static_cast<std::int64_t>(protocol.replications)));
     protocol.base_seed = static_cast<std::uint64_t>(
         flags.get_int("seed", static_cast<std::int64_t>(protocol.base_seed)));
+    if (const auto threads = flags.get_int("threads", 0); threads > 0) {
+      exec::ThreadPool::configure_shared(static_cast<std::size_t>(threads));
+    }
 
     std::string label;
     const auto make_detector = parse_detector(flags, label);
@@ -261,6 +273,11 @@ int main(int argc, char** argv) {
     }
 
     common::print_table(std::cout, label + " on " + arrival + " arrivals", table);
+    if (const auto csv_path = flags.get("csv")) {
+      std::ofstream csv_file(*csv_path);
+      REJUV_EXPECT(csv_file.is_open(), "cannot open --csv file: " + *csv_path);
+      csv_file << table.to_csv();
+    }
     if (tracer.enabled()) {
       tracer.flush();
       std::cerr << "trace: " << tracer.events_emitted() << " events -> " << *flags.get("trace")
