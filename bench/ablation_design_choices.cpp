@@ -10,6 +10,7 @@
 //    time (0 s / 30 s / 120 s).
 #include <iostream>
 
+#include "core/spec.h"
 #include "figure_bench.h"
 
 namespace {
@@ -43,11 +44,9 @@ int main(int argc, char** argv) {
   // Ablation 1: acceleration on/off.
   {
     core::DetectorConfig accelerated = harness::saraa_config({10, 3, 1});
-    core::DetectorConfig pinned = accelerated;
-    pinned.saraa_accelerate = false;
+    core::DetectorConfig pinned = core::DetectorSpec(accelerated).accelerate(false).config();
     core::DetectorConfig accelerated2 = harness::saraa_config({6, 5, 1});
-    core::DetectorConfig pinned2 = accelerated2;
-    pinned2.saraa_accelerate = false;
+    core::DetectorConfig pinned2 = core::DetectorSpec(accelerated2).accelerate(false).config();
     const core::DetectorConfig configs[] = {accelerated, pinned, accelerated2, pinned2};
     const std::string no_refs[] = {std::string("-")};
     bench::run_figure("ablation 1 — SARAA sampling acceleration on vs off", configs, options,

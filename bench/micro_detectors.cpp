@@ -51,10 +51,8 @@ void BM_CltaObserve(benchmark::State& state) {
   DetectorObserve(state, harness::clta_config(30, 1.96));
 }
 void BM_StaticObserve(benchmark::State& state) {
-  core::DetectorConfig config;
-  config.algorithm = core::Algorithm::kStatic;
-  config.buckets = 5;
-  config.depth = 3;
+  core::DetectorConfig config{"Static"};
+  config.set("K", 5).set("D", 3);
   config.baseline = harness::paper_baseline();
   DetectorObserve(state, config);
 }

@@ -108,11 +108,8 @@ void EcommerceRun(benchmark::State& state, Mode mode) {
     sim::Simulator simulator;
     model::EcommerceSystem system(simulator, config, arrival_rng, service_rng);
 
-    core::DetectorConfig detector_config;
-    detector_config.algorithm = core::Algorithm::kSraa;
-    detector_config.sample_size = 2;
-    detector_config.buckets = 5;
-    detector_config.depth = 3;
+    core::DetectorConfig detector_config{"SRAA"};
+    detector_config.set("n", 2).set("K", 5).set("D", 3);
     core::RejuvenationController controller(core::make_detector(detector_config));
     system.set_decision([&controller](double rt) { return controller.observe(rt); });
 

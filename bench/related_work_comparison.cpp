@@ -17,8 +17,18 @@
 //
 // The table reports the paper's two assessment criteria (RT at high load,
 // loss at low load) for each policy under the full e-commerce model.
+//
+// A second section scores every registry family — the paper's three plus
+// the related-work four (Adaptive, EDiv, Entropy, MK) — on the two numbers
+// the change-point literature cares about: detection delay (observations
+// from aging onset to the first trigger) and false alarms (triggers before
+// onset), under three synthetic response-time regimes: stationary noise, a
+// trendless workload level shift, and recurring transient bursts.
+#include <cmath>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/rng.h"
@@ -75,6 +85,103 @@ rejuv::harness::SweepResult run_resource_exhaustion_sweep(
     sweep.points.push_back(point);
   }
   return sweep;
+}
+
+// ----------------------------------------------------------------------
+// Detection delay vs false alarms across the detector registry.
+
+/// One synthetic response-time regime: `healthy` observations drawn by
+/// `sample(rng, i)`, then an aging ramp of `aging` observations whose mean
+/// drifts up by `drift` per observation on top of the healthy process.
+struct Scenario {
+  const char* name;
+  std::uint64_t rng_stream;
+  std::size_t healthy;
+  std::size_t aging;
+  double drift;
+};
+
+/// Exponential RT with the paper's healthy mean (muX = 5 s).
+double healthy_rt(rejuv::common::RngStream& rng, double mean) {
+  return -mean * std::log(rng.uniform01_open_below());
+}
+
+std::vector<double> make_series(const Scenario& scenario) {
+  using namespace rejuv;
+  common::RngStream rng(20060625, scenario.rng_stream);
+  std::vector<double> series;
+  series.reserve(scenario.healthy + scenario.aging);
+  const std::string regime = scenario.name;
+  for (std::size_t i = 0; i < scenario.healthy; ++i) {
+    double mean = 5.0;
+    // The shifted regime steps to a higher but trendless level mid-way —
+    // a workload change, not aging; firing on it is a false alarm.
+    if (regime == "shifted" && i >= scenario.healthy / 2) mean = 6.5;
+    // The bursty regime interleaves short transient spikes (20 of every
+    // 500 observations at 3x the mean) that a robust detector rides out.
+    if (regime == "bursty" && i % 500 < 20) mean = 15.0;
+    series.push_back(healthy_rt(rng, mean));
+  }
+  for (std::size_t i = 0; i < scenario.aging; ++i) {
+    const double mean = (regime == "shifted" ? 6.5 : 5.0) +
+                        scenario.drift * static_cast<double>(i + 1);
+    series.push_back(healthy_rt(rng, mean));
+  }
+  return series;
+}
+
+void print_detection_scorecard(std::ostream& out) {
+  using namespace rejuv;
+  // Default knobs per family, with two exceptions forced by the exponential
+  // noise of this synthetic model (variance grows with the mean, so rank
+  // and mean statistics lose power): Adaptive's shift history is doubled to
+  // h=12 so its internal trend test stops mistaking the aging ramp for a
+  // workload shift and recalibrating it away, and MK gets a w=150 window
+  // because shorter windows have too little Mann-Kendall power here.
+  const std::vector<std::string> specs = {
+      "SRAA(n=2,K=5,D=3)",
+      "SARAA(n=2,K=5,D=3)",
+      "CLTA(n=30,z=1.96)",
+      "Adaptive(n=2,K=5,D=3,w=30,t=2,h=12)",
+      "EDiv(b=10,w=30,q=10,g=5)",
+      "Entropy(w=50,m=10,c=4,t=0.15,r=2)",
+      "MK(w=150,z=1.645,s=0,L=1)",
+  };
+  const Scenario scenarios[] = {
+      {"stationary", 101, 4000, 2000, 0.05},
+      {"shifted", 102, 4000, 2000, 0.05},
+      {"bursty", 103, 4000, 2000, 0.05},
+  };
+
+  common::Table table({"detector", "scenario", "false alarms", "delay [obs]"});
+  for (const Scenario& scenario : scenarios) {
+    const std::vector<double> series = make_series(scenario);
+    for (const std::string& spec : specs) {
+      // 1-based trigger indices; onset is the first aging observation.
+      const std::vector<std::uint64_t> triggers =
+          harness::replay_trigger_indices(spec, series);
+      const std::uint64_t onset = scenario.healthy;
+      std::uint64_t false_alarms = 0;
+      std::uint64_t first_detection = 0;
+      for (const std::uint64_t index : triggers) {
+        if (index <= onset) {
+          ++false_alarms;
+        } else if (first_detection == 0) {
+          first_detection = index - onset;
+        }
+      }
+      table.add_row({spec, scenario.name, std::to_string(false_alarms),
+                     first_detection == 0 ? "miss" : std::to_string(first_detection)});
+    }
+  }
+  common::print_table(out, "detection delay vs false alarms (registry families)", table);
+  out << "reading: the cascade families (SRAA/SARAA/Adaptive) hold zero false alarms in\n"
+         "every regime at the price of the longest delays; CLTA's windowed z-test is the\n"
+         "fastest detector but pays in false alarms under the level shift and the bursts\n"
+         "its fixed baseline cannot explain; EDiv and MK sit between — change-point and\n"
+         "trend statistics ride out shifts and bursts yet detect several times sooner\n"
+         "than the cascades; Entropy ignores the mean entirely and still detects, since\n"
+         "aging reshapes the response-time distribution, not just its level.\n";
 }
 
 }  // namespace
@@ -140,6 +247,8 @@ int main(int argc, char** argv) {
 
   std::cout << "reading: the single-observation quantile rule pays for its simplicity with\n"
                "constant false alarms (loss at 0.5 CPUs far above every cascade algorithm),\n"
-               "confirming the paper's argument for averaging + bucket escalation.\n";
+               "confirming the paper's argument for averaging + bucket escalation.\n\n";
+
+  print_detection_scorecard(std::cout);
   return 0;
 }

@@ -158,8 +158,7 @@ int main(int argc, char** argv) {
 
   // --- The motivating dynamic.
   {
-    core::DetectorConfig none;
-    none.algorithm = core::Algorithm::kNone;
+    core::DetectorConfig none{"None"};
     const double unmanaged = rt_at(none, 9.0);
     const double managed = rt_at(harness::saraa_config({2, 5, 3}), 9.0);
     list.check("S1 rejuvenation prevents the spiral", "unmanaged > 10x managed",

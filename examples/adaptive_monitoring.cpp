@@ -42,11 +42,10 @@ int main() {
   // detector verifying a 4-sigma shift against the SLA baseline misses it.
   constexpr double kShift = 18.0;
 
-  core::DetectorConfig config;
-  config.algorithm = core::Algorithm::kSraa;
-  config.sample_size = 2;
-  config.buckets = 5;
-  config.depth = 3;
+  core::DetectorConfig config{"SRAA"};
+  config.set("n", 2);
+  config.set("K", 5);
+  config.set("D", 3);
 
   // Fixed SLA baseline (5, 5): targets are far above the true behaviour.
   config.baseline = core::Baseline{5.0, 5.0};

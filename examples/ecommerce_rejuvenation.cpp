@@ -57,8 +57,7 @@ int main() {
   std::printf("e-commerce system at %.1f CPUs offered load, %llu transactions\n\n", kLoadCpus,
               static_cast<unsigned long long>(kTransactions));
 
-  core::DetectorConfig none;
-  none.algorithm = core::Algorithm::kNone;
+  core::DetectorConfig none{"None"};
   const RunOutcome unmanaged = run(none, kLoadCpus, kTransactions);
   std::printf("without rejuvenation: avg RT %8.2f s   max RT %9.1f s   loss %.6f   GCs %llu\n",
               unmanaged.avg_rt, unmanaged.max_rt, unmanaged.loss_fraction, unmanaged.gcs);

@@ -77,11 +77,10 @@ int main() {
   common::RngStream service_rng(7, 1);
 
   // Healthy end-to-end RT ~ 1.5 s mean; baseline calibrated to match.
-  core::DetectorConfig config;
-  config.algorithm = core::Algorithm::kSaraa;
-  config.sample_size = 2;
-  config.buckets = 5;
-  config.depth = 3;
+  core::DetectorConfig config{"SARAA"};
+  config.set("n", 2);
+  config.set("K", 5);
+  config.set("D", 3);
   config.baseline = core::Baseline{1.6, 1.3};
   core::RejuvenationController controller(core::make_detector(config));
 

@@ -17,11 +17,10 @@ int main() {
 
   // Service-level baseline: normal behaviour has muX = sigmaX = 5 s
   // (the values used throughout the paper's evaluation).
-  core::DetectorConfig config;
-  config.algorithm = core::Algorithm::kSraa;
-  config.sample_size = 2;  // n: average pairs of observations
-  config.buckets = 5;      // K: tolerate bursts; demand a 4-sigma shift
-  config.depth = 3;        // D: three net exceedances per bucket
+  core::DetectorConfig config{"SRAA"};
+  config.set("n", 2);  // n: average pairs of observations
+  config.set("K", 5);  // K: tolerate bursts; demand a 4-sigma shift
+  config.set("D", 3);  // D: three net exceedances per bucket
   config.baseline = core::Baseline{5.0, 5.0};
 
   core::RejuvenationController controller(core::make_detector(config));

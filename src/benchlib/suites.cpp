@@ -12,6 +12,7 @@
 #include "exec/work_stealing_deque.h"
 #include "core/clta.h"
 #include "core/factory.h"
+#include "core/spec.h"
 #include "core/saraa.h"
 #include "core/sraa.h"
 #include "core/static_rejuvenation.h"
@@ -105,6 +106,23 @@ void register_detector_suite(Registry& registry) {
   const auto static_det = std::make_shared<core::StaticRejuvenation>(5, 3, baseline);
   registry.add("detector", "detector.static.observe",
                [data, static_det](std::uint64_t n) { feed_observe(*static_det, *data, n); });
+
+  // The related-work families, built through the registry exactly as the
+  // tools build them (spec string -> make_detector), at their default knobs.
+  const struct {
+    const char* key;
+    const char* spec;
+  } related[] = {
+      {"detector.adaptive.observe", "Adaptive(n=2,K=5,D=3,w=30,t=2,h=6)"},
+      {"detector.ediv.observe", "EDiv(b=10,w=30,q=10,g=5)"},
+      {"detector.entropy.observe", "Entropy(w=50,m=10,c=4,t=0.15,r=2)"},
+      {"detector.mk.observe", "MK(w=30,z=1.645,s=0,L=3)"},
+  };
+  for (const auto& entry : related) {
+    const std::shared_ptr<core::Detector> detector = core::make_detector(core::parse_spec(entry.spec));
+    registry.add("detector", entry.key,
+                 [data, detector](std::uint64_t n) { feed_observe(*detector, *data, n); });
+  }
 
   const auto cascade = std::make_shared<core::BucketCascade>(3, 5);
   registry.add("detector", "detector.cascade.update", [data, cascade](std::uint64_t n) {

@@ -1,0 +1,185 @@
+#include "core/adaptive.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "stats/trend.h"
+
+namespace rejuv::core {
+
+namespace {
+constexpr const char* kCheckpointTag = "Adaptive.v1";
+}  // namespace
+
+DetectorDescriptor adaptive_descriptor() {
+  DetectorDescriptor descriptor;
+  descriptor.name = "Adaptive";
+  descriptor.summary = "SRAA wrapped with workload-shift detection and baseline recalibration";
+  descriptor.checkpoint_tag = kCheckpointTag;
+  descriptor.params = {
+      count_param("n", 2, "inner SRAA averaging window size"),
+      count_param("K", 5, "inner SRAA bucket count"),
+      count_param("D", 3, "inner SRAA bucket depth"),
+      count_param("w", 30, "observations per shift-tracking window", 2),
+      real_param("t", 2.0, "grand-mean departure (in sigmaX) that opens the shift vote", 0.0,
+                 /*strict_min=*/true),
+      count_param("h", 6, "shift windows in the Mann-Kendall trend vote", 3),
+  };
+  descriptor.make = [](const DetectorConfig& config) -> std::unique_ptr<Detector> {
+    return std::make_unique<Adaptive>(
+        AdaptiveParams{config.get_count("n"), config.get_count("K"),
+                       static_cast<int>(config.get_count("D")), config.get_count("w"),
+                       config.get("t"), config.get_count("h")},
+        config.baseline);
+  };
+  return descriptor;
+}
+
+Adaptive::Adaptive(AdaptiveParams params, Baseline baseline)
+    : params_(params), configured_(baseline), active_(baseline) {
+  REJUV_EXPECT(params.shift_window >= 2, "Adaptive shift window w must be at least 2");
+  REJUV_EXPECT(params.history >= 3, "Adaptive history h must be at least 3 (Mann-Kendall)");
+  REJUV_EXPECT(std::isfinite(params.shift_sigmas) && params.shift_sigmas > 0.0,
+               "Adaptive shift threshold t must be positive and finite");
+  validate(active_);
+  means_.reserve(params.history);
+  variances_.reserve(params.history);
+  rebuild_inner();
+}
+
+void Adaptive::rebuild_inner() {
+  inner_ = std::make_unique<Sraa>(
+      SraaParams{params_.sample_size, params_.buckets, params_.depth}, active_);
+  inner_->set_tracer(tracer_);
+}
+
+void Adaptive::clear_shift_state() {
+  acc_count_ = 0;
+  acc_sum_ = 0.0;
+  acc_sumsq_ = 0.0;
+  means_.clear();
+  variances_.clear();
+}
+
+Decision Adaptive::observe(double value) {
+  const Decision decision = inner_->observe(value);
+  if (decision == Decision::kRejuvenate) {
+    // Rejuvenation restarts the system: any evidence of a shift belongs to
+    // the process that was just torn down.
+    clear_shift_state();
+    return decision;
+  }
+
+  acc_sum_ += value;
+  acc_sumsq_ += value * value;
+  if (++acc_count_ < params_.shift_window) return Decision::kContinue;
+
+  const double count = static_cast<double>(acc_count_);
+  const double mean = acc_sum_ / count;
+  double variance = (acc_sumsq_ - acc_sum_ * acc_sum_ / count) / (count - 1.0);
+  if (variance < 0.0) variance = 0.0;  // cancellation on near-constant input
+  acc_count_ = 0;
+  acc_sum_ = 0.0;
+  acc_sumsq_ = 0.0;
+  if (means_.size() == params_.history) {
+    means_.erase(means_.begin());
+    variances_.erase(variances_.begin());
+  }
+  means_.push_back(mean);
+  variances_.push_back(variance);
+  if (means_.size() < params_.history) return Decision::kContinue;
+
+  double grand_mean = 0.0;
+  for (const double m : means_) grand_mean += m;
+  grand_mean /= static_cast<double>(means_.size());
+  if (std::abs(grand_mean - active_.mean) <= params_.shift_sigmas * active_.stddev) {
+    return Decision::kContinue;
+  }
+  // The history sits at a different level than the baseline. A monotonic
+  // upward trend across it is aging — leave it to the cascade; a trendless
+  // level change is a workload shift — recalibrate and carry on.
+  if (stats::mann_kendall(means_).increasing()) return Decision::kContinue;
+
+  double mean_variance = 0.0;
+  for (const double v : variances_) mean_variance += v;
+  mean_variance /= static_cast<double>(variances_.size());
+  const double sigma = std::sqrt(mean_variance);
+  active_.mean = grand_mean;
+  if (sigma > 0.0) active_.stddev = sigma;  // keep the old sigma on degenerate input
+  ++recalibrations_;
+  rebuild_inner();
+  means_.clear();
+  variances_.clear();
+  return Decision::kContinue;
+}
+
+void Adaptive::reset() {
+  active_ = configured_;
+  recalibrations_ = 0;
+  clear_shift_state();
+  rebuild_inner();
+}
+
+void Adaptive::set_tracer(obs::Tracer* tracer) noexcept {
+  tracer_ = tracer;
+  inner_->set_tracer(tracer);
+}
+
+DetectorState Adaptive::save_state() const {
+  // The inner SRAA's cascade and window land in the flat fields; everything
+  // the shift monitor owns goes into the tagged extension payload.
+  DetectorState state = inner_->save_state();
+  state.algorithm = name();
+  state.extra_tag = kCheckpointTag;
+  state.extra_u64 = {acc_count_, static_cast<std::uint64_t>(means_.size()), recalibrations_};
+  state.extra_f64.clear();
+  state.extra_f64.reserve(4 + 2 * means_.size());
+  state.extra_f64.push_back(acc_sum_);
+  state.extra_f64.push_back(acc_sumsq_);
+  state.extra_f64.push_back(active_.mean);
+  state.extra_f64.push_back(active_.stddev);
+  state.extra_f64.insert(state.extra_f64.end(), means_.begin(), means_.end());
+  state.extra_f64.insert(state.extra_f64.end(), variances_.begin(), variances_.end());
+  return state;
+}
+
+void Adaptive::restore_state(const DetectorState& state) {
+  Detector::restore_state(state);
+  REJUV_EXPECT(state.extra_tag == kCheckpointTag,
+               "Adaptive checkpoint extension tag mismatch: \"" + state.extra_tag + "\"");
+  REJUV_EXPECT(state.extra_u64.size() == 3, "Adaptive checkpoint needs 3 counters");
+  const std::uint64_t history_size = state.extra_u64[1];
+  REJUV_EXPECT(history_size <= params_.history, "Adaptive checkpoint history overflows h");
+  REJUV_EXPECT(state.extra_u64[0] < params_.shift_window,
+               "Adaptive checkpoint window fill out of range");
+  REJUV_EXPECT(state.extra_f64.size() == 4 + 2 * history_size,
+               "Adaptive checkpoint payload size mismatch");
+  acc_count_ = state.extra_u64[0];
+  recalibrations_ = state.extra_u64[2];
+  acc_sum_ = state.extra_f64[0];
+  acc_sumsq_ = state.extra_f64[1];
+  active_ = Baseline{state.extra_f64[2], state.extra_f64[3]};
+  validate(active_);
+  const auto* history = state.extra_f64.data() + 4;
+  means_.assign(history, history + history_size);
+  variances_.assign(history + history_size, history + 2 * history_size);
+  rebuild_inner();
+  DetectorState inner_state = state;
+  inner_state.algorithm = inner_->name();
+  inner_->restore_state(inner_state);
+}
+
+obs::DetectorSnapshot Adaptive::snapshot() const {
+  obs::DetectorSnapshot snapshot = inner_->snapshot();
+  snapshot.algorithm = name();
+  return snapshot;
+}
+
+std::string Adaptive::name() const {
+  return "Adaptive(n=" + std::to_string(params_.sample_size) +
+         ",K=" + std::to_string(params_.buckets) + ",D=" + std::to_string(params_.depth) +
+         ",w=" + std::to_string(params_.shift_window) + ",t=" + spec_number(params_.shift_sigmas) +
+         ",h=" + std::to_string(params_.history) + ")";
+}
+
+}  // namespace rejuv::core

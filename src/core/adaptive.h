@@ -1,0 +1,82 @@
+// Adaptive — workload-shift-aware SRAA with baseline recalibration.
+//
+// The paper's detectors judge every window against a *fixed* SLA baseline
+// (muX, sigmaX); under a workload shift — a new steady state at a different
+// level, not aging — they either go blind (shift down) or false-alarm
+// forever (shift up). Following the related-work line on adaptive detection
+// of software aging under workload variation, this family wraps an SRAA
+// cascade with a shift monitor: disjoint w-observation windows accumulate
+// (mean, variance) into a bounded history of h windows, and once the
+// history's grand mean departs from the active baseline by more than t
+// sigma, a Mann-Kendall trend vote over the window means separates the two
+// explanations. A *monotonically increasing* history is aging — exactly the
+// signal the cascade escalates on, so the detector stays out of the way. A
+// level shift without monotonic growth is a workload change: the baseline
+// is recalibrated to the history (mean of means, RMS of the window sigmas),
+// the cascade rebuilt against it, and detection continues at the new
+// operating point.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/registry.h"
+#include "core/sraa.h"
+
+namespace rejuv::core {
+
+/// Registry descriptor of the "Adaptive" family (params n, K, D, w, t, h).
+DetectorDescriptor adaptive_descriptor();
+
+/// Parameters of Adaptive: the inner SRAA triple plus the shift monitor.
+struct AdaptiveParams {
+  std::size_t sample_size = 2;     ///< n: inner SRAA averaging window
+  std::size_t buckets = 5;         ///< K: inner SRAA bucket count
+  int depth = 3;                   ///< D: inner SRAA bucket depth
+  std::size_t shift_window = 30;   ///< w: observations per shift-tracking window (>= 2)
+  double shift_sigmas = 2.0;       ///< t: grand-mean departure that opens the shift vote
+  std::size_t history = 6;         ///< h: windows in the trend vote (>= 3 for Mann-Kendall)
+};
+
+class Adaptive final : public Detector {
+ public:
+  Adaptive(AdaptiveParams params, Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override;
+  std::string name() const override;
+  /// The baseline currently in force (the configured one until the first
+  /// recalibration).
+  const Baseline& baseline() const override { return active_; }
+  obs::DetectorSnapshot snapshot() const override;
+  DetectorState save_state() const override;
+  void restore_state(const DetectorState& state) override;
+  void set_tracer(obs::Tracer* tracer) noexcept override;
+
+  const AdaptiveParams& params() const noexcept { return params_; }
+  /// Baseline recalibrations performed since construction/reset.
+  std::uint64_t recalibrations() const noexcept { return recalibrations_; }
+  const Sraa& inner() const noexcept { return *inner_; }
+
+ private:
+  void rebuild_inner();
+  void clear_shift_state();
+
+  AdaptiveParams params_;
+  Baseline configured_;  ///< the config's baseline, restored by reset()
+  Baseline active_;      ///< baseline in force (recalibrated on shifts)
+  std::unique_ptr<Sraa> inner_;
+  // Shift-tracking window in progress.
+  std::uint64_t acc_count_ = 0;
+  double acc_sum_ = 0.0;
+  double acc_sumsq_ = 0.0;
+  // Bounded history of completed shift windows, oldest first.
+  std::vector<double> means_;
+  std::vector<double> variances_;
+  std::uint64_t recalibrations_ = 0;
+};
+
+}  // namespace rejuv::core

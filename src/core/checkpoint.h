@@ -59,6 +59,16 @@ struct DetectorState {
   double calibration_max = 0.0;
   double baseline_mean = 0.0;
   double baseline_stddev = 0.0;
+
+  // Registry extension: family-specific state beyond the flat fields above.
+  // `extra_tag` is the family descriptor's checkpoint_tag at save time;
+  // restore validates it (and the payload sizes) before trusting the
+  // vectors, so a checkpoint can never be decoded by the wrong family.
+  // Older journals without these keys restore with all three empty, which
+  // the pre-registry families accept unchanged.
+  std::string extra_tag;
+  std::vector<std::uint64_t> extra_u64;  ///< counters, ring sizes, bins
+  std::vector<double> extra_f64;         ///< accumulators, buffered values
 };
 
 /// RejuvenationController state: everything needed to resume the decision

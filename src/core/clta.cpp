@@ -4,6 +4,22 @@
 
 namespace rejuv::core {
 
+DetectorDescriptor clta_descriptor() {
+  DetectorDescriptor descriptor;
+  descriptor.name = "CLTA";
+  descriptor.summary = "central-limit-theorem algorithm: one n-window average against muX + z * sigmaX / sqrt(n) (paper Fig. 8)";
+  descriptor.params = {
+      count_param("n", 1, "averaging window size (30 for the normal approximation)"),
+      real_param("z", 1.96, "standard-normal quantile for the false-alarm budget", 0.0,
+                 /*strict_min=*/true),
+  };
+  descriptor.make = [](const DetectorConfig& config) -> std::unique_ptr<Detector> {
+    return std::make_unique<Clta>(CltaParams{config.get_count("n"), config.get("z")},
+                                  config.baseline);
+  };
+  return descriptor;
+}
+
 Clta::Clta(CltaParams params, Baseline baseline)
     : params_(params),
       baseline_(baseline),
@@ -82,8 +98,11 @@ obs::DetectorSnapshot Clta::snapshot() const {
 }
 
 std::string Clta::name() const {
-  return "CLTA(n=" + std::to_string(params_.sample_size) + ",z=" +
-         std::to_string(params_.quantile_z).substr(0, 4) + ")";
+  // z in shortest round-trip form so name() == describe(config) and the
+  // spec string parses back to the identical quantile (the old fixed
+  // 4-character form was lossy for z values like 1.645).
+  return "CLTA(n=" + std::to_string(params_.sample_size) + ",z=" + spec_number(params_.quantile_z) +
+         ")";
 }
 
 }  // namespace rejuv::core

@@ -17,9 +17,13 @@
 #include <string>
 
 #include "core/detector.h"
+#include "core/registry.h"
 #include "stats/quantiles.h"
 
 namespace rejuv::core {
+
+/// Registry descriptor of the "CLTA" family (params n, z).
+DetectorDescriptor clta_descriptor();
 
 /// Parameters of CLTA: window size n and normal quantile z (the paper's N).
 struct CltaParams {

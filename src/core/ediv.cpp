@@ -1,0 +1,144 @@
+#include "core/ediv.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+namespace {
+constexpr const char* kCheckpointTag = "EDiv.v1";
+}  // namespace
+
+DetectorDescriptor ediv_descriptor() {
+  DetectorDescriptor descriptor;
+  descriptor.name = "EDiv";
+  descriptor.summary = "e-divisive change-point detection over a sliding window of batch means";
+  descriptor.checkpoint_tag = kCheckpointTag;
+  descriptor.params = {
+      count_param("b", 10, "observations per batch mean"),
+      count_param("w", 30, "batch means in the sliding window", 2),
+      real_param("q", 10.0, "divergence statistic level that declares a change point", 0.0,
+                 /*strict_min=*/true),
+      count_param("g", 5, "minimum batches on either side of a split"),
+  };
+  descriptor.make = [](const DetectorConfig& config) -> std::unique_ptr<Detector> {
+    return std::make_unique<EDiv>(
+        EDivParams{config.get_count("b"), config.get_count("w"), config.get("q"),
+                   config.get_count("g")},
+        config.baseline);
+  };
+  return descriptor;
+}
+
+EDiv::EDiv(EDivParams params, Baseline baseline) : params_(params), baseline_(baseline) {
+  REJUV_EXPECT(params.batch >= 1, "EDiv batch size b must be at least 1");
+  REJUV_EXPECT(params.min_segment >= 1, "EDiv minimum segment g must be at least 1");
+  REJUV_EXPECT(params.window >= 2 * params.min_segment,
+               "EDiv window w must hold two minimum segments (w >= 2g)");
+  REJUV_EXPECT(std::isfinite(params.threshold) && params.threshold > 0.0,
+               "EDiv threshold q must be positive and finite");
+  validate(baseline_);
+  means_.reserve(params.window);
+}
+
+bool EDiv::scan_window() {
+  const std::size_t w = means_.size();
+  double total = 0.0;
+  double total_sq = 0.0;
+  for (const double m : means_) {
+    total += m;
+    total_sq += m * m;
+  }
+  const double count = static_cast<double>(w);
+  double variance = (total_sq - total * total / count) / (count - 1.0);
+  if (!(variance > 0.0)) return false;  // a flat window has no change point
+
+  double best = 0.0;
+  bool best_upward = false;
+  double left = 0.0;
+  for (std::size_t tau = 1; tau <= w - params_.min_segment; ++tau) {
+    left += means_[tau - 1];
+    if (tau < params_.min_segment) continue;
+    const double left_count = static_cast<double>(tau);
+    const double right_count = count - left_count;
+    const double delta = (total - left) / right_count - left / left_count;
+    const double q = (left_count * right_count / count) * delta * delta / variance;
+    if (q > best) {
+      best = q;
+      best_upward = delta > 0.0;
+    }
+  }
+  return best > params_.threshold && best_upward;
+}
+
+Decision EDiv::observe(double value) {
+  acc_sum_ += value;
+  if (++acc_count_ < params_.batch) return Decision::kContinue;
+  const double mean = acc_sum_ / static_cast<double>(acc_count_);
+  acc_count_ = 0;
+  acc_sum_ = 0.0;
+  last_average_ = mean;
+  if (means_.size() == params_.window) means_.erase(means_.begin());
+  means_.push_back(mean);
+  if (means_.size() < params_.window) return Decision::kContinue;
+  if (!scan_window()) return Decision::kContinue;
+  if (tracer_ != nullptr) {
+    tracer_->detector_triggered(mean, params_.threshold, /*bucket=*/-1, /*count=*/1);
+  }
+  means_.clear();
+  return Decision::kRejuvenate;
+}
+
+void EDiv::reset() {
+  acc_count_ = 0;
+  acc_sum_ = 0.0;
+  means_.clear();
+}
+
+DetectorState EDiv::save_state() const {
+  DetectorState state = Detector::save_state();
+  state.last_average = last_average_;
+  state.extra_tag = kCheckpointTag;
+  state.extra_u64 = {acc_count_, static_cast<std::uint64_t>(means_.size())};
+  state.extra_f64.clear();
+  state.extra_f64.reserve(1 + means_.size());
+  state.extra_f64.push_back(acc_sum_);
+  state.extra_f64.insert(state.extra_f64.end(), means_.begin(), means_.end());
+  return state;
+}
+
+void EDiv::restore_state(const DetectorState& state) {
+  Detector::restore_state(state);
+  REJUV_EXPECT(state.extra_tag == kCheckpointTag,
+               "EDiv checkpoint extension tag mismatch: \"" + state.extra_tag + "\"");
+  REJUV_EXPECT(state.extra_u64.size() == 2, "EDiv checkpoint needs 2 counters");
+  REJUV_EXPECT(state.extra_u64[0] < params_.batch, "EDiv checkpoint batch fill out of range");
+  const std::uint64_t buffered = state.extra_u64[1];
+  REJUV_EXPECT(buffered <= params_.window, "EDiv checkpoint window overflows w");
+  REJUV_EXPECT(state.extra_f64.size() == 1 + buffered, "EDiv checkpoint payload size mismatch");
+  acc_count_ = state.extra_u64[0];
+  acc_sum_ = state.extra_f64[0];
+  means_.assign(state.extra_f64.begin() + 1, state.extra_f64.end());
+  last_average_ = state.last_average;
+}
+
+obs::DetectorSnapshot EDiv::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.sample_size = static_cast<std::uint32_t>(params_.batch);
+  snapshot.pending = static_cast<std::uint32_t>(acc_count_);
+  // No cascade: fill/depth report the window occupancy toward w batches.
+  snapshot.fill = static_cast<std::int32_t>(means_.size());
+  snapshot.depth = static_cast<std::int32_t>(params_.window);
+  snapshot.last_average = last_average_;
+  snapshot.current_target = params_.threshold;
+  return snapshot;
+}
+
+std::string EDiv::name() const {
+  return "EDiv(b=" + std::to_string(params_.batch) + ",w=" + std::to_string(params_.window) +
+         ",q=" + spec_number(params_.threshold) + ",g=" + std::to_string(params_.min_segment) +
+         ")";
+}
+
+}  // namespace rejuv::core

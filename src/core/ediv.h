@@ -1,0 +1,73 @@
+// EDiv — e-divisive change-point detection over batched means.
+//
+// Following the change-point line of related work (Hunter-style performance
+// regression hunting), the stream is reduced to batch means of b
+// observations (the same variance-reduction batching src/stats/batch_means
+// uses for confidence intervals), and a sliding window of the last w batch
+// means is scanned for the split that maximizes the scaled between-segment
+// divergence
+//
+//   Q(tau) = (tau * (w - tau) / w) * (meanR - meanL)^2 / var(window)
+//
+// — the (squared-Euclidean, alpha = 2) within-window form of the e-divisive
+// statistic. A split with Q above the threshold q whose *right* segment
+// sits higher than the left is an upward change point: response times have
+// moved to a new, worse regime, and the detector rejuvenates. Splits are
+// constrained to leave at least g batches on each side so a single outlier
+// batch cannot masquerade as a regime change. Unlike the paper's detectors
+// the decision never references the SLA baseline — the window is judged
+// only against itself, which is what makes the family robust to a
+// miscalibrated muX.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/registry.h"
+
+namespace rejuv::core {
+
+/// Registry descriptor of the "EDiv" family (params b, w, q, g).
+DetectorDescriptor ediv_descriptor();
+
+/// Parameters of EDiv: batch size, window, threshold, minimum segment.
+struct EDivParams {
+  std::size_t batch = 10;       ///< b: observations per batch mean (>= 1)
+  std::size_t window = 30;      ///< w: batch means in the sliding window (>= 2 g)
+  double threshold = 10.0;      ///< q: divergence level that declares a change point
+  std::size_t min_segment = 5;  ///< g: minimum batches on either side of a split (>= 1)
+};
+
+class EDiv final : public Detector {
+ public:
+  EDiv(EDivParams params, Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override;
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
+  DetectorState save_state() const override;
+  void restore_state(const DetectorState& state) override;
+
+  const EDivParams& params() const noexcept { return params_; }
+  /// Batch means currently buffered (at most w).
+  std::size_t buffered_batches() const noexcept { return means_.size(); }
+
+ private:
+  /// Scans every admissible split of the full window; true => change point.
+  bool scan_window();
+
+  EDivParams params_;
+  Baseline baseline_;  ///< carried for reporting; decisions never use it
+  // Batch in progress.
+  std::uint64_t acc_count_ = 0;
+  double acc_sum_ = 0.0;
+  // Sliding window of batch means, oldest first (size <= window).
+  std::vector<double> means_;
+  double last_average_ = 0.0;  ///< most recent completed batch mean
+};
+
+}  // namespace rejuv::core

@@ -1,0 +1,165 @@
+#include "core/entropy_detector.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace rejuv::core {
+
+namespace {
+constexpr const char* kCheckpointTag = "Entropy.v1";
+}  // namespace
+
+DetectorDescriptor entropy_descriptor() {
+  DetectorDescriptor descriptor;
+  descriptor.name = "Entropy";
+  descriptor.summary = "entropy-of-response-time aging signal: histogram shape drift vs a learned reference";
+  descriptor.checkpoint_tag = kCheckpointTag;
+  descriptor.params = {
+      count_param("w", 50, "observations per entropy window", 2),
+      count_param("m", 10, "histogram bins over muX +/- 2 sigmaX", 2),
+      count_param("c", 4, "calibration windows for the entropy reference"),
+      real_param("t", 0.15, "entropy deviation |H - H_ref| that counts as evidence", 0.0,
+                 /*strict_min=*/true),
+      count_param("r", 2, "consecutive deviating windows to trigger"),
+  };
+  descriptor.make = [](const DetectorConfig& config) -> std::unique_ptr<Detector> {
+    return std::make_unique<Entropy>(
+        EntropyParams{config.get_count("w"), config.get_count("m"), config.get_count("c"),
+                      config.get("t"), config.get_count("r")},
+        config.baseline);
+  };
+  return descriptor;
+}
+
+Entropy::Entropy(EntropyParams params, Baseline baseline)
+    : params_(params), baseline_(baseline) {
+  REJUV_EXPECT(params.window >= 2, "Entropy window w must be at least 2");
+  REJUV_EXPECT(params.bins >= 2, "Entropy bin count m must be at least 2");
+  REJUV_EXPECT(params.calibration >= 1, "Entropy calibration c must be at least 1");
+  REJUV_EXPECT(params.run >= 1, "Entropy run length r must be at least 1");
+  REJUV_EXPECT(std::isfinite(params.threshold) && params.threshold > 0.0,
+               "Entropy threshold t must be positive and finite");
+  validate(baseline_);
+  bin_low_ = baseline_.mean - 2.0 * baseline_.stddev;
+  bin_width_ = 4.0 * baseline_.stddev / static_cast<double>(params_.bins);
+  counts_.assign(params_.bins, 0);
+}
+
+std::size_t Entropy::bin_index(double value) const noexcept {
+  if (value < bin_low_) return 0;
+  const double offset = (value - bin_low_) / bin_width_;
+  const auto index = static_cast<std::size_t>(offset);
+  return index >= params_.bins ? params_.bins - 1 : index;
+}
+
+double Entropy::window_entropy() const noexcept {
+  double entropy = 0.0;
+  const double total = static_cast<double>(params_.window);
+  for (const std::uint64_t count : counts_) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy / std::log(static_cast<double>(params_.bins));
+}
+
+double Entropy::reference_entropy() const noexcept {
+  return reference_sum_ / static_cast<double>(params_.calibration);
+}
+
+void Entropy::clear_window() noexcept {
+  counts_.assign(params_.bins, 0);
+  window_count_ = 0;
+  window_sum_ = 0.0;
+}
+
+Decision Entropy::observe(double value) {
+  ++counts_[bin_index(value)];
+  window_sum_ += value;
+  if (++window_count_ < params_.window) return Decision::kContinue;
+
+  const double entropy = window_entropy();
+  const double mean = window_sum_ / static_cast<double>(params_.window);
+  last_entropy_ = entropy;
+  last_average_ = mean;
+  clear_window();
+
+  if (calibrated_windows_ < params_.calibration) {
+    reference_sum_ += entropy;
+    ++calibrated_windows_;
+    return Decision::kContinue;
+  }
+  const bool deviating =
+      std::abs(entropy - reference_entropy()) > params_.threshold && mean > baseline_.mean;
+  deviation_run_ = deviating ? deviation_run_ + 1 : 0;
+  if (deviation_run_ < params_.run) return Decision::kContinue;
+  if (tracer_ != nullptr) {
+    tracer_->detector_triggered(mean, baseline_.mean, /*bucket=*/-1,
+                                static_cast<std::int32_t>(params_.run));
+  }
+  reset();
+  return Decision::kRejuvenate;
+}
+
+void Entropy::reset() {
+  // A rejuvenated process is a new process: the entropy reference is
+  // relearned so the detector tracks the fresh distribution shape.
+  clear_window();
+  calibrated_windows_ = 0;
+  reference_sum_ = 0.0;
+  deviation_run_ = 0;
+}
+
+DetectorState Entropy::save_state() const {
+  DetectorState state = Detector::save_state();
+  state.last_average = last_average_;
+  state.extra_tag = kCheckpointTag;
+  state.extra_u64.clear();
+  state.extra_u64.reserve(3 + counts_.size());
+  state.extra_u64.push_back(window_count_);
+  state.extra_u64.push_back(calibrated_windows_);
+  state.extra_u64.push_back(deviation_run_);
+  state.extra_u64.insert(state.extra_u64.end(), counts_.begin(), counts_.end());
+  state.extra_f64 = {window_sum_, reference_sum_, last_entropy_};
+  return state;
+}
+
+void Entropy::restore_state(const DetectorState& state) {
+  Detector::restore_state(state);
+  REJUV_EXPECT(state.extra_tag == kCheckpointTag,
+               "Entropy checkpoint extension tag mismatch: \"" + state.extra_tag + "\"");
+  REJUV_EXPECT(state.extra_u64.size() == 3 + params_.bins,
+               "Entropy checkpoint payload size mismatch");
+  REJUV_EXPECT(state.extra_f64.size() == 3, "Entropy checkpoint needs 3 accumulators");
+  REJUV_EXPECT(state.extra_u64[0] < params_.window,
+               "Entropy checkpoint window fill out of range");
+  window_count_ = state.extra_u64[0];
+  calibrated_windows_ = state.extra_u64[1];
+  deviation_run_ = state.extra_u64[2];
+  counts_.assign(state.extra_u64.begin() + 3, state.extra_u64.end());
+  window_sum_ = state.extra_f64[0];
+  reference_sum_ = state.extra_f64[1];
+  last_entropy_ = state.extra_f64[2];
+  last_average_ = state.last_average;
+}
+
+obs::DetectorSnapshot Entropy::snapshot() const {
+  obs::DetectorSnapshot snapshot = base_snapshot();
+  snapshot.sample_size = static_cast<std::uint32_t>(params_.window);
+  snapshot.pending = static_cast<std::uint32_t>(window_count_);
+  // No cascade: fill/depth report the deviation run toward r windows.
+  snapshot.fill = static_cast<std::int32_t>(deviation_run_);
+  snapshot.depth = static_cast<std::int32_t>(params_.run);
+  snapshot.last_average = last_average_;
+  snapshot.current_target = reference_ready() ? reference_entropy() + params_.threshold : 0.0;
+  return snapshot;
+}
+
+std::string Entropy::name() const {
+  return "Entropy(w=" + std::to_string(params_.window) + ",m=" + std::to_string(params_.bins) +
+         ",c=" + std::to_string(params_.calibration) + ",t=" + spec_number(params_.threshold) +
+         ",r=" + std::to_string(params_.run) + ")";
+}
+
+}  // namespace rejuv::core

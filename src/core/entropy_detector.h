@@ -1,0 +1,76 @@
+// Entropy — distribution-shape aging signal over response-time histograms.
+//
+// The CHAOS line of related work observes that software aging does not only
+// move the mean of the response-time distribution — it deforms its *shape*:
+// an aging server smears a tight unimodal distribution into heavy tails and
+// stutter modes long before the mean crosses an SLA threshold. This family
+// bins each disjoint window of w observations into m fixed, baseline-derived
+// bins spanning muX +/- 2 sigmaX (with clamped overflow bins), computes the
+// normalized Shannon entropy H in [0, 1] of the window histogram, and
+// learns a reference H_ref from the first c windows after start or
+// rejuvenation. A window whose entropy departs from H_ref by more than t
+// *and* whose mean sits above the baseline mean counts as aging evidence;
+// r consecutive such windows trigger rejuvenation. The mean gate keeps a
+// benign narrowing of the distribution (entropy drop with good response
+// times) from burning a rejuvenation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/registry.h"
+
+namespace rejuv::core {
+
+/// Registry descriptor of the "Entropy" family (params w, m, c, t, r).
+DetectorDescriptor entropy_descriptor();
+
+/// Parameters of Entropy: window, bins, calibration, threshold, run length.
+struct EntropyParams {
+  std::size_t window = 50;      ///< w: observations per entropy window (>= 2)
+  std::size_t bins = 10;        ///< m: histogram bins over muX +/- 2 sigmaX (>= 2)
+  std::size_t calibration = 4;  ///< c: windows that establish the entropy reference
+  double threshold = 0.15;      ///< t: |H - H_ref| that counts as a deviation
+  std::size_t run = 2;          ///< r: consecutive deviating windows to trigger
+};
+
+class Entropy final : public Detector {
+ public:
+  Entropy(EntropyParams params, Baseline baseline);
+
+  Decision observe(double value) override;
+  void reset() override;
+  std::string name() const override;
+  const Baseline& baseline() const override { return baseline_; }
+  obs::DetectorSnapshot snapshot() const override;
+  DetectorState save_state() const override;
+  void restore_state(const DetectorState& state) override;
+
+  const EntropyParams& params() const noexcept { return params_; }
+  bool reference_ready() const noexcept { return calibrated_windows_ >= params_.calibration; }
+  /// The learned entropy reference; only meaningful once reference_ready().
+  double reference_entropy() const noexcept;
+
+ private:
+  std::size_t bin_index(double value) const noexcept;
+  /// Normalized Shannon entropy of the completed window histogram.
+  double window_entropy() const noexcept;
+  void clear_window() noexcept;
+
+  EntropyParams params_;
+  Baseline baseline_;
+  double bin_low_ = 0.0;    ///< left edge of bin 0: muX - 2 sigmaX
+  double bin_width_ = 0.0;  ///< 4 sigmaX / m
+  std::vector<std::uint64_t> counts_;  ///< histogram of the window in progress
+  std::uint64_t window_count_ = 0;     ///< observations in the window so far
+  double window_sum_ = 0.0;
+  std::uint64_t calibrated_windows_ = 0;  ///< completed calibration windows
+  double reference_sum_ = 0.0;            ///< sum of calibration-window entropies
+  std::uint64_t deviation_run_ = 0;       ///< consecutive deviating windows
+  double last_entropy_ = 0.0;             ///< most recent completed window's H
+  double last_average_ = 0.0;             ///< most recent completed window's mean
+};
+
+}  // namespace rejuv::core

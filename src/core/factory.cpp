@@ -1,60 +1,59 @@
 #include "core/factory.h"
 
+#include <cmath>
+
 #include "common/expect.h"
+#include "core/spec.h"
 
 namespace rejuv::core {
 
 std::string algorithm_name(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kNone:
-      return "None";
-    case Algorithm::kStatic:
-      return "Static";
-    case Algorithm::kSraa:
-      return "SRAA";
-    case Algorithm::kSaraa:
-      return "SARAA";
-    case Algorithm::kClta:
-      return "CLTA";
-  }
-  return "Unknown";
+  // Deprecated shim: a plain mapping table, not a dispatch site — dispatch
+  // goes through the registry.
+  static constexpr const char* kNames[] = {"None", "Static", "SRAA", "SARAA", "CLTA"};
+  const auto index = static_cast<std::size_t>(algorithm);
+  return index < std::size(kNames) ? kNames[index] : "Unknown";
 }
 
-bool operator==(const DetectorConfig& a, const DetectorConfig& b) {
-  return a.algorithm == b.algorithm && a.sample_size == b.sample_size && a.buckets == b.buckets &&
-         a.depth == b.depth && a.quantile_z == b.quantile_z &&
-         a.saraa_accelerate == b.saraa_accelerate && a.baseline.mean == b.baseline.mean &&
-         a.baseline.stddev == b.baseline.stddev;
+DetectorDescriptor null_descriptor() {
+  DetectorDescriptor descriptor;
+  descriptor.name = "None";
+  descriptor.summary = "never rejuvenate (the unmanaged baseline)";
+  descriptor.needs_baseline = false;
+  descriptor.make = [](const DetectorConfig& config) -> std::unique_ptr<Detector> {
+    return std::make_unique<NullDetector>(config.baseline);
+  };
+  return descriptor;
 }
 
 std::unique_ptr<Detector> make_detector(const DetectorConfig& config) {
-  switch (config.algorithm) {
-    case Algorithm::kNone:
-      return std::make_unique<NullDetector>(config.baseline);
-    case Algorithm::kStatic:
-      return std::make_unique<StaticRejuvenation>(config.buckets, config.depth, config.baseline);
-    case Algorithm::kSraa:
-      return std::make_unique<Sraa>(
-          SraaParams{config.sample_size, config.buckets, config.depth}, config.baseline);
-    case Algorithm::kSaraa:
-      return std::make_unique<Saraa>(
-          SaraaParams{config.sample_size, config.buckets, config.depth, config.saraa_accelerate},
-          config.baseline);
-    case Algorithm::kClta:
-      return std::make_unique<Clta>(CltaParams{config.sample_size, config.quantile_z},
-                                    config.baseline);
-  }
-  REJUV_ASSERT(false, "unhandled algorithm");
-  return nullptr;
+  validate_config(config);
+  return config.descriptor().make(config);
 }
 
 std::string describe(const DetectorConfig& config) {
-  return make_detector(config)->name();
+  const DetectorDescriptor& descriptor = config.descriptor();
+  std::string text = descriptor.name;
+  if (descriptor.params.empty()) return text;
+  text += "(";
+  for (std::size_t i = 0; i < descriptor.params.size(); ++i) {
+    const ParamSpec& param = descriptor.params[i];
+    if (i > 0) text += ",";
+    text += param.key;
+    text += "=";
+    if (param.kind == ParamSpec::Kind::kCount) {
+      text += std::to_string(static_cast<long long>(std::llround(config.values()[i])));
+    } else {
+      text += spec_number(config.values()[i]);
+    }
+  }
+  text += ")";
+  return text;
 }
 
 CalibratingDetector::CalibratingDetector(DetectorConfig config, std::uint64_t calibration_size)
     : config_(config), estimator_(calibration_size), active_baseline_(config.baseline) {
-  REJUV_EXPECT(config.algorithm != Algorithm::kNone, "calibrating a null detector is meaningless");
+  REJUV_EXPECT(!config.is_null(), "calibrating a null detector is meaningless");
 }
 
 Decision CalibratingDetector::observe(double value) {

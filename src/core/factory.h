@@ -1,8 +1,10 @@
 // Declarative detector configuration and construction.
 //
-// The experiment harness sweeps dozens of (algorithm, n, K, D) combinations;
-// DetectorConfig is the value type those sweeps are written in, and
-// make_detector turns one into a live Detector.
+// The experiment harness sweeps dozens of detector configurations;
+// DetectorConfig (core/registry.h) is the value type those sweeps are
+// written in, and make_detector turns one into a live Detector by
+// dispatching through the DetectorRegistry — the single construction path
+// shared by the harness, the CLIs and the online monitor.
 #pragma once
 
 #include <cstddef>
@@ -11,12 +13,16 @@
 
 #include "core/clta.h"
 #include "core/detector.h"
+#include "core/registry.h"
 #include "core/saraa.h"
 #include "core/sraa.h"
 #include "core/static_rejuvenation.h"
 
 namespace rejuv::core {
 
+/// Deprecated closed-world family handle, kept so pre-registry call sites
+/// compile unchanged. New code names families by their registry string; the
+/// enum covers only the built-ins that predate the registry.
 enum class Algorithm {
   kNone,    ///< never rejuvenate (the unmanaged baseline)
   kStatic,  ///< per-observation static algorithm of [1]
@@ -25,32 +31,13 @@ enum class Algorithm {
   kClta,
 };
 
-/// Short identifier, e.g. "SRAA".
+/// Registry family name for a legacy enum value, e.g. "SRAA".
 std::string algorithm_name(Algorithm algorithm);
 
-struct DetectorConfig {
-  Algorithm algorithm = Algorithm::kSraa;
-  std::size_t sample_size = 1;  ///< n (SRAA/CLTA) or norig (SARAA); unused by kStatic
-  std::size_t buckets = 1;      ///< K; unused by kClta
-  int depth = 1;                ///< D; unused by kClta
-  double quantile_z = 1.96;     ///< CLTA only
-  bool saraa_accelerate = true;  ///< SARAA only; false = ablation without acceleration
-  Baseline baseline{5.0, 5.0};  ///< the paper's muX = sigmaX = 5 default
-
-  /// n * K * D, the budget the paper holds constant across configurations.
-  std::size_t nkd_product() const noexcept {
-    return sample_size * buckets * static_cast<std::size_t>(depth);
-  }
-};
-
-/// Field-wise equality (spec round-trip tests compare parsed configs).
-bool operator==(const DetectorConfig& a, const DetectorConfig& b);
-inline bool operator!=(const DetectorConfig& a, const DetectorConfig& b) { return !(a == b); }
-
-/// The Algorithm::kNone detector: consumes observations and never
-/// rejuvenates (the unmanaged baseline). Having a real object instead of a
-/// nullptr lets every consumer — controller, harness, monitor — feed the
-/// detector unconditionally.
+/// The "None" detector: consumes observations and never rejuvenates (the
+/// unmanaged baseline). Having a real object instead of a nullptr lets
+/// every consumer — controller, harness, monitor — feed the detector
+/// unconditionally.
 class NullDetector final : public Detector {
  public:
   explicit NullDetector(Baseline baseline = {}) : baseline_(baseline) {}
@@ -65,17 +52,24 @@ class NullDetector final : public Detector {
   Baseline baseline_;
 };
 
-/// Builds the configured detector; never null (Algorithm::kNone yields a
-/// NullDetector that never rejuvenates).
+/// Registry descriptor of the "None" family.
+DetectorDescriptor null_descriptor();
+
+/// Builds the configured detector through the registry; never null (the
+/// "None" family yields a NullDetector that never rejuvenates). Throws
+/// std::invalid_argument on an invalid configuration.
 std::unique_ptr<Detector> make_detector(const DetectorConfig& config);
 
-/// Human-readable description, e.g. "SRAA(n=2,K=5,D=3)".
+/// Canonical spec string derived from the family's schema, e.g.
+/// "SRAA(n=2,K=5,D=3)" — always identical to make_detector(config)->name(),
+/// and parse_spec(describe(config)) == config.
 std::string describe(const DetectorConfig& config);
 
 /// A detector that first estimates the baseline from an initial calibration
 /// window (assumed healthy), then behaves as the configured algorithm with
 /// the estimated (muX, sigmaX) — the paper's section 6 future-work item.
 /// Observations consumed during calibration never trigger rejuvenation.
+/// Works for any registered family.
 class CalibratingDetector final : public Detector {
  public:
   /// `config.baseline` is ignored; it is replaced by the estimate.

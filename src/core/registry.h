@@ -1,0 +1,168 @@
+// The open detector registry: families, parameter schemas, configurations.
+//
+// The paper ships three algorithms, but the monitoring problem does not stop
+// there — related work adds workload-shift-aware detectors, change-point
+// detectors, entropy signals and trend tests, each with its own knobs. A
+// closed Algorithm enum plus a fixed-field DetectorConfig meant every new
+// family edited five files in lockstep (factory switch, spec parser, spec
+// printer, builder, validation). The registry inverts that: each family
+// publishes one DetectorDescriptor — canonical name, typed parameter schema
+// with defaults and ranges, factory function, checkpoint tag — and
+// construction (make_detector), parsing (parse_spec), printing (describe)
+// and validation (validate_config) are all derived from the schema. A family
+// registered at runtime is immediately reachable from every consumer: the
+// harness sweeps, the rejuv-sim and rejuv-monitor CLIs, checkpointing and
+// the trace tools, with zero per-tool edits.
+//
+// The schema guarantees the round-trip parse_spec(describe(cfg)) == cfg for
+// arbitrary families: describe() prints every parameter in schema order
+// (counts as integers, reals in std::to_chars shortest round-trip form), and
+// parse_spec() maps keys back through the same schema. Detector::name() is
+// required to print the identical string, so a spec names the same detector
+// everywhere it appears.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/baseline.h"
+
+namespace rejuv::core {
+
+class Detector;
+struct DetectorConfig;
+
+/// One knob of a detector family: key, type, default and valid range.
+struct ParamSpec {
+  enum class Kind {
+    kCount,  ///< positive integer (window sizes, bucket counts, depths)
+    kReal,   ///< finite real (quantiles, thresholds, slopes)
+  };
+
+  std::string key;  ///< canonical case as printed by describe(), e.g. "K"
+  Kind kind = Kind::kReal;
+  double default_value = 0.0;
+  double min_value = 0.0;  ///< inclusive unless strict_min
+  bool strict_min = false;
+  double max_value = std::numeric_limits<double>::infinity();
+  std::string doc;  ///< one-line meaning, surfaced by --list-detectors
+};
+
+/// Schema helper: a positive-integer parameter (min 1 unless overridden).
+ParamSpec count_param(std::string key, std::uint64_t default_value, std::string doc,
+                      std::uint64_t min_value = 1);
+
+/// Schema helper: a real parameter bounded below (inclusive by default).
+ParamSpec real_param(std::string key, double default_value, std::string doc,
+                     double min_value = -std::numeric_limits<double>::infinity(),
+                     bool strict_min = false);
+
+/// Everything the registry knows about one detector family. `make` receives
+/// a validated DetectorConfig of this family and returns a live detector
+/// whose name() equals describe(config).
+struct DetectorDescriptor {
+  std::string name;     ///< canonical spec name, e.g. "SARAA-noaccel"
+  std::string summary;  ///< one-line description for docs/CLI listings
+  /// DetectorState::extra_tag this family writes ("" = uses only the flat
+  /// DetectorState fields). Restore validates the tag before trusting the
+  /// extension payload.
+  std::string checkpoint_tag;
+  /// false = the family ignores the (muX, sigmaX) baseline entirely, so
+  /// validation does not require a positive sigma (the None family).
+  bool needs_baseline = true;
+  std::vector<ParamSpec> params;  ///< schema order == print order
+  std::function<std::unique_ptr<Detector>(const DetectorConfig&)> make;
+};
+
+/// Process-wide family table. The built-in families register themselves
+/// lazily on first use (no static-initializer order games, no
+/// dead-stripping hazards in static libraries); additional families can be
+/// registered at any time — tests register toy detectors to prove the
+/// open-endedness — and become visible to parse_spec/make_detector/sweeps
+/// immediately. Lookup is case-insensitive; descriptors are immutable and
+/// their addresses stable once registered.
+class DetectorRegistry {
+ public:
+  static DetectorRegistry& instance();
+
+  DetectorRegistry(const DetectorRegistry&) = delete;
+  DetectorRegistry& operator=(const DetectorRegistry&) = delete;
+
+  /// Registers a family. Throws std::invalid_argument on a duplicate name,
+  /// an empty name, a missing factory, or a malformed schema (duplicate or
+  /// reserved keys, out-of-range defaults).
+  void register_family(DetectorDescriptor descriptor);
+
+  /// Case-insensitive lookup; nullptr when the family is unknown.
+  const DetectorDescriptor* find(std::string_view name) const;
+
+  /// Case-insensitive lookup; throws std::invalid_argument naming the token
+  /// and listing every registered family when unknown.
+  const DetectorDescriptor& at(std::string_view name) const;
+
+  /// Canonical family names in registration order.
+  std::vector<std::string> family_names() const;
+
+ private:
+  DetectorRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<const DetectorDescriptor>> families_;
+};
+
+/// A detector configuration: a registered family plus one value per schema
+/// parameter and the SLA baseline. Values are held in schema order; get/set
+/// address them by (case-insensitive) key. Range checking is deferred to
+/// validate_config so a builder can pass through intermediate states.
+struct DetectorConfig {
+  /// The legacy default: SRAA with n = K = D = 1.
+  DetectorConfig();
+
+  /// A family's schema defaults; throws std::invalid_argument (listing the
+  /// registered families) when `family` is unknown.
+  explicit DetectorConfig(std::string_view family);
+
+  const DetectorDescriptor& descriptor() const noexcept { return *descriptor_; }
+  const std::string& family() const noexcept { return descriptor_->name; }
+
+  /// True for the never-rejuvenate baseline family.
+  bool is_null() const noexcept { return descriptor_->name == "None"; }
+
+  bool has(std::string_view key) const noexcept;
+  /// Parameter value by key; throws std::invalid_argument on unknown keys.
+  double get(std::string_view key) const;
+  /// get() narrowed to a count parameter (rounded; validated elsewhere).
+  std::size_t get_count(std::string_view key) const;
+  /// Sets a parameter by key (unchecked value; throws on unknown keys).
+  DetectorConfig& set(std::string_view key, double value);
+
+  /// Values in schema order (one per descriptor param).
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Product of the n/K/D parameters that exist in this family (absent
+  /// parameters count as 1) — the budget the paper holds constant.
+  std::size_t nkd_product() const noexcept;
+
+  Baseline baseline{5.0, 5.0};  ///< the paper's muX = sigmaX = 5 default
+
+ private:
+  const DetectorDescriptor* descriptor_;  ///< registry-owned, never null
+  std::vector<double> values_;
+};
+
+/// Field-wise equality: family, parameter values, baseline.
+bool operator==(const DetectorConfig& a, const DetectorConfig& b);
+inline bool operator!=(const DetectorConfig& a, const DetectorConfig& b) { return !(a == b); }
+
+/// Shortest std::to_chars form that parses back to the identical double —
+/// how describe() and every Detector::name() print real-valued parameters.
+std::string spec_number(double value);
+
+}  // namespace rejuv::core

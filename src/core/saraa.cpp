@@ -6,6 +6,35 @@
 
 namespace rejuv::core {
 
+namespace {
+
+DetectorDescriptor saraa_descriptor_base(bool accelerate) {
+  DetectorDescriptor descriptor;
+  descriptor.name = accelerate ? "SARAA" : "SARAA-noaccel";
+  descriptor.summary =
+      accelerate
+          ? "sampling-acceleration rejuvenation: the window shrinks as degradation escalates (paper Fig. 7)"
+          : "SARAA ablation: sqrt(n)-scaled targets with the window pinned at norig";
+  descriptor.params = {
+      count_param("n", 1, "initial averaging window size norig"),
+      count_param("K", 1, "bucket count (degradation levels)"),
+      count_param("D", 1, "bucket depth (evidence per level)"),
+  };
+  descriptor.make = [accelerate](const DetectorConfig& config) -> std::unique_ptr<Detector> {
+    return std::make_unique<Saraa>(
+        SaraaParams{config.get_count("n"), config.get_count("K"),
+                    static_cast<int>(config.get_count("D")), accelerate},
+        config.baseline);
+  };
+  return descriptor;
+}
+
+}  // namespace
+
+DetectorDescriptor saraa_descriptor() { return saraa_descriptor_base(true); }
+
+DetectorDescriptor saraa_noaccel_descriptor() { return saraa_descriptor_base(false); }
+
 std::size_t saraa_sample_size(std::size_t norig, std::size_t bucket, std::size_t buckets) {
   REJUV_EXPECT(norig >= 1, "norig must be at least 1");
   REJUV_EXPECT(buckets >= 1, "bucket count must be at least 1");

@@ -15,9 +15,16 @@
 
 #include "core/bucket_cascade.h"
 #include "core/detector.h"
+#include "core/registry.h"
 #include "stats/quantiles.h"
 
 namespace rejuv::core {
+
+/// Registry descriptors of the "SARAA" family and its no-acceleration
+/// ablation "SARAA-noaccel" (params n, K, D; the ablation is its own family
+/// so the name round-trips through the schema).
+DetectorDescriptor saraa_descriptor();
+DetectorDescriptor saraa_noaccel_descriptor();
 
 /// Parameters of SARAA: initial window size norig, bucket count K, depth D.
 struct SaraaParams {

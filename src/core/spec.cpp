@@ -43,14 +43,6 @@ double parse_number(std::string_view text, std::string_view token) {
   return result;
 }
 
-std::size_t parse_count(std::string_view text, std::string_view key, std::string_view token) {
-  const double value = parse_number(text, token);
-  if (value < 1.0 || value != std::floor(value)) {
-    fail(text, std::string(key) + " must be a positive integer");
-  }
-  return static_cast<std::size_t>(value);
-}
-
 }  // namespace
 
 DetectorConfig parse_spec(std::string_view text) {
@@ -65,24 +57,17 @@ DetectorConfig parse_spec(std::string_view text) {
     args = spec.substr(open + 1, spec.size() - open - 2);
   }
 
-  DetectorConfig config;
-  const std::string name_lower = lower(name);
-  if (name_lower == "none") {
-    config.algorithm = Algorithm::kNone;
-  } else if (name_lower == "static") {
-    config.algorithm = Algorithm::kStatic;
-  } else if (name_lower == "sraa") {
-    config.algorithm = Algorithm::kSraa;
-  } else if (name_lower == "saraa") {
-    config.algorithm = Algorithm::kSaraa;
-  } else if (name_lower == "saraa-noaccel") {
-    config.algorithm = Algorithm::kSaraa;
-    config.saraa_accelerate = false;
-  } else if (name_lower == "clta") {
-    config.algorithm = Algorithm::kClta;
-  } else {
-    fail(text, "unknown algorithm \"" + std::string(name) + "\"");
+  const DetectorDescriptor* descriptor = DetectorRegistry::instance().find(name);
+  if (descriptor == nullptr) {
+    std::string known;
+    for (const std::string& family : DetectorRegistry::instance().family_names()) {
+      if (!known.empty()) known += ", ";
+      known += family;
+    }
+    fail(text, "unknown detector family \"" + std::string(name) +
+                   "\"; registered families: " + known);
   }
+  DetectorConfig config(descriptor->name);
 
   while (!args.empty()) {
     const std::size_t comma = args.find(',');
@@ -94,37 +79,66 @@ DetectorConfig parse_spec(std::string_view text) {
     if (eq == std::string_view::npos) fail(text, "expected key=value, got \"" + std::string(kv) + "\"");
     const std::string key = lower(trim(kv.substr(0, eq)));
     const std::string_view value = kv.substr(eq + 1);
-    if (key == "n") {
-      config.sample_size = parse_count(text, key, value);
-    } else if (key == "k") {
-      config.buckets = parse_count(text, key, value);
-    } else if (key == "d") {
-      config.depth = static_cast<int>(parse_count(text, key, value));
-    } else if (key == "z") {
-      config.quantile_z = parse_number(text, value);
-    } else if (key == "mu") {
+    // The universal baseline keys, valid for every family.
+    if (key == "mu") {
       config.baseline.mean = parse_number(text, value);
-    } else if (key == "sigma") {
-      config.baseline.stddev = parse_number(text, value);
-    } else {
-      fail(text, "unknown key \"" + key + "\"");
+      continue;
     }
+    if (key == "sigma") {
+      config.baseline.stddev = parse_number(text, value);
+      continue;
+    }
+    if (!config.has(key)) fail(text, "unknown key \"" + key + "\"");
+    config.set(key, parse_number(text, value));
   }
 
-  validate_config(config);
+  try {
+    validate_config(config);
+  } catch (const std::invalid_argument& error) {
+    fail(text, error.what());
+  }
   return config;
 }
 
 void validate_config(const DetectorConfig& config) {
-  if (config.algorithm == Algorithm::kNone) return;
-  validate(config.baseline);
-  REJUV_EXPECT(config.sample_size >= 1, "sample size n must be at least 1");
-  REJUV_EXPECT(config.buckets >= 1, "bucket count K must be at least 1");
-  REJUV_EXPECT(config.depth >= 1, "bucket depth D must be at least 1");
-  if (config.algorithm == Algorithm::kClta) {
-    REJUV_EXPECT(std::isfinite(config.quantile_z) && config.quantile_z > 0.0,
-                 "CLTA z must be positive and finite");
+  const DetectorDescriptor& descriptor = config.descriptor();
+  if (descriptor.needs_baseline) validate(config.baseline);
+  for (std::size_t i = 0; i < descriptor.params.size(); ++i) {
+    const ParamSpec& param = descriptor.params[i];
+    const double value = config.values()[i];
+    REJUV_EXPECT(std::isfinite(value),
+                 descriptor.name + " parameter " + param.key + " must be finite");
+    if (param.kind == ParamSpec::Kind::kCount) {
+      REJUV_EXPECT(value == std::floor(value),
+                   descriptor.name + " parameter " + param.key + " must be an integer");
+    }
+    if (param.strict_min) {
+      REJUV_EXPECT(value > param.min_value, descriptor.name + " parameter " + param.key +
+                                                " must be greater than " +
+                                                spec_number(param.min_value));
+    } else {
+      REJUV_EXPECT(value >= param.min_value, descriptor.name + " parameter " + param.key +
+                                                 " must be at least " +
+                                                 spec_number(param.min_value));
+    }
+    REJUV_EXPECT(value <= param.max_value, descriptor.name + " parameter " + param.key +
+                                               " must be at most " +
+                                               spec_number(param.max_value));
   }
+}
+
+DetectorSpec& DetectorSpec::accelerate(bool on) {
+  const std::string& family = config_.family();
+  const bool is_accel = family == "SARAA";
+  const bool is_noaccel = family == "SARAA-noaccel";
+  if ((on && !is_noaccel) || (!on && !is_accel)) return *this;
+  DetectorConfig swapped(on ? "SARAA" : "SARAA-noaccel");
+  for (const ParamSpec& param : config_.descriptor().params) {
+    swapped.set(param.key, config_.get(param.key));
+  }
+  swapped.baseline = config_.baseline;
+  config_ = swapped;
+  return *this;
 }
 
 const DetectorConfig& DetectorSpec::config() const {

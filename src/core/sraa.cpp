@@ -4,6 +4,24 @@
 
 namespace rejuv::core {
 
+DetectorDescriptor sraa_descriptor() {
+  DetectorDescriptor descriptor;
+  descriptor.name = "SRAA";
+  descriptor.summary = "static rejuvenation with averaging: disjoint n-windows feed a K x D bucket cascade (paper Fig. 6)";
+  descriptor.params = {
+      count_param("n", 1, "averaging window size"),
+      count_param("K", 1, "bucket count (degradation levels)"),
+      count_param("D", 1, "bucket depth (evidence per level)"),
+  };
+  descriptor.make = [](const DetectorConfig& config) -> std::unique_ptr<Detector> {
+    return std::make_unique<Sraa>(
+        SraaParams{config.get_count("n"), config.get_count("K"),
+                   static_cast<int>(config.get_count("D"))},
+        config.baseline);
+  };
+  return descriptor;
+}
+
 Sraa::Sraa(SraaParams params, Baseline baseline)
     : params_(params),
       baseline_(baseline),

@@ -11,9 +11,13 @@
 
 #include "core/bucket_cascade.h"
 #include "core/detector.h"
+#include "core/registry.h"
 #include "stats/quantiles.h"
 
 namespace rejuv::core {
+
+/// Registry descriptor of the "SRAA" family (params n, K, D).
+DetectorDescriptor sraa_descriptor();
 
 /// Parameters of SRAA: window size n, bucket count K, bucket depth D.
 struct SraaParams {

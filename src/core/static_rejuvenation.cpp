@@ -2,6 +2,21 @@
 
 namespace rejuv::core {
 
+DetectorDescriptor static_descriptor() {
+  DetectorDescriptor descriptor;
+  descriptor.name = "Static";
+  descriptor.summary = "per-observation static algorithm of [1]: each value feeds the K x D bucket cascade directly";
+  descriptor.params = {
+      count_param("K", 1, "bucket count (degradation levels)"),
+      count_param("D", 1, "bucket depth (evidence per level)"),
+  };
+  descriptor.make = [](const DetectorConfig& config) -> std::unique_ptr<Detector> {
+    return std::make_unique<StaticRejuvenation>(
+        config.get_count("K"), static_cast<int>(config.get_count("D")), config.baseline);
+  };
+  return descriptor;
+}
+
 StaticRejuvenation::StaticRejuvenation(std::size_t buckets, int depth, Baseline baseline)
     : baseline_(baseline), cascade_(depth, buckets) {
   validate(baseline_);

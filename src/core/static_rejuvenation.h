@@ -12,8 +12,12 @@
 
 #include "core/bucket_cascade.h"
 #include "core/detector.h"
+#include "core/registry.h"
 
 namespace rejuv::core {
+
+/// Registry descriptor of the "Static" family (params K, D).
+DetectorDescriptor static_descriptor();
 
 class StaticRejuvenation final : public Detector {
  public:

@@ -13,29 +13,25 @@ std::vector<double> default_load_grid() {
   return {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0};
 }
 
-core::DetectorConfig sraa_config(const NkdTriple& t) {
-  core::DetectorConfig config;
-  config.algorithm = core::Algorithm::kSraa;
-  config.sample_size = t.n;
-  config.buckets = t.k;
-  config.depth = t.d;
+namespace {
+core::DetectorConfig nkd_config(std::string_view family, const NkdTriple& t) {
+  core::DetectorConfig config{family};
+  config.set("n", static_cast<double>(t.n));
+  config.set("K", static_cast<double>(t.k));
+  config.set("D", static_cast<double>(t.d));
   config.baseline = paper_baseline();
   return config;
 }
+}  // namespace
 
-core::DetectorConfig saraa_config(const NkdTriple& t) {
-  core::DetectorConfig config = sraa_config(t);
-  config.algorithm = core::Algorithm::kSaraa;
-  return config;
-}
+core::DetectorConfig sraa_config(const NkdTriple& t) { return nkd_config("SRAA", t); }
+
+core::DetectorConfig saraa_config(const NkdTriple& t) { return nkd_config("SARAA", t); }
 
 core::DetectorConfig clta_config(std::size_t n, double z) {
-  core::DetectorConfig config;
-  config.algorithm = core::Algorithm::kClta;
-  config.sample_size = n;
-  config.buckets = 1;
-  config.depth = 1;
-  config.quantile_z = z;
+  core::DetectorConfig config{"CLTA"};
+  config.set("n", static_cast<double>(n));
+  config.set("z", z);
   config.baseline = paper_baseline();
   return config;
 }

@@ -46,6 +46,31 @@ std::optional<std::vector<std::uint64_t>> split_u64(std::string_view text) {
   return values;
 }
 
+std::string join_f64(const std::vector<double>& values) {
+  std::string text;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) text += ",";
+    text += format_double(values[i]);
+  }
+  return text;
+}
+
+std::optional<std::vector<double>> split_f64(std::string_view text) {
+  std::vector<double> values;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view item = text.substr(start, comma - start);
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(item.data(), item.data() + item.size(), value);
+    if (ec != std::errc{} || ptr != item.data() + item.size()) return std::nullopt;
+    values.push_back(value);
+    start = comma + 1;
+  }
+  return values;
+}
+
 // --- Minimal JSON cursor, mirroring the trace reader's scanner. ---
 
 struct Scanner {
@@ -147,6 +172,14 @@ std::string to_json(const ShardCheckpoint& checkpoint) {
   line += ",\"cmax\":" + format_double(detector.calibration_max);
   line += ",\"bmean\":" + format_double(detector.baseline_mean);
   line += ",\"bstddev\":" + format_double(detector.baseline_stddev);
+  // Registry extension payload: families beyond the flat fields (Adaptive,
+  // EDiv, Entropy, MK, ...). Old readers ignore the unknown keys; an empty
+  // tag keeps the line byte-identical to the pre-extension format.
+  if (!detector.extra_tag.empty() || !detector.extra_u64.empty() || !detector.extra_f64.empty()) {
+    line += ",\"xtag\":\"" + obs::json_escape(detector.extra_tag) + "\"";
+    line += ",\"xu\":\"" + join_u64(detector.extra_u64) + "\"";
+    line += ",\"xf\":\"" + join_f64(detector.extra_f64) + "\"";
+  }
   line += "}";
   return line;
 }
@@ -183,6 +216,16 @@ std::optional<ShardCheckpoint> parse_checkpoint_line(std::string_view line) {
         controller.trigger_indices = std::move(*values);
       } else if (*key == "alg") {
         detector.algorithm = *text;
+      } else if (*key == "xtag") {
+        detector.extra_tag = *text;
+      } else if (*key == "xu") {
+        auto values = split_u64(*text);
+        if (!values) return std::nullopt;
+        detector.extra_u64 = std::move(*values);
+      } else if (*key == "xf") {
+        auto values = split_f64(*text);
+        if (!values) return std::nullopt;
+        detector.extra_f64 = std::move(*values);
       }
       continue;
     }

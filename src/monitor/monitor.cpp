@@ -252,7 +252,7 @@ MonitorStats Monitor::run(Source& source) {
     shard->index = i;
     shard->queue = std::make_unique<SpscQueue<double>>(config_.queue_capacity);
     std::unique_ptr<core::Detector> detector =
-        config_.calibrate > 0 && config_.detector.algorithm != core::Algorithm::kNone
+        config_.calibrate > 0 && !config_.detector.is_null()
             ? std::make_unique<core::CalibratingDetector>(config_.detector, config_.calibrate)
             : core::make_detector(config_.detector);
     shard->controller = std::make_unique<core::RejuvenationController>(

@@ -82,10 +82,9 @@ TEST(CltaBoundaryTest, DecisionOnlyAtWindowBoundaries) {
 }
 
 core::DetectorConfig clta_config(std::size_t n, double z) {
-  core::DetectorConfig config;
-  config.algorithm = core::Algorithm::kClta;
-  config.sample_size = n;
-  config.quantile_z = z;
+  core::DetectorConfig config{"CLTA"};
+  config.set("n", static_cast<double>(n));
+  config.set("z", z);
   return config;
 }
 

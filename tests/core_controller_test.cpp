@@ -13,11 +13,10 @@ namespace rejuv::core {
 namespace {
 
 DetectorConfig sraa_config(std::size_t n, std::size_t k, int d) {
-  DetectorConfig config;
-  config.algorithm = Algorithm::kSraa;
-  config.sample_size = n;
-  config.buckets = k;
-  config.depth = d;
+  DetectorConfig config{"SRAA"};
+  config.set("n", static_cast<double>(n));
+  config.set("K", static_cast<double>(k));
+  config.set("D", d);
   return config;
 }
 
@@ -72,20 +71,17 @@ TEST(BaselineEstimator, RejectsTinyCalibration) {
 
 // ------------------------------------------------------- factory
 
-TEST(Factory, BuildsEveryAlgorithm) {
-  for (const Algorithm algorithm :
-       {Algorithm::kStatic, Algorithm::kSraa, Algorithm::kSaraa, Algorithm::kClta}) {
-    DetectorConfig config = sraa_config(2, 2, 2);
-    config.algorithm = algorithm;
+TEST(Factory, BuildsEveryRegisteredFamily) {
+  for (const std::string& family : DetectorRegistry::instance().family_names()) {
+    const DetectorConfig config{family};
     const auto detector = make_detector(config);
-    ASSERT_NE(detector, nullptr);
-    EXPECT_FALSE(detector->name().empty());
+    ASSERT_NE(detector, nullptr) << family;
+    EXPECT_EQ(detector->name(), describe(config)) << family;
   }
 }
 
 TEST(Factory, NoneAlgorithmYieldsNullDetector) {
-  DetectorConfig config;
-  config.algorithm = Algorithm::kNone;
+  const DetectorConfig config{"None"};
   const auto detector = make_detector(config);
   ASSERT_NE(detector, nullptr);
   EXPECT_EQ(detector->name(), "None");
@@ -96,13 +92,25 @@ TEST(Factory, NoneAlgorithmYieldsNullDetector) {
 }
 
 TEST(Factory, DescribeMatchesDetectorName) {
-  DetectorConfig config = sraa_config(2, 5, 3);
-  EXPECT_EQ(describe(config), "SRAA(n=2,K=5,D=3)");
-  config.algorithm = Algorithm::kSaraa;
-  EXPECT_EQ(describe(config), "SARAA(n=2,K=5,D=3)");
-  config.algorithm = Algorithm::kClta;
-  config.sample_size = 30;
-  EXPECT_EQ(describe(config), "CLTA(n=30,z=1.96)");
+  EXPECT_EQ(describe(sraa_config(2, 5, 3)), "SRAA(n=2,K=5,D=3)");
+  DetectorConfig saraa{"SARAA"};
+  saraa.set("n", 2).set("K", 5).set("D", 3);
+  EXPECT_EQ(describe(saraa), "SARAA(n=2,K=5,D=3)");
+  DetectorConfig clta{"CLTA"};
+  clta.set("n", 30);
+  EXPECT_EQ(describe(clta), "CLTA(n=30,z=1.96)");
+}
+
+TEST(Factory, UnknownFamilyNamesTokenAndListsFamilies) {
+  try {
+    DetectorConfig config{"Bogus"};
+    FAIL() << "unknown family must throw";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("Bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("SRAA"), std::string::npos) << what;
+    EXPECT_NE(what.find("EDiv"), std::string::npos) << what;
+  }
 }
 
 TEST(Factory, NkdProduct) {
@@ -210,9 +218,7 @@ TEST(CalibratingDetector, NameReflectsPhase) {
 }
 
 TEST(CalibratingDetector, RejectsNoneAlgorithm) {
-  DetectorConfig config;
-  config.algorithm = Algorithm::kNone;
-  EXPECT_THROW(CalibratingDetector(config, 10), std::invalid_argument);
+  EXPECT_THROW(CalibratingDetector(DetectorConfig{"None"}, 10), std::invalid_argument);
 }
 
 }  // namespace

@@ -460,25 +460,24 @@ TEST_P(DetectionLatency, SevereShiftIsDetectedWithinBudget) {
   EXPECT_LT(observations, budget);
 }
 
-DetectorConfig make_config(Algorithm algorithm, std::size_t n, std::size_t k, int d) {
-  DetectorConfig config;
-  config.algorithm = algorithm;
-  config.sample_size = n;
-  config.buckets = k;
-  config.depth = d;
+DetectorConfig make_config(std::string_view family, std::size_t n, std::size_t k, int d) {
+  DetectorConfig config{family};
+  if (config.has("n")) config.set("n", static_cast<double>(n));
+  if (config.has("K")) config.set("K", static_cast<double>(k));
+  if (config.has("D")) config.set("D", d);
   config.baseline = kPaperBaseline;
   return config;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     PaperConfigs, DetectionLatency,
-    ::testing::Values(make_config(Algorithm::kSraa, 2, 5, 3),
-                      make_config(Algorithm::kSraa, 15, 1, 1),
-                      make_config(Algorithm::kSraa, 1, 3, 5),
-                      make_config(Algorithm::kSaraa, 2, 5, 3),
-                      make_config(Algorithm::kSaraa, 10, 3, 1),
-                      make_config(Algorithm::kClta, 30, 1, 1),
-                      make_config(Algorithm::kStatic, 1, 5, 3)));
+    ::testing::Values(make_config("SRAA", 2, 5, 3),
+                      make_config("SRAA", 15, 1, 1),
+                      make_config("SRAA", 1, 3, 5),
+                      make_config("SARAA", 2, 5, 3),
+                      make_config("SARAA", 10, 3, 1),
+                      make_config("CLTA", 30, 1, 1),
+                      make_config("Static", 1, 5, 3)));
 
 class BurstTolerance : public ::testing::TestWithParam<DetectorConfig> {};
 
@@ -495,10 +494,10 @@ TEST_P(BurstTolerance, MultiBucketDetectorsIgnoreShortBursts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(MultiBucketConfigs, BurstTolerance,
-                         ::testing::Values(make_config(Algorithm::kSraa, 2, 5, 3),
-                                           make_config(Algorithm::kSraa, 1, 3, 5),
-                                           make_config(Algorithm::kSaraa, 2, 5, 3),
-                                           make_config(Algorithm::kStatic, 1, 5, 5)));
+                         ::testing::Values(make_config("SRAA", 2, 5, 3),
+                                           make_config("SRAA", 1, 3, 5),
+                                           make_config("SARAA", 2, 5, 3),
+                                           make_config("Static", 1, 5, 5)));
 
 }  // namespace
 }  // namespace rejuv::core

@@ -436,7 +436,7 @@ INSTANTIATE_TEST_SUITE_P(EveryDetector, ControllerRoundTrip,
                                            "SARAA(n=2,K=3,D=2,mu=0.5,sigma=0.5)",
                                            "SARAA-noaccel(n=2,K=3,D=2,mu=0.5,sigma=0.5)",
                                            "CLTA(n=30,z=1.96,mu=0.5,sigma=0.5)",
-                                           "Static(n=2,K=2,D=2,mu=0.5,sigma=0.5)",
+                                           "Static(K=2,D=2,mu=0.5,sigma=0.5)",
                                            "None"));
 
 TEST(CheckpointState, CalibratingDetectorRoundTripsMidCalibration) {

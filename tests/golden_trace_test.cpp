@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/factory.h"
+#include "core/spec.h"
 #include "harness/experiment.h"
 #include "obs/sink.h"
 #include "obs/trace_reader.h"
@@ -46,23 +47,20 @@ struct GoldenCase {
 };
 
 std::vector<GoldenCase> golden_cases() {
-  core::DetectorConfig saraa;
-  saraa.algorithm = core::Algorithm::kSaraa;
-  saraa.sample_size = 2;
-  saraa.buckets = 5;
-  saraa.depth = 3;
-
-  core::DetectorConfig clta;
-  clta.algorithm = core::Algorithm::kClta;
-  clta.sample_size = 30;
-  clta.quantile_z = 1.96;
-
   // Two replications for SARAA so the trace interleaves (load, rep) lanes;
-  // one for CLTA to keep the committed bytes lean. Load 9.5 of 10 CPUs is
-  // degraded enough that both algorithms actually trigger within the run.
+  // one for the others to keep the committed bytes lean. Load 9.5 of 10
+  // CPUs is degraded enough that every family actually triggers within the
+  // run (the registry families use their schema defaults).
   return {
-      {"saraa_n2_K5_D3_load9.5.jsonl", saraa, 9.5, 2'000, 2},
-      {"clta_n30_z1.96_load9.5.jsonl", clta, 9.5, 2'000, 1},
+      {"saraa_n2_K5_D3_load9.5.jsonl", core::parse_spec("SARAA(n=2,K=5,D=3)"), 9.5, 2'000, 2},
+      {"clta_n30_z1.96_load9.5.jsonl", core::parse_spec("CLTA(n=30,z=1.96)"), 9.5, 2'000, 1},
+      {"adaptive_default_load9.5.jsonl", core::parse_spec("Adaptive"), 9.5, 2'000, 1},
+      {"ediv_default_load9.5.jsonl", core::parse_spec("EDiv"), 9.5, 2'000, 1},
+      {"entropy_default_load9.5.jsonl", core::parse_spec("Entropy"), 9.5, 2'000, 1},
+      // MK needs a wider window than its default for the trend test to have
+      // power against this model's noise within a 2'000-transaction run.
+      {"mk_w60_z1.645_L2_load9.5.jsonl", core::parse_spec("MK(w=60,z=1.645,s=0,L=2)"), 9.5,
+       2'000, 1},
   };
 }
 

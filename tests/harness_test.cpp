@@ -81,8 +81,7 @@ TEST(RunPoint, WorkloadIsSharedAcrossDetectors) {
   // Common random numbers: with rejuvenation disabled via Algorithm::kNone
   // and via an SRAA config that never fires (astronomical baseline), the
   // workload realization must be identical.
-  core::DetectorConfig none;
-  none.algorithm = core::Algorithm::kNone;
+  const core::DetectorConfig none{"None"};
   core::DetectorConfig inert = sraa_config({2, 5, 3});
   inert.baseline = core::Baseline{1e18, 1.0};
   const auto a = run_point(none, paper_system(), 6.0, tiny_protocol());
@@ -247,9 +246,9 @@ TEST(PaperConfigs, DoublingRelationsHold) {
   const auto base = fig09_configs();
   const auto doubled = fig11_configs();
   for (std::size_t i = 0; i < base.size(); ++i) {
-    EXPECT_EQ(doubled[i].sample_size, 2 * base[i].sample_size);
-    EXPECT_EQ(doubled[i].buckets, base[i].buckets);
-    EXPECT_EQ(doubled[i].depth, base[i].depth);
+    EXPECT_EQ(doubled[i].get_count("n"), 2 * base[i].get_count("n"));
+    EXPECT_EQ(doubled[i].get_count("K"), base[i].get_count("K"));
+    EXPECT_EQ(doubled[i].get_count("D"), base[i].get_count("D"));
   }
 }
 

@@ -4,6 +4,7 @@
 // "the paper's orderings", not exact values.
 #include <gtest/gtest.h>
 
+#include "core/spec.h"
 #include "harness/experiment.h"
 #include "harness/paper.h"
 
@@ -112,8 +113,7 @@ TEST(Section56, CltaLosesMoreAtLowLoad) {
 // The motivating scenario: rejuvenation prevents the soft-failure spiral.
 TEST(Motivation, RejuvenationBoundsTheHighLoadRt) {
   const auto protocol = test_protocol();
-  core::DetectorConfig none;
-  none.algorithm = core::Algorithm::kNone;
+  const core::DetectorConfig none{"None"};
   const auto unmanaged = run_point(none, paper_system(), 9.0, protocol);
   const auto managed = run_point(saraa_config({2, 5, 3}), paper_system(), 9.0, protocol);
   EXPECT_GT(unmanaged.avg_response_time, 10.0 * managed.avg_response_time);
@@ -125,8 +125,7 @@ TEST(Motivation, RejuvenationBoundsTheHighLoadRt) {
 TEST(Ablation, AccelerationHelpsOrIsNeutralAtHighLoad) {
   const auto protocol = test_protocol();
   core::DetectorConfig accelerated = saraa_config({10, 3, 1});
-  core::DetectorConfig pinned = accelerated;
-  pinned.saraa_accelerate = false;
+  core::DetectorConfig pinned = core::DetectorSpec(accelerated).accelerate(false).config();
   const auto fast = run_point(accelerated, paper_system(), 9.0, protocol);
   const auto slow = run_point(pinned, paper_system(), 9.0, protocol);
   EXPECT_LE(fast.avg_response_time, slow.avg_response_time * 1.05);

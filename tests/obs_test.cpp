@@ -323,11 +323,8 @@ TEST(DetectorSnapshotTest, ExtensionDetectorsReportTheirEvidence) {
 }
 
 TEST(DetectorSnapshotTest, CalibratingDetectorWrapsInnerSnapshot) {
-  core::DetectorConfig config;
-  config.algorithm = core::Algorithm::kSraa;
-  config.sample_size = 2;
-  config.buckets = 5;
-  config.depth = 3;
+  core::DetectorConfig config{"SRAA"};
+  config.set("n", 2).set("K", 5).set("D", 3);
   core::CalibratingDetector detector(config, /*calibration_size=*/4);
 
   // Still calibrating: base snapshot with calibration progress in `pending`.

@@ -24,10 +24,15 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "core/clta.h"
 #include "core/detector.h"
+#include "core/factory.h"
+#include "core/registry.h"
 #include "core/saraa.h"
+#include "core/spec.h"
 #include "core/sraa.h"
 #include "core/static_rejuvenation.h"
 
@@ -74,6 +79,9 @@ void expect_state_eq(const core::DetectorState& a, const core::DetectorState& b,
   EXPECT_EQ(a.window_sum, b.window_sum) << context;
   EXPECT_EQ(a.current_n, b.current_n) << context;
   EXPECT_EQ(a.last_average, b.last_average) << context;
+  EXPECT_EQ(a.extra_tag, b.extra_tag) << context;
+  EXPECT_EQ(a.extra_u64, b.extra_u64) << context;
+  EXPECT_EQ(a.extra_f64, b.extra_f64) << context;
 }
 
 /// Feeds `stream` one observation at a time, checking the bucket-range and
@@ -93,7 +101,10 @@ void observe_with_invariants(core::Detector& detector, std::span<const double> s
       ASSERT_LE(after.fill, after.depth) << context << " obs " << i;
       if (decision == core::Decision::kRejuvenate) {
         ASSERT_EQ(after.bucket, 0) << context << " obs " << i << ": trigger must reset to 0";
-      } else {
+      } else if (after.bucket != 0 || after.fill != 0) {
+        // Levels move one step at a time; the only legal jump is a full
+        // reset to (0, 0) — a trigger, or a baseline recalibration that
+        // invalidates the accumulated escalation state.
         ASSERT_LE(after.bucket - before.bucket, 1)
             << context << " obs " << i << ": escalation skipped a level";
         ASSERT_GE(after.bucket - before.bucket, -1)
@@ -226,6 +237,49 @@ TEST(DetectorPropertyTest, CltaStreams) {
     run_case([&] { return std::make_unique<core::Clta>(params, core::Baseline{5.0, 5.0}); },
              stream, rng, "CLTA case " + std::to_string(c));
     if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// Randomizes a family's config within its schema: counts bump up by 0-3
+/// from the default, reals scale up by 0-50%. Moving only upward keeps every
+/// per-parameter minimum and the families' cross-parameter constraints
+/// (EDiv's w >= 2g, MK's w >= 3, ...) satisfied for arbitrary schemas.
+core::DetectorConfig randomize_config(const std::string& family, common::RngStream& rng) {
+  core::DetectorConfig config{family};
+  for (const auto& param : config.descriptor().params) {
+    const double value = config.get(param.key);
+    if (param.kind == core::ParamSpec::Kind::kCount) {
+      config.set(param.key, value + std::floor(rng.uniform01() * 4.0));
+    } else {
+      config.set(param.key, value * (1.0 + 0.5 * rng.uniform01()));
+    }
+  }
+  return config;
+}
+
+TEST(DetectorPropertyTest, EveryRegisteredFamilyStreams) {
+  // The registry-wide contract: for every family — including ones this test
+  // file has never heard of — randomized configs must round-trip through
+  // describe()/parse_spec(), and the built detectors must satisfy the
+  // cascade, batch-equivalence and checkpoint split-resume invariants.
+  std::uint64_t family_index = 0;
+  for (const std::string& family : core::DetectorRegistry::instance().family_names()) {
+    ++family_index;
+    if (family == "None") continue;  // never observes anything interesting
+    for (int c = 0; c < 40; ++c) {
+      common::RngStream rng(kRootSeed, 10000 + 100 * family_index + static_cast<std::uint64_t>(c));
+      const core::DetectorConfig config = randomize_config(family, rng);
+
+      const std::string spec = core::describe(config);
+      core::DetectorConfig parsed = core::parse_spec(spec);
+      parsed.baseline = config.baseline;  // describe() never prints the baseline
+      ASSERT_EQ(parsed, config) << spec;
+
+      const auto stream = make_stream(rng);
+      run_case([&] { return core::make_detector(config); }, stream, rng,
+               family + " case " + std::to_string(c) + " [" + spec + "]");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 }
 

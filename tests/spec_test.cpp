@@ -38,20 +38,23 @@ TEST(SpecRoundTrip, EveryPaperFigureConfig) {
 }
 
 TEST(SpecRoundTrip, NoneStaticAndAblationVariants) {
-  DetectorConfig config;
-  config.algorithm = Algorithm::kNone;
+  expect_round_trip(DetectorConfig{"None"});
+
+  DetectorConfig config{"Static"};
+  config.set("K", 5).set("D", 3);
   expect_round_trip(config);
 
-  config = DetectorConfig{};
-  config.algorithm = Algorithm::kStatic;
-  config.buckets = 5;
-  config.depth = 3;
-  expect_round_trip(config);
-
-  config = harness::saraa_config({2, 5, 3});
-  config.saraa_accelerate = false;
+  config = DetectorSpec(harness::saraa_config({2, 5, 3})).accelerate(false).config();
   EXPECT_EQ(describe(config), "SARAA-noaccel(n=2,K=5,D=3)");
   expect_round_trip(config);
+}
+
+TEST(SpecRoundTrip, EveryRegisteredFamilyDefaultConfig) {
+  // The registry-wide guarantee: a family's schema defaults round-trip
+  // through describe()/parse_spec(), and the canonical string is stable.
+  for (const std::string& family : DetectorRegistry::instance().family_names()) {
+    expect_round_trip(DetectorConfig{family});
+  }
 }
 
 TEST(SpecParse, AcceptsWhitespaceAndCase) {

@@ -15,6 +15,12 @@
 #                                       --threads=4 sweep's CSV must be
 #                                       byte-identical to REJUV_SEQUENTIAL=1
 #                                       (default dir: build)
+#        tools/ci.sh specs [build-dir]  detector-schema gate: the registry's
+#                                       describe() defaults for every family
+#                                       (rejuv-monitor --list-detectors) must
+#                                       be byte-identical to the committed
+#                                       tests/golden/detector_specs.txt
+#                                       (default dir: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -69,6 +75,28 @@ if [ "${1:-}" = "sweep" ]; then
   echo "==> sweep compare"
   cmp "$BUILD_DIR"/sweep_parallel.csv "$BUILD_DIR"/sweep_sequential.csv
   echo "==> ci.sh sweep: all green"
+  exit 0
+fi
+
+# The specs stage pins the detector registry's public surface: every
+# registered family's canonical defaults (describe() output), checkpoint tag
+# and parameter docs, as printed by rejuv-monitor --list-detectors. Any
+# schema drift — a renamed key, a changed default, a reordered family —
+# shows up as a byte diff against the committed golden. Refresh with:
+#   ./build/tools/rejuv-monitor --list-detectors > tests/golden/detector_specs.txt
+if [ "${1:-}" = "specs" ]; then
+  BUILD_DIR="${2:-build}"
+  GENERATOR_ARGS=()
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    GENERATOR_ARGS=(-G Ninja)
+  fi
+  echo "==> specs configure"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}"
+  echo "==> specs build"
+  cmake --build "$BUILD_DIR" -j --target rejuv_monitor_cli
+  echo "==> specs compare (describe() defaults vs tests/golden/detector_specs.txt)"
+  "$BUILD_DIR"/tools/rejuv-monitor --list-detectors | cmp - tests/golden/detector_specs.txt
+  echo "==> ci.sh specs: all green"
   exit 0
 fi
 

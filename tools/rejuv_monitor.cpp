@@ -18,9 +18,13 @@
 // configuration, 2 = the run ended on an unrecoverable source I/O error.
 // Flags (defaults in brackets):
 //   --detector=SPEC        detector spec, e.g. 'SRAA(n=2,K=5,D=3)',
-//                          'CLTA(n=30,z=1.96)', 'SARAA-noaccel(n=2,K=5,D=3)',
-//                          'None'; optional mu=/sigma= keys set the baseline
-//                          [SARAA(n=2,K=5,D=3)]
+//                          'CLTA(n=30,z=1.96)', 'EDiv(b=10,w=30,q=10,g=5)',
+//                          'None'; any family in the detector registry is
+//                          accepted, and optional mu=/sigma= keys set the
+//                          baseline [SARAA(n=2,K=5,D=3)]
+//   --list-detectors       print every registered detector family — canonical
+//                          spec of its defaults, checkpoint tag and parameter
+//                          docs — and exit
 //   --source=SPEC          stdin | file:PATH | follow:PATH | tcp:PORT [stdin]
 //   --shards=N             worker shards, round-robin routing [1]
 //   --queue=N              per-shard queue capacity (power of 2) [4096]
@@ -62,6 +66,8 @@
 #include "common/expect.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "core/factory.h"
+#include "core/registry.h"
 #include "core/spec.h"
 #include "faults/fault_plan.h"
 #include "faults/faulty_source.h"
@@ -105,6 +111,24 @@ void parse_backoff(const std::string& text, monitor::BackoffPolicy& policy) {
 int main(int argc, char** argv) {
   try {
     const auto flags = common::Flags::parse(argc, argv);
+
+    if (flags.has("list-detectors")) {
+      // Schema-driven listing: everything here comes from the registry, so a
+      // family registered by a plugin shows up with zero edits to this tool.
+      auto& registry = core::DetectorRegistry::instance();
+      for (const std::string& family : registry.family_names()) {
+        const auto& descriptor = registry.at(family);
+        const core::DetectorConfig defaults{family};
+        std::cout << core::describe(defaults) << "\n  " << descriptor.summary << "\n";
+        if (!descriptor.checkpoint_tag.empty()) {
+          std::cout << "  checkpoint tag: " << descriptor.checkpoint_tag << "\n";
+        }
+        for (const auto& param : descriptor.params) {
+          std::cout << "  " << param.key << ": " << param.doc << "\n";
+        }
+      }
+      return 0;
+    }
 
     monitor::MonitorConfig config;
     config.detector =

@@ -12,11 +12,15 @@
 //   rejuv_sim --algorithm=none --no-gc           # pure M/M/16 baseline
 //
 // Flags (defaults in brackets):
-//   --detector=SPEC        full detector spec string, e.g. 'SRAA(n=2,K=5,D=3)'
-//                          or 'CLTA(n=30,z=1.96)'; overrides --algorithm and
-//                          the parameter flags below (composes with
-//                          --calibrate). Same grammar as rejuv-monitor.
-//   --algorithm=none|static|sraa|saraa|clta|quantile|trend|bobbio-det|bobbio-risk [saraa]
+//   --detector=SPEC        full detector spec string, e.g. 'SRAA(n=2,K=5,D=3)',
+//                          'CLTA(n=30,z=1.96)' or 'EDiv(b=10,w=30,q=10,g=5)';
+//                          overrides --algorithm and the parameter flags below
+//                          (composes with --calibrate). Same grammar as
+//                          rejuv-monitor; any family in the detector registry
+//                          is accepted (rejuv-monitor --list-detectors).
+//   --algorithm=NAME       registry family name, case-insensitive [saraa], or
+//                          one of the extension policies quantile|trend|
+//                          bobbio-det|bobbio-risk
 //   --n, --k, --d          algorithm parameters [2, 5, 3]
 //   --z                    CLTA quantile / trend z_alpha [1.96]
 //   --threshold            quantile/bobbio threshold value [15]
@@ -75,7 +79,7 @@ harness::DetectorFactory parse_detector(const common::Flags& flags, std::string&
     // Spec strings round-trip through core::parse_spec/describe, so the label
     // is always the canonical form regardless of how the user spelled it.
     const core::DetectorConfig config = core::parse_spec(*spec);
-    if (calibrate_spec > 0 && config.algorithm != core::Algorithm::kNone) {
+    if (calibrate_spec > 0 && !config.is_null()) {
       label = "Calibrating[" + core::describe(config) + "]";
       return [config, calibrate_spec] {
         return std::make_unique<core::CalibratingDetector>(
@@ -95,24 +99,7 @@ harness::DetectorFactory parse_detector(const common::Flags& flags, std::string&
   const core::Baseline baseline = parse_baseline(flags);
   const auto calibrate = flags.get_int("calibrate", 0);
 
-  core::DetectorConfig config;
-  config.sample_size = n;
-  config.buckets = k;
-  config.depth = d;
-  config.quantile_z = z;
-  config.baseline = baseline;
-
-  if (algorithm == "none") {
-    config.algorithm = core::Algorithm::kNone;
-  } else if (algorithm == "static") {
-    config.algorithm = core::Algorithm::kStatic;
-  } else if (algorithm == "sraa") {
-    config.algorithm = core::Algorithm::kSraa;
-  } else if (algorithm == "saraa") {
-    config.algorithm = core::Algorithm::kSaraa;
-  } else if (algorithm == "clta") {
-    config.algorithm = core::Algorithm::kClta;
-  } else if (algorithm == "quantile") {
+  if (algorithm == "quantile") {
     label = "QuantileThreshold(" + common::format_double(threshold, 2) + ")";
     return [threshold, baseline] {
       return std::make_unique<core::QuantileThresholdDetector>(threshold, 1, baseline);
@@ -132,11 +119,20 @@ harness::DetectorFactory parse_detector(const common::Flags& flags, std::string&
     return [threshold, baseline] {
       return std::make_unique<core::RiskBasedPolicy>(threshold, 3.0 * threshold, baseline, 17);
     };
-  } else {
-    throw std::invalid_argument("unknown --algorithm: " + algorithm);
   }
 
-  if (calibrate > 0 && config.algorithm != core::Algorithm::kNone) {
+  // Any registered family works here (case-insensitive): the legacy
+  // --n/--k/--d/--z flags map onto the keys the family actually has, and
+  // families with other knobs (Adaptive, EDiv, Entropy, MK, ...) run on
+  // their schema defaults — use --detector=SPEC to set those.
+  core::DetectorConfig config{algorithm};
+  if (config.has("n")) config.set("n", static_cast<double>(n));
+  if (config.has("K")) config.set("K", static_cast<double>(k));
+  if (config.has("D")) config.set("D", static_cast<double>(d));
+  if (config.has("z")) config.set("z", z);
+  config.baseline = baseline;
+
+  if (calibrate > 0 && !config.is_null()) {
     label = "Calibrating[" + core::describe(config) + "]";
     return [config, calibrate] {
       return std::make_unique<core::CalibratingDetector>(config,
