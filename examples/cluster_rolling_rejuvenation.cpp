@@ -1,6 +1,7 @@
 // Cluster scenario: four e-commerce hosts behind a health-checking load
-// balancer, each monitored by its own SARAA detector, comparing independent
-// and rolling (at most one restore at a time) rejuvenation coordination.
+// balancer, each monitored by its own SARAA detector, comparing simultaneous
+// (uncoordinated) and rolling (at most one restore at a time) rejuvenation
+// coordination under the cluster coordinator's capacity budget.
 //
 // Demonstrates the cluster extension (the paper's companion work [2]) and an
 // instructive failure mode: under *genuine aging* at high load, deferring a
@@ -52,10 +53,10 @@ cluster::ClusterMetrics run(cluster::RejuvenationStrategy strategy, bool with_de
 int main() {
   std::printf("4-host cluster, 9.0 CPUs offered load per host, 120 s restore time\n");
   std::printf("per-host detector: SARAA(n=2,K=5,D=3), least-loaded routing with failover\n\n");
-  report("unmanaged:", run(cluster::RejuvenationStrategy::kIndependent, false));
-  report("independent restores:", run(cluster::RejuvenationStrategy::kIndependent, true));
+  report("unmanaged:", run(cluster::RejuvenationStrategy::kSimultaneous, false));
+  report("simultaneous restores:", run(cluster::RejuvenationStrategy::kSimultaneous, true));
   report("rolling restores:", run(cluster::RejuvenationStrategy::kRolling, true));
-  std::printf("\nindependent restores win here: every trigger is a genuine aging event, so\n"
+  std::printf("\nsimultaneous restores win here: every trigger is a genuine aging event, so\n"
               "deferring a restore (rolling) leaves a degraded host serving traffic while\n"
               "failover piles its load onto the survivors. Rolling coordination is the\n"
               "right tool against *spurious* triggers - see the cluster_strategies bench.\n");

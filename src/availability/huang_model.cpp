@@ -79,6 +79,16 @@ double optimal_rejuvenation_rate(HuangParameters params, double max_rate) {
   return 0.5 * (lo + hi);
 }
 
+HuangParameters parameters_for_measured(double rejuvenations_per_host_hour,
+                                        double restore_seconds) {
+  REJUV_EXPECT(rejuvenations_per_host_hour >= 0.0,
+               "measured rejuvenation frequency must be non-negative");
+  HuangParameters params;
+  params.rejuvenation_rate = rejuvenations_per_host_hour;
+  if (restore_seconds > 0.0) params.rejuvenation_restore_rate = 3600.0 / restore_seconds;
+  return params;
+}
+
 bool rejuvenation_worthwhile(HuangParameters params, double max_rate) {
   REJUV_EXPECT(max_rate > 0.0, "search range must be positive");
   params.rejuvenation_rate = 0.0;

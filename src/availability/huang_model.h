@@ -63,4 +63,13 @@ double optimal_rejuvenation_rate(HuangParameters params, double max_rate = 10.0)
 /// to no rejuvenation at all — the binary policy decision this chain admits.
 bool rejuvenation_worthwhile(HuangParameters params, double max_rate = 10.0);
 
+/// Maps a *measured* rejuvenation policy onto the chain: the default
+/// parameters with r4 set to the observed per-host rejuvenation frequency
+/// (rejuvenations per host-hour) and r3 set from the observed restore
+/// duration (3600 / restore_seconds; restore_seconds <= 0 keeps the default
+/// restore rate). Used by the cluster sweep to price each strategy's
+/// schedule with the Huang downtime-cost model.
+HuangParameters parameters_for_measured(double rejuvenations_per_host_hour,
+                                        double restore_seconds);
+
 }  // namespace rejuv::availability

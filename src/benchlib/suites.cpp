@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/rng.h"
 #include "core/bucket_cascade.h"
 #include "exec/pool.h"
@@ -355,6 +356,78 @@ void register_monitor_suite(Registry& registry) {
   });
 }
 
+void register_cluster_suite(Registry& registry) {
+  // Coordinator bookkeeping on the per-completed-transaction path: the
+  // false-trigger ordinal advance every cluster host pays per transaction.
+  struct NoteFixture {
+    sim::Simulator simulator;
+    cluster::Coordinator coordinator{simulator,
+                                     [] {
+                                       cluster::CoordinatorConfig config;
+                                       config.hosts = 4;
+                                       return config;
+                                     }(),
+                                     faults::FaultPlan{}, 1, {}};
+  };
+  const auto note = std::make_shared<NoteFixture>();
+  registry.add("cluster", "cluster.coordinator.note_transaction", [note](std::uint64_t n) {
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      fired += note->coordinator.note_transaction(i & 3) ? 1u : 0u;
+    }
+    do_not_optimize(fired);
+  });
+
+  // Batch-amortized per-transaction cost of a full coordinated cluster run,
+  // one entry per scheduling strategy (3 hosts, SRAA detectors, 5 s
+  // restores). This is the end-to-end cost a rejuv-cluster sweep pays per
+  // offered transaction, including routing, detection and coordination.
+  constexpr std::uint64_t kClusterBatch = 2000;
+  const auto run_batch = [](cluster::RejuvenationStrategy strategy,
+                            std::uint64_t checkpoint_every, std::uint64_t iteration) {
+    cluster::ClusterConfig config;
+    config.hosts = 3;
+    config.host_config.arrival_rate = 1.0;  // per-host default; total below rules
+    config.host_config.rejuvenation_downtime_seconds = 5.0;
+    config.total_arrival_rate = 6.4;
+    config.strategy = strategy;
+    config.checkpoint_every_observations = checkpoint_every;
+    sim::Simulator simulator;
+    cluster::Cluster cluster_run(
+        simulator, config,
+        [] {
+          return core::make_detector(core::parse_spec("SRAA(n=2,K=5,D=3)"));
+        },
+        0xC1'05'7E + iteration);
+    cluster_run.run_transactions(kClusterBatch);
+    return cluster_run.metrics().completed;
+  };
+  const struct {
+    const char* key;
+    cluster::RejuvenationStrategy strategy;
+    std::uint64_t checkpoint_every;
+  } cluster_cases[] = {
+      {"cluster.txn.rolling", cluster::RejuvenationStrategy::kRolling, 0},
+      {"cluster.txn.simultaneous", cluster::RejuvenationStrategy::kSimultaneous, 0},
+      {"cluster.txn.load_triggered", cluster::RejuvenationStrategy::kLoadTriggered, 0},
+      {"cluster.txn.budget_aware", cluster::RejuvenationStrategy::kBudgetAware, 0},
+      {"cluster.txn.rolling_checkpointed", cluster::RejuvenationStrategy::kRolling, 1},
+  };
+  for (const auto& entry : cluster_cases) {
+    const auto strategy = entry.strategy;
+    const auto checkpoint_every = entry.checkpoint_every;
+    registry.add("cluster", entry.key,
+                 [run_batch, strategy, checkpoint_every](std::uint64_t n) {
+                   std::uint64_t completed = 0;
+                   std::uint64_t iteration = 0;
+                   for (std::uint64_t done = 0; done < n; done += kClusterBatch) {
+                     completed += run_batch(strategy, checkpoint_every, iteration++);
+                   }
+                   do_not_optimize(completed);
+                 });
+  }
+}
+
 void register_obs_suite(Registry& registry) {
   // The disabled path is the branch every untraced simulation pays per
   // event; it must stay in the low single-digit nanoseconds.
@@ -396,6 +469,7 @@ void register_standard_suites(Registry& registry) {
   register_event_queue_suite(registry);
   register_exec_suite(registry);
   register_monitor_suite(registry);
+  register_cluster_suite(registry);
   register_obs_suite(registry);
 }
 

@@ -17,6 +17,10 @@
 //                 parallel_map fan-out (the sweep harness's work-item cost).
 //   monitor     — the SPSC ring the ingest thread feeds and the checkpoint
 //                 record serialize/parse round trip.
+//   cluster     — the coordinator's per-transaction bookkeeping and the
+//                 batch-amortized end-to-end cost per offered transaction of
+//                 a coordinated cluster run, one entry per scheduling
+//                 strategy (plus a checkpoint-every-observation variant).
 //   obs         — tracer emit cost with no sink (the always-on branch) and
 //                 with a JSONL sink (the traced-run overhead).
 //

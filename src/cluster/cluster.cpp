@@ -10,23 +10,116 @@ namespace rejuv::cluster {
 void validate(const ClusterConfig& config) {
   REJUV_EXPECT(config.hosts >= 1, "cluster needs at least one host");
   REJUV_EXPECT(config.total_arrival_rate > 0.0, "total arrival rate must be positive");
+  REJUV_EXPECT(config.max_capacity_loss_fraction >= 0.0 &&
+                   config.max_capacity_loss_fraction <= 1.0,
+               "capacity loss fraction must be in [0, 1]");
+  REJUV_EXPECT(config.checkpoint_every_observations != 0 || config.checkpoint_journal_path.empty(),
+               "a checkpoint journal needs a checkpoint cadence");
+  REJUV_EXPECT(config.max_hosts_down <= config.hosts,
+               "capacity budget cannot exceed the host count");
   model::EcommerceConfig host = config.host_config;
   host.arrival_rate = config.total_arrival_rate / static_cast<double>(config.hosts);
+  host.rejuvenation_downtime_seconds = 0.0;  // downtime is the coordinator's
   model::validate(host);
+  // Parse eagerly so a bad plan string fails here, with its own message,
+  // and let the coordinator config validate itself.
+  faults::FaultPlan::parse(config.node_fault_plan);
+  coordinator_config(config);
 }
+
+CoordinatorConfig coordinator_config(const ClusterConfig& config) {
+  CoordinatorConfig resolved;
+  resolved.strategy = config.strategy;
+  resolved.hosts = config.hosts;
+  resolved.max_hosts_down = config.max_hosts_down;
+  if (resolved.max_hosts_down == 0 && config.max_capacity_loss_fraction > 0.0) {
+    resolved.max_hosts_down = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.max_capacity_loss_fraction *
+                                    static_cast<double>(config.hosts)));
+  }
+  resolved.downtime_seconds = config.host_config.rejuvenation_downtime_seconds;
+  resolved.restore_deadline_seconds = config.restore_deadline_seconds;
+  resolved.crash_repair_seconds = config.crash_repair_seconds;
+  resolved.backoff_base_seconds = config.backoff_base_seconds;
+  resolved.backoff_cap_seconds = config.backoff_cap_seconds;
+  resolved.backoff_jitter = config.backoff_jitter;
+  resolved.inflight_threshold =
+      config.inflight_threshold != 0
+          ? config.inflight_threshold
+          : std::max<std::size_t>(1, config.hosts * config.host_config.cpus / 2);
+  resolved.max_defer_seconds = config.max_defer_seconds;
+  resolved.rearm_seconds = config.rearm_seconds;
+  return resolved;
+}
+
+namespace {
+
+/// The hosts run with zero internal downtime: the coordinator owns the
+/// restore window, and a "down" host is simply one the balancer is told
+/// about, so the model's own downtime machinery must stay out of the way.
+model::EcommerceConfig host_system_config(const ClusterConfig& config) {
+  model::EcommerceConfig host = config.host_config;
+  host.arrival_rate = config.total_arrival_rate / static_cast<double>(config.hosts);
+  host.rejuvenation_downtime_seconds = 0.0;
+  return host;
+}
+
+}  // namespace
 
 Cluster::Cluster(sim::Simulator& simulator, ClusterConfig config,
                  const DetectorFactory& make_detector, std::uint64_t seed)
     : simulator_(simulator),
-      config_(config),
+      config_(std::move(config)),
+      make_detector_(make_detector),
+      seed_(seed),
       balancer_rng_(seed, /*stream_id=*/0),
-      arrival_process_(
-          std::make_unique<workload::PoissonProcess>(config.total_arrival_rate)) {
+      coordinator_(
+          simulator, coordinator_config(config_), faults::FaultPlan::parse(config_.node_fault_plan),
+          seed,
+          CoordinatorHooks{
+              .execute_rejuvenation =
+                  [this](std::size_t host) {
+                    Host& h = hosts_[host];
+                    h.controller->notify_external_rejuvenation();
+                    if (config_.checkpoint_every_observations != 0) save_checkpoint(host);
+                    h.system->force_rejuvenation();
+                  },
+              .on_crash =
+                  [this](std::size_t host) {
+                    if (config_.keep_state_on_crash) return;
+                    // Process death: the detector state is gone. A fresh
+                    // controller takes over; repair may re-seed it from the
+                    // last checkpoint.
+                    Host& h = hosts_[host];
+                    h.controller =
+                        std::make_unique<core::RejuvenationController>(make_detector_());
+                    h.controller->set_tracer(h.tracer.enabled() ? &h.tracer : nullptr);
+                    if (registry_ != nullptr) h.controller->set_metrics(registry_);
+                  },
+              .on_repair =
+                  [this](std::size_t host) {
+                    Host& h = hosts_[host];
+                    if (!config_.restore_on_repair || h.last_checkpoint.empty()) return;
+                    const auto record = monitor::parse_checkpoint_line(h.last_checkpoint);
+                    if (!record) return;
+                    if (!config_.keep_state_on_crash) {
+                      h.controller->restore_state(record->controller);
+                      ++checkpoints_restored_;
+                    }
+                    // Emitted in keep-state runs too, so a wipe-and-restore
+                    // run's trace is byte-identical to a state-survived one.
+                    h.tracer.checkpoint_restored(static_cast<std::uint32_t>(host),
+                                                 record->controller.observations);
+                  },
+              .escalation =
+                  [this](std::size_t host) {
+                    return hosts_[host].controller->detector_snapshot().bucket;
+                  },
+              .cluster_inflight = [this] { return cluster_inflight(); },
+          }) {
   validate(config_);
-  model::EcommerceConfig host_config = config_.host_config;
-  // The per-host config's own arrival rate is irrelevant (arrivals are
-  // injected by the balancer) but must be valid.
-  host_config.arrival_rate = config_.total_arrival_rate / static_cast<double>(config_.hosts);
+  arrival_process_ = std::make_unique<workload::PoissonProcess>(config_.total_arrival_rate);
+  const model::EcommerceConfig host_config = host_system_config(config_);
 
   hosts_.reserve(config_.hosts);
   for (std::size_t h = 0; h < config_.hosts; ++h) {
@@ -35,16 +128,17 @@ Cluster::Cluster(sim::Simulator& simulator, ClusterConfig config,
     host.service_rng = std::make_unique<common::RngStream>(seed, 2 * h + 2);
     host.system = std::make_unique<model::EcommerceSystem>(simulator_, host_config,
                                                            *host.arrival_rng, *host.service_rng);
-    host.controller = std::make_unique<core::RejuvenationController>(make_detector());
+    host.controller = std::make_unique<core::RejuvenationController>(make_detector_());
     hosts_.push_back(std::move(host));
   }
-  // Wire each host's decision path through the cluster coordinator. The
-  // index capture is safe: hosts_ never reallocates after construction.
+  if (!config_.checkpoint_journal_path.empty()) {
+    journal_ = std::make_unique<monitor::CheckpointWriter>(config_.checkpoint_journal_path);
+  }
+  // Wire each host's decision path through the coordinator. The index
+  // capture is safe: hosts_ never reallocates after construction.
   for (std::size_t h = 0; h < hosts_.size(); ++h) {
-    hosts_[h].system->set_decision([this, h](double rt) {
-      if (!hosts_[h].controller->observe(rt)) return false;
-      return on_detector_fire(h);
-    });
+    hosts_[h].system->set_decision(
+        [this, h](double rt) { return on_host_decision(h, rt); });
   }
 }
 
@@ -55,15 +149,48 @@ void Cluster::set_arrival_process(std::unique_ptr<workload::ArrivalProcess> proc
   arrival_process_ = std::move(process);
 }
 
+void Cluster::set_instrumentation(obs::TraceSink* sink, obs::MetricsRegistry* registry) {
+  REJUV_EXPECT(offered_ == 0, "instrumentation must be attached before the run starts");
+  registry_ = registry;
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    Host& host = hosts_[h];
+    host.tracer.set_sink(sink);
+    host.tracer.set_run(config_.total_arrival_rate, static_cast<std::uint32_t>(h));
+    host.system->set_tracer(sink != nullptr ? &host.tracer : nullptr);
+    host.controller->set_tracer(sink != nullptr ? &host.tracer : nullptr);
+    if (registry != nullptr) {
+      host.system->set_metrics(registry);
+      host.controller->set_metrics(registry);
+    }
+  }
+  cluster_tracer_.set_sink(sink);
+  cluster_tracer_.set_run(config_.total_arrival_rate, static_cast<std::uint32_t>(hosts_.size()));
+  coordinator_.set_tracer(sink != nullptr ? &cluster_tracer_ : nullptr);
+}
+
 void Cluster::run_transactions(std::uint64_t count) {
   REJUV_EXPECT(count >= 1, "need at least one transaction");
   REJUV_EXPECT(offered_ == 0, "Cluster instances are single-run");
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    hosts_[h].tracer.run_start("cluster-host", config_.total_arrival_rate,
+                               static_cast<std::uint32_t>(h), seed_);
+  }
   arrivals_to_generate_ = count;
   schedule_next_arrival();
   simulator_.run();
   const ClusterMetrics aggregate = metrics();
-  REJUV_ASSERT(aggregate.completed + aggregate.lost_on_hosts + aggregate.lost_all_down == count,
+  REJUV_ASSERT(aggregate.completed + aggregate.lost_on_hosts + aggregate.lost_all_down +
+                       aggregate.lost_to_down_host ==
+                   count,
                "cluster transaction conservation violated");
+  REJUV_ASSERT(coordinator_.pending_count() == 0,
+               "run ended with starved rejuvenation triggers still queued");
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    hosts_[h].tracer.run_end(hosts_[h].system->metrics().completed);
+  }
+  cluster_tracer_.flush();
+  if (!hosts_.empty()) hosts_.front().tracer.flush();
+  if (registry_ != nullptr) publish_metrics(*registry_);
 }
 
 void Cluster::schedule_next_arrival() {
@@ -79,7 +206,14 @@ void Cluster::on_arrival() {
   schedule_next_arrival();
   const std::size_t host = pick_host();
   if (host == hosts_.size()) {
+    // Every host is down (or no host is eligible): the transaction is an
+    // error page, accounted as cluster-level loss.
     ++lost_all_down_;
+    return;
+  }
+  if (!coordinator_.host_up(host)) {
+    // Oblivious balancer: the share sprayed at a down host is lost.
+    ++lost_to_down_host_;
     return;
   }
   ++hosts_[host].routed;
@@ -88,7 +222,7 @@ void Cluster::on_arrival() {
 
 std::size_t Cluster::pick_host() {
   auto eligible = [this](std::size_t h) {
-    return !config_.route_around_down_hosts || !hosts_[h].system->down();
+    return !config_.route_around_down_hosts || coordinator_.host_up(h);
   };
   switch (config_.routing) {
     case RoutingPolicy::kRoundRobin: {
@@ -129,46 +263,59 @@ std::size_t Cluster::pick_host() {
   return hosts_.size();
 }
 
-bool Cluster::on_detector_fire(std::size_t host) {
-  if (config_.strategy == RejuvenationStrategy::kIndependent || down_hosts_ == 0) {
-    begin_restore();
-    return true;  // the host rejuvenates itself now
-  }
-  // Rolling strategy with a restore already in progress: defer.
-  if (!hosts_[host].rejuvenation_pending) {
-    hosts_[host].rejuvenation_pending = true;
-    ++deferred_;
+bool Cluster::on_host_decision(std::size_t host, double response_time) {
+  Host& h = hosts_[host];
+  const bool false_fire = coordinator_.note_transaction(host);
+  const bool real_fire = h.controller->observe(response_time);
+  ++h.observations;
+  const std::uint64_t every = config_.checkpoint_every_observations;
+  if (every != 0 && h.observations % every == 0) save_checkpoint(host);
+  if (real_fire) return coordinator_.on_trigger(host);
+  if (false_fire) {
+    if (!coordinator_.on_trigger(host)) return false;
+    // An injected trigger executing immediately resets the detector the
+    // same way an operator-forced rejuvenation would.
+    h.controller->notify_external_rejuvenation();
+    if (every != 0) save_checkpoint(host);
+    return true;
   }
   return false;
 }
 
-void Cluster::begin_restore() {
-  const double downtime = config_.host_config.rejuvenation_downtime_seconds;
-  if (downtime <= 0.0) return;  // instantaneous: nothing to coordinate
-  ++down_hosts_;
-  simulator_.schedule_after(downtime, [this] { finish_restore(); });
+void Cluster::save_checkpoint(std::size_t host) {
+  Host& h = hosts_[host];
+  monitor::ShardCheckpoint record;
+  record.spec = h.controller->detector().name();
+  record.shard = static_cast<std::uint32_t>(host);
+  record.shard_count = static_cast<std::uint32_t>(hosts_.size());
+  record.controller = h.controller->save_state();
+  h.last_checkpoint = monitor::to_json(record);
+  ++checkpoints_saved_;
+  h.tracer.checkpoint_saved(static_cast<std::uint32_t>(host), record.controller.observations);
+  if (journal_ != nullptr) journal_->append(record);
 }
 
-void Cluster::finish_restore() {
-  REJUV_ASSERT(down_hosts_ > 0, "restore finished with no host down");
-  --down_hosts_;
-  if (config_.strategy != RejuvenationStrategy::kRolling || down_hosts_ > 0) return;
-  // Execute the oldest deferred trigger, if any host is still waiting.
-  for (Host& host : hosts_) {
-    if (!host.rejuvenation_pending) continue;
-    host.rejuvenation_pending = false;
-    host.controller->notify_external_rejuvenation();
-    host.system->force_rejuvenation();
-    begin_restore();
-    break;
-  }
+std::size_t Cluster::cluster_inflight() const {
+  std::size_t inflight = 0;
+  for (const Host& host : hosts_) inflight += host.system->threads_in_system();
+  return inflight;
 }
 
 ClusterMetrics Cluster::metrics() const {
   ClusterMetrics aggregate;
   aggregate.offered = offered_;
   aggregate.lost_all_down = lost_all_down_;
-  aggregate.deferred_rejuvenations = deferred_;
+  aggregate.lost_to_down_host = lost_to_down_host_;
+  const CoordinatorStats& stats = coordinator_.stats();
+  aggregate.deferred_rejuvenations = stats.deferred;
+  aggregate.crashes = stats.crashes;
+  aggregate.hangs = stats.hangs;
+  aggregate.retries = stats.retries;
+  aggregate.repairs = stats.repairs;
+  aggregate.false_triggers = stats.false_triggers;
+  aggregate.max_hosts_down = stats.max_hosts_down;
+  aggregate.checkpoints_saved = checkpoints_saved_;
+  aggregate.checkpoints_restored = checkpoints_restored_;
   for (const Host& host : hosts_) {
     const model::EcommerceMetrics& m = host.system->metrics();
     aggregate.completed += m.completed;
@@ -178,6 +325,23 @@ ClusterMetrics Cluster::metrics() const {
     aggregate.response_time.merge(m.response_time);
   }
   return aggregate;
+}
+
+void Cluster::publish_metrics(obs::MetricsRegistry& registry) const {
+  const ClusterMetrics m = metrics();
+  registry.counter("cluster.offered").increment(m.offered);
+  registry.counter("cluster.lost_all_down").increment(m.lost_all_down);
+  registry.counter("cluster.lost_to_down_host").increment(m.lost_to_down_host);
+  registry.counter("cluster.deferred").increment(m.deferred_rejuvenations);
+  registry.counter("cluster.restores").increment(coordinator_.stats().restores_started);
+  registry.counter("cluster.crashes").increment(m.crashes);
+  registry.counter("cluster.hangs").increment(m.hangs);
+  registry.counter("cluster.retries").increment(m.retries);
+  registry.counter("cluster.repairs").increment(m.repairs);
+  registry.counter("cluster.false_triggers").increment(m.false_triggers);
+  registry.counter("cluster.checkpoints_saved").increment(m.checkpoints_saved);
+  registry.counter("cluster.checkpoints_restored").increment(m.checkpoints_restored);
+  registry.gauge("cluster.max_hosts_down").set(static_cast<double>(m.max_hosts_down));
 }
 
 const model::EcommerceMetrics& Cluster::host_metrics(std::size_t host) const {
@@ -193,6 +357,11 @@ const core::RejuvenationController& Cluster::host_controller(std::size_t host) c
 std::uint64_t Cluster::routed_to(std::size_t host) const {
   REJUV_EXPECT(host < hosts_.size(), "host index out of range");
   return hosts_[host].routed;
+}
+
+const std::string& Cluster::host_checkpoint(std::size_t host) const {
+  REJUV_EXPECT(host < hosts_.size(), "host index out of range");
+  return hosts_[host].last_checkpoint;
 }
 
 }  // namespace rejuv::cluster

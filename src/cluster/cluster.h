@@ -2,26 +2,37 @@
 // "Ensuring system performance for cluster and single server systems").
 //
 // A Cluster front-ends several independent EcommerceSystem replicas with a
-// load balancer and gives each host its own rejuvenation detector. Two
-// coordination strategies are provided:
-//   - kIndependent: a host rejuvenates the moment its detector fires.
-//   - kRolling: at most one host may be down (restoring capacity) at a
-//     time; triggers that arrive while another host is down are deferred
-//     and executed as soon as the restore completes. With a non-zero
-//     rejuvenation downtime this keeps aggregate capacity loss bounded.
-// The load balancer can route around down hosts (health-checked failover)
-// or stay oblivious (DNS-style static spraying).
+// load balancer and gives each host its own rejuvenation detector. The
+// *when* of rejuvenation is owned by a fault-tolerant Coordinator
+// (coordinator.h): staggered restores under a bounded capacity budget, a
+// pluggable scheduling strategy, a deadline watchdog with backoff retries,
+// and a seed-driven node fault layer (crash / hang / slow-restore /
+// false-trigger). Host models run with zero internal downtime; the
+// coordinator tracks which hosts are down and for how long, and the
+// balancer either routes around them (health-checked failover) or stays
+// oblivious (DNS-style static spraying) and loses their share.
+//
+// Per-host checkpointing reuses the monitor's versioned JSONL journal
+// format: with a cadence of 1 the latest checkpoint always equals the live
+// controller state, so a host that crashes mid-restore and is repaired
+// resumes its detector bit-exactly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "cluster/coordinator.h"
 #include "common/rng.h"
 #include "core/controller.h"
 #include "core/detector.h"
 #include "model/ecommerce.h"
+#include "monitor/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 #include "workload/arrival_process.h"
 
@@ -33,52 +44,99 @@ enum class RoutingPolicy {
   kLeastLoaded,  ///< host with the fewest threads in the system
 };
 
-enum class RejuvenationStrategy {
-  kIndependent,  ///< hosts rejuvenate the moment their detector fires
-  kRolling,      ///< at most one host down at a time; other triggers defer
-};
-
 struct ClusterConfig {
   std::size_t hosts = 4;
   /// Per-host system parameters. `arrival_rate` is only used as the default
-  /// per-host share if total_arrival_rate is not set (> 0 overrides).
+  /// per-host share if total_arrival_rate is not set (> 0 overrides). The
+  /// rejuvenation downtime here is the *coordinator's* restore duration;
+  /// host models always run with zero internal downtime.
   model::EcommerceConfig host_config;
   /// Aggregate arrival rate offered to the load balancer.
   double total_arrival_rate = 6.4;
   RoutingPolicy routing = RoutingPolicy::kLeastLoaded;
-  RejuvenationStrategy strategy = RejuvenationStrategy::kIndependent;
+  RejuvenationStrategy strategy = RejuvenationStrategy::kSimultaneous;
   /// True: the balancer health-checks and skips down hosts (transactions are
   /// lost only if every host is down). False: down hosts still receive their
-  /// share and lose it.
+  /// share and lose it (counted in lost_to_down_host).
   bool route_around_down_hosts = true;
+
+  // --- Capacity-impact budget ---
+  /// At most this many hosts down at any instant. 0 = auto: hosts for
+  /// simultaneous, 1 for every staggered strategy — unless
+  /// max_capacity_loss_fraction is set, which then derives the budget.
+  std::size_t max_hosts_down = 0;
+  /// Alternative budget spelling: at most this fraction of capacity lost at
+  /// any instant (B = max(1, floor(f * hosts))). 0 = unused; only consulted
+  /// when max_hosts_down is 0.
+  double max_capacity_loss_fraction = 0.0;
+
+  // --- Node fault layer (crash / hang / slow / false-trigger) ---
+  /// FaultPlan spec, e.g. "seed=7,crash@1,h2:hang@1,false-trigger@900";
+  /// empty = no chaos. Requires a positive rejuvenation downtime.
+  std::string node_fault_plan;
+  double restore_deadline_seconds = 0.0;  ///< watchdog; 0 = 4x downtime
+  double crash_repair_seconds = 0.0;      ///< reboot time; 0 = 2x downtime
+  double backoff_base_seconds = 5.0;      ///< retry backoff base
+  double backoff_cap_seconds = 120.0;
+  double backoff_jitter = 0.1;
+  /// Load-triggered valley bound; 0 = auto (half the cluster's CPU count).
+  std::size_t inflight_threshold = 0;
+  double max_defer_seconds = 0.0;  ///< starvation bound; 0 = 8x downtime
+  double rearm_seconds = 0.0;      ///< deferred-queue re-check; 0 = auto
+
+  // --- Checkpoint / restore ---
+  /// Save a host checkpoint every this many observations (1 = bit-exact
+  /// crash recovery); 0 disables checkpointing.
+  std::uint64_t checkpoint_every_observations = 0;
+  /// Optional JSONL journal path (the PR 3 monitor format, shard = host);
+  /// "" = checkpoints kept in memory only.
+  std::string checkpoint_journal_path;
+  /// Test knob: a crashed host keeps its detector state (as if nothing was
+  /// lost). Default false: a crash wipes the detector; repair restores it
+  /// from the last checkpoint, if any.
+  bool keep_state_on_crash = false;
+  /// Test knob: false = repaired hosts restart cold even when a checkpoint
+  /// exists (the negative control for the kill-and-resume suite).
+  bool restore_on_repair = true;
 };
 
 void validate(const ClusterConfig& config);
 
 /// Builds one detector per host (nullptr = that host never rejuvenates).
+/// Invoked again when a crashed host's state is wiped, so it must be pure.
 using DetectorFactory = std::function<std::unique_ptr<core::Detector>()>;
 
 struct ClusterMetrics {
   std::uint64_t offered = 0;        ///< transactions presented to the balancer
   std::uint64_t lost_all_down = 0;  ///< dropped because no host was eligible
+  std::uint64_t lost_to_down_host = 0;  ///< obliviously routed to a down host
   std::uint64_t completed = 0;
   std::uint64_t lost_on_hosts = 0;
   std::uint64_t rejuvenations = 0;
-  std::uint64_t deferred_rejuvenations = 0;  ///< rolling-strategy deferrals
+  std::uint64_t deferred_rejuvenations = 0;  ///< budget/strategy deferrals
+  std::uint64_t crashes = 0;
+  std::uint64_t hangs = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t false_triggers = 0;
+  std::uint64_t checkpoints_saved = 0;
+  std::uint64_t checkpoints_restored = 0;
+  std::size_t max_hosts_down = 0;  ///< high-water mark (<= budget, always)
   std::uint64_t gc_count = 0;
   stats::RunningStats response_time;
 
   double loss_fraction() const noexcept {
     return offered == 0 ? 0.0
-                        : static_cast<double>(lost_all_down + lost_on_hosts) /
+                        : static_cast<double>(lost_all_down + lost_to_down_host + lost_on_hosts) /
                               static_cast<double>(offered);
   }
 };
 
 class Cluster {
  public:
-  /// `make_detector` is invoked once per host. Streams are derived from
-  /// `seed`: the balancer and each host get independent substreams.
+  /// `make_detector` is invoked once per host (and again on crash-wipe).
+  /// Streams are derived from `seed`: the balancer and each host get
+  /// independent substreams.
   Cluster(sim::Simulator& simulator, ClusterConfig config, const DetectorFactory& make_detector,
           std::uint64_t seed);
 
@@ -86,8 +144,16 @@ class Cluster {
   /// process (e.g. with a bursty MMPP). Must be called before the run.
   void set_arrival_process(std::unique_ptr<workload::ArrivalProcess> process);
 
+  /// Attaches a trace sink (shared by one tracer per host plus the
+  /// coordinator's cluster tracer) and/or a metrics registry (cluster.*
+  /// counters published at the end of the run). Must be called before the
+  /// run; nullptr arguments detach.
+  void set_instrumentation(obs::TraceSink* sink, obs::MetricsRegistry* registry);
+
   /// Offers exactly `count` transactions through the balancer and runs the
-  /// simulation until all of them completed or were lost.
+  /// simulation until all of them completed or were lost AND every
+  /// deferred rejuvenation has been served (the coordinator's re-arm chain
+  /// keeps the event queue alive until its queue drains).
   void run_transactions(std::uint64_t count);
 
   /// Aggregate metrics (host counters summed, RT streams merged).
@@ -98,9 +164,15 @@ class Cluster {
   const core::RejuvenationController& host_controller(std::size_t host) const;
   /// Arrivals routed to each host by the balancer.
   std::uint64_t routed_to(std::size_t host) const;
+  /// The host's latest checkpoint record as a JSONL line ("" = none yet).
+  const std::string& host_checkpoint(std::size_t host) const;
+
+  NodeState node_state(std::size_t host) const { return coordinator_.node_state(host); }
+  const Coordinator& coordinator() const noexcept { return coordinator_; }
+  std::size_t pending_rejuvenations() const noexcept { return coordinator_.pending_count(); }
 
   /// True while some host is restoring capacity (downtime in progress).
-  bool restore_in_progress() const noexcept { return down_hosts_ > 0; }
+  bool restore_in_progress() const noexcept { return coordinator_.hosts_down() > 0; }
 
  private:
   struct Host {
@@ -108,30 +180,43 @@ class Cluster {
     std::unique_ptr<common::RngStream> service_rng;
     std::unique_ptr<model::EcommerceSystem> system;
     std::unique_ptr<core::RejuvenationController> controller;
+    obs::Tracer tracer;  ///< host lane: load = total rate, rep = host index
     std::uint64_t routed = 0;
-    bool rejuvenation_pending = false;
+    std::uint64_t observations = 0;
+    std::string last_checkpoint;  ///< latest JSONL record; "" = none
   };
 
   void schedule_next_arrival();
   void on_arrival();
   std::size_t pick_host();
-  /// Detector fired on `host`: returns true when the host should rejuvenate
-  /// now, false when the trigger is deferred (rolling strategy).
-  bool on_detector_fire(std::size_t host);
-  void begin_restore();
-  void finish_restore();
+  /// The wired-up decision path for host `h`'s completed transaction.
+  bool on_host_decision(std::size_t host, double response_time);
+  void save_checkpoint(std::size_t host);
+  std::size_t cluster_inflight() const;
+  void publish_metrics(obs::MetricsRegistry& registry) const;
 
   sim::Simulator& simulator_;
   ClusterConfig config_;
+  DetectorFactory make_detector_;
+  std::uint64_t seed_;
   common::RngStream balancer_rng_;
   std::vector<Host> hosts_;
+  Coordinator coordinator_;
   std::unique_ptr<workload::ArrivalProcess> arrival_process_;
+  std::unique_ptr<monitor::CheckpointWriter> journal_;
+  obs::Tracer cluster_tracer_;  ///< coordinator events; rep = host per event
+  obs::MetricsRegistry* registry_ = nullptr;
   std::uint64_t arrivals_to_generate_ = 0;
   std::uint64_t offered_ = 0;
   std::uint64_t lost_all_down_ = 0;
-  std::uint64_t deferred_ = 0;
+  std::uint64_t lost_to_down_host_ = 0;
+  std::uint64_t checkpoints_saved_ = 0;
+  std::uint64_t checkpoints_restored_ = 0;
   std::size_t round_robin_next_ = 0;
-  std::size_t down_hosts_ = 0;
 };
+
+/// The coordinator configuration a ClusterConfig resolves to (budget
+/// derivation included); exposed for tests and the sweep runner.
+CoordinatorConfig coordinator_config(const ClusterConfig& config);
 
 }  // namespace rejuv::cluster

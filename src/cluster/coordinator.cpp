@@ -1,0 +1,400 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/expect.h"
+
+namespace rejuv::cluster {
+
+namespace {
+
+class SimultaneousStrategy final : public Strategy {
+ public:
+  std::string_view name() const override { return "simultaneous"; }
+  std::size_t select(const std::vector<PendingTrigger>& pending,
+                     const SchedulingContext&) const override {
+    return pending.empty() ? kHold : 0;
+  }
+};
+
+class RollingStrategy final : public Strategy {
+ public:
+  std::string_view name() const override { return "rolling"; }
+  std::size_t select(const std::vector<PendingTrigger>& pending,
+                     const SchedulingContext&) const override {
+    return pending.empty() ? kHold : 0;  // FIFO; staggering comes from the budget
+  }
+};
+
+class LoadTriggeredStrategy final : public Strategy {
+ public:
+  std::string_view name() const override { return "load-triggered"; }
+  std::size_t select(const std::vector<PendingTrigger>& pending,
+                     const SchedulingContext& context) const override {
+    if (pending.empty()) return kHold;
+    // Rejuvenate in load valleys: hold everything while the cluster is busy.
+    if (context.cluster_inflight > context.inflight_threshold) return kHold;
+    return 0;
+  }
+};
+
+class BudgetAwareStrategy final : public Strategy {
+ public:
+  std::string_view name() const override { return "budget-aware"; }
+  std::size_t select(const std::vector<PendingTrigger>& pending,
+                     const SchedulingContext&) const override {
+    if (pending.empty()) return kHold;
+    // Sickest host first: highest current escalation level; the queue keeps
+    // append (= age) order, so the first maximum is also the oldest.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      if (pending[i].escalation > pending[best].escalation) best = i;
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::string_view strategy_name(RejuvenationStrategy strategy) {
+  switch (strategy) {
+    case RejuvenationStrategy::kSimultaneous:
+      return "simultaneous";
+    case RejuvenationStrategy::kRolling:
+      return "rolling";
+    case RejuvenationStrategy::kLoadTriggered:
+      return "load-triggered";
+    case RejuvenationStrategy::kBudgetAware:
+      return "budget-aware";
+  }
+  return "unknown";
+}
+
+std::optional<RejuvenationStrategy> parse_strategy(std::string_view name) {
+  if (name == "simultaneous") return RejuvenationStrategy::kSimultaneous;
+  if (name == "rolling") return RejuvenationStrategy::kRolling;
+  if (name == "load-triggered") return RejuvenationStrategy::kLoadTriggered;
+  if (name == "budget-aware") return RejuvenationStrategy::kBudgetAware;
+  return std::nullopt;
+}
+
+std::unique_ptr<Strategy> make_strategy(RejuvenationStrategy strategy) {
+  switch (strategy) {
+    case RejuvenationStrategy::kSimultaneous:
+      return std::make_unique<SimultaneousStrategy>();
+    case RejuvenationStrategy::kRolling:
+      return std::make_unique<RollingStrategy>();
+    case RejuvenationStrategy::kLoadTriggered:
+      return std::make_unique<LoadTriggeredStrategy>();
+    case RejuvenationStrategy::kBudgetAware:
+      return std::make_unique<BudgetAwareStrategy>();
+  }
+  REJUV_ASSERT(false, "unhandled rejuvenation strategy");
+  return nullptr;
+}
+
+Coordinator::Coordinator(sim::Simulator& simulator, CoordinatorConfig config,
+                         faults::FaultPlan node_plan, std::uint64_t seed, CoordinatorHooks hooks)
+    : simulator_(simulator),
+      config_(config),
+      hooks_(std::move(hooks)),
+      strategy_(make_strategy(config.strategy)),
+      plan_(std::move(node_plan)),
+      consumed_(plan_.faults.size(), false),
+      // Hosts use streams 2h+1 / 2h+2 and the balancer stream 0; the
+      // coordinator's jitter stream sits past all of them.
+      rng_(seed, 2 * config.hosts + 3),
+      nodes_(config.hosts) {
+  REJUV_EXPECT(config_.hosts >= 1, "coordinator needs at least one host");
+  if (config_.max_hosts_down == 0) {
+    config_.max_hosts_down =
+        config_.strategy == RejuvenationStrategy::kSimultaneous ? config_.hosts : 1;
+  }
+  REJUV_EXPECT(config_.max_hosts_down <= config_.hosts,
+               "capacity budget cannot exceed the host count");
+  REJUV_EXPECT(config_.backoff_base_seconds > 0.0, "backoff base must be positive");
+  REJUV_EXPECT(config_.backoff_cap_seconds >= config_.backoff_base_seconds,
+               "backoff cap must be at least the base");
+  REJUV_EXPECT(config_.backoff_jitter >= 0.0, "backoff jitter must be non-negative");
+  if (config_.downtime_seconds > 0.0) {
+    if (config_.restore_deadline_seconds <= 0.0) {
+      config_.restore_deadline_seconds = 4.0 * config_.downtime_seconds;
+    }
+    if (config_.crash_repair_seconds <= 0.0) {
+      config_.crash_repair_seconds = 2.0 * config_.downtime_seconds;
+    }
+    if (config_.max_defer_seconds <= 0.0) {
+      config_.max_defer_seconds = 8.0 * config_.downtime_seconds;
+    }
+    if (config_.rearm_seconds <= 0.0) {
+      config_.rearm_seconds = std::max(1.0, config_.downtime_seconds / 4.0);
+    }
+  }
+  for (const faults::FaultSpec& fault : plan_.faults) {
+    if (!is_node_only(fault.kind) && fault.kind != faults::FaultKind::kCrash) {
+      throw std::invalid_argument(
+          "node fault plans take crash/hang/slow/false-trigger; \"" +
+          std::string(faults::fault_kind_name(fault.kind)) + "\" is source-level");
+    }
+    if (fault.host >= 0 && static_cast<std::size_t>(fault.host) >= config_.hosts) {
+      throw std::invalid_argument("node fault plan names host " + std::to_string(fault.host) +
+                                  " but the cluster has " + std::to_string(config_.hosts) +
+                                  " hosts");
+    }
+    if (config_.downtime_seconds <= 0.0) {
+      throw std::invalid_argument(
+          "node fault plans need a positive rejuvenation downtime (instantaneous restores "
+          "leave nothing to crash, hang, or slow down)");
+    }
+  }
+}
+
+NodeState Coordinator::node_state(std::size_t host) const {
+  REJUV_EXPECT(host < nodes_.size(), "host index out of range");
+  return nodes_[host].state;
+}
+
+bool Coordinator::note_transaction(std::size_t host) {
+  REJUV_EXPECT(host < nodes_.size(), "host index out of range");
+  ++txns_total_;
+  ++nodes_[host].txns_total;
+  const faults::FaultSpec* fault = consume_fault(faults::FaultKind::kFalseTrigger, host,
+                                                 txns_total_, nodes_[host].txns_total);
+  if (fault == nullptr) return false;
+  ++stats_.false_triggers;
+  return true;
+}
+
+bool Coordinator::on_trigger(std::size_t host) {
+  REJUV_EXPECT(host < nodes_.size(), "host index out of range");
+  if (config_.downtime_seconds <= 0.0) return true;  // instantaneous; nothing to coordinate
+  Node& node = nodes_[host];
+  if (node.state != NodeState::kUp || node.pending) return false;
+  if (hosts_down_ < config_.max_hosts_down && pending_.empty()) {
+    // Nobody is waiting ahead of this trigger: ask the strategy whether it
+    // may start right now (load-triggered may still hold it for a valley).
+    const std::vector<PendingTrigger> candidate{
+        {host, simulator_.now(), hooks_.escalation ? hooks_.escalation(host) : 0}};
+    if (strategy_->select(candidate, context()) == 0) {
+      start_restore(host);
+      return true;
+    }
+  }
+  defer(host);
+  return false;
+}
+
+SchedulingContext Coordinator::context() const {
+  SchedulingContext context;
+  context.now = simulator_.now();
+  context.hosts_down = hosts_down_;
+  context.budget = config_.max_hosts_down;
+  context.cluster_inflight = hooks_.cluster_inflight ? hooks_.cluster_inflight() : 0;
+  context.inflight_threshold = config_.inflight_threshold;
+  return context;
+}
+
+std::size_t Coordinator::pick(const SchedulingContext& context) const {
+  // Starvation override: the oldest deferral (queue front) trumps any
+  // strategy preference once it has waited long enough.
+  if (!pending_.empty() && context.now - pending_.front().since >= config_.max_defer_seconds) {
+    return 0;
+  }
+  return strategy_->select(pending_, context);
+}
+
+void Coordinator::defer(std::size_t host) {
+  Node& node = nodes_[host];
+  node.pending = true;
+  pending_.push_back(
+      {host, simulator_.now(), hooks_.escalation ? hooks_.escalation(host) : 0});
+  ++stats_.deferred;
+  if (tracer_ != nullptr) {
+    tracer_->rejuvenation_deferred(static_cast<std::uint32_t>(host), pending_.size(),
+                                   pending_.back().escalation);
+  }
+  schedule_serve();
+}
+
+void Coordinator::try_serve() {
+  while (hosts_down_ < config_.max_hosts_down && !pending_.empty()) {
+    if (hooks_.escalation) {
+      for (PendingTrigger& trigger : pending_) {
+        trigger.escalation = hooks_.escalation(trigger.host);
+      }
+    }
+    const SchedulingContext context = this->context();
+    const std::size_t index = pick(context);
+    if (index >= pending_.size()) break;  // strategy holds the whole queue
+    const PendingTrigger trigger = pending_[index];
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    Node& node = nodes_[trigger.host];
+    REJUV_ASSERT(node.state == NodeState::kUp && node.pending,
+                 "deferred trigger for a host that is not up and waiting");
+    node.pending = false;
+    ++stats_.served_deferred;
+    start_restore(trigger.host);
+    if (hooks_.execute_rejuvenation) hooks_.execute_rejuvenation(trigger.host);
+  }
+  if (!pending_.empty() && hosts_down_ < config_.max_hosts_down) schedule_rearm();
+}
+
+void Coordinator::schedule_serve() {
+  if (serve_scheduled_) return;
+  serve_scheduled_ = true;
+  // Same simulation instant, but after the current event unwinds: serving
+  // may force-rejuvenate a model whose completion callback is on the stack.
+  simulator_.schedule_after(0.0, [this] {
+    serve_scheduled_ = false;
+    try_serve();
+  });
+}
+
+void Coordinator::schedule_rearm() {
+  if (rearm_scheduled_) return;
+  rearm_scheduled_ = true;
+  simulator_.schedule_after(config_.rearm_seconds, [this] {
+    rearm_scheduled_ = false;
+    try_serve();
+  });
+}
+
+void Coordinator::start_restore(std::size_t host) {
+  Node& node = nodes_[host];
+  REJUV_ASSERT(hosts_down_ < config_.max_hosts_down, "capacity budget violated");
+  REJUV_ASSERT(node.state == NodeState::kUp, "restore started on a host that is not up");
+  node.state = NodeState::kRestoring;
+  node.attempt = 0;
+  node.restore_started = simulator_.now();
+  ++hosts_down_;
+  stats_.max_hosts_down = std::max(stats_.max_hosts_down, hosts_down_);
+  ++stats_.restores_started;
+  begin_attempt(host);
+}
+
+void Coordinator::begin_attempt(std::size_t host) {
+  Node& node = nodes_[host];
+  ++node.attempt;
+  ++node.attempts_total;
+  ++attempts_total_;
+  if (tracer_ != nullptr) {
+    tracer_->node_restore_start(static_cast<std::uint32_t>(host), node.attempt);
+  }
+
+  double duration = config_.downtime_seconds;
+  if (const faults::FaultSpec* slow = consume_fault(faults::FaultKind::kSlowRestore, host,
+                                                    attempts_total_, node.attempts_total)) {
+    duration += static_cast<double>(slow->duration.count()) / 1000.0;
+    ++stats_.slow_restores;
+  }
+  const bool hung = consume_fault(faults::FaultKind::kHang, host, attempts_total_,
+                                  node.attempts_total) != nullptr;
+  const bool crashes = consume_fault(faults::FaultKind::kCrash, host, attempts_total_,
+                                     node.attempts_total) != nullptr;
+
+  if (!hung) {
+    node.finish_event = simulator_.schedule_after(duration, [this, host] { finish_restore(host); });
+  }
+  if (crashes) {
+    // The process dies halfway through the (possibly slowed) restore.
+    node.crash_event =
+        simulator_.schedule_after(duration * 0.5, [this, host] { crash_host(host); });
+  }
+  node.watchdog_event = simulator_.schedule_after(config_.restore_deadline_seconds,
+                                                  [this, host] { on_watchdog(host); });
+}
+
+void Coordinator::cancel(sim::EventId& event) {
+  if (event == sim::kNoEvent) return;
+  simulator_.cancel(event);
+  event = sim::kNoEvent;
+}
+
+void Coordinator::finish_restore(std::size_t host) {
+  Node& node = nodes_[host];
+  node.finish_event = sim::kNoEvent;
+  cancel(node.watchdog_event);
+  cancel(node.crash_event);
+  node.state = NodeState::kUp;
+  REJUV_ASSERT(hosts_down_ > 0, "restore finished with no host down");
+  --hosts_down_;
+  ++stats_.restores_completed;
+  if (tracer_ != nullptr) {
+    tracer_->node_restore_end(static_cast<std::uint32_t>(host),
+                              simulator_.now() - node.restore_started);
+  }
+  try_serve();
+}
+
+void Coordinator::on_watchdog(std::size_t host) {
+  Node& node = nodes_[host];
+  node.watchdog_event = sim::kNoEvent;
+  cancel(node.finish_event);
+  cancel(node.crash_event);
+  ++stats_.hangs;
+  if (tracer_ != nullptr) {
+    tracer_->node_hang(static_cast<std::uint32_t>(host), config_.restore_deadline_seconds);
+  }
+  // Retry the restore with jittered exponential backoff. The host stays
+  // down throughout, so the budget cannot be violated by retries.
+  const double exponential =
+      std::min(config_.backoff_cap_seconds,
+               config_.backoff_base_seconds * std::pow(2.0, static_cast<double>(node.attempt - 1)));
+  const double delay = exponential * (1.0 + config_.backoff_jitter * rng_.uniform01());
+  ++stats_.retries;
+  if (tracer_ != nullptr) {
+    tracer_->node_retry(static_cast<std::uint32_t>(host), delay, node.attempt + 1);
+  }
+  simulator_.schedule_after(delay, [this, host] { begin_attempt(host); });
+}
+
+void Coordinator::crash_host(std::size_t host) {
+  Node& node = nodes_[host];
+  node.crash_event = sim::kNoEvent;
+  cancel(node.finish_event);
+  cancel(node.watchdog_event);
+  node.state = NodeState::kCrashed;
+  ++stats_.crashes;
+  if (tracer_ != nullptr) {
+    tracer_->node_crash(static_cast<std::uint32_t>(host), node.attempt);
+  }
+  if (hooks_.on_crash) hooks_.on_crash(host);
+  simulator_.schedule_after(config_.crash_repair_seconds, [this, host] { repair_host(host); });
+}
+
+void Coordinator::repair_host(std::size_t host) {
+  Node& node = nodes_[host];
+  REJUV_ASSERT(node.state == NodeState::kCrashed, "repair of a host that did not crash");
+  node.state = NodeState::kUp;
+  REJUV_ASSERT(hosts_down_ > 0, "repair finished with no host down");
+  --hosts_down_;
+  ++stats_.repairs;
+  if (hooks_.on_repair) hooks_.on_repair(host);
+  if (tracer_ != nullptr) {
+    tracer_->node_repair(static_cast<std::uint32_t>(host), config_.crash_repair_seconds);
+  }
+  try_serve();
+}
+
+const faults::FaultSpec* Coordinator::consume_fault(faults::FaultKind kind, std::size_t host,
+                                                    std::uint64_t cluster_ordinal,
+                                                    std::uint64_t host_ordinal) {
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    if (consumed_[i]) continue;
+    const faults::FaultSpec& fault = plan_.faults[i];
+    if (fault.kind != kind) continue;
+    const bool matches = fault.host < 0
+                             ? fault.at_line == cluster_ordinal
+                             : static_cast<std::size_t>(fault.host) == host &&
+                                   fault.at_line == host_ordinal;
+    if (!matches) continue;
+    consumed_[i] = true;
+    return &fault;
+  }
+  return nullptr;
+}
+
+}  // namespace rejuv::cluster

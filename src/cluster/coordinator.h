@@ -1,0 +1,251 @@
+// Fault-tolerant rejuvenation coordinator for a cluster of replicas.
+//
+// The coordinator owns the *when* of cluster rejuvenation: detectors (one
+// per host) decide that a host needs rejuvenating, and the coordinator
+// schedules the resulting capacity-restore windows so that at most
+// `max_hosts_down` hosts are ever down at one instant — the bounded
+// capacity-impact discipline of Huang-style non-disruptive repair. Triggers
+// that cannot start inside the budget are deferred into a pending queue and
+// re-armed later; a pluggable Strategy orders the queue:
+//   - simultaneous: serve in trigger order (with budget = hosts this is the
+//     old "every host rejuvenates the moment it fires" behaviour)
+//   - rolling:      serve in trigger order, classically with budget 1
+//   - load-triggered: hold deferred work until the cluster-wide in-flight
+//     transaction count dips below a threshold (rejuvenate in load valleys)
+//   - budget-aware: serve the host whose detector currently shows the
+//     highest escalation level (sickest host first), ties to the oldest
+// Starvation protection is strategy-independent: once the oldest deferred
+// trigger has waited `max_defer_seconds` it is served as soon as the budget
+// allows, whatever the strategy prefers.
+//
+// Robustness: a node-level fault layer (driven by a faults::FaultPlan whose
+// crash/hang/slow items key on restore-attempt ordinals and false-trigger
+// items on completed-transaction ordinals) lets hosts fail *during*
+// rejuvenation. A per-restore deadline watchdog detects stuck (hung or
+// over-slow) restores and retries them with jittered exponential backoff; a
+// crash mid-restore destroys the host's detector state (the cluster wires
+// checkpoint/restore through the hooks so a repaired host resumes
+// bit-exactly). None of these paths can violate the budget: a retried or
+// crashed host is already down, so only starting a restore on an up host —
+// which is budget-gated — changes the hosts-down count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/fault_plan.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+
+namespace rejuv::cluster {
+
+enum class RejuvenationStrategy {
+  kSimultaneous,   ///< serve triggers immediately (budget permitting)
+  kRolling,        ///< FIFO staggering, classically one host at a time
+  kLoadTriggered,  ///< defer until the cluster-wide load dips
+  kBudgetAware,    ///< priority queue by current detector escalation level
+};
+
+std::string_view strategy_name(RejuvenationStrategy strategy);
+/// Parses "simultaneous" / "rolling" / "load-triggered" / "budget-aware";
+/// nullopt for anything else.
+std::optional<RejuvenationStrategy> parse_strategy(std::string_view name);
+
+enum class NodeState : std::uint8_t {
+  kUp,         ///< serving traffic
+  kRestoring,  ///< rejuvenation in progress (capacity down)
+  kCrashed,    ///< died mid-restore; awaiting repair
+};
+
+/// One deferred rejuvenation trigger. The queue keeps append order, so the
+/// front is always the oldest deferral; `escalation` is refreshed from the
+/// host's live detector snapshot before every selection.
+struct PendingTrigger {
+  std::size_t host = 0;
+  double since = 0.0;           ///< simulation time of the deferral
+  std::int32_t escalation = 0;  ///< detector escalation level (cascade N)
+};
+
+/// What a Strategy may look at when choosing the next trigger to serve.
+struct SchedulingContext {
+  double now = 0.0;
+  std::size_t hosts_down = 0;
+  std::size_t budget = 1;               ///< max_hosts_down in force
+  std::size_t cluster_inflight = 0;     ///< transactions in flight, all hosts
+  std::size_t inflight_threshold = 0;   ///< load-triggered valley bound
+};
+
+/// Queue-ordering policy. select() returns an index into `pending` to serve
+/// now, or kHold to leave the whole queue deferred for this round (the
+/// coordinator re-arms and asks again later). Called only when the budget
+/// has room; strategies never see budget-exhausted states.
+class Strategy {
+ public:
+  static constexpr std::size_t kHold = static_cast<std::size_t>(-1);
+
+  virtual ~Strategy() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::size_t select(const std::vector<PendingTrigger>& pending,
+                             const SchedulingContext& context) const = 0;
+};
+
+std::unique_ptr<Strategy> make_strategy(RejuvenationStrategy strategy);
+
+struct CoordinatorConfig {
+  RejuvenationStrategy strategy = RejuvenationStrategy::kRolling;
+  std::size_t hosts = 1;
+  /// Capacity budget B: hosts down at any instant never exceeds this.
+  /// 0 = auto: hosts for simultaneous, 1 for every staggered strategy.
+  std::size_t max_hosts_down = 0;
+  /// Nominal capacity-restore duration per rejuvenation. <= 0 means
+  /// restores are instantaneous — nothing to coordinate, every trigger
+  /// executes immediately and node faults are rejected.
+  double downtime_seconds = 0.0;
+  /// Watchdog deadline per restore attempt; 0 = 4x downtime. An attempt
+  /// still running at the deadline counts as hung and is retried.
+  double restore_deadline_seconds = 0.0;
+  /// Reboot time after a mid-restore crash; 0 = 2x downtime.
+  double crash_repair_seconds = 0.0;
+  /// Jittered exponential backoff between restore retries.
+  double backoff_base_seconds = 5.0;
+  double backoff_cap_seconds = 120.0;
+  double backoff_jitter = 0.1;  ///< delay *= 1 + jitter * U(0,1)
+  /// Load-triggered valley bound: deferred work is held while the cluster
+  /// has more than this many transactions in flight. 0 = auto (the cluster
+  /// resolves it to half its total CPU capacity).
+  std::size_t inflight_threshold = 0;
+  /// Starvation bound: a trigger deferred longer than this is served as
+  /// soon as the budget allows regardless of strategy. 0 = 8x downtime.
+  double max_defer_seconds = 0.0;
+  /// Re-check period while the strategy holds a non-empty queue with budget
+  /// to spare. 0 = max(1, downtime / 4).
+  double rearm_seconds = 0.0;
+};
+
+/// Callbacks into the cluster. All optional (empty = no-op); invoked from
+/// simulator events (never re-entrantly from inside a model callback).
+struct CoordinatorHooks {
+  /// Execute a previously deferred rejuvenation on `host` (notify the
+  /// controller, force the model flush, checkpoint). The immediate path —
+  /// a trigger served the instant it fires — does NOT go through this; the
+  /// model executes it itself via the decision-function return value.
+  std::function<void(std::size_t host)> execute_rejuvenation;
+  /// Host died mid-restore (process death: detector state is lost unless
+  /// the owner checkpointed it).
+  std::function<void(std::size_t host)> on_crash;
+  /// Host rebooted after a crash; restore detector state from the last
+  /// checkpoint here.
+  std::function<void(std::size_t host)> on_repair;
+  /// Current detector escalation level of `host` (cascade bucket N).
+  std::function<std::int32_t(std::size_t host)> escalation;
+  /// Transactions in flight across the whole cluster.
+  std::function<std::size_t()> cluster_inflight;
+};
+
+struct CoordinatorStats {
+  std::uint64_t restores_started = 0;    ///< rejuvenations that took a budget slot
+  std::uint64_t restores_completed = 0;  ///< clean finishes (not crash repairs)
+  std::uint64_t deferred = 0;            ///< triggers queued for lack of budget/strategy
+  std::uint64_t served_deferred = 0;     ///< deferred triggers later executed
+  std::uint64_t crashes = 0;
+  std::uint64_t hangs = 0;    ///< watchdog deadline hits
+  std::uint64_t retries = 0;  ///< backoff-scheduled restore re-attempts
+  std::uint64_t repairs = 0;  ///< crashed hosts brought back up
+  std::uint64_t slow_restores = 0;   ///< restores extended by a slow fault
+  std::uint64_t false_triggers = 0;  ///< injected spurious triggers consumed
+  std::size_t max_hosts_down = 0;    ///< high-water mark; must stay <= budget
+};
+
+class Coordinator {
+ public:
+  /// `node_plan` may only contain crash/hang/slow/false-trigger items
+  /// (host-scoped or cluster-wide); throws std::invalid_argument otherwise,
+  /// or when a host index is out of range, or when a non-empty plan is
+  /// combined with downtime_seconds <= 0.
+  Coordinator(sim::Simulator& simulator, CoordinatorConfig config, faults::FaultPlan node_plan,
+              std::uint64_t seed, CoordinatorHooks hooks);
+
+  /// A host's detector fired (or a false trigger was injected). Returns
+  /// true when the host should execute the rejuvenation NOW (the model
+  /// rejuvenates itself); false when the trigger was deferred or swallowed
+  /// (host already down or already queued).
+  bool on_trigger(std::size_t host);
+
+  /// Advances the false-trigger ordinal axes; call once per completed
+  /// transaction. Returns true when a false-trigger fault fires for it.
+  bool note_transaction(std::size_t host);
+
+  NodeState node_state(std::size_t host) const;
+  bool host_up(std::size_t host) const { return node_state(host) == NodeState::kUp; }
+  std::size_t hosts_down() const noexcept { return hosts_down_; }
+  std::size_t pending_count() const noexcept { return pending_.size(); }
+  const CoordinatorStats& stats() const noexcept { return stats_; }
+  const CoordinatorConfig& config() const noexcept { return config_; }
+  const Strategy& strategy() const noexcept { return *strategy_; }
+
+  /// Cluster-level tracer for node_* / rejuv_deferred events (the host
+  /// index is stamped into each event's rep field). nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+ private:
+  struct Node {
+    NodeState state = NodeState::kUp;
+    bool pending = false;            ///< has a queued (deferred) trigger
+    std::uint32_t attempt = 0;       ///< restore attempts for the current rejuvenation
+    std::uint64_t attempts_total = 0;  ///< per-host restore-attempt ordinal
+    std::uint64_t txns_total = 0;      ///< per-host completed-transaction ordinal
+    double restore_started = 0.0;
+    sim::EventId finish_event = sim::kNoEvent;
+    sim::EventId watchdog_event = sim::kNoEvent;
+    sim::EventId crash_event = sim::kNoEvent;
+  };
+
+  SchedulingContext context() const;
+  /// Starvation override, then the strategy; an index or Strategy::kHold.
+  std::size_t pick(const SchedulingContext& context) const;
+  void defer(std::size_t host);
+  /// Serves deferred triggers while the budget has room and the strategy
+  /// agrees; re-arms itself when the strategy holds a non-empty queue.
+  void try_serve();
+  /// Deferred same-instant try_serve (on_trigger runs inside a model
+  /// callback, and serving may force-rejuvenate a model re-entrantly).
+  void schedule_serve();
+  void schedule_rearm();
+  /// Takes the budget slot and launches attempt #1 for an up host.
+  void start_restore(std::size_t host);
+  void begin_attempt(std::size_t host);
+  void finish_restore(std::size_t host);
+  void on_watchdog(std::size_t host);
+  void crash_host(std::size_t host);
+  void repair_host(std::size_t host);
+  void cancel(sim::EventId& event);
+  /// First unconsumed plan item of `kind` matching the current ordinal —
+  /// cluster-wide ordinal for unprefixed items, per-host for "hN:" ones.
+  const faults::FaultSpec* consume_fault(faults::FaultKind kind, std::size_t host,
+                                         std::uint64_t cluster_ordinal,
+                                         std::uint64_t host_ordinal);
+
+  sim::Simulator& simulator_;
+  CoordinatorConfig config_;
+  CoordinatorHooks hooks_;
+  std::unique_ptr<Strategy> strategy_;
+  faults::FaultPlan plan_;
+  std::vector<bool> consumed_;  ///< one flag per plan item (each fires once)
+  common::RngStream rng_;       ///< backoff jitter
+  std::vector<Node> nodes_;
+  std::vector<PendingTrigger> pending_;
+  std::size_t hosts_down_ = 0;
+  std::uint64_t attempts_total_ = 0;  ///< cluster-wide restore-attempt ordinal
+  std::uint64_t txns_total_ = 0;      ///< cluster-wide completed-transaction ordinal
+  bool serve_scheduled_ = false;
+  bool rearm_scheduled_ = false;
+  CoordinatorStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace rejuv::cluster

@@ -1,0 +1,145 @@
+#include "cluster/sweep.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "availability/huang_model.h"
+#include "common/expect.h"
+#include "common/flags.h"
+#include "exec/pool.h"
+#include "sim/simulator.h"
+
+namespace rejuv::cluster {
+
+namespace {
+
+/// Everything one replication of one (strategy, budget) case produces.
+struct UnitOutcome {
+  ClusterMetrics metrics;
+  std::size_t budget = 0;
+  double sim_seconds = 0.0;
+};
+
+UnitOutcome run_unit(const SweepConfig& sweep, const DetectorFactory& factory,
+                     RejuvenationStrategy strategy, std::size_t budget, std::uint64_t rep) {
+  ClusterConfig config = sweep.cluster;
+  config.strategy = strategy;
+  config.max_hosts_down = budget;
+  if (budget != 0) config.max_capacity_loss_fraction = 0.0;
+
+  sim::Simulator simulator;
+  // Common random numbers: replication r of every case shares a seed, so the
+  // strategies face identical arrivals and chaos schedules.
+  Cluster cluster(simulator, config, factory, sweep.base_seed + rep);
+  cluster.run_transactions(sweep.transactions);
+
+  UnitOutcome outcome;
+  outcome.metrics = cluster.metrics();
+  outcome.budget = cluster.coordinator().config().max_hosts_down;
+  outcome.sim_seconds = simulator.now();
+  return outcome;
+}
+
+void merge_into(ClusterMetrics& total, const ClusterMetrics& part) {
+  total.offered += part.offered;
+  total.lost_all_down += part.lost_all_down;
+  total.lost_to_down_host += part.lost_to_down_host;
+  total.completed += part.completed;
+  total.lost_on_hosts += part.lost_on_hosts;
+  total.rejuvenations += part.rejuvenations;
+  total.deferred_rejuvenations += part.deferred_rejuvenations;
+  total.crashes += part.crashes;
+  total.hangs += part.hangs;
+  total.retries += part.retries;
+  total.repairs += part.repairs;
+  total.false_triggers += part.false_triggers;
+  total.checkpoints_saved += part.checkpoints_saved;
+  total.checkpoints_restored += part.checkpoints_restored;
+  if (part.max_hosts_down > total.max_hosts_down) total.max_hosts_down = part.max_hosts_down;
+  total.gc_count += part.gc_count;
+  total.response_time.merge(part.response_time);
+}
+
+StrategyScore finalize_case(const SweepConfig& sweep, RejuvenationStrategy strategy,
+                            const std::vector<UnitOutcome>& outcomes) {
+  StrategyScore score;
+  score.strategy = strategy;
+  for (const UnitOutcome& outcome : outcomes) {
+    score.budget = outcome.budget;
+    merge_into(score.metrics, outcome.metrics);
+    score.sim_seconds += outcome.sim_seconds;
+  }
+
+  // Price the measured schedule with the Huang CTMC: rejuvenations per
+  // host-hour against the configured restore duration.
+  const double host_hours =
+      static_cast<double>(sweep.cluster.hosts) * score.sim_seconds / 3600.0;
+  if (host_hours > 0.0) {
+    score.rejuvenations_per_host_hour =
+        static_cast<double>(score.metrics.rejuvenations) / host_hours;
+  }
+  const availability::HuangSolution solution =
+      availability::solve(availability::parameters_for_measured(
+          score.rejuvenations_per_host_hour,
+          sweep.cluster.host_config.rejuvenation_downtime_seconds));
+  score.huang_cost_rate = solution.downtime_cost_rate;
+  score.huang_availability = solution.availability;
+  return score;
+}
+
+}  // namespace
+
+void validate(const SweepConfig& config) {
+  REJUV_EXPECT(!config.strategies.empty(), "sweep needs at least one strategy");
+  REJUV_EXPECT(!config.budgets.empty(), "sweep needs at least one budget");
+  REJUV_EXPECT(config.transactions >= 1, "sweep needs at least one transaction");
+  REJUV_EXPECT(config.replications >= 1, "sweep needs at least one replication");
+  for (const std::size_t budget : config.budgets) {
+    ClusterConfig probe = config.cluster;
+    probe.max_hosts_down = budget;
+    if (budget != 0) probe.max_capacity_loss_fraction = 0.0;
+    cluster::validate(probe);  // throws on budget > hosts, bad fault plan, ...
+  }
+}
+
+std::vector<StrategyScore> run_sweep(const SweepConfig& config, const DetectorFactory& factory) {
+  validate(config);
+
+  struct Case {
+    RejuvenationStrategy strategy;
+    std::size_t budget;
+  };
+  std::vector<Case> cases;
+  cases.reserve(config.strategies.size() * config.budgets.size());
+  for (const RejuvenationStrategy strategy : config.strategies) {
+    for (const std::size_t budget : config.budgets) cases.push_back({strategy, budget});
+  }
+
+  const std::size_t reps = static_cast<std::size_t>(config.replications);
+  const std::size_t units = cases.size() * reps;
+  auto unit = [&](std::size_t index) {
+    const Case& c = cases[index / reps];
+    return run_unit(config, factory, c.strategy, c.budget,
+                    static_cast<std::uint64_t>(index % reps));
+  };
+
+  std::vector<UnitOutcome> outcomes;
+  if (!common::env_enabled("REJUV_SEQUENTIAL") && units > 1) {
+    outcomes = exec::parallel_map<UnitOutcome>(exec::ThreadPool::shared(), units, unit);
+  } else {
+    outcomes.reserve(units);
+    for (std::size_t index = 0; index < units; ++index) outcomes.push_back(unit(index));
+  }
+
+  std::vector<StrategyScore> scores;
+  scores.reserve(cases.size());
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const std::vector<UnitOutcome> slice(outcomes.begin() + static_cast<std::ptrdiff_t>(c * reps),
+                                         outcomes.begin() +
+                                             static_cast<std::ptrdiff_t>((c + 1) * reps));
+    scores.push_back(finalize_case(config, cases[c].strategy, slice));
+  }
+  return scores;
+}
+
+}  // namespace rejuv::cluster

@@ -1,0 +1,62 @@
+// Strategy x budget x fault-plan sweep over the cluster coordinator.
+//
+// Each (strategy, budget) case runs `replications` independent cluster
+// simulations with common random numbers (replication r of every case uses
+// seed base_seed + r, so two strategies facing the same seed see the same
+// arrival sequence and the same chaos schedule) and the per-case scores are
+// merged in replication order. Units fan out over the shared exec::ThreadPool
+// exactly like the harness experiment runner: every unit owns its simulator
+// and RNG streams, results land in indexed slots, and the merge is
+// bit-identical to the sequential order at any thread count (including
+// REJUV_SEQUENTIAL=1).
+//
+// Each case is also priced with the Huang et al. availability model: the
+// measured per-host rejuvenation frequency and the configured restore
+// duration are mapped onto the CTMC (availability::parameters_for_measured)
+// and the steady-state downtime cost rate reported alongside the simulated
+// response time and loss — the paper's "is this schedule worth its
+// downtime?" question answered per strategy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace rejuv::cluster {
+
+struct SweepConfig {
+  /// Base cluster configuration; `strategy` and `max_hosts_down` in here are
+  /// ignored (the sweep axes below override them per case).
+  ClusterConfig cluster;
+  std::vector<RejuvenationStrategy> strategies = {
+      RejuvenationStrategy::kRolling, RejuvenationStrategy::kSimultaneous,
+      RejuvenationStrategy::kLoadTriggered, RejuvenationStrategy::kBudgetAware};
+  /// Capacity budgets to sweep (0 = the strategy's auto budget). Every
+  /// strategy is crossed with every budget.
+  std::vector<std::size_t> budgets = {0};
+  std::uint64_t transactions = 20000;
+  std::uint64_t replications = 3;
+  std::uint64_t base_seed = 42;
+};
+
+void validate(const SweepConfig& config);
+
+/// Merged score of one (strategy, budget) case across replications.
+struct StrategyScore {
+  RejuvenationStrategy strategy = RejuvenationStrategy::kRolling;
+  std::size_t budget = 0;  ///< resolved budget actually in force
+  ClusterMetrics metrics;  ///< counters summed, RT streams merged
+  double sim_seconds = 0.0;  ///< total simulated time across replications
+  /// Measured per-host rejuvenation frequency (per hour) and the Huang
+  /// downtime cost rate it implies under the configured restore duration.
+  double rejuvenations_per_host_hour = 0.0;
+  double huang_cost_rate = 0.0;
+  double huang_availability = 0.0;
+};
+
+/// Runs the full sweep; scores come back in (strategy, budget) case order.
+/// Deterministically parallel over exec::ThreadPool::shared().
+std::vector<StrategyScore> run_sweep(const SweepConfig& config, const DetectorFactory& factory);
+
+}  // namespace rejuv::cluster

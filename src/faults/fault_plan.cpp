@@ -23,6 +23,10 @@ std::uint64_t parse_u64(std::string_view text, std::string_view item, const char
   return value;
 }
 
+bool takes_duration(FaultKind kind) {
+  return kind == FaultKind::kStall || kind == FaultKind::kSlowRestore;
+}
+
 }  // namespace
 
 std::string_view fault_kind_name(FaultKind kind) {
@@ -37,8 +41,21 @@ std::string_view fault_kind_name(FaultKind kind) {
       return "garble";
     case FaultKind::kEof:
       return "eof";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kSlowRestore:
+      return "slow";
+    case FaultKind::kFalseTrigger:
+      return "false-trigger";
   }
   return "unknown";
+}
+
+bool is_node_only(FaultKind kind) {
+  return kind == FaultKind::kHang || kind == FaultKind::kSlowRestore ||
+         kind == FaultKind::kFalseTrigger;
 }
 
 FaultPlan FaultPlan::parse(std::string_view spec) {
@@ -59,14 +76,33 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       continue;
     }
 
-    const std::size_t at = item.find('@');
-    if (at == std::string_view::npos) {
-      bad_spec(item, "expected seed=N or KIND@LINE");
-    }
-    const std::string_view kind_text = item.substr(0, at);
-    std::string_view rest = item.substr(at + 1);
-
     FaultSpec fault;
+
+    // Optional "hN:" host prefix. Only a colon made entirely of digits
+    // between the 'h' and ':' and sitting before the '@' is a prefix, so
+    // bare "hang@3" still parses as the hang primitive.
+    std::string_view body = item;
+    if (body.size() > 2 && body[0] == 'h') {
+      const std::size_t colon = body.find(':');
+      const std::size_t at = body.find('@');
+      if (colon != std::string_view::npos && colon > 1 &&
+          (at == std::string_view::npos || colon < at)) {
+        const std::string_view digits = body.substr(1, colon - 1);
+        if (std::all_of(digits.begin(), digits.end(),
+                        [](char c) { return c >= '0' && c <= '9'; })) {
+          fault.host = static_cast<std::int32_t>(parse_u64(digits, item, "host index"));
+          body = body.substr(colon + 1);
+        }
+      }
+    }
+
+    const std::size_t at = body.find('@');
+    if (at == std::string_view::npos) {
+      bad_spec(item, "expected seed=N or [hH:]KIND@POS");
+    }
+    const std::string_view kind_text = body.substr(0, at);
+    std::string_view rest = body.substr(at + 1);
+
     if (kind_text == "disconnect") {
       fault.kind = FaultKind::kDisconnect;
     } else if (kind_text == "stall") {
@@ -77,16 +113,26 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       fault.kind = FaultKind::kGarble;
     } else if (kind_text == "eof") {
       fault.kind = FaultKind::kEof;
+    } else if (kind_text == "crash") {
+      fault.kind = FaultKind::kCrash;
+    } else if (kind_text == "hang") {
+      fault.kind = FaultKind::kHang;
+    } else if (kind_text == "slow") {
+      fault.kind = FaultKind::kSlowRestore;
+    } else if (kind_text == "false-trigger") {
+      fault.kind = FaultKind::kFalseTrigger;
     } else {
       bad_spec(item, "unknown fault kind \"" + std::string(kind_text) + "\"");
     }
 
-    // Optional suffix: ":MSms" (stall) or "xCOUNT" (garble).
+    // Optional suffix: ":MSms" (stall, slow) or "xCOUNT" (garble).
     const std::size_t colon = rest.find(':');
     const std::size_t x = rest.find('x');
     std::string_view line_text = rest;
     if (colon != std::string_view::npos) {
-      if (fault.kind != FaultKind::kStall) bad_spec(item, "only stall takes a :MSms duration");
+      if (!takes_duration(fault.kind)) {
+        bad_spec(item, "only stall and slow take a :MSms duration");
+      }
       line_text = rest.substr(0, colon);
       std::string_view ms_text = rest.substr(colon + 1);
       if (ms_text.size() < 3 || ms_text.substr(ms_text.size() - 2) != "ms") {
@@ -116,10 +162,15 @@ std::string FaultPlan::describe() const {
   text += std::to_string(seed);
   for (const FaultSpec& fault : faults) {
     text += ",";
+    if (fault.host >= 0) {
+      text += "h";
+      text += std::to_string(fault.host);
+      text += ":";
+    }
     text += fault_kind_name(fault.kind);
     text += "@";
     text += std::to_string(fault.at_line);
-    if (fault.kind == FaultKind::kStall) {
+    if (takes_duration(fault.kind)) {
       text += ":";
       text += std::to_string(fault.duration.count());
       text += "ms";

@@ -1,20 +1,32 @@
-// Deterministic fault plans for chaos-testing the monitor's input path.
+// Deterministic fault plans for chaos-testing the monitor's input path and
+// the cluster coordinator's node layer.
 //
 // A FaultPlan is a seed plus a list of fault primitives pinned to 1-based
-// line positions of the clean input stream. Because every primitive fires at
-// an exact line index and all injected content is derived from the seed,
-// running the same plan twice produces byte-identical behaviour — the chaos
-// suite and the CLI determinism test both depend on this. Plans are written
-// in a compact spec grammar so they can travel through the rejuv-monitor
-// command line:
+// positions of a clean event stream. Because every primitive fires at an
+// exact position and all injected content is derived from the seed, running
+// the same plan twice produces byte-identical behaviour — the chaos suite
+// and the CLI determinism test both depend on this. Plans are written in a
+// compact spec grammar so they can travel through a command line:
 //
 //   plan      := item ("," item)*
-//   item      := "seed=" N | primitive "@" LINE suffix?
+//   item      := "seed=" N | host? primitive "@" POS suffix?
+//   host      := "h" N ":"  (cluster plans only: pin the item to host N)
 //   primitive := "disconnect" | "stall" | "partial" | "garble" | "eof"
-//   suffix    := ":" MS "ms"   (stall only: stall duration)
+//              | "crash" | "hang" | "slow" | "false-trigger"
+//   suffix    := ":" MS "ms"   (stall, slow: duration)
 //              | "x" COUNT    (garble only: malformed lines in the burst)
 //
 // Example: "seed=42,garble@100x3,disconnect@500,stall@800:40ms,eof@1200".
+//
+// The position axis depends on the consumer. For a FaultySource, POS is the
+// 1-based clean-line index of the input stream, and `crash` is
+// process-death: a terminal error that reopen() cannot clear (recovery
+// means a new process, resuming from a checkpoint journal). For the cluster
+// coordinator (src/cluster), crash/hang/slow key on restore-attempt
+// ordinals and false-trigger on completed-transaction ordinals —
+// cluster-wide when the item is unprefixed, host-local with an "hN:"
+// prefix. Node- and source-level chaos thus share one grammar and one
+// determinism contract.
 #pragma once
 
 #include <chrono>
@@ -26,25 +38,38 @@
 namespace rejuv::faults {
 
 enum class FaultKind : std::uint8_t {
-  kDisconnect,  ///< source reports kError once; recoverable via reopen()
-  kStall,       ///< source yields kTimeout for a wall-clock duration
-  kPartial,     ///< one extra kTimeout before the line (a short read)
-  kGarble,      ///< a burst of malformed lines injected before the line
-  kEof,         ///< source reports kEnd; resumable via reopen()
+  kDisconnect,    ///< source reports kError once; recoverable via reopen()
+  kStall,         ///< source yields kTimeout for a wall-clock duration
+  kPartial,       ///< one extra kTimeout before the line (a short read)
+  kGarble,        ///< a burst of malformed lines injected before the line
+  kEof,           ///< source reports kEnd; resumable via reopen()
+  kCrash,         ///< process death: source = terminal error (reopen fails);
+                  ///< node = state lost mid-restore unless checkpointed
+  kHang,          ///< node only: a restore attempt that never completes
+  kSlowRestore,   ///< node only: a restore attempt extended by the duration
+  kFalseTrigger,  ///< node only: spurious rejuvenation trigger injected
 };
 
 /// Spec-grammar name, e.g. "disconnect".
 std::string_view fault_kind_name(FaultKind kind);
 
-/// One fault primitive, armed at a clean-stream line position.
+/// True for kinds that only make sense against the cluster node layer
+/// (hang, slow, false-trigger); FaultySource rejects plans containing them.
+bool is_node_only(FaultKind kind);
+
+/// One fault primitive, armed at a 1-based stream position.
 struct FaultSpec {
   FaultKind kind = FaultKind::kDisconnect;
-  /// Fires just before the at_line-th clean line (1-based) is delivered.
+  /// Fires just before the at_line-th clean event (1-based) is delivered.
   std::uint64_t at_line = 1;
   /// kGarble: number of malformed lines in the burst.
   std::uint64_t count = 1;
-  /// kStall: how long the source stays silent.
+  /// kStall: how long the source stays silent. kSlowRestore: extra restore
+  /// time (simulated, milliseconds of simulation time).
   std::chrono::milliseconds duration{50};
+  /// Cluster plans: host index the item is pinned to; -1 = unprefixed
+  /// (cluster-wide ordinal axis). Sources reject host-scoped items.
+  std::int32_t host = -1;
 };
 
 struct FaultPlan {

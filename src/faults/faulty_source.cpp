@@ -1,6 +1,7 @@
 #include "faults/faulty_source.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <thread>
 
 #include "common/expect.h"
@@ -10,6 +11,18 @@ namespace rejuv::faults {
 FaultySource::FaultySource(std::unique_ptr<monitor::Source> inner, FaultPlan plan)
     : inner_(std::move(inner)), plan_(std::move(plan)) {
   REJUV_EXPECT(inner_ != nullptr, "faulty source needs an inner source");
+  for (const FaultSpec& fault : plan_.faults) {
+    if (is_node_only(fault.kind)) {
+      throw std::invalid_argument("fault kind \"" + std::string(fault_kind_name(fault.kind)) +
+                                  "\" is node-level only; sources take "
+                                  "disconnect/stall/partial/garble/eof/crash");
+    }
+    if (fault.host >= 0) {
+      throw std::invalid_argument(
+          "host-scoped fault items (hN:) are cluster-level; "
+          "sources take unprefixed plans");
+    }
+  }
 }
 
 std::string FaultySource::describe() const { return "faulty(" + inner_->describe() + ")"; }
@@ -25,6 +38,11 @@ std::string FaultySource::last_error() const {
 }
 
 bool FaultySource::reopen() {
+  if (crashed_) {
+    // Process death is not a reconnect: the supervisor has to give up on
+    // this source and a fresh process resumes from the checkpoint journal.
+    return false;
+  }
   if (error_active_ || eof_active_) {
     // The failure was injected; the inner source never actually broke, so
     // "reopening" is just dropping the injected condition.
@@ -38,6 +56,7 @@ bool FaultySource::reopen() {
 
 monitor::Source::Status FaultySource::next_line(std::string& line,
                                                 std::chrono::milliseconds timeout) {
+  if (crashed_) return Status::kError;
   if (error_active_) return Status::kError;
   if (eof_active_) return Status::kEnd;
   const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -70,6 +89,15 @@ monitor::Source::Status FaultySource::next_line(std::string& line,
           garble_at_line_ = fault.at_line;
           garble_index_ = 0;
           break;
+        case FaultKind::kCrash:
+          crashed_ = true;
+          last_error_ = "injected crash@" + std::to_string(fault.at_line) +
+                        " (process death; reopen impossible)";
+          return Status::kError;
+        case FaultKind::kHang:
+        case FaultKind::kSlowRestore:
+        case FaultKind::kFalseTrigger:
+          break;  // rejected by the constructor; unreachable
       }
     }
     if (garbles_left_ > 0) {

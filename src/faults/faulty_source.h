@@ -7,7 +7,12 @@
 // primitive is decision-lossless in blocking mode: disconnect and eof are
 // recoverable via reopen() (without touching the healthy inner source),
 // stall and partial only delay delivery, and garbled lines are rejected by
-// the observation parser without consuming a clean line.
+// the observation parser without consuming a clean line. The one exception
+// is crash — process death — which is a *terminal* error: reopen() refuses
+// to clear it, because recovering from a crash means starting a new process
+// and resuming from the checkpoint journal, not reconnecting. Node-only
+// primitives (hang, slow, false-trigger) and host-scoped ("hN:") items are
+// cluster-level concepts; the constructor rejects plans containing them.
 #pragma once
 
 #include <chrono>
@@ -31,7 +36,8 @@ class FaultySource final : public monitor::Source {
   monitor::SourceStats stats() const override;
   std::string last_error() const override;
   /// Clears an injected disconnect/eof (the healthy inner source is not
-  /// touched); otherwise forwards to the inner source.
+  /// touched); otherwise forwards to the inner source. An injected crash is
+  /// terminal: reopen() returns false while one is active.
   bool reopen() override;
 
   /// Plan primitives fired so far.
@@ -47,6 +53,7 @@ class FaultySource final : public monitor::Source {
   std::uint64_t garble_index_ = 0;     ///< next index within the burst
   bool error_active_ = false;          ///< injected disconnect awaiting reopen
   bool eof_active_ = false;            ///< injected eof awaiting reopen
+  bool crashed_ = false;               ///< injected crash; terminal, reopen fails
   bool stalled_ = false;
   std::chrono::steady_clock::time_point stall_until_{};
   std::uint64_t faults_injected_ = 0;

@@ -7,7 +7,7 @@ namespace rejuv::obs {
 
 namespace {
 
-constexpr std::array<std::pair<EventType, std::string_view>, 26> kNames{{
+constexpr std::array<std::pair<EventType, std::string_view>, 33> kNames{{
     {EventType::kRunStart, "run_start"},
     {EventType::kRunEnd, "run_end"},
     {EventType::kTransactionCompleted, "txn"},
@@ -34,6 +34,13 @@ constexpr std::array<std::pair<EventType, std::string_view>, 26> kNames{{
     {EventType::kFaultInjected, "fault_injected"},
     {EventType::kCheckpointSaved, "checkpoint_save"},
     {EventType::kCheckpointRestored, "checkpoint_restore"},
+    {EventType::kNodeRestoreStart, "node_restore_start"},
+    {EventType::kNodeRestoreEnd, "node_restore_end"},
+    {EventType::kNodeCrash, "node_crash"},
+    {EventType::kNodeHang, "node_hang"},
+    {EventType::kNodeRetry, "node_retry"},
+    {EventType::kNodeRepair, "node_repair"},
+    {EventType::kRejuvenationDeferred, "rejuv_deferred"},
 }};
 
 }  // namespace

@@ -47,6 +47,16 @@ enum class EventType : std::uint8_t {
   kFaultInjected,          ///< fault-plan primitive fired; value = total faults injected
   kCheckpointSaved,        ///< rep = shard; value = observations covered by the record
   kCheckpointRestored,     ///< rep = shard; value = observations resumed from
+  // --- Cluster coordinator (src/cluster) events; rep = host index ---
+  kNodeRestoreStart,       ///< restore attempt began; value = attempt ordinal
+  kNodeRestoreEnd,         ///< host back up; value = restore duration (s)
+  kNodeCrash,              ///< host died mid-restore; value = attempt ordinal
+  kNodeHang,               ///< watchdog fired on a stuck restore; value = deadline (s)
+  kNodeRetry,              ///< restore re-armed after backoff; value = delay (s),
+                           ///< pending = attempt number for this rejuvenation
+  kNodeRepair,             ///< crashed host repaired + state restored; value = repair (s)
+  kRejuvenationDeferred,   ///< budget exhausted; value = queue depth after the
+                           ///< deferral, bucket = escalation level at deferral
 };
 
 /// Stable wire name, e.g. "txn" for kTransactionCompleted.

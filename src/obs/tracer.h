@@ -264,6 +264,67 @@ class Tracer {
     emit(std::move(event));
   }
 
+  // --- Cluster coordinator events (`host` lands in the rep field) ---
+  void node_restore_start(std::uint32_t host, std::uint64_t attempt) {
+    if (sink_ == nullptr) return;
+    rep_ = host;
+    TraceEvent event;
+    event.type = EventType::kNodeRestoreStart;
+    event.value = static_cast<double>(attempt);
+    emit(std::move(event));
+  }
+  void node_restore_end(std::uint32_t host, double duration_seconds) {
+    if (sink_ == nullptr) return;
+    rep_ = host;
+    TraceEvent event;
+    event.type = EventType::kNodeRestoreEnd;
+    event.value = duration_seconds;
+    emit(std::move(event));
+  }
+  void node_crash(std::uint32_t host, std::uint64_t attempt) {
+    if (sink_ == nullptr) return;
+    rep_ = host;
+    TraceEvent event;
+    event.type = EventType::kNodeCrash;
+    event.value = static_cast<double>(attempt);
+    emit(std::move(event));
+  }
+  void node_hang(std::uint32_t host, double deadline_seconds) {
+    if (sink_ == nullptr) return;
+    rep_ = host;
+    TraceEvent event;
+    event.type = EventType::kNodeHang;
+    event.value = deadline_seconds;
+    emit(std::move(event));
+  }
+  void node_retry(std::uint32_t host, double delay_seconds, std::uint32_t attempt) {
+    if (sink_ == nullptr) return;
+    rep_ = host;
+    TraceEvent event;
+    event.type = EventType::kNodeRetry;
+    event.value = delay_seconds;
+    event.pending = attempt;
+    emit(std::move(event));
+  }
+  void node_repair(std::uint32_t host, double repair_seconds) {
+    if (sink_ == nullptr) return;
+    rep_ = host;
+    TraceEvent event;
+    event.type = EventType::kNodeRepair;
+    event.value = repair_seconds;
+    emit(std::move(event));
+  }
+  void rejuvenation_deferred(std::uint32_t host, std::size_t queue_depth,
+                             std::int32_t escalation) {
+    if (sink_ == nullptr) return;
+    rep_ = host;
+    TraceEvent event;
+    event.type = EventType::kRejuvenationDeferred;
+    event.value = static_cast<double>(queue_depth);
+    event.bucket = escalation;
+    emit(std::move(event));
+  }
+
  private:
   TraceSink* sink_ = nullptr;
   std::uint64_t seq_ = 0;

@@ -1,0 +1,147 @@
+// Kill-and-resume: a host whose process dies mid-rejuvenation and is
+// repaired must resume its detector bit-exactly from the checkpoint
+// journal. The oracle is a parallel-universe run in which the crash loses
+// nothing (keep_state_on_crash): with a checkpoint cadence of 1 the wiped
+// host's restored state equals the state that never died, so the two runs'
+// JSONL traces — and the final serialized controller states — must be
+// byte-identical. A cold-restart run (restore_on_repair=false) is the
+// negative control proving the checkpoints are load-bearing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/factory.h"
+#include "harness/paper.h"
+#include "monitor/checkpoint.h"
+#include "obs/sink.h"
+
+namespace rejuv::cluster {
+namespace {
+
+DetectorFactory saraa_factory() {
+  return [] { return core::make_detector(harness::saraa_config({2, 5, 3})); };
+}
+
+struct RunResult {
+  std::string trace;
+  std::vector<std::string> end_states;  ///< per-host serialized controller state
+  ClusterMetrics metrics;
+};
+
+/// One 2-host chaos run under a crash plan, traced to a string. The fault
+/// plan crashes whichever host rejuvenates first, halfway through the
+/// restore.
+RunResult run_case(bool keep_state_on_crash, bool restore_on_repair,
+                   const std::string& journal_path = "") {
+  ClusterConfig config;
+  config.hosts = 2;
+  config.host_config = harness::paper_system();
+  config.host_config.rejuvenation_downtime_seconds = 5.0;
+  config.total_arrival_rate = 8.0 * config.host_config.service_rate * 2.0;
+  config.strategy = RejuvenationStrategy::kRolling;
+  config.node_fault_plan = "seed=7,crash@1";
+  config.checkpoint_every_observations = 1;
+  config.keep_state_on_crash = keep_state_on_crash;
+  config.restore_on_repair = restore_on_repair;
+  config.checkpoint_journal_path = journal_path;
+
+  std::ostringstream trace;
+  obs::JsonlSink sink(trace);
+  sim::Simulator simulator;
+  Cluster cluster(simulator, config, saraa_factory(), 11);
+  cluster.set_instrumentation(&sink, nullptr);
+  cluster.run_transactions(6000);
+
+  RunResult result;
+  result.trace = trace.str();
+  result.metrics = cluster.metrics();
+  for (std::size_t host = 0; host < cluster.host_count(); ++host) {
+    monitor::ShardCheckpoint checkpoint;
+    checkpoint.spec = cluster.host_controller(host).detector().name();
+    checkpoint.shard = static_cast<std::uint32_t>(host);
+    checkpoint.shard_count = static_cast<std::uint32_t>(cluster.host_count());
+    checkpoint.controller = cluster.host_controller(host).save_state();
+    result.end_states.push_back(monitor::to_json(checkpoint));
+  }
+  return result;
+}
+
+TEST(KillAndResume, RestoredHostMatchesTheRunWhereTheCrashLostNothing) {
+  // Universe A: the crash wipes the detector; repair restores it from the
+  // last checkpoint. Universe B: the crash magically loses nothing.
+  const RunResult restored = run_case(/*keep_state_on_crash=*/false,
+                                      /*restore_on_repair=*/true);
+  const RunResult survived = run_case(/*keep_state_on_crash=*/true,
+                                      /*restore_on_repair=*/true);
+
+  ASSERT_EQ(restored.metrics.crashes, 1u);
+  ASSERT_EQ(restored.metrics.repairs, 1u);
+  EXPECT_GE(restored.metrics.checkpoints_restored, 1u);
+  // The oracle run never restores (its state survived the crash) but must
+  // otherwise behave identically.
+  EXPECT_EQ(survived.metrics.checkpoints_restored, 0u);
+  ASSERT_EQ(survived.metrics.crashes, 1u);
+
+  EXPECT_EQ(restored.metrics.completed, survived.metrics.completed);
+  EXPECT_EQ(restored.metrics.rejuvenations, survived.metrics.rejuvenations);
+  ASSERT_EQ(restored.end_states.size(), survived.end_states.size());
+  for (std::size_t host = 0; host < restored.end_states.size(); ++host) {
+    EXPECT_EQ(restored.end_states[host], survived.end_states[host])
+        << "host " << host << " did not resume bit-exactly";
+  }
+  EXPECT_EQ(restored.trace, survived.trace)
+      << "crash-and-restore run diverged from the uninterrupted oracle";
+}
+
+TEST(KillAndResume, ColdRestartDivergesWithoutCheckpointRestore) {
+  // Negative control: same crash, checkpoints written but never read back.
+  // If this run also matched the oracle, the equality above would prove
+  // nothing about the checkpoint path.
+  const RunResult restored = run_case(/*keep_state_on_crash=*/false,
+                                      /*restore_on_repair=*/true);
+  const RunResult cold = run_case(/*keep_state_on_crash=*/false,
+                                  /*restore_on_repair=*/false);
+  ASSERT_EQ(cold.metrics.crashes, 1u);
+  EXPECT_EQ(cold.metrics.checkpoints_restored, 0u);
+  EXPECT_NE(cold.trace, restored.trace)
+      << "cold restart produced the restored trace — checkpoints are not load-bearing";
+  EXPECT_NE(cold.end_states, restored.end_states);
+}
+
+TEST(KillAndResume, JournalLinesParseAndCoverEveryHost) {
+  const std::string path = ::testing::TempDir() + "cluster_chaos_journal.jsonl";
+  std::remove(path.c_str());
+  const RunResult result = run_case(false, true, path);
+  EXPECT_GT(result.metrics.checkpoints_saved, 0u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::string line;
+  std::uint64_t lines = 0;
+  std::vector<bool> seen(2, false);
+  while (std::getline(in, line)) {
+    ++lines;
+    const auto checkpoint = monitor::parse_checkpoint_line(line);
+    ASSERT_TRUE(checkpoint.has_value()) << "journal line " << lines << " unparseable";
+    ASSERT_LT(checkpoint->shard, 2u);
+    seen[checkpoint->shard] = true;
+  }
+  EXPECT_EQ(lines, result.metrics.checkpoints_saved);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+
+  // The monitor's recovery scan applies directly: the last record per shard
+  // equals the cluster's in-memory latest checkpoint.
+  const auto latest = monitor::read_latest_checkpoints(path);
+  ASSERT_EQ(latest.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rejuv::cluster

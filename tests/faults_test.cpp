@@ -120,7 +120,100 @@ TEST(FaultPlan, GarbleLinesAreDeterministicAndAlwaysMalformed) {
   EXPECT_EQ(monitor::parse_observation(a).kind, monitor::ParsedLine::Kind::kMalformed);
 }
 
+// ------------------------------------------------------- node-layer grammar
+
+TEST(FaultPlan, ParsesNodeKindsAndHostPrefixesAndDescribeRoundTrips) {
+  const std::string spec = "seed=7,crash@1,h2:hang@3,slow@2:300ms,h0:false-trigger@900";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  ASSERT_EQ(plan.faults.size(), 4u);
+  // parse sorts by position; host pins survive the sort.
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.faults[0].host, -1) << "unprefixed = cluster-wide ordinal axis";
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::kSlowRestore);
+  EXPECT_EQ(plan.faults[1].duration, milliseconds(300));
+  EXPECT_EQ(plan.faults[2].kind, FaultKind::kHang);
+  EXPECT_EQ(plan.faults[2].host, 2);
+  EXPECT_EQ(plan.faults[3].kind, FaultKind::kFalseTrigger);
+  EXPECT_EQ(plan.faults[3].host, 0);
+  EXPECT_EQ(FaultPlan::parse(plan.describe()).describe(), plan.describe());
+}
+
+TEST(FaultPlan, BareHangParsesAsThePrimitiveNotAHostPrefix) {
+  // "hang@3" starts with 'h' but has no digits-colon prefix; it must stay
+  // the hang primitive, cluster-wide.
+  const FaultPlan plan = FaultPlan::parse("hang@3");
+  ASSERT_EQ(plan.faults.size(), 1u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::kHang);
+  EXPECT_EQ(plan.faults[0].host, -1);
+}
+
+TEST(FaultPlan, NodeKindClassificationSplitsTheGrammar) {
+  EXPECT_TRUE(is_node_only(FaultKind::kHang));
+  EXPECT_TRUE(is_node_only(FaultKind::kSlowRestore));
+  EXPECT_TRUE(is_node_only(FaultKind::kFalseTrigger));
+  // crash is shared: terminal for sources, state-loss for nodes.
+  EXPECT_FALSE(is_node_only(FaultKind::kCrash));
+  EXPECT_FALSE(is_node_only(FaultKind::kDisconnect));
+  EXPECT_FALSE(is_node_only(FaultKind::kEof));
+}
+
+TEST(FaultPlan, RejectsMalformedNodeItems) {
+  const char* bad[] = {
+      "crash@0",      // positions stay 1-based
+      "crash@2:5ms",  // crash takes no duration
+      "hang@2x3",     // burst on a non-garble kind
+      "h:hang@1",     // empty host index
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(FaultPlan::parse(spec), std::invalid_argument) << spec;
+  }
+  EXPECT_EQ(FaultPlan::parse("slow@2").faults[0].duration, milliseconds(50))
+      << "slow without a suffix keeps the default duration";
+}
+
 // ------------------------------------------------------- FaultySource
+
+TEST(FaultySource, CrashIsTerminalAndReopenRefuses) {
+  // Process death: unlike disconnect, a crash cannot be cleared by
+  // reopen() — recovery means a NEW process resuming from a checkpoint
+  // journal (MonitorResume covers that path).
+  FaultySource source(counting_source(3), FaultPlan::parse("crash@2"));
+  std::string line;
+  ASSERT_EQ(source.next_line(line, kWait), Source::Status::kLine);
+  ASSERT_EQ(source.next_line(line, kWait), Source::Status::kError);
+  EXPECT_NE(source.last_error().find("crash"), std::string::npos);
+  EXPECT_FALSE(source.reopen()) << "a crashed process does not come back";
+  EXPECT_EQ(source.next_line(line, kWait), Source::Status::kError) << "the crash latches";
+  EXPECT_FALSE(source.reopen()) << "still dead on the second attempt";
+}
+
+TEST(FaultySource, SupervisorCannotRideThroughACrash) {
+  monitor::BackoffPolicy policy;
+  policy.initial = milliseconds(1);
+  policy.max = milliseconds(2);
+  policy.max_restarts = 4;
+  monitor::SourceSupervisor supervisor(
+      std::make_unique<FaultySource>(counting_source(3), FaultPlan::parse("crash@2")), policy);
+  std::string line;
+  Source::Status status = Source::Status::kTimeout;
+  while (status == Source::Status::kTimeout || status == Source::Status::kLine) {
+    status = supervisor.next_line(line, milliseconds(50));
+  }
+  EXPECT_EQ(status, Source::Status::kError);
+  EXPECT_TRUE(supervisor.dead()) << "crash exhausts the budget; only checkpoints recover it";
+}
+
+TEST(FaultySource, RejectsNodeOnlyAndHostScopedPlans) {
+  EXPECT_THROW(FaultySource(counting_source(1), FaultPlan::parse("hang@1")),
+               std::invalid_argument);
+  EXPECT_THROW(FaultySource(counting_source(1), FaultPlan::parse("slow@1:20ms")),
+               std::invalid_argument);
+  EXPECT_THROW(FaultySource(counting_source(1), FaultPlan::parse("false-trigger@1")),
+               std::invalid_argument);
+  EXPECT_THROW(FaultySource(counting_source(1), FaultPlan::parse("h0:disconnect@1")),
+               std::invalid_argument)
+      << "host pins only mean something to the cluster coordinator";
+}
 
 TEST(FaultySource, DisconnectSurfacesErrorAndReopenResumesWithoutLoss) {
   FaultySource source(counting_source(3), FaultPlan::parse("disconnect@2"));

@@ -27,8 +27,9 @@ cd "$(dirname "$0")/.."
 
 # The tsan stage builds separately (TSan cannot share objects with the plain
 # build) and runs the test binaries that exercise real threads: the online
-# monitor runtime, the observability registry, and the work-stealing
-# execution engine (exec_test plus the parallel-sweep harness tests).
+# monitor runtime, the observability registry, the work-stealing execution
+# engine (exec_test plus the parallel-sweep harness tests), and the cluster
+# suite (whose strategy x budget sweep fans out over the shared pool).
 if [ "${1:-}" = "tsan" ]; then
   BUILD_DIR="${2:-build-tsan}"
   GENERATOR_ARGS=()
@@ -39,7 +40,7 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DREJUV_TSAN=ON
   echo "==> tsan build (threaded test binaries)"
   cmake --build "$BUILD_DIR" -j --target monitor_test faults_test obs_test exec_test \
-      harness_test property_test
+      harness_test property_test cluster_test cluster_coordinator_test cluster_chaos_test
   echo "==> tsan run"
   "$BUILD_DIR"/tests/monitor_test
   "$BUILD_DIR"/tests/faults_test
@@ -47,6 +48,9 @@ if [ "${1:-}" = "tsan" ]; then
   "$BUILD_DIR"/tests/exec_test
   "$BUILD_DIR"/tests/harness_test
   "$BUILD_DIR"/tests/property_test
+  "$BUILD_DIR"/tests/cluster_test
+  "$BUILD_DIR"/tests/cluster_coordinator_test
+  "$BUILD_DIR"/tests/cluster_chaos_test
   echo "==> ci.sh tsan: all green"
   exit 0
 fi

@@ -133,6 +133,28 @@ class Analyzer {
       case EventType::kCheckpointRestored:
         ++checkpoints_restored_;
         return;
+      // Cluster coordinator events describe the whole cluster (the host index
+      // rides in the rep field); tally globally, keep them out of host lanes.
+      case EventType::kNodeRestoreStart:
+        ++node_restores_;
+        return;
+      case EventType::kNodeRestoreEnd:
+        return;
+      case EventType::kNodeCrash:
+        ++node_crashes_;
+        return;
+      case EventType::kNodeHang:
+        ++node_hangs_;
+        return;
+      case EventType::kNodeRetry:
+        ++node_retries_;
+        return;
+      case EventType::kNodeRepair:
+        ++node_repairs_;
+        return;
+      case EventType::kRejuvenationDeferred:
+        ++rejuvenations_deferred_;
+        return;
       default:
         break;
     }
@@ -259,6 +281,13 @@ class Analyzer {
                 << " checkpoints_saved=" << checkpoints_saved_
                 << " checkpoints_restored=" << checkpoints_restored_ << "\n";
     }
+    if (node_restores_ > 0 || rejuvenations_deferred_ > 0 || node_crashes_ > 0 ||
+        node_hangs_ > 0 || node_repairs_ > 0) {
+      std::cout << "cluster: restores=" << node_restores_
+                << " deferred=" << rejuvenations_deferred_ << " crashes=" << node_crashes_
+                << " hangs=" << node_hangs_ << " retries=" << node_retries_
+                << " repairs=" << node_repairs_ << "\n";
+    }
   }
 
  private:
@@ -345,6 +374,13 @@ class Analyzer {
   std::uint64_t faults_injected_ = 0;
   std::uint64_t checkpoints_saved_ = 0;
   std::uint64_t checkpoints_restored_ = 0;
+  // Cluster coordinator tallies (absent outside rejuv-cluster traces).
+  std::uint64_t node_restores_ = 0;
+  std::uint64_t node_crashes_ = 0;
+  std::uint64_t node_hangs_ = 0;
+  std::uint64_t node_retries_ = 0;
+  std::uint64_t node_repairs_ = 0;
+  std::uint64_t rejuvenations_deferred_ = 0;
 };
 
 }  // namespace
