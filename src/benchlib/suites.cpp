@@ -8,6 +8,7 @@
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
+#include "core/bank.h"
 #include "core/bucket_cascade.h"
 #include "exec/pool.h"
 #include "exec/work_stealing_deque.h"
@@ -136,6 +137,92 @@ void register_detector_suite(Registry& registry) {
     }
     do_not_optimize(transitions);
   });
+}
+
+void register_bank_suite(Registry& registry) {
+  // Fleet-scale detection: 1024 detectors of one family advanced in
+  // lockstep, one observation per lane per row. `rows_1024` is the SoA
+  // bank's vectorized row kernel (docs/BANKS.md); `scalar_1024` is the same
+  // work as 1024 independent scalar detectors behind virtual observe()
+  // calls — the bank's speedup is the ratio of the two. Both feeds visit
+  // the identical (lane, value) sequence, cycling through the same
+  // deterministic 16-row block, so the ratio compares code paths, not data.
+  //
+  // The stream is the fleet steady state: mostly healthy values below the
+  // (5, 5) baseline's level-0 target with a 3% sprinkle of degraded ones,
+  // so cascades mostly idle and occasionally climb — not the detector
+  // suite's 50%-exceedance churn, where both paths spend their time in the
+  // same retargeting code and the comparison measures neither.
+  const auto data = std::make_shared<std::vector<double>>(kDataSize);
+  {
+    common::RngStream rng(0xBA'2BEA7, 1);
+    for (double& value : *data) {
+      value = rng.uniform01() < 0.03 ? 5.0 + 20.0 * rng.uniform01() : 4.5 * rng.uniform01();
+    }
+  }
+  constexpr std::size_t kLanes = 1024;
+  constexpr std::size_t kBlockRows = kDataSize / kLanes;
+
+  const struct {
+    const char* key;
+    const char* spec;
+  } families[] = {
+      {"static", "Static(K=5,D=3,mu=5,sigma=5)"},
+      {"sraa", "SRAA(n=2,K=5,D=3,mu=5,sigma=5)"},
+      {"saraa", "SARAA(n=2,K=5,D=3,mu=5,sigma=5)"},
+      {"clta", "CLTA(n=30,z=1.96,mu=5,sigma=5)"},
+  };
+  for (const auto& entry : families) {
+    const core::DetectorConfig config = core::parse_spec(entry.spec);
+
+    auto bank = std::make_shared<core::DetectorBank>(config.family());
+    for (std::size_t lane = 0; lane < kLanes; ++lane) bank->add_lane(config);
+    bank->reserve_triggers(kDataSize);
+    registry.add("bank", std::string("bank.") + entry.key + ".rows_1024",
+                 [data, bank](std::uint64_t n) {
+                   std::uint64_t triggers = 0;
+                   std::uint64_t done = 0;
+                   while (done < n) {
+                     const std::uint64_t want_rows = (n - done + kLanes - 1) / kLanes;
+                     const std::size_t rows =
+                         want_rows < kBlockRows ? static_cast<std::size_t>(want_rows)
+                                                : kBlockRows;
+                     bank->observe_rows(std::span<const double>(data->data(), rows * kLanes));
+                     triggers += bank->triggers().size();
+                     bank->clear_triggers();
+                     done += rows * kLanes;
+                   }
+                   do_not_optimize(triggers);
+                 });
+
+    auto scalars = std::make_shared<std::vector<std::unique_ptr<core::Detector>>>();
+    scalars->reserve(kLanes);
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      scalars->push_back(core::make_detector(config));
+    }
+    registry.add("bank", std::string("bank.") + entry.key + ".scalar_1024",
+                 [data, scalars](std::uint64_t n) {
+                   std::uint64_t triggers = 0;
+                   std::uint64_t done = 0;
+                   while (done < n) {
+                     const std::uint64_t want_rows = (n - done + kLanes - 1) / kLanes;
+                     const std::size_t rows =
+                         want_rows < kBlockRows ? static_cast<std::size_t>(want_rows)
+                                                : kBlockRows;
+                     for (std::size_t r = 0; r < rows; ++r) {
+                       const double* row = data->data() + r * kLanes;
+                       for (std::size_t lane = 0; lane < kLanes; ++lane) {
+                         triggers += (*scalars)[lane]->observe(row[lane]) ==
+                                             core::Decision::kRejuvenate
+                                         ? 1u
+                                         : 0u;
+                       }
+                     }
+                     done += rows * kLanes;
+                   }
+                   do_not_optimize(triggers);
+                 });
+  }
 }
 
 void register_sim_suite(Registry& registry) {
@@ -465,6 +552,7 @@ void register_obs_suite(Registry& registry) {
 
 void register_standard_suites(Registry& registry) {
   register_detector_suite(registry);
+  register_bank_suite(registry);
   register_sim_suite(registry);
   register_event_queue_suite(registry);
   register_exec_suite(registry);

@@ -7,6 +7,11 @@
 //                 and the static cascade, plus the raw BucketCascade update.
 //                 These are the per-observation decision costs the paper's
 //                 §5 sweeps multiply by millions of transactions.
+//   bank        — the SoA detector bank's vectorized row kernel at 1024
+//                 lanes vs the same 1024 detectors as independent scalar
+//                 instances (bank.<family>.rows_1024 / .scalar_1024); the
+//                 pair's ratio is the fleet-scale speedup docs/BANKS.md
+//                 claims.
 //   sim         — future-event-list push/pop and schedule/cancel at depth
 //                 1024, the simulator's per-event cost.
 //   event_queue — the 4-ary heap under deeper and nastier regimes: steady

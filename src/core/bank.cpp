@@ -1,0 +1,824 @@
+#include "core/bank.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.h"
+#include "core/bank_simd.h"
+#include "core/saraa.h"
+#include "core/spec.h"
+
+namespace rejuv::core {
+
+namespace {
+
+/// The scalar detectors these SoA kernels replicate.
+bool family_is_bankable(std::string_view canonical) {
+  return canonical == "Static" || canonical == "SRAA" || canonical == "SARAA" ||
+         canonical == "SARAA-noaccel" || canonical == "CLTA";
+}
+
+DetectorBank::Family family_enum(std::string_view canonical, bool* accelerate) {
+  *accelerate = false;
+  if (canonical == "Static") return DetectorBank::Family::kStatic;
+  if (canonical == "SRAA") return DetectorBank::Family::kSraa;
+  if (canonical == "SARAA") {
+    *accelerate = true;
+    return DetectorBank::Family::kSaraa;
+  }
+  if (canonical == "SARAA-noaccel") return DetectorBank::Family::kSaraa;
+  return DetectorBank::Family::kClta;
+}
+
+}  // namespace
+
+DetectorBank::DetectorBank(std::string_view family) {
+  const DetectorDescriptor& descriptor = DetectorRegistry::instance().at(family);
+  if (!family_is_bankable(descriptor.name)) {
+    throw std::invalid_argument(
+        "DetectorBank supports the Static, SRAA, SARAA, SARAA-noaccel and CLTA families; got \"" +
+        descriptor.name + "\"");
+  }
+  family_name_ = descriptor.name;
+  family_ = family_enum(family_name_, &accelerate_);
+}
+
+bool DetectorBank::supports(std::string_view family) noexcept {
+  const DetectorDescriptor* descriptor = DetectorRegistry::instance().find(family);
+  return descriptor != nullptr && family_is_bankable(descriptor->name);
+}
+
+bool DetectorBank::supports(const DetectorConfig& config) noexcept {
+  return family_is_bankable(config.family());
+}
+
+bool DetectorBank::simd_compiled() noexcept {
+#if defined(REJUV_BANK_AVX2) || defined(REJUV_BANK_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool DetectorBank::simd_active() const noexcept {
+  if (force_scalar_) return false;
+#if defined(REJUV_BANK_AVX2)
+  static const bool has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  return has_avx2;
+#elif defined(REJUV_BANK_NEON)
+  return family_ == Family::kClta;
+#else
+  return false;
+#endif
+}
+
+void DetectorBank::check_lane(std::size_t lane) const {
+  REJUV_EXPECT(lane < lanes(), "bank lane index out of range");
+}
+
+std::size_t DetectorBank::add_lane(const DetectorConfig& config) {
+  REJUV_EXPECT(config.family() == family_name_,
+               "bank holds " + family_name_ + " lanes; config is " + config.family());
+  validate_config(config);
+  validate(config.baseline);
+
+  std::uint64_t n = 1;
+  std::uint64_t buckets = 1;
+  std::int64_t depth = 1;
+  double z = 0.0;
+  switch (family_) {
+    case Family::kStatic:
+      buckets = config.get_count("K");
+      depth = static_cast<std::int64_t>(config.get_count("D"));
+      break;
+    case Family::kSraa:
+    case Family::kSaraa:
+      n = config.get_count("n");
+      buckets = config.get_count("K");
+      depth = static_cast<std::int64_t>(config.get_count("D"));
+      break;
+    case Family::kClta:
+      n = config.get_count("n");
+      z = config.get("z");
+      break;
+  }
+  // The window/cascade state lives in doubles; every reachable value is an
+  // exact integer as long as the configured counts are.
+  REJUV_EXPECT(n < (1ull << 53) && buckets < (1ull << 53), "bank parameters exceed 2^53");
+
+  mu_.push_back(config.baseline.mean);
+  sigma_.push_back(config.baseline.stddev);
+  norig_.push_back(n);
+  buckets_u_.push_back(buckets);
+  depth_i_.push_back(depth);
+  zq_.push_back(z);
+  cur_n_.push_back(n);
+
+  sum_.push_back(0.0);
+  count_.push_back(0.0);
+  wcur_.push_back(static_cast<double>(n));
+  wnext_.push_back(static_cast<double>(n));
+  fill_.push_back(0.0);
+  bucket_.push_back(0.0);
+  depth_.push_back(static_cast<double>(depth));
+  buckets_.push_back(static_cast<double>(buckets));
+  last_avg_.push_back(0.0);
+  observations_.push_back(0);
+
+  const Baseline baseline = config.baseline;
+  switch (family_) {
+    case Family::kStatic:
+    case Family::kSraa:
+      target_.push_back(baseline.bucket_target(0));
+      break;
+    case Family::kSaraa:
+      target_.push_back(baseline.scaled_target(0.0, static_cast<std::size_t>(n)));
+      break;
+    case Family::kClta:
+      target_.push_back(baseline.scaled_target(z, static_cast<std::size_t>(n)));
+      break;
+  }
+
+  const std::size_t lane_count = lanes();
+  changed_flags_.resize(lane_count, 0);
+  trig_flags_.resize(lane_count, 0);
+  lane_fill_.resize(lane_count, 0);
+  lane_offset_.resize(lane_count, 0);
+  row_buf_.resize(lane_count, 0.0);
+  return lane_count - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference path: exact replica of the per-value detector logic,
+// including the tracer event order of each scalar implementation.
+// ---------------------------------------------------------------------------
+
+DetectorBank::Transition DetectorBank::cascade_step(std::size_t lane, bool exceeded) {
+  // BucketCascade::update, on the lane's double-typed state.
+  double f = fill_[lane] + (exceeded ? 1.0 : -1.0);
+  double b = bucket_[lane];
+  Transition transition = Transition::kNone;
+  if (f > depth_[lane]) {
+    f = 0.0;
+    b += 1.0;
+    transition = Transition::kEscalated;
+  }
+  if (f < 0.0 && b > 0.0) {
+    f = depth_[lane];
+    b -= 1.0;
+    transition = Transition::kDeescalated;
+  }
+  if (f < 0.0 && b == 0.0) f = 0.0;
+  if (b == buckets_[lane]) {
+    fill_[lane] = 0.0;
+    bucket_[lane] = 0.0;
+    return Transition::kTriggered;
+  }
+  fill_[lane] = f;
+  bucket_[lane] = b;
+  return transition;
+}
+
+void DetectorBank::refresh_target(std::size_t lane) {
+  const Baseline baseline{mu_[lane], sigma_[lane]};
+  switch (family_) {
+    case Family::kStatic:
+    case Family::kSraa:
+      target_[lane] = baseline.bucket_target(static_cast<std::size_t>(bucket_[lane]));
+      break;
+    case Family::kSaraa:
+      target_[lane] =
+          baseline.scaled_target(bucket_[lane], static_cast<std::size_t>(cur_n_[lane]));
+      break;
+    case Family::kClta:
+      break;  // threshold is fixed for the lane's lifetime
+  }
+}
+
+Decision DetectorBank::observe(std::size_t lane, double value, obs::Tracer* tracer) {
+  check_lane(lane);
+  ++observations_[lane];
+  return step(lane, value, tracer);
+}
+
+Decision DetectorBank::step(std::size_t lane, double value, obs::Tracer* tracer) {
+  if (family_ == Family::kStatic) {
+    const auto bucket_before = static_cast<std::int32_t>(bucket_[lane]);
+    const double target = target_[lane];
+    const bool exceeded = value > target;
+    last_avg_[lane] = value;
+    const Transition transition = cascade_step(lane, exceeded);
+    if (transition != Transition::kNone) refresh_target(lane);
+    if (tracer != nullptr) {
+      tracer->sample(value, target, exceeded, static_cast<std::int32_t>(bucket_[lane]),
+                     static_cast<std::int32_t>(fill_[lane]), /*sample_size=*/1);
+      switch (transition) {
+        case Transition::kEscalated:
+          tracer->escalated(static_cast<std::int32_t>(bucket_[lane]),
+                            static_cast<std::int32_t>(fill_[lane]), 1);
+          break;
+        case Transition::kDeescalated:
+          tracer->deescalated(static_cast<std::int32_t>(bucket_[lane]),
+                              static_cast<std::int32_t>(fill_[lane]), 1);
+          break;
+        case Transition::kTriggered:
+          tracer->detector_triggered(value, target, bucket_before,
+                                     static_cast<std::int32_t>(buckets_u_[lane]));
+          break;
+        case Transition::kNone:
+          break;
+      }
+    }
+    return transition == Transition::kTriggered ? Decision::kRejuvenate : Decision::kContinue;
+  }
+
+  // Window families: WindowAverage::push, committed before the family logic.
+  sum_[lane] += value;
+  count_[lane] += 1.0;
+  if (count_[lane] < wcur_[lane]) return Decision::kContinue;
+  const double average = sum_[lane] / wcur_[lane];
+  count_[lane] = 0.0;
+  sum_[lane] = 0.0;
+  wcur_[lane] = wnext_[lane];
+
+  if (family_ == Family::kClta) {
+    last_avg_[lane] = average;
+    const double threshold = target_[lane];
+    const bool exceeded = average > threshold;
+    if (tracer != nullptr) {
+      tracer->sample(average, threshold, exceeded, /*bucket=*/-1, /*fill=*/0,
+                     static_cast<std::uint32_t>(norig_[lane]));
+      if (exceeded) tracer->detector_triggered(average, threshold, /*bucket=*/-1, /*count=*/1);
+    }
+    // Clta::observe resets the window on a trigger; at a block boundary
+    // that is exactly the commit above, so there is nothing left to do.
+    return exceeded ? Decision::kRejuvenate : Decision::kContinue;
+  }
+
+  const auto bucket_before = static_cast<std::int32_t>(bucket_[lane]);
+  const double target = target_[lane];
+  const bool exceeded = average > target;
+  last_avg_[lane] = average;
+  const Transition transition = cascade_step(lane, exceeded);
+
+  if (family_ == Family::kSraa) {
+    if (transition != Transition::kNone) refresh_target(lane);
+    if (tracer != nullptr) {
+      tracer->sample(average, target, exceeded, static_cast<std::int32_t>(bucket_[lane]),
+                     static_cast<std::int32_t>(fill_[lane]),
+                     static_cast<std::uint32_t>(norig_[lane]));
+      switch (transition) {
+        case Transition::kEscalated:
+          tracer->escalated(static_cast<std::int32_t>(bucket_[lane]),
+                            static_cast<std::int32_t>(fill_[lane]),
+                            static_cast<std::uint32_t>(norig_[lane]));
+          break;
+        case Transition::kDeescalated:
+          tracer->deescalated(static_cast<std::int32_t>(bucket_[lane]),
+                              static_cast<std::int32_t>(fill_[lane]),
+                              static_cast<std::uint32_t>(norig_[lane]));
+          break;
+        case Transition::kTriggered:
+          tracer->detector_triggered(average, target, bucket_before,
+                                     static_cast<std::int32_t>(buckets_u_[lane]));
+          break;
+        case Transition::kNone:
+          break;
+      }
+    }
+    return transition == Transition::kTriggered ? Decision::kRejuvenate : Decision::kContinue;
+  }
+
+  // SARAA: the sample event carries the n that produced this average
+  // (pre-schedule), escalation events the post-schedule n — as Saraa does.
+  if (tracer != nullptr) {
+    tracer->sample(average, target, exceeded, static_cast<std::int32_t>(bucket_[lane]),
+                   static_cast<std::int32_t>(fill_[lane]),
+                   static_cast<std::uint32_t>(cur_n_[lane]));
+  }
+  switch (transition) {
+    case Transition::kNone:
+      return Decision::kContinue;
+    case Transition::kEscalated:
+    case Transition::kDeescalated:
+      if (accelerate_) {
+        cur_n_[lane] = saraa_sample_size(static_cast<std::size_t>(norig_[lane]),
+                                         static_cast<std::size_t>(bucket_[lane]),
+                                         static_cast<std::size_t>(buckets_u_[lane]));
+        // set_window at a block boundary (count == 0): both lengths change.
+        wnext_[lane] = static_cast<double>(cur_n_[lane]);
+        wcur_[lane] = wnext_[lane];
+      }
+      refresh_target(lane);
+      if (tracer != nullptr) {
+        const auto bucket = static_cast<std::int32_t>(bucket_[lane]);
+        const auto fill = static_cast<std::int32_t>(fill_[lane]);
+        const auto sample_size = static_cast<std::uint32_t>(cur_n_[lane]);
+        if (transition == Transition::kEscalated) {
+          tracer->escalated(bucket, fill, sample_size);
+        } else {
+          tracer->deescalated(bucket, fill, sample_size);
+        }
+      }
+      return Decision::kContinue;
+    case Transition::kTriggered:
+      cur_n_[lane] = norig_[lane];
+      wnext_[lane] = static_cast<double>(cur_n_[lane]);
+      wcur_[lane] = wnext_[lane];
+      count_[lane] = 0.0;
+      sum_[lane] = 0.0;
+      refresh_target(lane);
+      if (tracer != nullptr) {
+        tracer->detector_triggered(average, target, bucket_before,
+                                   static_cast<std::int32_t>(buckets_u_[lane]));
+      }
+      return Decision::kRejuvenate;
+  }
+  return Decision::kContinue;
+}
+
+// ---------------------------------------------------------------------------
+// Batch paths.
+// ---------------------------------------------------------------------------
+
+void DetectorBank::observe_lane(std::size_t lane, std::span<const double> values) {
+  check_lane(lane);
+  for (const double value : values) {
+    ++observations_[lane];
+    if (step(lane, value, nullptr) == Decision::kRejuvenate) {
+      triggers_.push_back({lane, observations_[lane]});
+    }
+  }
+}
+
+void DetectorBank::observe_rows(std::span<const double> values) {
+  if (values.empty()) return;
+  const std::size_t lane_count = lanes();
+  REJUV_EXPECT(lane_count > 0, "observe_rows on an empty bank");
+  REJUV_EXPECT(values.size() % lane_count == 0,
+               "observe_rows input must be row-major: one value per lane per row");
+  const std::size_t rows = values.size() / lane_count;
+  for (std::size_t r = 0; r < rows; ++r) advance_row(values.data() + r * lane_count);
+}
+
+void DetectorBank::advance_row(const double* row) {
+  const std::size_t lane_count = lanes();
+  std::uint32_t any = 0;
+  switch (family_) {
+    case Family::kStatic: {
+      bank_kernel::StaticRow kernel_row{lane_count,      row,
+                                        target_.data(),  fill_.data(),
+                                        bucket_.data(),  depth_.data(),
+                                        buckets_.data(), last_avg_.data(),
+                                        changed_flags_.data(), trig_flags_.data()};
+#if defined(REJUV_BANK_AVX2)
+      any = simd_active() ? bank_kernel::static_row_avx2(kernel_row)
+                          : bank_kernel::static_row_portable(kernel_row);
+#else
+      any = bank_kernel::static_row_portable(kernel_row);
+#endif
+      break;
+    }
+    case Family::kSraa:
+    case Family::kSaraa: {
+      bank_kernel::WindowCascadeRow kernel_row{lane_count,
+                                               row,
+                                               sum_.data(),
+                                               count_.data(),
+                                               wcur_.data(),
+                                               wnext_.data(),
+                                               target_.data(),
+                                               fill_.data(),
+                                               bucket_.data(),
+                                               depth_.data(),
+                                               buckets_.data(),
+                                               last_avg_.data(),
+                                               changed_flags_.data(),
+                                               trig_flags_.data()};
+#if defined(REJUV_BANK_AVX2)
+      any = simd_active() ? bank_kernel::window_cascade_row_avx2(kernel_row)
+                          : bank_kernel::window_cascade_row_portable(kernel_row);
+#else
+      any = bank_kernel::window_cascade_row_portable(kernel_row);
+#endif
+      break;
+    }
+    case Family::kClta: {
+      bank_kernel::CltaRow kernel_row{lane_count,     row,
+                                      sum_.data(),    count_.data(),
+                                      wcur_.data(),   wnext_.data(),
+                                      target_.data(), last_avg_.data(),
+                                      trig_flags_.data()};
+#if defined(REJUV_BANK_AVX2)
+      any = simd_active() ? bank_kernel::clta_row_avx2(kernel_row)
+                          : bank_kernel::clta_row_portable(kernel_row);
+#elif defined(REJUV_BANK_NEON)
+      any = simd_active() ? bank_kernel::clta_row_neon(kernel_row)
+                          : bank_kernel::clta_row_portable(kernel_row);
+#else
+      any = bank_kernel::clta_row_portable(kernel_row);
+#endif
+      break;
+    }
+  }
+  std::uint64_t* observations = observations_.data();
+  for (std::size_t l = 0; l < lane_count; ++l) ++observations[l];
+  if ((any & bank_kernel::kAnyChanged) != 0) fixup_changed_lanes();
+  if ((any & bank_kernel::kAnyTriggered) != 0) record_row_triggers();
+}
+
+void DetectorBank::fixup_changed_lanes() {
+  const std::size_t lane_count = lanes();
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    if (changed_flags_[l] == 0) continue;
+    if (family_ == Family::kSaraa) {
+      const bool triggered = trig_flags_[l] != 0;
+      if (triggered) {
+        cur_n_[l] = norig_[l];
+      } else if (accelerate_) {
+        cur_n_[l] = saraa_sample_size(static_cast<std::size_t>(norig_[l]),
+                                      static_cast<std::size_t>(bucket_[l]),
+                                      static_cast<std::size_t>(buckets_u_[l]));
+      }
+      if (triggered || accelerate_) {
+        // A transition only happens at a block boundary, where the kernel
+        // has already zeroed count/sum; set_window therefore moves both
+        // the next and the current block length.
+        wnext_[l] = static_cast<double>(cur_n_[l]);
+        wcur_[l] = wnext_[l];
+      }
+    }
+    refresh_target(l);
+  }
+}
+
+void DetectorBank::record_row_triggers() {
+  const std::size_t lane_count = lanes();
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    if (trig_flags_[l] != 0) triggers_.push_back({l, observations_[l]});
+  }
+}
+
+void DetectorBank::observe_lanes(std::span<const std::uint32_t> lane_ids,
+                                 std::span<const double> values) {
+  REJUV_EXPECT(lane_ids.size() == values.size(),
+               "observe_lanes needs one lane id per value");
+  if (values.empty()) return;
+  const std::size_t lane_count = lanes();
+  REJUV_EXPECT(lane_count > 0, "observe_lanes on an empty bank");
+
+  // Gather the interleaved input into per-lane columns (stable, so each
+  // lane sees its own observations in arrival order).
+  std::fill(lane_fill_.begin(), lane_fill_.end(), std::uint64_t{0});
+  for (const std::uint32_t id : lane_ids) {
+    REJUV_EXPECT(id < lane_count, "observe_lanes lane id out of range");
+    ++lane_fill_[id];
+  }
+  std::size_t offset = 0;
+  std::uint64_t rect = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    lane_offset_[l] = offset;
+    offset += static_cast<std::size_t>(lane_fill_[l]);
+    rect = std::min(rect, lane_fill_[l]);
+  }
+  if (columns_.size() < values.size()) columns_.resize(values.size());
+  std::fill(lane_fill_.begin(), lane_fill_.end(), std::uint64_t{0});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::uint32_t id = lane_ids[i];
+    columns_[lane_offset_[id] + static_cast<std::size_t>(lane_fill_[id]++)] = values[i];
+  }
+
+  // Rectangular prefix: every lane has at least `rect` observations, so
+  // they advance in lockstep through the row kernel.
+  for (std::uint64_t r = 0; r < rect; ++r) {
+    for (std::size_t l = 0; l < lane_count; ++l) {
+      row_buf_[l] = columns_[lane_offset_[l] + static_cast<std::size_t>(r)];
+    }
+    advance_row(row_buf_.data());
+  }
+
+  // Ragged remainder: the surplus observations of busier lanes, per lane.
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    const auto total = static_cast<std::size_t>(lane_fill_[l]);
+    for (std::size_t k = static_cast<std::size_t>(rect); k < total; ++k) {
+      ++observations_[l];
+      if (step(l, columns_[lane_offset_[l] + k], nullptr) == Decision::kRejuvenate) {
+        triggers_.push_back({l, observations_[l]});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-lane introspection and checkpointing — byte-identical to the scalar
+// detector of the lane's configuration.
+// ---------------------------------------------------------------------------
+
+std::uint64_t DetectorBank::observations(std::size_t lane) const {
+  check_lane(lane);
+  return observations_[lane];
+}
+
+Baseline DetectorBank::baseline(std::size_t lane) const {
+  check_lane(lane);
+  return Baseline{mu_[lane], sigma_[lane]};
+}
+
+std::string DetectorBank::name(std::size_t lane) const {
+  check_lane(lane);
+  switch (family_) {
+    case Family::kStatic:
+      return "Static(K=" + std::to_string(buckets_u_[lane]) +
+             ",D=" + std::to_string(depth_i_[lane]) + ")";
+    case Family::kSraa:
+      return "SRAA(n=" + std::to_string(norig_[lane]) + ",K=" + std::to_string(buckets_u_[lane]) +
+             ",D=" + std::to_string(depth_i_[lane]) + ")";
+    case Family::kSaraa:
+      return std::string("SARAA") + (accelerate_ ? "" : "-noaccel") +
+             "(n=" + std::to_string(norig_[lane]) + ",K=" + std::to_string(buckets_u_[lane]) +
+             ",D=" + std::to_string(depth_i_[lane]) + ")";
+    case Family::kClta:
+      return "CLTA(n=" + std::to_string(norig_[lane]) + ",z=" + spec_number(zq_[lane]) + ")";
+  }
+  return {};
+}
+
+obs::DetectorSnapshot DetectorBank::snapshot(std::size_t lane) const {
+  check_lane(lane);
+  obs::DetectorSnapshot snapshot;
+  snapshot.algorithm = name(lane);
+  snapshot.baseline_mean = mu_[lane];
+  snapshot.baseline_stddev = sigma_[lane];
+  const Baseline baseline{mu_[lane], sigma_[lane]};
+  switch (family_) {
+    case Family::kStatic:
+      snapshot.has_cascade = true;
+      snapshot.bucket = static_cast<std::int32_t>(bucket_[lane]);
+      snapshot.bucket_count = static_cast<std::int32_t>(buckets_u_[lane]);
+      snapshot.fill = static_cast<std::int32_t>(fill_[lane]);
+      snapshot.depth = static_cast<std::int32_t>(depth_i_[lane]);
+      snapshot.sample_size = 1;
+      snapshot.last_average = last_avg_[lane];
+      snapshot.current_target = baseline.bucket_target(static_cast<std::size_t>(bucket_[lane]));
+      break;
+    case Family::kSraa:
+      snapshot.has_cascade = true;
+      snapshot.bucket = static_cast<std::int32_t>(bucket_[lane]);
+      snapshot.bucket_count = static_cast<std::int32_t>(buckets_u_[lane]);
+      snapshot.fill = static_cast<std::int32_t>(fill_[lane]);
+      snapshot.depth = static_cast<std::int32_t>(depth_i_[lane]);
+      snapshot.sample_size = static_cast<std::uint32_t>(norig_[lane]);
+      snapshot.pending = static_cast<std::uint32_t>(count_[lane]);
+      snapshot.last_average = last_avg_[lane];
+      snapshot.current_target = baseline.bucket_target(static_cast<std::size_t>(bucket_[lane]));
+      break;
+    case Family::kSaraa:
+      snapshot.has_cascade = true;
+      snapshot.bucket = static_cast<std::int32_t>(bucket_[lane]);
+      snapshot.bucket_count = static_cast<std::int32_t>(buckets_u_[lane]);
+      snapshot.fill = static_cast<std::int32_t>(fill_[lane]);
+      snapshot.depth = static_cast<std::int32_t>(depth_i_[lane]);
+      snapshot.sample_size = static_cast<std::uint32_t>(cur_n_[lane]);
+      snapshot.pending = static_cast<std::uint32_t>(count_[lane]);
+      snapshot.last_average = last_avg_[lane];
+      snapshot.current_target =
+          baseline.scaled_target(bucket_[lane], static_cast<std::size_t>(cur_n_[lane]));
+      break;
+    case Family::kClta:
+      snapshot.sample_size = static_cast<std::uint32_t>(norig_[lane]);
+      snapshot.pending = static_cast<std::uint32_t>(count_[lane]);
+      snapshot.last_average = last_avg_[lane];
+      snapshot.current_target = target_[lane];
+      break;
+  }
+  return snapshot;
+}
+
+DetectorState DetectorBank::save_state(std::size_t lane) const {
+  check_lane(lane);
+  DetectorState state;
+  state.algorithm = name(lane);
+  switch (family_) {
+    case Family::kStatic:
+      state.has_cascade = true;
+      state.bucket = static_cast<std::uint64_t>(bucket_[lane]);
+      state.fill = static_cast<std::int64_t>(fill_[lane]);
+      state.last_average = last_avg_[lane];
+      break;
+    case Family::kSraa:
+    case Family::kSaraa:
+      state.has_cascade = true;
+      state.bucket = static_cast<std::uint64_t>(bucket_[lane]);
+      state.fill = static_cast<std::int64_t>(fill_[lane]);
+      state.has_window = true;
+      state.window_length = static_cast<std::uint64_t>(wcur_[lane]);
+      state.window_next = static_cast<std::uint64_t>(wnext_[lane]);
+      state.window_count = static_cast<std::uint64_t>(count_[lane]);
+      state.window_sum = sum_[lane];
+      if (family_ == Family::kSaraa) state.current_n = cur_n_[lane];
+      state.last_average = last_avg_[lane];
+      break;
+    case Family::kClta:
+      state.has_window = true;
+      state.window_length = static_cast<std::uint64_t>(wcur_[lane]);
+      state.window_next = static_cast<std::uint64_t>(wnext_[lane]);
+      state.window_count = static_cast<std::uint64_t>(count_[lane]);
+      state.window_sum = sum_[lane];
+      state.last_average = last_avg_[lane];
+      break;
+  }
+  return state;
+}
+
+void DetectorBank::restore_state(std::size_t lane, const DetectorState& state) {
+  check_lane(lane);
+  REJUV_EXPECT(state.algorithm == name(lane), "checkpoint algorithm mismatch: saved \"" +
+                                                  state.algorithm + "\", restoring into \"" +
+                                                  name(lane) + "\"");
+  const bool has_cascade = family_ != Family::kClta;
+  const bool has_window = family_ != Family::kStatic;
+  if (has_cascade) {
+    REJUV_EXPECT(state.bucket < buckets_u_[lane], "restored bucket pointer out of range");
+    REJUV_EXPECT(state.fill >= 0 && state.fill <= depth_i_[lane], "restored fill out of range");
+    bucket_[lane] = static_cast<double>(state.bucket);
+    fill_[lane] = static_cast<double>(state.fill);
+  }
+  if (family_ == Family::kSaraa) {
+    REJUV_EXPECT(state.current_n >= 1, "SARAA checkpoint current_n must be at least 1");
+    cur_n_[lane] = state.current_n;
+  }
+  if (has_window) {
+    REJUV_EXPECT(state.window_length >= 1 && state.window_next >= 1,
+                 "restored window must hold at least one observation");
+    REJUV_EXPECT(state.window_count < state.window_length, "restored block must be incomplete");
+    wcur_[lane] = static_cast<double>(state.window_length);
+    wnext_[lane] = static_cast<double>(state.window_next);
+    count_[lane] = static_cast<double>(state.window_count);
+    sum_[lane] = state.window_sum;
+  }
+  last_avg_[lane] = state.last_average;
+  refresh_target(lane);
+}
+
+void DetectorBank::reset(std::size_t lane) {
+  check_lane(lane);
+  switch (family_) {
+    case Family::kStatic:
+      bucket_[lane] = 0.0;
+      fill_[lane] = 0.0;
+      break;
+    case Family::kSraa:
+      bucket_[lane] = 0.0;
+      fill_[lane] = 0.0;
+      count_[lane] = 0.0;
+      sum_[lane] = 0.0;
+      wcur_[lane] = wnext_[lane];
+      break;
+    case Family::kSaraa:
+      bucket_[lane] = 0.0;
+      fill_[lane] = 0.0;
+      cur_n_[lane] = norig_[lane];
+      wnext_[lane] = static_cast<double>(cur_n_[lane]);
+      wcur_[lane] = wnext_[lane];
+      count_[lane] = 0.0;
+      sum_[lane] = 0.0;
+      break;
+    case Family::kClta:
+      count_[lane] = 0.0;
+      sum_[lane] = 0.0;
+      wcur_[lane] = wnext_[lane];
+      break;
+  }
+  refresh_target(lane);
+}
+
+// ---------------------------------------------------------------------------
+// BankController
+// ---------------------------------------------------------------------------
+
+BankController::BankController(std::string_view family, std::uint64_t cooldown_observations)
+    : bank_(family), cooldown_observations_(cooldown_observations) {}
+
+std::size_t BankController::add_lane(const DetectorConfig& config) {
+  const std::size_t lane = bank_.add_lane(config);
+  cooldown_remaining_.push_back(0);
+  obs_offset_.push_back(0);
+  trigger_indices_.emplace_back();
+  tracers_.push_back(nullptr);
+  return lane;
+}
+
+void BankController::set_tracer(std::size_t lane, obs::Tracer* tracer) {
+  REJUV_EXPECT(lane < lanes(), "bank lane index out of range");
+  if (tracers_[lane] != nullptr && tracer == nullptr) --traced_lanes_;
+  if (tracers_[lane] == nullptr && tracer != nullptr) ++traced_lanes_;
+  tracers_[lane] = tracer;
+}
+
+std::uint64_t BankController::observations(std::size_t lane) const {
+  return bank_.observations(lane) + obs_offset_[lane];
+}
+
+std::uint64_t BankController::rejuvenations(std::size_t lane) const {
+  REJUV_EXPECT(lane < lanes(), "bank lane index out of range");
+  return trigger_indices_[lane].size();
+}
+
+const std::vector<std::uint64_t>& BankController::trigger_indices(std::size_t lane) const {
+  REJUV_EXPECT(lane < lanes(), "bank lane index out of range");
+  return trigger_indices_[lane];
+}
+
+void BankController::record_trigger(std::size_t lane, std::uint64_t observation) {
+  trigger_indices_[lane].push_back(observation);
+  if (cooldown_observations_ > 0) {
+    if (cooldown_remaining_[lane] == 0) ++lanes_in_cooldown_;
+    cooldown_remaining_[lane] = cooldown_observations_;
+  }
+  obs::Tracer* tracer = tracers_[lane];
+  if (tracer != nullptr && tracer->enabled()) {
+    tracer->rejuvenation_triggered(observation, bank_.snapshot(lane));
+  }
+}
+
+bool BankController::observe(std::size_t lane, double value) {
+  REJUV_EXPECT(lane < lanes(), "bank lane index out of range");
+  if (cooldown_remaining_[lane] > 0) {
+    --cooldown_remaining_[lane];
+    if (cooldown_remaining_[lane] == 0) --lanes_in_cooldown_;
+    ++obs_offset_[lane];
+    if (tracers_[lane] != nullptr) tracers_[lane]->cooldown_suppressed(cooldown_remaining_[lane]);
+    return false;
+  }
+  if (bank_.observe(lane, value, tracers_[lane]) == Decision::kRejuvenate) {
+    record_trigger(lane, observations(lane));
+    return true;
+  }
+  return false;
+}
+
+bool BankController::lane_needs_scalar(std::size_t lane) const {
+  return cooldown_observations_ > 0 || cooldown_remaining_[lane] > 0 ||
+         tracers_[lane] != nullptr;
+}
+
+std::size_t BankController::drain_bank_triggers() {
+  const std::vector<BankTrigger>& triggers = bank_.triggers();
+  for (const BankTrigger& trigger : triggers) {
+    trigger_indices_[trigger.lane].push_back(trigger.observation + obs_offset_[trigger.lane]);
+  }
+  const std::size_t count = triggers.size();
+  bank_.clear_triggers();
+  return count;
+}
+
+std::size_t BankController::observe_lane_all(std::size_t lane, std::span<const double> values) {
+  REJUV_EXPECT(lane < lanes(), "bank lane index out of range");
+  if (!lane_needs_scalar(lane)) {
+    bank_.observe_lane(lane, values);
+    return drain_bank_triggers();
+  }
+  std::size_t triggers = 0;
+  for (const double value : values) {
+    if (observe(lane, value)) ++triggers;
+  }
+  return triggers;
+}
+
+std::size_t BankController::observe_lanes(std::span<const std::uint32_t> lane_ids,
+                                          std::span<const double> values) {
+  REJUV_EXPECT(lane_ids.size() == values.size(), "observe_lanes needs one lane id per value");
+  const bool lockstep =
+      cooldown_observations_ == 0 && lanes_in_cooldown_ == 0 && traced_lanes_ == 0;
+  if (lockstep) {
+    bank_.observe_lanes(lane_ids, values);
+    return drain_bank_triggers();
+  }
+  std::size_t triggers = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (observe(lane_ids[i], values[i])) ++triggers;
+  }
+  return triggers;
+}
+
+ControllerState BankController::save_state(std::size_t lane) const {
+  REJUV_EXPECT(lane < lanes(), "bank lane index out of range");
+  ControllerState state;
+  state.observations = observations(lane);
+  state.cooldown_remaining = cooldown_remaining_[lane];
+  state.trigger_indices = trigger_indices_[lane];
+  state.detector = bank_.save_state(lane);
+  return state;
+}
+
+void BankController::restore_state(std::size_t lane, const ControllerState& state) {
+  REJUV_EXPECT(lane < lanes(), "bank lane index out of range");
+  bank_.restore_state(lane, state.detector);
+  obs_offset_[lane] = state.observations - bank_.observations(lane);
+  if (cooldown_remaining_[lane] > 0) --lanes_in_cooldown_;
+  cooldown_remaining_[lane] = state.cooldown_remaining;
+  if (cooldown_remaining_[lane] > 0) ++lanes_in_cooldown_;
+  trigger_indices_[lane] = state.trigger_indices;
+}
+
+}  // namespace rejuv::core

@@ -1,0 +1,256 @@
+// DetectorBank: a structure-of-arrays bank of same-family detectors.
+//
+// The scalar detectors are already allocation-free at a few ns/observation,
+// but fleet-scale monitoring wants *many detectors per core*: thousands of
+// response-time streams, each with its own detector instance, advanced in
+// lockstep as interleaved batches arrive. A bank packs the per-instance
+// state of N detectors of one family (Static, SRAA, SARAA, SARAA-noaccel,
+// CLTA) into contiguous arrays — running window sums, block counts, bucket
+// pointers, fill counters, cached targets — and advances all lanes per
+// input row with the vectorizable kernels in bank_simd.h (portable
+// autovectorizing loops, plus AVX2/NEON intrinsics behind REJUV_SIMD,
+// runtime-dispatched with the portable loop as fallback).
+//
+// The contract is bit-identity: for every (family, config, stream), a bank
+// lane makes byte-identical decisions to an independent scalar detector —
+// the same Decision per observation, the same escalation timestamps, the
+// same snapshot() fields, and checkpoint states that round-trip through the
+// same DetectorState both ways (tests/bank_differential_test.cpp pins all
+// of it, with and without SIMD). This holds because vectorization runs
+// *across* lanes: each lane's own floating-point work keeps the exact
+// scalar order, and the rare retargeting results are recomputed by the same
+// Baseline/schedule functions in a scalar fixup pass over flagged lanes.
+//
+// BankController layers the RejuvenationController semantics (observation
+// counting, cooldown suppression, trigger history, checkpointing) over a
+// bank, one virtual-call-free controller per lane, so the monitor can drain
+// all shards through one bank advance per batch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/baseline.h"
+#include "core/checkpoint.h"
+#include "core/detector.h"
+#include "core/registry.h"
+#include "obs/detector_snapshot.h"
+#include "obs/tracer.h"
+
+namespace rejuv::core {
+
+/// One rejuvenation decision made by a bank batch call: which lane fired
+/// and at which of its own observations (1-based, counted since the lane
+/// was added; BankController maps these onto controller indices).
+struct BankTrigger {
+  std::size_t lane = 0;
+  std::uint64_t observation = 0;
+};
+
+class DetectorBank {
+ public:
+  /// The detector families a bank can hold.
+  enum class Family { kStatic, kSraa, kSaraa, kClta };
+
+  /// An empty bank for `family` ("Static", "SRAA", "SARAA", "SARAA-noaccel"
+  /// or "CLTA"; case-insensitive like the registry). Throws
+  /// std::invalid_argument for unsupported families.
+  explicit DetectorBank(std::string_view family);
+
+  /// True when a bank can hold detectors of `family` / `config`.
+  static bool supports(std::string_view family) noexcept;
+  static bool supports(const DetectorConfig& config) noexcept;
+
+  /// True when this binary carries intrinsic kernels (REJUV_SIMD build).
+  static bool simd_compiled() noexcept;
+
+  /// Appends one detector instance configured by `config` (validated like
+  /// make_detector; the family must match the bank's). Lanes of one bank
+  /// may differ in parameters and baseline. Returns the new lane index.
+  std::size_t add_lane(const DetectorConfig& config);
+
+  std::size_t lanes() const noexcept { return target_.size(); }
+  const std::string& family_name() const noexcept { return family_name_; }
+  Family family() const noexcept { return family_; }
+
+  /// Feeds one observation to one lane — the scalar reference path, used
+  /// for ragged tails and traced runs. Emits the identical event stream a
+  /// scalar detector would through `tracer` (nullptr = untraced). Does NOT
+  /// record into triggers(); the caller owns the returned Decision.
+  Decision observe(std::size_t lane, double value, obs::Tracer* tracer = nullptr);
+
+  /// Feeds a batch to one lane. Unlike Detector::observe_all this does not
+  /// stop at a trigger — the lane self-resets exactly as the scalar
+  /// detector does and keeps consuming; every trigger is recorded in
+  /// triggers().
+  void observe_lane(std::size_t lane, std::span<const double> values);
+
+  /// Advances every lane in lockstep: `values` is row-major, one value per
+  /// lane per row (values.size() must be a multiple of lanes()). This is
+  /// the vectorized hot path; triggers are recorded in triggers().
+  void observe_rows(std::span<const double> values);
+
+  /// Scatter/gather entry point for interleaved multi-stream input:
+  /// values[i] is an observation for lane_ids[i]. Per-lane observation
+  /// order is preserved (that is all bit-identity needs — lanes are
+  /// independent); the rectangular prefix every lane shares is advanced
+  /// through the row kernel, the ragged remainder per lane. Triggers are
+  /// recorded in triggers(), grouped by lane.
+  void observe_lanes(std::span<const std::uint32_t> lane_ids, std::span<const double> values);
+
+  /// Triggers recorded by the batch paths since the last clear_triggers(),
+  /// in processing order (per-lane order is monotone).
+  const std::vector<BankTrigger>& triggers() const noexcept { return triggers_; }
+  void clear_triggers() noexcept { triggers_.clear(); }
+  /// Pre-grows the trigger log so steady-state batches stay allocation-free.
+  void reserve_triggers(std::size_t capacity) { triggers_.reserve(capacity); }
+
+  /// Observations fed to `lane` since it was added (suppressed values a
+  /// controller never forwards are not counted — see BankController).
+  std::uint64_t observations(std::size_t lane) const;
+
+  /// Per-lane equivalents of the Detector interface; each matches the
+  /// scalar detector of the lane's configuration byte for byte (name
+  /// string, snapshot fields, DetectorState fields, restore validation).
+  std::string name(std::size_t lane) const;
+  Baseline baseline(std::size_t lane) const;
+  obs::DetectorSnapshot snapshot(std::size_t lane) const;
+  DetectorState save_state(std::size_t lane) const;
+  void restore_state(std::size_t lane, const DetectorState& state);
+  void reset(std::size_t lane);
+
+  /// Forces the portable kernels even when intrinsic ones are compiled in
+  /// and the CPU supports them — the differential tests run both in one
+  /// process and compare.
+  void force_scalar(bool force) noexcept { force_scalar_ = force; }
+  /// True when the next batch call will use an intrinsic kernel for this
+  /// family on this CPU.
+  bool simd_active() const noexcept;
+
+ private:
+  enum class Transition { kNone, kEscalated, kDeescalated, kTriggered };
+
+  Decision step(std::size_t lane, double value, obs::Tracer* tracer);
+  Transition cascade_step(std::size_t lane, bool exceeded);
+  void refresh_target(std::size_t lane);
+  void advance_row(const double* row);
+  void fixup_changed_lanes();
+  void record_row_triggers();
+  void check_lane(std::size_t lane) const;
+
+  Family family_;
+  bool accelerate_ = false;  ///< SARAA vs SARAA-noaccel
+  std::string family_name_;  ///< canonical registry name
+  bool force_scalar_ = false;
+
+  // Per-lane configuration (cold; natural types for naming/validation).
+  std::vector<double> mu_;
+  std::vector<double> sigma_;
+  std::vector<std::uint64_t> norig_;  ///< n (initial n for SARAA; 1 for Static)
+  std::vector<std::uint64_t> buckets_u_;
+  std::vector<std::int64_t> depth_i_;
+  std::vector<double> zq_;  ///< CLTA quantile z
+  std::vector<std::uint64_t> cur_n_;  ///< SARAA schedule-controlled n
+
+  // Hot SoA state: exact small integers stored as doubles so one kernel
+  // shape (add/div/compare/blend on pd vectors) covers every family.
+  std::vector<double> sum_;
+  std::vector<double> count_;
+  std::vector<double> wcur_;
+  std::vector<double> wnext_;
+  std::vector<double> target_;  ///< bucket target / CLTA threshold in force
+  std::vector<double> fill_;
+  std::vector<double> bucket_;
+  std::vector<double> depth_;
+  std::vector<double> buckets_;
+  std::vector<double> last_avg_;
+  std::vector<std::uint64_t> observations_;
+
+  // Per-row scratch (sized to lanes; reused, no steady-state allocation).
+  std::vector<unsigned char> changed_flags_;
+  std::vector<unsigned char> trig_flags_;
+
+  // observe_lanes scratch: per-lane counts/offsets and the gathered columns.
+  std::vector<std::uint64_t> lane_fill_;
+  std::vector<std::size_t> lane_offset_;
+  std::vector<double> columns_;
+  std::vector<double> row_buf_;
+
+  std::vector<BankTrigger> triggers_;
+};
+
+/// RejuvenationController semantics over a DetectorBank, one lane per
+/// monitored stream: observation counting, cooldown suppression, 1-based
+/// trigger indices and ControllerState checkpointing are all per lane and
+/// byte-identical to a RejuvenationController wrapping the scalar detector
+/// (the monitor's bank mode relies on this for checkpoint-journal
+/// compatibility with scalar mode, both directions).
+class BankController {
+ public:
+  /// `cooldown_observations`: as RejuvenationController — observations
+  /// after a trigger during which the lane's detector is not fed.
+  BankController(std::string_view family, std::uint64_t cooldown_observations);
+
+  /// Adds a lane (see DetectorBank::add_lane) with no tracer attached.
+  std::size_t add_lane(const DetectorConfig& config);
+
+  std::size_t lanes() const noexcept { return bank_.lanes(); }
+  DetectorBank& bank() noexcept { return bank_; }
+  const DetectorBank& bank() const noexcept { return bank_; }
+
+  /// Per-lane tracer for detector + controller events (nullptr detaches).
+  void set_tracer(std::size_t lane, obs::Tracer* tracer);
+
+  /// Feeds one observation to one lane; true means rejuvenate now. Event
+  /// emission (cooldown_suppressed, sample/escalation/trigger,
+  /// rejuvenation_triggered with the post-reset snapshot) matches
+  /// RejuvenationController::observe exactly.
+  bool observe(std::size_t lane, double value);
+
+  /// Feeds a batch to one lane; returns the number of triggers. Routes
+  /// through the bank batch path when nothing forces per-value semantics
+  /// (no cooldown configured or pending, no tracer on the lane).
+  std::size_t observe_lane_all(std::size_t lane, std::span<const double> values);
+
+  /// Feeds an interleaved batch (values[i] → lane_ids[i]); returns the
+  /// number of triggers across lanes. Uses the lockstep scatter/gather
+  /// path when every lane is cooldown-free and untraced.
+  std::size_t observe_lanes(std::span<const std::uint32_t> lane_ids,
+                            std::span<const double> values);
+
+  std::uint64_t observations(std::size_t lane) const;
+  std::uint64_t rejuvenations(std::size_t lane) const;
+  /// 1-based observation indices at which `lane` triggered.
+  const std::vector<std::uint64_t>& trigger_indices(std::size_t lane) const;
+
+  obs::DetectorSnapshot detector_snapshot(std::size_t lane) const { return bank_.snapshot(lane); }
+
+  /// ControllerState checkpointing per lane, field-identical to
+  /// RejuvenationController::save_state/restore_state on the scalar twin.
+  ControllerState save_state(std::size_t lane) const;
+  void restore_state(std::size_t lane, const ControllerState& state);
+
+ private:
+  void record_trigger(std::size_t lane, std::uint64_t observation);
+  std::size_t drain_bank_triggers();
+  bool lane_needs_scalar(std::size_t lane) const;
+
+  DetectorBank bank_;
+  std::uint64_t cooldown_observations_;
+  std::size_t lanes_in_cooldown_ = 0;
+  std::vector<std::uint64_t> cooldown_remaining_;
+  /// observations(lane) - bank_.observations(lane): grows by one per
+  /// suppressed value (never forwarded to the bank) and absorbs restored
+  /// counters; modular arithmetic keeps the mapping exact.
+  std::vector<std::uint64_t> obs_offset_;
+  std::vector<std::vector<std::uint64_t>> trigger_indices_;
+  std::vector<obs::Tracer*> tracers_;
+  std::size_t traced_lanes_ = 0;
+};
+
+}  // namespace rejuv::core

@@ -73,6 +73,22 @@ Decision CalibratingDetector::observe(double value) {
   return inner_->observe(value);
 }
 
+std::size_t CalibratingDetector::observe_all(std::span<const double> values) {
+  std::size_t consumed = 0;
+  if (inner_ == nullptr) {
+    // Calibration head: feed the estimator per value (observe() builds the
+    // inner detector at the exact boundary observation). None of these can
+    // trigger, so the batch only ends early if the post-boundary tail does.
+    while (consumed < values.size() && inner_ == nullptr) {
+      observe(values[consumed++]);
+    }
+    if (consumed == values.size()) return values.size();
+  }
+  const std::size_t index = inner_->observe_all(values.subspan(consumed));
+  const std::size_t tail = values.size() - consumed;
+  return index == tail ? values.size() : consumed + index;
+}
+
 obs::DetectorSnapshot CalibratingDetector::snapshot() const {
   if (inner_ != nullptr) {
     obs::DetectorSnapshot snapshot = inner_->snapshot();

@@ -76,6 +76,13 @@ class CalibratingDetector final : public Detector {
   CalibratingDetector(DetectorConfig config, std::uint64_t calibration_size);
 
   Decision observe(double value) override;
+  /// Batch path with an exact split at the calibration boundary: the head
+  /// of the batch feeds the estimator (never triggering), the tail past the
+  /// boundary goes to the freshly built inner detector's own observe_all.
+  /// Decisions are byte-identical to looping observe() — a batch that
+  /// straddles the boundary must behave exactly as if it had arrived one
+  /// value at a time (tests/property_test.cpp pins the straddle).
+  std::size_t observe_all(std::span<const double> values) override;
   /// Resets the inner detector only; the calibrated baseline is retained.
   void reset() override;
   std::string name() const override;

@@ -1,0 +1,440 @@
+// Bank-vs-scalar differential harness: DetectorBank's contract is that every
+// lane is bit-identical to an independent scalar detector — decisions,
+// escalation timing, snapshot() fields, checkpoint state lines — for every
+// (family, config, stream), with and without the intrinsic kernels. This
+// suite pins that contract exhaustively:
+//
+//   * per family x 30 randomized configs x 3 stream shapes (stationary /
+//     shifted / bursty), lane counts chosen to exercise ragged tails (not a
+//     multiple of the 4-wide AVX2 vector), every lane advanced through the
+//     row kernel one row at a time and compared per-observation against its
+//     scalar twin and against a force_scalar() bank in the same process;
+//   * mid-stream checkpoint split-resume: save_state at an arbitrary cut,
+//     restore into a fresh bank, byte-compare the serialized monitor
+//     checkpoint line and the downstream decisions;
+//   * scatter/gather observe_lanes with uneven per-lane batch sizes;
+//   * traced per-value runs whose JSONL event streams must match the scalar
+//     detector's byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/bank.h"
+#include "core/checkpoint.h"
+#include "core/controller.h"
+#include "core/detector.h"
+#include "core/factory.h"
+#include "core/registry.h"
+#include "monitor/checkpoint.h"
+#include "obs/sink.h"
+#include "obs/tracer.h"
+
+namespace {
+
+using namespace rejuv;
+
+constexpr std::uint64_t kRootSeed = 0xBA2'5EEDULL;
+constexpr int kConfigsPerFamily = 30;
+constexpr std::size_t kStreamLength = 300;
+
+const char* const kFamilies[] = {"Static", "SRAA", "SARAA", "SARAA-noaccel", "CLTA"};
+
+/// Lane counts cycling through ragged shapes: below, at, and straddling the
+/// 4-wide AVX2 vector width, plus a larger bank with a 3-lane tail.
+constexpr std::size_t kLaneCounts[] = {1, 2, 3, 4, 5, 7, 8, 11};
+
+core::DetectorConfig random_config(std::string_view family, common::RngStream& rng) {
+  core::DetectorConfig config{family};
+  const auto count = [&rng](double lo, double hi) {
+    return static_cast<double>(static_cast<std::uint64_t>(lo + (hi - lo) * rng.uniform01()));
+  };
+  if (config.has("n")) config.set("n", count(1.0, 7.0));
+  if (config.has("K")) config.set("K", count(1.0, 7.0));
+  if (config.has("D")) config.set("D", count(1.0, 6.0));
+  if (config.has("z")) config.set("z", 0.25 + 2.75 * rng.uniform01());
+  config.baseline.mean = 2.0 + 6.0 * rng.uniform01();
+  config.baseline.stddev = 0.5 + 5.0 * rng.uniform01();
+  return config;
+}
+
+enum class StreamKind { kStationary, kShifted, kBursty };
+
+std::vector<double> make_stream(StreamKind kind, common::RngStream& rng, std::size_t length) {
+  std::vector<double> stream;
+  stream.reserve(length);
+  bool degraded = false;
+  std::size_t regime_left = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    switch (kind) {
+      case StreamKind::kStationary:
+        stream.push_back(10.0 * rng.uniform01());
+        break;
+      case StreamKind::kShifted:
+        stream.push_back(i < length / 2 ? 10.0 * rng.uniform01()
+                                        : 10.0 + 30.0 * rng.uniform01());
+        break;
+      case StreamKind::kBursty:
+        if (regime_left == 0) {
+          degraded = rng.uniform01() < 0.4;
+          regime_left = 10 + static_cast<std::size_t>(rng.uniform01() * 40.0);
+        }
+        stream.push_back(degraded ? 10.0 + 30.0 * rng.uniform01() : 10.0 * rng.uniform01());
+        --regime_left;
+        break;
+    }
+  }
+  return stream;
+}
+
+void expect_state_eq(const core::DetectorState& a, const core::DetectorState& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.algorithm, b.algorithm) << context;
+  EXPECT_EQ(a.has_cascade, b.has_cascade) << context;
+  EXPECT_EQ(a.bucket, b.bucket) << context;
+  EXPECT_EQ(a.fill, b.fill) << context;
+  EXPECT_EQ(a.has_window, b.has_window) << context;
+  EXPECT_EQ(a.window_length, b.window_length) << context;
+  EXPECT_EQ(a.window_next, b.window_next) << context;
+  EXPECT_EQ(a.window_count, b.window_count) << context;
+  EXPECT_EQ(a.window_sum, b.window_sum) << context;
+  EXPECT_EQ(a.current_n, b.current_n) << context;
+  EXPECT_EQ(a.last_average, b.last_average) << context;
+  EXPECT_EQ(a.calibrating, b.calibrating) << context;
+  EXPECT_EQ(a.extra_tag, b.extra_tag) << context;
+  EXPECT_EQ(a.extra_u64, b.extra_u64) << context;
+  EXPECT_EQ(a.extra_f64, b.extra_f64) << context;
+}
+
+void expect_snapshot_eq(const obs::DetectorSnapshot& a, const obs::DetectorSnapshot& b,
+                        const std::string& context) {
+  EXPECT_EQ(a.algorithm, b.algorithm) << context;
+  EXPECT_EQ(a.baseline_mean, b.baseline_mean) << context;
+  EXPECT_EQ(a.baseline_stddev, b.baseline_stddev) << context;
+  EXPECT_EQ(a.has_cascade, b.has_cascade) << context;
+  EXPECT_EQ(a.bucket, b.bucket) << context;
+  EXPECT_EQ(a.bucket_count, b.bucket_count) << context;
+  EXPECT_EQ(a.fill, b.fill) << context;
+  EXPECT_EQ(a.depth, b.depth) << context;
+  EXPECT_EQ(a.sample_size, b.sample_size) << context;
+  EXPECT_EQ(a.pending, b.pending) << context;
+  EXPECT_EQ(a.last_average, b.last_average) << context;
+  EXPECT_EQ(a.current_target, b.current_target) << context;
+}
+
+/// Per-lane trigger indices recorded by a bank batch run.
+std::vector<std::vector<std::uint64_t>> triggers_by_lane(const core::DetectorBank& bank) {
+  std::vector<std::vector<std::uint64_t>> result(bank.lanes());
+  for (const core::BankTrigger& trigger : bank.triggers()) {
+    result[trigger.lane].push_back(trigger.observation);
+  }
+  return result;
+}
+
+struct DifferentialCase {
+  std::string family;
+  std::size_t lane_count = 0;
+  StreamKind kind = StreamKind::kStationary;
+  std::vector<core::DetectorConfig> configs;         ///< one per lane
+  std::vector<std::vector<double>> streams;          ///< one per lane
+};
+
+DifferentialCase build_case(const char* family, int index, StreamKind kind) {
+  DifferentialCase c;
+  c.family = family;
+  c.kind = kind;
+  c.lane_count = kLaneCounts[static_cast<std::size_t>(index) % std::size(kLaneCounts)];
+  const auto kind_tag = static_cast<std::uint64_t>(kind);
+  for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+    common::RngStream rng(kRootSeed,
+                          (static_cast<std::uint64_t>(index) << 16) | (kind_tag << 8) | lane);
+    c.configs.push_back(random_config(family, rng));
+    c.streams.push_back(make_stream(kind, rng, kStreamLength));
+  }
+  return c;
+}
+
+/// The core differential: per-row lockstep advance of a SIMD bank, a
+/// force_scalar bank, and independent scalar detectors; triggers compared
+/// per observation, snapshots periodically, serialized state at the end.
+void run_differential(const DifferentialCase& c) {
+  core::DetectorBank bank(c.family);
+  core::DetectorBank scalar_bank(c.family);
+  scalar_bank.force_scalar(true);
+  std::vector<std::unique_ptr<core::Detector>> scalars;
+  for (const core::DetectorConfig& config : c.configs) {
+    bank.add_lane(config);
+    scalar_bank.add_lane(config);
+    scalars.push_back(core::make_detector(config));
+  }
+
+  std::vector<std::vector<std::uint64_t>> scalar_triggers(c.lane_count);
+  std::vector<double> row(c.lane_count);
+  for (std::size_t r = 0; r < kStreamLength; ++r) {
+    for (std::size_t lane = 0; lane < c.lane_count; ++lane) row[lane] = c.streams[lane][r];
+    bank.observe_rows(row);
+    scalar_bank.observe_rows(row);
+    for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+      if (scalars[lane]->observe(row[lane]) == core::Decision::kRejuvenate) {
+        scalar_triggers[lane].push_back(r + 1);
+      }
+    }
+    if (r % 13 == 0 || r + 1 == kStreamLength) {
+      for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+        const std::string context = c.family + " lane " + std::to_string(lane) + " row " +
+                                    std::to_string(r) + " spec " + scalars[lane]->name();
+        expect_snapshot_eq(bank.snapshot(lane), scalars[lane]->snapshot(), "simd " + context);
+        expect_snapshot_eq(scalar_bank.snapshot(lane), scalars[lane]->snapshot(),
+                           "portable " + context);
+      }
+    }
+  }
+
+  const auto bank_triggers = triggers_by_lane(bank);
+  const auto scalar_bank_triggers = triggers_by_lane(scalar_bank);
+  for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+    const std::string context = c.family + " lane " + std::to_string(lane) + " spec " +
+                                scalars[lane]->name();
+    EXPECT_EQ(bank_triggers[lane], scalar_triggers[lane]) << "simd " << context;
+    EXPECT_EQ(scalar_bank_triggers[lane], scalar_triggers[lane]) << "portable " << context;
+    const core::DetectorState expected = scalars[lane]->save_state();
+    expect_state_eq(bank.save_state(lane), expected, "simd " + context);
+    expect_state_eq(scalar_bank.save_state(lane), expected, "portable " + context);
+    EXPECT_EQ(bank.name(lane), scalars[lane]->name()) << context;
+  }
+}
+
+class BankDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BankDifferential, RowKernelBitIdenticalToScalar) {
+  for (int index = 0; index < kConfigsPerFamily; ++index) {
+    for (const StreamKind kind :
+         {StreamKind::kStationary, StreamKind::kShifted, StreamKind::kBursty}) {
+      run_differential(build_case(GetParam(), index, kind));
+    }
+  }
+}
+
+TEST_P(BankDifferential, ObserveLaneBatchMatchesScalarObserveAll) {
+  // Per-lane batch feed (the monitor shard path) vs the scalar detector's
+  // chunked observe_all: same triggers, same end state. Chunk sizes vary so
+  // window boundaries land mid-chunk.
+  for (int index = 0; index < 8; ++index) {
+    const DifferentialCase c = build_case(GetParam(), index, StreamKind::kBursty);
+    core::DetectorBank bank(c.family);
+    for (const core::DetectorConfig& config : c.configs) bank.add_lane(config);
+    for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+      const std::span<const double> stream = c.streams[lane];
+      const std::size_t chunk = 1 + (lane + static_cast<std::size_t>(index)) % 17;
+      for (std::size_t at = 0; at < stream.size(); at += chunk) {
+        bank.observe_lane(lane, stream.subspan(at, std::min(chunk, stream.size() - at)));
+      }
+      const auto scalar = core::make_detector(c.configs[lane]);
+      std::vector<std::uint64_t> expected_triggers;
+      std::span<const double> rest = stream;
+      std::uint64_t base = 0;
+      while (!rest.empty()) {
+        const std::size_t hit = scalar->observe_all(rest);
+        if (hit == rest.size()) break;
+        base += hit + 1;
+        expected_triggers.push_back(base);
+        rest = rest.subspan(hit + 1);
+      }
+      const std::string context = c.family + " lane " + std::to_string(lane);
+      EXPECT_EQ(triggers_by_lane(bank)[lane], expected_triggers) << context;
+      expect_state_eq(bank.save_state(lane), scalar->save_state(), context);
+    }
+  }
+}
+
+TEST_P(BankDifferential, ScatterGatherObserveLanesMatchesScalar) {
+  // Interleaved input with uneven per-lane shares: lane l gets every value
+  // whose position hashes to it, so counts differ and the ragged remainder
+  // path runs. Bit-identity only requires per-lane order preservation.
+  for (int index = 0; index < 8; ++index) {
+    const DifferentialCase c = build_case(GetParam(), index, StreamKind::kShifted);
+    core::DetectorBank bank(c.family);
+    std::vector<std::unique_ptr<core::Detector>> scalars;
+    for (const core::DetectorConfig& config : c.configs) {
+      bank.add_lane(config);
+      scalars.push_back(core::make_detector(config));
+    }
+    common::RngStream rng(kRootSeed, 0xF00D + static_cast<std::uint64_t>(index));
+    std::vector<std::uint32_t> ids;
+    std::vector<double> values;
+    std::vector<std::vector<double>> per_lane(c.lane_count);
+    std::vector<std::vector<std::uint64_t>> scalar_triggers(c.lane_count);
+    for (std::size_t i = 0; i < c.lane_count * kStreamLength; ++i) {
+      // Biased lane draw => genuinely uneven batch shares.
+      const auto lane = static_cast<std::uint32_t>(
+          static_cast<std::size_t>(rng.uniform01() * rng.uniform01() *
+                                   static_cast<double>(c.lane_count)) %
+          c.lane_count);
+      const double value = c.streams[lane % c.lane_count][i % kStreamLength];
+      ids.push_back(lane);
+      values.push_back(value);
+      per_lane[lane].push_back(value);
+    }
+    // Feed in a few interleaved batches, including an empty one.
+    const std::size_t half = values.size() / 2;
+    bank.observe_lanes(std::span(ids).subspan(0, half), std::span(values).subspan(0, half));
+    bank.observe_lanes(std::span(ids).subspan(half, 0), std::span(values).subspan(half, 0));
+    bank.observe_lanes(std::span(ids).subspan(half), std::span(values).subspan(half));
+    for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+      for (std::size_t i = 0; i < per_lane[lane].size(); ++i) {
+        if (scalars[lane]->observe(per_lane[lane][i]) == core::Decision::kRejuvenate) {
+          scalar_triggers[lane].push_back(i + 1);
+        }
+      }
+      const std::string context = c.family + " lane " + std::to_string(lane);
+      EXPECT_EQ(triggers_by_lane(bank)[lane], scalar_triggers[lane]) << context;
+      expect_state_eq(bank.save_state(lane), scalars[lane]->save_state(), context);
+      expect_snapshot_eq(bank.snapshot(lane), scalars[lane]->snapshot(), context);
+    }
+  }
+}
+
+TEST_P(BankDifferential, MidStreamCheckpointSplitResume) {
+  // save_state at an arbitrary cut, restore into a fresh bank, continue:
+  // decisions and end state equal both the uninterrupted bank and the
+  // scalar detector. The serialized monitor checkpoint line (ShardCheckpoint
+  // JSON) must be byte-identical to the scalar controller's.
+  for (int index = 0; index < 10; ++index) {
+    const DifferentialCase c = build_case(GetParam(), index, StreamKind::kBursty);
+    const std::size_t cut = 1 + static_cast<std::size_t>(index) * kStreamLength / 11;
+
+    core::BankController first(c.family, /*cooldown_observations=*/0);
+    core::BankController uninterrupted(c.family, 0);
+    std::vector<core::RejuvenationController> scalars;
+    scalars.reserve(c.lane_count);
+    for (const core::DetectorConfig& config : c.configs) {
+      first.add_lane(config);
+      uninterrupted.add_lane(config);
+      scalars.emplace_back(core::make_detector(config), 0);
+    }
+    for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+      const std::span<const double> stream = c.streams[lane];
+      first.observe_lane_all(lane, stream.subspan(0, cut));
+      uninterrupted.observe_lane_all(lane, stream);
+      scalars[lane].observe_all(stream);
+    }
+
+    core::BankController resumed(c.family, 0);
+    for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+      resumed.add_lane(c.configs[lane]);
+    }
+    for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+      const core::ControllerState saved = first.save_state(lane);
+      // The monitor journal line written for this lane must match what a
+      // scalar controller at the same point would write, byte for byte.
+      core::RejuvenationController scalar_twin(core::make_detector(c.configs[lane]), 0);
+      scalar_twin.observe_all(std::span(c.streams[lane]).subspan(0, cut));
+      monitor::ShardCheckpoint bank_record{
+          core::kCheckpointVersion, "spec", static_cast<std::uint32_t>(lane),
+          static_cast<std::uint32_t>(c.lane_count), 0, saved};
+      monitor::ShardCheckpoint scalar_record{
+          core::kCheckpointVersion, "spec", static_cast<std::uint32_t>(lane),
+          static_cast<std::uint32_t>(c.lane_count), 0, scalar_twin.save_state()};
+      EXPECT_EQ(monitor::to_json(bank_record), monitor::to_json(scalar_record))
+          << c.family << " lane " << lane << " cut " << cut;
+      resumed.restore_state(lane, saved);
+      resumed.observe_lane_all(lane, std::span(c.streams[lane]).subspan(cut));
+    }
+    for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+      const std::string context = c.family + " lane " + std::to_string(lane) + " cut " +
+                                  std::to_string(cut);
+      EXPECT_EQ(resumed.trigger_indices(lane), scalars[lane].trigger_indices()) << context;
+      EXPECT_EQ(resumed.trigger_indices(lane), uninterrupted.trigger_indices(lane)) << context;
+      EXPECT_EQ(resumed.observations(lane), scalars[lane].observations()) << context;
+      expect_state_eq(resumed.save_state(lane).detector, scalars[lane].save_state().detector,
+                      context);
+      expect_state_eq(resumed.save_state(lane).detector,
+                      uninterrupted.save_state(lane).detector, context);
+    }
+  }
+}
+
+TEST_P(BankDifferential, TracedEventStreamMatchesScalarByteForByte) {
+  // Per-value traced runs: the bank's event emission (sample, escalated,
+  // deescalated, detector_triggered) must serialize identically to the
+  // scalar detector's.
+  for (int index = 0; index < 6; ++index) {
+    const DifferentialCase c = build_case(GetParam(), index, StreamKind::kBursty);
+    for (std::size_t lane = 0; lane < c.lane_count; ++lane) {
+      core::DetectorBank bank(c.family);
+      bank.add_lane(c.configs[lane]);
+      const auto scalar = core::make_detector(c.configs[lane]);
+
+      std::ostringstream bank_trace;
+      std::ostringstream scalar_trace;
+      obs::JsonlSink bank_sink(bank_trace);
+      obs::JsonlSink scalar_sink(scalar_trace);
+      obs::Tracer bank_tracer(&bank_sink);
+      obs::Tracer scalar_tracer(&scalar_sink);
+      scalar->set_tracer(&scalar_tracer);
+
+      for (std::size_t i = 0; i < c.streams[lane].size(); ++i) {
+        const double value = c.streams[lane][i];
+        bank_tracer.set_time(static_cast<double>(i));
+        scalar_tracer.set_time(static_cast<double>(i));
+        const core::Decision bank_decision = bank.observe(0, value, &bank_tracer);
+        const core::Decision scalar_decision = scalar->observe(value);
+        EXPECT_EQ(bank_decision, scalar_decision)
+            << c.family << " lane " << lane << " obs " << i;
+      }
+      EXPECT_EQ(bank_trace.str(), scalar_trace.str())
+          << c.family << " spec " << scalar->name();
+    }
+  }
+}
+
+TEST_P(BankDifferential, RestoreRejectsMismatchedAlgorithm) {
+  common::RngStream rng(kRootSeed, 0xDEAD);
+  core::DetectorBank bank(GetParam());
+  bank.add_lane(random_config(GetParam(), rng));
+  core::DetectorState state = bank.save_state(0);
+  state.algorithm = "Nonsense(n=1)";
+  EXPECT_THROW(bank.restore_state(0, state), std::invalid_argument);
+}
+
+std::string family_test_name(const ::testing::TestParamInfo<const char*>& param_info) {
+  std::string name = param_info.param;
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, BankDifferential, ::testing::ValuesIn(kFamilies),
+                         family_test_name);
+
+TEST(BankSimd, ForceScalarDisablesSimd) {
+  core::DetectorBank bank("CLTA");
+  const bool active_before = bank.simd_active();
+  bank.force_scalar(true);
+  EXPECT_FALSE(bank.simd_active());
+  bank.force_scalar(false);
+  EXPECT_EQ(bank.simd_active(), active_before);
+  if (!core::DetectorBank::simd_compiled()) {
+    EXPECT_FALSE(active_before);
+  }
+}
+
+TEST(BankSimd, SupportsExactlyTheBankableFamilies) {
+  EXPECT_TRUE(core::DetectorBank::supports("Static"));
+  EXPECT_TRUE(core::DetectorBank::supports("sraa"));  // registry lookup is case-insensitive
+  EXPECT_TRUE(core::DetectorBank::supports("SARAA"));
+  EXPECT_TRUE(core::DetectorBank::supports("SARAA-noaccel"));
+  EXPECT_TRUE(core::DetectorBank::supports("CLTA"));
+  EXPECT_FALSE(core::DetectorBank::supports("None"));
+  EXPECT_FALSE(core::DetectorBank::supports("Adaptive"));
+  EXPECT_FALSE(core::DetectorBank::supports("NoSuchFamily"));
+  EXPECT_THROW(core::DetectorBank bank("Adaptive"), std::invalid_argument);
+}
+
+}  // namespace

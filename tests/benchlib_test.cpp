@@ -91,13 +91,13 @@ TEST(BenchRunnerTest, SuiteAndFilterSelection) {
 
 TEST(BenchRunnerTest, StandardSuitesCoverTheHotPaths) {
   // The acceptance floor for rejuv-bench: at least 8 benchmarks across the
-  // detector, sim, event-queue, exec, monitor, cluster and obs suites.
+  // detector, bank, sim, event-queue, exec, monitor, cluster and obs suites.
   benchlib::Registry registry;
   benchlib::register_standard_suites(registry);
   EXPECT_GE(registry.benchmarks().size(), 8u);
   EXPECT_EQ(registry.suites(),
-            (std::vector<std::string>{"detector", "sim", "event_queue", "exec", "monitor",
-                                      "cluster", "obs"}));
+            (std::vector<std::string>{"detector", "bank", "sim", "event_queue", "exec",
+                                      "monitor", "cluster", "obs"}));
 }
 
 benchlib::BenchResult make_result(const std::string& name, double median_ns) {

@@ -17,6 +17,7 @@
 //      bucket whenever acceleration is on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -303,6 +304,87 @@ TEST(DetectorPropertyTest, SaraaScheduleHoldsAtEveryBucket) {
       ASSERT_EQ(saraa.current_sample_size(), expected)
           << "SARAA schedule case " << c << " obs " << i << " bucket "
           << saraa.cascade().bucket();
+    }
+  }
+}
+
+/// Feeds `stream` via a fixed list of batch boundaries, resuming past every
+/// trigger; the boundaries let a case place a batch edge exactly at — or a
+/// batch squarely across — the calibration boundary.
+std::vector<std::size_t> observe_all_at_cuts(core::Detector& detector,
+                                             std::span<const double> stream,
+                                             std::span<const std::size_t> cuts) {
+  std::vector<std::size_t> triggers;
+  std::size_t offset = 0;
+  for (std::size_t cut_index = 0; offset < stream.size(); ++cut_index) {
+    const std::size_t end =
+        cut_index < cuts.size() ? std::min(cuts[cut_index], stream.size()) : stream.size();
+    std::span<const double> batch = stream.subspan(offset, end - offset);
+    while (!batch.empty()) {
+      const std::size_t index = detector.observe_all(batch);
+      if (index == batch.size()) break;
+      triggers.push_back(static_cast<std::size_t>(batch.data() + index - stream.data()));
+      batch = batch.subspan(index + 1);
+    }
+    offset = end;
+  }
+  return triggers;
+}
+
+TEST(DetectorPropertyTest, CalibratingBatchStraddlesBoundary) {
+  // Regression for the CalibratingDetector batch path: a batch that
+  // straddles the calibration boundary must split exactly there — head into
+  // the estimator, tail into the freshly built inner detector — and be
+  // bit-identical to per-value observe(). Covers the boundary landing
+  // strictly inside a batch, exactly on a batch edge, one value past it,
+  // and the whole stream as a single batch.
+  std::uint64_t family_index = 0;
+  for (const std::string& family : core::DetectorRegistry::instance().family_names()) {
+    ++family_index;
+    if (family == "None") continue;
+    for (int c = 0; c < 20; ++c) {
+      common::RngStream rng(kRootSeed, 20000 + 100 * family_index + static_cast<std::uint64_t>(c));
+      const core::DetectorConfig config = randomize_config(family, rng);
+      const std::uint64_t calibration = 8 + static_cast<std::uint64_t>(rng.uniform01() * 56.0);
+      const auto stream = make_stream(rng);
+      const auto boundary = static_cast<std::size_t>(calibration);
+      ASSERT_LT(boundary + 8, stream.size());
+      const std::string context = family + " calib case " + std::to_string(c) +
+                                  " (calibration=" + std::to_string(calibration) + ")";
+
+      // Reference: one value at a time. Calibration must never trigger.
+      core::CalibratingDetector reference(config, calibration);
+      std::vector<std::size_t> triggers;
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        const bool rejuvenate = reference.observe(stream[i]) == core::Decision::kRejuvenate;
+        ASSERT_FALSE(rejuvenate && i < boundary)
+            << context << ": trigger at obs " << i << " during calibration";
+        ASSERT_EQ(reference.calibrated(), i + 1 >= boundary) << context << " obs " << i;
+        if (rejuvenate) triggers.push_back(i);
+      }
+
+      const std::vector<std::vector<std::size_t>> cut_lists = {
+          {},                                           // whole stream, one batch
+          {boundary},                                   // edge exactly at the boundary
+          {boundary - 3, boundary + 5},                 // batch squarely across it
+          {boundary - 1, boundary + 1, boundary + 2},   // one-value batches around it
+      };
+      for (std::size_t v = 0; v < cut_lists.size(); ++v) {
+        core::CalibratingDetector batched(config, calibration);
+        const auto batch_triggers = observe_all_at_cuts(batched, stream, cut_lists[v]);
+        EXPECT_EQ(batch_triggers, triggers)
+            << context << ": cut list " << v << " diverged from observe";
+        expect_state_eq(batched.save_state(), reference.save_state(),
+                        context + ": final state, cut list " + std::to_string(v));
+      }
+
+      // And the generic property: arbitrary rng-drawn chunkings match too.
+      core::CalibratingDetector chunked(config, calibration);
+      const auto chunk_triggers = observe_all_chunked(chunked, stream, rng);
+      EXPECT_EQ(chunk_triggers, triggers) << context << ": rng chunking diverged from observe";
+      expect_state_eq(chunked.save_state(), reference.save_state(),
+                      context + ": final state after rng chunking");
+      if (::testing::Test::HasFatalFailure()) return;
     }
   }
 }

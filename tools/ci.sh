@@ -21,6 +21,14 @@
 #                                       be byte-identical to the committed
 #                                       tests/golden/detector_specs.txt
 #                                       (default dir: build)
+#        tools/ci.sh bank [build-dir]   SoA bank bit-identity gate: the bank
+#                                       differential/fuzz/golden suites under
+#                                       ASan+UBSan, once with the SIMD kernels
+#                                       compiled in (-DREJUV_SIMD=ON, plus the
+#                                       in-process force_scalar comparison)
+#                                       and once portable-only (OFF), so both
+#                                       halves of the dispatch are sanitized
+#                                       (default dirs: build-bank{,-scalar})
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,7 +48,8 @@ if [ "${1:-}" = "tsan" ]; then
   cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DREJUV_TSAN=ON
   echo "==> tsan build (threaded test binaries)"
   cmake --build "$BUILD_DIR" -j --target monitor_test faults_test obs_test exec_test \
-      harness_test property_test cluster_test cluster_coordinator_test cluster_chaos_test
+      harness_test property_test bank_differential_test bank_fuzz_test \
+      cluster_test cluster_coordinator_test cluster_chaos_test
   echo "==> tsan run"
   "$BUILD_DIR"/tests/monitor_test
   "$BUILD_DIR"/tests/faults_test
@@ -48,6 +57,8 @@ if [ "${1:-}" = "tsan" ]; then
   "$BUILD_DIR"/tests/exec_test
   "$BUILD_DIR"/tests/harness_test
   "$BUILD_DIR"/tests/property_test
+  "$BUILD_DIR"/tests/bank_differential_test
+  "$BUILD_DIR"/tests/bank_fuzz_test
   "$BUILD_DIR"/tests/cluster_test
   "$BUILD_DIR"/tests/cluster_coordinator_test
   "$BUILD_DIR"/tests/cluster_chaos_test
@@ -101,6 +112,39 @@ if [ "${1:-}" = "specs" ]; then
   echo "==> specs compare (describe() defaults vs tests/golden/detector_specs.txt)"
   "$BUILD_DIR"/tools/rejuv-monitor --list-detectors | cmp - tests/golden/detector_specs.txt
   echo "==> ci.sh specs: all green"
+  exit 0
+fi
+
+# The bank stage is the SIMD bit-identity gate for the SoA detector banks
+# (docs/BANKS.md): the differential and structure-fuzz suites plus the
+# bank-mode monitor golden run under ASan+UBSan in BOTH kernel builds —
+# -DREJUV_SIMD=ON (intrinsics + runtime dispatch, with the force_scalar
+# in-process comparison) and -DREJUV_SIMD=OFF (portable autovectorized
+# kernels only). A lane-indexing bug, a masked-cascade divergence, or UB in
+# an intrinsic path fails here before it can reach the perf numbers.
+if [ "${1:-}" = "bank" ]; then
+  BANK_TESTS=(bank_differential_test bank_fuzz_test golden_bank_test)
+  for MODE in ON OFF; do
+    if [ "$MODE" = "ON" ]; then
+      BUILD_DIR="${2:-build-bank}"
+    else
+      BUILD_DIR="${2:-build-bank}-scalar"
+    fi
+    GENERATOR_ARGS=()
+    if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+      GENERATOR_ARGS=(-G Ninja)
+    fi
+    echo "==> bank configure (REJUV_SIMD=$MODE, ASan+UBSan)"
+    cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+        -DREJUV_SIMD="$MODE" -DREJUV_SANITIZE=ON
+    echo "==> bank build (REJUV_SIMD=$MODE)"
+    cmake --build "$BUILD_DIR" -j --target "${BANK_TESTS[@]}"
+    echo "==> bank run (REJUV_SIMD=$MODE)"
+    for test in "${BANK_TESTS[@]}"; do
+      "$BUILD_DIR"/tests/"$test"
+    done
+  done
+  echo "==> ci.sh bank: all green"
   exit 0
 fi
 

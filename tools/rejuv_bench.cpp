@@ -9,7 +9,7 @@
 // hot-path regressions still fail at PR time.
 //
 // Usage:
-//   rejuv_bench [--suite=all|detector|sim|monitor|obs] [--filter=SUBSTR]
+//   rejuv_bench [--suite=all|detector|bank|sim|monitor|obs] [--filter=SUBSTR]
 //               [--quick] [--reps=N] [--min-rep-ms=M]
 //               [--out=FILE] [--check=BASELINE] [--max-ratio=R] [--list]
 //
