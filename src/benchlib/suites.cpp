@@ -1,9 +1,16 @@
 #include "benchlib/suites.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <span>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -19,7 +26,10 @@
 #include "core/sraa.h"
 #include "core/static_rejuvenation.h"
 #include "monitor/checkpoint.h"
+#include "monitor/fleet.h"
 #include "monitor/spsc_queue.h"
+#include "monitor/stream_table.h"
+#include "monitor/wire.h"
 #include "obs/sink.h"
 #include "obs/tracer.h"
 #include "sim/event_queue.h"
@@ -29,6 +39,7 @@ namespace rejuv::benchlib {
 namespace {
 
 using namespace rejuv;
+namespace wire = monitor::wire;
 
 constexpr std::size_t kDataSize = 1 << 14;  // power of two: index is a mask
 constexpr std::size_t kDataMask = kDataSize - 1;
@@ -548,6 +559,236 @@ void register_obs_suite(Registry& registry) {
   });
 }
 
+// --- Ingestion suite helpers (fleet-scale wire + engine benchmarks) ---
+
+/// Writes all of `bytes` to `fd`, returning false on the first failed write
+/// (EPIPE when the fleet engine already shut the input down mid-repetition).
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t offset = 0;
+  while (offset < size) {
+    const ssize_t n = ::write(fd, data + offset, size - offset);
+    if (n <= 0) return false;
+    offset += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Pre-encoded frames for one round-robin sweep over `streams` stream ids,
+/// shared by every fleet benchmark at that fleet width.
+struct FleetRound {
+  std::uint32_t streams;
+  std::string frames;
+
+  FleetRound(std::uint32_t stream_count, const std::vector<double>& data)
+      : streams(stream_count) {
+    frames.reserve(static_cast<std::size_t>(streams) * 15);
+    for (std::uint32_t i = 0; i < streams; ++i) {
+      wire::append_observation(frames, i, data[i & kDataMask]);
+    }
+  }
+
+  /// Streams the preamble plus rounds until `target` observations are
+  /// written (or the reader hangs up); closes `fd`.
+  void feed(int fd, std::uint64_t target) const {
+    std::string preamble;
+    wire::append_preamble(preamble);
+    std::uint64_t written = 0;
+    if (write_all(fd, preamble.data(), preamble.size())) {
+      while (written < target && write_all(fd, frames.data(), frames.size())) {
+        written += streams;
+      }
+    }
+    ::close(fd);
+  }
+};
+
+monitor::FleetConfig fleet_bench_config(std::uint32_t streams, std::uint64_t n) {
+  monitor::FleetConfig config;
+  config.detector = core::DetectorConfig("SRAA").set("n", 2).set("K", 5).set("D", 3);
+  config.listen = false;
+  config.max_streams = streams;
+  config.max_observations = n;
+  config.idle_poll = std::chrono::milliseconds(5);
+  return config;
+}
+
+/// One benchmark run of the full engine over pipes: spawn the writer(s),
+/// run the engine until the observation budget `n` is consumed, tear down.
+/// One operation = one observation decoded, routed and fed to its lane.
+void run_fleet_pipes(const std::shared_ptr<FleetRound>& round, std::uint64_t n,
+                     std::size_t pipes, std::size_t shards, bool inline_mode) {
+  monitor::FleetConfig config = fleet_bench_config(round->streams, n);
+  config.shards = shards;
+  config.inline_processing = inline_mode;
+  std::vector<std::thread> writers;
+  for (std::size_t p = 0; p < pipes; ++p) {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) return;
+    config.input_fds.push_back(fds[0]);
+    writers.emplace_back(
+        [round, fd = fds[1], target = n / pipes + round->streams] { round->feed(fd, target); });
+  }
+  monitor::FleetMonitor fleet(config);
+  const monitor::FleetStats stats = fleet.run();
+  for (std::thread& writer : writers) writer.join();
+  do_not_optimize(stats.processed);
+}
+
+/// As run_fleet_pipes, but over loopback TCP connections against the fleet
+/// listener — the acceptance-criterion configuration (binary protocol
+/// unless `text`, in which case each connection is one legacy text stream).
+void run_fleet_tcp(const std::shared_ptr<FleetRound>& round, std::uint64_t n,
+                   std::size_t connections, std::size_t shards, bool text) {
+  monitor::FleetConfig config = fleet_bench_config(round->streams, n);
+  config.shards = shards;
+  config.listen = true;
+  config.port = 0;
+  monitor::FleetMonitor fleet(config);
+  const std::uint16_t port = fleet.port();
+  std::vector<std::thread> clients;
+  const std::uint64_t target = n / connections + round->streams;
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([round, port, target, text] {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) return;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return;
+      }
+      if (text) {
+        // One text connection = one stream: numbers, newline-terminated.
+        std::string lines;
+        for (int i = 0; i < 512; ++i) {
+          lines += std::to_string(2.0 + 0.015625 * (i & 63));
+          lines.push_back('\n');
+        }
+        std::uint64_t written = 0;
+        while (written < target && write_all(fd, lines.data(), lines.size())) {
+          written += 512;
+        }
+        ::close(fd);
+      } else {
+        round->feed(fd, target);
+      }
+    });
+  }
+  const monitor::FleetStats stats = fleet.run();
+  for (std::thread& client : clients) client.join();
+  do_not_optimize(stats.processed);
+}
+
+void register_ingestion_suite(Registry& registry) {
+  const auto data = make_observations();
+
+  // Raw binary frame decode: StreamDecoder::feed over recv-sized buffers,
+  // amortized per record — the per-observation parse cost on the wire path.
+  struct DecodeFixture {
+    std::string frames;  ///< kBatch encoded observation frames
+    wire::StreamDecoder decoder{wire::Protocol::kBinary};
+    std::vector<wire::Record> out;
+    std::size_t pending = 0;
+  };
+  const auto decode = std::make_shared<DecodeFixture>();
+  {
+    std::string preamble;
+    wire::append_preamble(preamble);
+    decode->decoder.feed(preamble.data(), preamble.size(), decode->out);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      wire::append_observation(decode->frames, static_cast<std::uint32_t>(i & 1023),
+                               (*data)[i & kDataMask]);
+    }
+  }
+  registry.add("ingestion", "ingestion.wire.decode", [decode](std::uint64_t n) {
+    std::uint64_t records = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (++decode->pending == kBatch) {
+        decode->out.clear();
+        decode->decoder.feed(decode->frames.data(), decode->frames.size(), decode->out);
+        records += decode->out.size();
+        decode->pending = 0;
+      }
+    }
+    do_not_optimize(records);
+  });
+
+  // The legacy text path over the same decoder: number + '\n' per record.
+  // The decode-side half of the binary-vs-text ingestion ratio.
+  struct TextFixture {
+    std::string lines;
+    wire::StreamDecoder decoder{wire::Protocol::kText, 1};
+    std::vector<wire::Record> out;
+    std::size_t pending = 0;
+  };
+  const auto text = std::make_shared<TextFixture>();
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    text->lines += std::to_string((*data)[i & kDataMask]);
+    text->lines.push_back('\n');
+  }
+  registry.add("ingestion", "ingestion.wire.text_parse", [text](std::uint64_t n) {
+    std::uint64_t records = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (++text->pending == kBatch) {
+        text->out.clear();
+        text->decoder.feed(text->lines.data(), text->lines.size(), text->out);
+        records += text->out.size();
+        text->pending = 0;
+      }
+    }
+    do_not_optimize(records);
+  });
+
+  // Hot-path stream interning: external wire id -> dense id for an already
+  // resident fleet of 100k streams (the per-observation routing lookup).
+  constexpr std::uint32_t kResident = 100000;
+  struct TableFixture {
+    monitor::StreamTable table{core::DetectorConfig("SRAA"), 8, kResident, 0};
+    TableFixture() {
+      bool created = false;
+      for (std::uint32_t i = 0; i < kResident; ++i) {
+        (void)table.acquire(i * 2654435761u + 3, created);
+      }
+    }
+  };
+  const auto lookup = std::make_shared<TableFixture>();
+  registry.add("ingestion", "ingestion.stream_table.lookup", [lookup, kResident](std::uint64_t n) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto key = static_cast<std::uint32_t>(i % kResident);
+      sum += lookup->table.find(key * 2654435761u + 3);
+    }
+    do_not_optimize(sum);
+  });
+
+  // End-to-end engine benchmarks. One operation = one observation through
+  // decode -> stream table -> SPSC queue -> bank lane. ops_per_second is
+  // the aggregate msgs/s the acceptance criterion quotes.
+  const auto round_1k = std::make_shared<FleetRound>(1024, *data);
+  const auto round_100k = std::make_shared<FleetRound>(100000, *data);
+
+  registry.add("ingestion", "ingestion.fleet.inline_1k", [round_1k](std::uint64_t n) {
+    run_fleet_pipes(round_1k, n, /*pipes=*/1, /*shards=*/1, /*inline_mode=*/true);
+  });
+  registry.add("ingestion", "ingestion.fleet.pipe_1k", [round_1k](std::uint64_t n) {
+    run_fleet_pipes(round_1k, n, /*pipes=*/2, /*shards=*/2, /*inline_mode=*/false);
+  });
+  registry.add("ingestion", "ingestion.fleet.pipe_100k", [round_100k](std::uint64_t n) {
+    run_fleet_pipes(round_100k, n, /*pipes=*/2, /*shards=*/4, /*inline_mode=*/false);
+  });
+  registry.add("ingestion", "ingestion.fleet.tcp_1k", [round_1k](std::uint64_t n) {
+    run_fleet_tcp(round_1k, n, /*connections=*/4, /*shards=*/2, /*text=*/false);
+  });
+  // The blocking-era text protocol through the same engine (4 connections =
+  // 4 streams; text frames carry no ids). Its ops/s against
+  // ingestion.fleet.tcp_1k is the binary-vs-text speedup docs quote.
+  registry.add("ingestion", "ingestion.fleet.tcp_text", [round_1k](std::uint64_t n) {
+    run_fleet_tcp(round_1k, n, /*connections=*/4, /*shards=*/2, /*text=*/true);
+  });
+}
+
 }  // namespace
 
 void register_standard_suites(Registry& registry) {
@@ -559,6 +800,7 @@ void register_standard_suites(Registry& registry) {
   register_monitor_suite(registry);
   register_cluster_suite(registry);
   register_obs_suite(registry);
+  register_ingestion_suite(registry);
 }
 
 }  // namespace rejuv::benchlib

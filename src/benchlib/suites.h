@@ -28,6 +28,11 @@
 //                 strategy (plus a checkpoint-every-observation variant).
 //   obs         — tracer emit cost with no sink (the always-on branch) and
 //                 with a JSONL sink (the traced-run overhead).
+//   ingestion   — the fleet wire path: binary frame decode vs legacy text
+//                 parse, the 100k-resident stream-table lookup, and the
+//                 whole FleetMonitor engine end to end over pipes and
+//                 loopback TCP at 1k and 100k streams (ops_per_second is
+//                 the aggregate msgs/s the fleet sustains).
 //
 // Workload data is deterministic (fixed-seed RngStream), so two runs on the
 // same machine measure the same instruction stream.

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#include <cmath>
+
 #include "common/expect.h"
 #include "core/bank_simd.h"
 #include "core/saraa.h"
 #include "core/spec.h"
+#include "stats/trend.h"
 
 namespace rejuv::core {
 
@@ -15,7 +18,7 @@ namespace {
 /// The scalar detectors these SoA kernels replicate.
 bool family_is_bankable(std::string_view canonical) {
   return canonical == "Static" || canonical == "SRAA" || canonical == "SARAA" ||
-         canonical == "SARAA-noaccel" || canonical == "CLTA";
+         canonical == "SARAA-noaccel" || canonical == "CLTA" || canonical == "Adaptive";
 }
 
 DetectorBank::Family family_enum(std::string_view canonical, bool* accelerate) {
@@ -27,6 +30,7 @@ DetectorBank::Family family_enum(std::string_view canonical, bool* accelerate) {
     return DetectorBank::Family::kSaraa;
   }
   if (canonical == "SARAA-noaccel") return DetectorBank::Family::kSaraa;
+  if (canonical == "Adaptive") return DetectorBank::Family::kAdaptive;
   return DetectorBank::Family::kClta;
 }
 
@@ -36,7 +40,8 @@ DetectorBank::DetectorBank(std::string_view family) {
   const DetectorDescriptor& descriptor = DetectorRegistry::instance().at(family);
   if (!family_is_bankable(descriptor.name)) {
     throw std::invalid_argument(
-        "DetectorBank supports the Static, SRAA, SARAA, SARAA-noaccel and CLTA families; got \"" +
+        "DetectorBank supports the Static, SRAA, SARAA, SARAA-noaccel, CLTA and Adaptive "
+        "families; got \"" +
         descriptor.name + "\"");
   }
   family_name_ = descriptor.name;
@@ -93,6 +98,7 @@ std::size_t DetectorBank::add_lane(const DetectorConfig& config) {
       break;
     case Family::kSraa:
     case Family::kSaraa:
+    case Family::kAdaptive:
       n = config.get_count("n");
       buckets = config.get_count("K");
       depth = static_cast<std::int64_t>(config.get_count("D"));
@@ -102,9 +108,12 @@ std::size_t DetectorBank::add_lane(const DetectorConfig& config) {
       z = config.get("z");
       break;
   }
+  std::uint64_t shift_window = 0;
+  if (family_ == Family::kAdaptive) shift_window = config.get_count("w");
   // The window/cascade state lives in doubles; every reachable value is an
   // exact integer as long as the configured counts are.
-  REJUV_EXPECT(n < (1ull << 53) && buckets < (1ull << 53), "bank parameters exceed 2^53");
+  REJUV_EXPECT(n < (1ull << 53) && buckets < (1ull << 53) && shift_window < (1ull << 53),
+               "bank parameters exceed 2^53");
 
   mu_.push_back(config.baseline.mean);
   sigma_.push_back(config.baseline.stddev);
@@ -125,10 +134,27 @@ std::size_t DetectorBank::add_lane(const DetectorConfig& config) {
   last_avg_.push_back(0.0);
   observations_.push_back(0);
 
+  if (family_ == Family::kAdaptive) {
+    cfg_mu_.push_back(config.baseline.mean);
+    cfg_sigma_.push_back(config.baseline.stddev);
+    shift_w_.push_back(static_cast<double>(shift_window));
+    shift_t_.push_back(config.get("t"));
+    shift_h_.push_back(config.get_count("h"));
+    shift_count_.push_back(0.0);
+    shift_sum_.push_back(0.0);
+    shift_sumsq_.push_back(0.0);
+    shift_means_.emplace_back();
+    shift_vars_.emplace_back();
+    shift_means_.back().reserve(shift_h_.back());
+    shift_vars_.back().reserve(shift_h_.back());
+    recalibrations_.push_back(0);
+  }
+
   const Baseline baseline = config.baseline;
   switch (family_) {
     case Family::kStatic:
     case Family::kSraa:
+    case Family::kAdaptive:
       target_.push_back(baseline.bucket_target(0));
       break;
     case Family::kSaraa:
@@ -184,6 +210,7 @@ void DetectorBank::refresh_target(std::size_t lane) {
   switch (family_) {
     case Family::kStatic:
     case Family::kSraa:
+    case Family::kAdaptive:
       target_[lane] = baseline.bucket_target(static_cast<std::size_t>(bucket_[lane]));
       break;
     case Family::kSaraa:
@@ -232,6 +259,24 @@ Decision DetectorBank::step(std::size_t lane, double value, obs::Tracer* tracer)
     return transition == Transition::kTriggered ? Decision::kRejuvenate : Decision::kContinue;
   }
 
+  if (family_ == Family::kSraa) return sraa_step(lane, value, tracer);
+
+  if (family_ == Family::kAdaptive) {
+    // Adaptive::observe — the inner SRAA decides, then the shift monitor
+    // accumulates (unless a rejuvenation just tore the process down, which
+    // voids the evidence).
+    const Decision decision = sraa_step(lane, value, tracer);
+    if (decision == Decision::kRejuvenate) {
+      clear_shift_state(lane);
+      return decision;
+    }
+    shift_sum_[lane] += value;
+    shift_sumsq_[lane] += value * value;
+    shift_count_[lane] += 1.0;
+    if (shift_count_[lane] == shift_w_[lane]) complete_shift_window(lane);
+    return decision;
+  }
+
   // Window families: WindowAverage::push, committed before the family logic.
   sum_[lane] += value;
   count_[lane] += 1.0;
@@ -260,34 +305,6 @@ Decision DetectorBank::step(std::size_t lane, double value, obs::Tracer* tracer)
   const bool exceeded = average > target;
   last_avg_[lane] = average;
   const Transition transition = cascade_step(lane, exceeded);
-
-  if (family_ == Family::kSraa) {
-    if (transition != Transition::kNone) refresh_target(lane);
-    if (tracer != nullptr) {
-      tracer->sample(average, target, exceeded, static_cast<std::int32_t>(bucket_[lane]),
-                     static_cast<std::int32_t>(fill_[lane]),
-                     static_cast<std::uint32_t>(norig_[lane]));
-      switch (transition) {
-        case Transition::kEscalated:
-          tracer->escalated(static_cast<std::int32_t>(bucket_[lane]),
-                            static_cast<std::int32_t>(fill_[lane]),
-                            static_cast<std::uint32_t>(norig_[lane]));
-          break;
-        case Transition::kDeescalated:
-          tracer->deescalated(static_cast<std::int32_t>(bucket_[lane]),
-                              static_cast<std::int32_t>(fill_[lane]),
-                              static_cast<std::uint32_t>(norig_[lane]));
-          break;
-        case Transition::kTriggered:
-          tracer->detector_triggered(average, target, bucket_before,
-                                     static_cast<std::int32_t>(buckets_u_[lane]));
-          break;
-        case Transition::kNone:
-          break;
-      }
-    }
-    return transition == Transition::kTriggered ? Decision::kRejuvenate : Decision::kContinue;
-  }
 
   // SARAA: the sample event carries the n that produced this average
   // (pre-schedule), escalation events the post-schedule n — as Saraa does.
@@ -337,6 +354,108 @@ Decision DetectorBank::step(std::size_t lane, double value, obs::Tracer* tracer)
   return Decision::kContinue;
 }
 
+/// The scalar SRAA step — window commit, cascade, Sraa's trace event order.
+/// Shared by the kSraa lanes and the inner detector of kAdaptive lanes.
+Decision DetectorBank::sraa_step(std::size_t lane, double value, obs::Tracer* tracer) {
+  sum_[lane] += value;
+  count_[lane] += 1.0;
+  if (count_[lane] < wcur_[lane]) return Decision::kContinue;
+  const double average = sum_[lane] / wcur_[lane];
+  count_[lane] = 0.0;
+  sum_[lane] = 0.0;
+  wcur_[lane] = wnext_[lane];
+
+  const auto bucket_before = static_cast<std::int32_t>(bucket_[lane]);
+  const double target = target_[lane];
+  const bool exceeded = average > target;
+  last_avg_[lane] = average;
+  const Transition transition = cascade_step(lane, exceeded);
+  if (transition != Transition::kNone) refresh_target(lane);
+  if (tracer != nullptr) {
+    tracer->sample(average, target, exceeded, static_cast<std::int32_t>(bucket_[lane]),
+                   static_cast<std::int32_t>(fill_[lane]),
+                   static_cast<std::uint32_t>(norig_[lane]));
+    switch (transition) {
+      case Transition::kEscalated:
+        tracer->escalated(static_cast<std::int32_t>(bucket_[lane]),
+                          static_cast<std::int32_t>(fill_[lane]),
+                          static_cast<std::uint32_t>(norig_[lane]));
+        break;
+      case Transition::kDeescalated:
+        tracer->deescalated(static_cast<std::int32_t>(bucket_[lane]),
+                            static_cast<std::int32_t>(fill_[lane]),
+                            static_cast<std::uint32_t>(norig_[lane]));
+        break;
+      case Transition::kTriggered:
+        tracer->detector_triggered(average, target, bucket_before,
+                                   static_cast<std::int32_t>(buckets_u_[lane]));
+        break;
+      case Transition::kNone:
+        break;
+    }
+  }
+  return transition == Transition::kTriggered ? Decision::kRejuvenate : Decision::kContinue;
+}
+
+void DetectorBank::clear_shift_state(std::size_t lane) {
+  shift_count_[lane] = 0.0;
+  shift_sum_[lane] = 0.0;
+  shift_sumsq_[lane] = 0.0;
+  shift_means_[lane].clear();
+  shift_vars_[lane].clear();
+}
+
+/// Adaptive's shift-window completion — the exact scalar arithmetic, per
+/// lane (cold: runs once per w observations, and the recalibration tail
+/// only on an actual workload shift).
+void DetectorBank::complete_shift_window(std::size_t lane) {
+  const double count = shift_count_[lane];
+  const double mean = shift_sum_[lane] / count;
+  double variance =
+      (shift_sumsq_[lane] - shift_sum_[lane] * shift_sum_[lane] / count) / (count - 1.0);
+  if (variance < 0.0) variance = 0.0;  // cancellation on near-constant input
+  shift_count_[lane] = 0.0;
+  shift_sum_[lane] = 0.0;
+  shift_sumsq_[lane] = 0.0;
+  std::vector<double>& means = shift_means_[lane];
+  std::vector<double>& variances = shift_vars_[lane];
+  const auto history = static_cast<std::size_t>(shift_h_[lane]);
+  if (means.size() == history) {
+    means.erase(means.begin());
+    variances.erase(variances.begin());
+  }
+  means.push_back(mean);
+  variances.push_back(variance);
+  if (means.size() < history) return;
+
+  double grand_mean = 0.0;
+  for (const double m : means) grand_mean += m;
+  grand_mean /= static_cast<double>(means.size());
+  if (std::abs(grand_mean - mu_[lane]) <= shift_t_[lane] * sigma_[lane]) return;
+  if (stats::mann_kendall(means).increasing()) return;
+
+  double mean_variance = 0.0;
+  for (const double v : variances) mean_variance += v;
+  mean_variance /= static_cast<double>(variances.size());
+  const double sigma = std::sqrt(mean_variance);
+  mu_[lane] = grand_mean;
+  if (sigma > 0.0) sigma_[lane] = sigma;  // keep the old sigma on degenerate input
+  ++recalibrations_[lane];
+  // Adaptive::rebuild_inner — a fresh SRAA against the recalibrated
+  // baseline: cascade and window zeroed, the (possibly partial) block in
+  // flight discarded.
+  bucket_[lane] = 0.0;
+  fill_[lane] = 0.0;
+  count_[lane] = 0.0;
+  sum_[lane] = 0.0;
+  wcur_[lane] = static_cast<double>(norig_[lane]);
+  wnext_[lane] = wcur_[lane];
+  last_avg_[lane] = 0.0;
+  refresh_target(lane);
+  means.clear();
+  variances.clear();
+}
+
 // ---------------------------------------------------------------------------
 // Batch paths.
 // ---------------------------------------------------------------------------
@@ -380,7 +499,8 @@ void DetectorBank::advance_row(const double* row) {
       break;
     }
     case Family::kSraa:
-    case Family::kSaraa: {
+    case Family::kSaraa:
+    case Family::kAdaptive: {
       bank_kernel::WindowCascadeRow kernel_row{lane_count,
                                                row,
                                                sum_.data(),
@@ -425,6 +545,31 @@ void DetectorBank::advance_row(const double* row) {
   for (std::size_t l = 0; l < lane_count; ++l) ++observations[l];
   if ((any & bank_kernel::kAnyChanged) != 0) fixup_changed_lanes();
   if ((any & bank_kernel::kAnyTriggered) != 0) record_row_triggers();
+  if (family_ == Family::kAdaptive) adaptive_post_row(row, any);
+}
+
+/// The per-value half of Adaptive::observe the window-cascade kernel does
+/// not cover: every lane's shift accumulator absorbs its row value (lanes
+/// whose inner SRAA just triggered clear instead — the scalar detector
+/// never accumulates the triggering value), and lanes completing their
+/// w-window run the scalar completion logic.
+void DetectorBank::adaptive_post_row(const double* row, std::uint32_t any) {
+  const std::size_t lane_count = lanes();
+  const bool row_triggered = (any & bank_kernel::kAnyTriggered) != 0;
+  double* shift_sum = shift_sum_.data();
+  double* shift_sumsq = shift_sumsq_.data();
+  double* shift_count = shift_count_.data();
+  for (std::size_t l = 0; l < lane_count; ++l) {
+    if (row_triggered && trig_flags_[l] != 0) {
+      clear_shift_state(l);
+      continue;
+    }
+    const double value = row[l];
+    shift_sum[l] += value;
+    shift_sumsq[l] += value * value;
+    shift_count[l] += 1.0;
+    if (shift_count[l] == shift_w_[l]) complete_shift_window(l);
+  }
 }
 
 void DetectorBank::fixup_changed_lanes() {
@@ -539,6 +684,11 @@ std::string DetectorBank::name(std::size_t lane) const {
              ",D=" + std::to_string(depth_i_[lane]) + ")";
     case Family::kClta:
       return "CLTA(n=" + std::to_string(norig_[lane]) + ",z=" + spec_number(zq_[lane]) + ")";
+    case Family::kAdaptive:
+      return "Adaptive(n=" + std::to_string(norig_[lane]) +
+             ",K=" + std::to_string(buckets_u_[lane]) + ",D=" + std::to_string(depth_i_[lane]) +
+             ",w=" + std::to_string(static_cast<std::uint64_t>(shift_w_[lane])) +
+             ",t=" + spec_number(shift_t_[lane]) + ",h=" + std::to_string(shift_h_[lane]) + ")";
   }
   return {};
 }
@@ -562,6 +712,7 @@ obs::DetectorSnapshot DetectorBank::snapshot(std::size_t lane) const {
       snapshot.current_target = baseline.bucket_target(static_cast<std::size_t>(bucket_[lane]));
       break;
     case Family::kSraa:
+    case Family::kAdaptive:  // the inner SRAA's snapshot, against the active baseline
       snapshot.has_cascade = true;
       snapshot.bucket = static_cast<std::int32_t>(bucket_[lane]);
       snapshot.bucket_count = static_cast<std::int32_t>(buckets_u_[lane]);
@@ -607,6 +758,7 @@ DetectorState DetectorBank::save_state(std::size_t lane) const {
       break;
     case Family::kSraa:
     case Family::kSaraa:
+    case Family::kAdaptive:
       state.has_cascade = true;
       state.bucket = static_cast<std::uint64_t>(bucket_[lane]);
       state.fill = static_cast<std::int64_t>(fill_[lane]);
@@ -617,6 +769,22 @@ DetectorState DetectorBank::save_state(std::size_t lane) const {
       state.window_sum = sum_[lane];
       if (family_ == Family::kSaraa) state.current_n = cur_n_[lane];
       state.last_average = last_avg_[lane];
+      if (family_ == Family::kAdaptive) {
+        // Adaptive::save_state — the shift monitor's tagged extension.
+        const std::vector<double>& means = shift_means_[lane];
+        const std::vector<double>& variances = shift_vars_[lane];
+        state.extra_tag = "Adaptive.v1";
+        state.extra_u64 = {static_cast<std::uint64_t>(shift_count_[lane]),
+                           static_cast<std::uint64_t>(means.size()), recalibrations_[lane]};
+        state.extra_f64.clear();
+        state.extra_f64.reserve(4 + 2 * means.size());
+        state.extra_f64.push_back(shift_sum_[lane]);
+        state.extra_f64.push_back(shift_sumsq_[lane]);
+        state.extra_f64.push_back(mu_[lane]);
+        state.extra_f64.push_back(sigma_[lane]);
+        state.extra_f64.insert(state.extra_f64.end(), means.begin(), means.end());
+        state.extra_f64.insert(state.extra_f64.end(), variances.begin(), variances.end());
+      }
       break;
     case Family::kClta:
       state.has_window = true;
@@ -635,6 +803,31 @@ void DetectorBank::restore_state(std::size_t lane, const DetectorState& state) {
   REJUV_EXPECT(state.algorithm == name(lane), "checkpoint algorithm mismatch: saved \"" +
                                                   state.algorithm + "\", restoring into \"" +
                                                   name(lane) + "\"");
+  if (family_ == Family::kAdaptive) {
+    // Adaptive::restore_state's extension validation, verbatim; the active
+    // baseline must land in mu_/sigma_ before the shared tail recomputes
+    // the lane's target against it.
+    REJUV_EXPECT(state.extra_tag == "Adaptive.v1",
+                 "Adaptive checkpoint extension tag mismatch: \"" + state.extra_tag + "\"");
+    REJUV_EXPECT(state.extra_u64.size() == 3, "Adaptive checkpoint needs 3 counters");
+    const std::uint64_t history_size = state.extra_u64[1];
+    REJUV_EXPECT(history_size <= shift_h_[lane], "Adaptive checkpoint history overflows h");
+    REJUV_EXPECT(static_cast<double>(state.extra_u64[0]) < shift_w_[lane],
+                 "Adaptive checkpoint window fill out of range");
+    REJUV_EXPECT(state.extra_f64.size() == 4 + 2 * history_size,
+                 "Adaptive checkpoint payload size mismatch");
+    shift_count_[lane] = static_cast<double>(state.extra_u64[0]);
+    recalibrations_[lane] = state.extra_u64[2];
+    shift_sum_[lane] = state.extra_f64[0];
+    shift_sumsq_[lane] = state.extra_f64[1];
+    const Baseline active{state.extra_f64[2], state.extra_f64[3]};
+    validate(active);
+    mu_[lane] = active.mean;
+    sigma_[lane] = active.stddev;
+    const double* history = state.extra_f64.data() + 4;
+    shift_means_[lane].assign(history, history + history_size);
+    shift_vars_[lane].assign(history + history_size, history + 2 * history_size);
+  }
   const bool has_cascade = family_ != Family::kClta;
   const bool has_window = family_ != Family::kStatic;
   if (has_cascade) {
@@ -687,6 +880,22 @@ void DetectorBank::reset(std::size_t lane) {
       count_[lane] = 0.0;
       sum_[lane] = 0.0;
       wcur_[lane] = wnext_[lane];
+      break;
+    case Family::kAdaptive:
+      // Adaptive::reset — configured baseline back in force, shift monitor
+      // cleared, a fresh inner SRAA (which is why last_avg_ drops to 0 here
+      // but survives the other families' resets).
+      mu_[lane] = cfg_mu_[lane];
+      sigma_[lane] = cfg_sigma_[lane];
+      recalibrations_[lane] = 0;
+      clear_shift_state(lane);
+      bucket_[lane] = 0.0;
+      fill_[lane] = 0.0;
+      count_[lane] = 0.0;
+      sum_[lane] = 0.0;
+      wcur_[lane] = static_cast<double>(norig_[lane]);
+      wnext_[lane] = wcur_[lane];
+      last_avg_[lane] = 0.0;
       break;
   }
   refresh_target(lane);

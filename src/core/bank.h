@@ -5,7 +5,7 @@
 // response-time streams, each with its own detector instance, advanced in
 // lockstep as interleaved batches arrive. A bank packs the per-instance
 // state of N detectors of one family (Static, SRAA, SARAA, SARAA-noaccel,
-// CLTA) into contiguous arrays — running window sums, block counts, bucket
+// CLTA, Adaptive) into contiguous arrays — running window sums, block counts, bucket
 // pointers, fill counters, cached targets — and advances all lanes per
 // input row with the vectorizable kernels in bank_simd.h (portable
 // autovectorizing loops, plus AVX2/NEON intrinsics behind REJUV_SIMD,
@@ -54,11 +54,16 @@ struct BankTrigger {
 
 class DetectorBank {
  public:
-  /// The detector families a bank can hold.
-  enum class Family { kStatic, kSraa, kSaraa, kClta };
+  /// The detector families a bank can hold. Adaptive lanes run the SRAA
+  /// window-cascade kernel plus a per-row shift-monitor pass: the hot
+  /// accumulators (window sum/sumsq/count) advance with the row, and the
+  /// rare window-completion work — history update, Mann-Kendall vote,
+  /// baseline recalibration — runs the exact scalar Adaptive logic per
+  /// lane, so recalibrated lanes stay bit-identical to the scalar twin.
+  enum class Family { kStatic, kSraa, kSaraa, kClta, kAdaptive };
 
-  /// An empty bank for `family` ("Static", "SRAA", "SARAA", "SARAA-noaccel"
-  /// or "CLTA"; case-insensitive like the registry). Throws
+  /// An empty bank for `family` ("Static", "SRAA", "SARAA", "SARAA-noaccel",
+  /// "CLTA" or "Adaptive"; case-insensitive like the registry). Throws
   /// std::invalid_argument for unsupported families.
   explicit DetectorBank(std::string_view family);
 
@@ -136,7 +141,11 @@ class DetectorBank {
   enum class Transition { kNone, kEscalated, kDeescalated, kTriggered };
 
   Decision step(std::size_t lane, double value, obs::Tracer* tracer);
+  Decision sraa_step(std::size_t lane, double value, obs::Tracer* tracer);
   Transition cascade_step(std::size_t lane, bool exceeded);
+  void adaptive_post_row(const double* row, std::uint32_t any);
+  void clear_shift_state(std::size_t lane);
+  void complete_shift_window(std::size_t lane);
   void refresh_target(std::size_t lane);
   void advance_row(const double* row);
   void fixup_changed_lanes();
@@ -156,6 +165,21 @@ class DetectorBank {
   std::vector<std::int64_t> depth_i_;
   std::vector<double> zq_;  ///< CLTA quantile z
   std::vector<std::uint64_t> cur_n_;  ///< SARAA schedule-controlled n
+
+  // Adaptive-only lanes (filled when family_ == kAdaptive; mu_/sigma_ then
+  // hold the *active* baseline, recalibrated on workload shifts, and these
+  // keep the configured one for reset()).
+  std::vector<double> cfg_mu_;
+  std::vector<double> cfg_sigma_;
+  std::vector<double> shift_w_;          ///< w, exact small integer
+  std::vector<double> shift_t_;          ///< t, grand-mean departure in sigma
+  std::vector<std::uint64_t> shift_h_;   ///< h, trend-vote history length
+  std::vector<double> shift_count_;      ///< shift window fill (hot)
+  std::vector<double> shift_sum_;        ///< shift window sum (hot)
+  std::vector<double> shift_sumsq_;      ///< shift window sum of squares (hot)
+  std::vector<std::vector<double>> shift_means_;  ///< completed-window means, oldest first
+  std::vector<std::vector<double>> shift_vars_;   ///< completed-window variances
+  std::vector<std::uint64_t> recalibrations_;
 
   // Hot SoA state: exact small integers stored as doubles so one kernel
   // shape (add/div/compare/blend on pd vectors) covers every family.

@@ -147,6 +147,11 @@ std::string to_json(const ShardCheckpoint& checkpoint) {
   line += ",\"shard\":" + std::to_string(checkpoint.shard);
   line += ",\"shards\":" + std::to_string(checkpoint.shard_count);
   line += ",\"tsa\":" + std::to_string(checkpoint.triggers_since_action);
+  // Fleet-mode external stream id; absent on classic per-shard records so
+  // those stay byte-identical to the PR 3 format.
+  if (checkpoint.stream_id) {
+    line += ",\"sid\":" + std::to_string(*checkpoint.stream_id);
+  }
   line += ",\"obs\":" + std::to_string(controller.observations);
   line += ",\"cooldown\":" + std::to_string(controller.cooldown_remaining);
   line += ",\"triggers\":\"" + join_u64(controller.trigger_indices) + "\"";
@@ -250,6 +255,8 @@ std::optional<ShardCheckpoint> parse_checkpoint_line(std::string_view line) {
       checkpoint.shard_count = static_cast<std::uint32_t>(*number);
     } else if (*key == "tsa") {
       checkpoint.triggers_since_action = static_cast<std::uint64_t>(*number);
+    } else if (*key == "sid") {
+      checkpoint.stream_id = static_cast<std::uint32_t>(*number);
     } else if (*key == "obs") {
       controller.observations = static_cast<std::uint64_t>(*number);
     } else if (*key == "cooldown") {
@@ -290,11 +297,18 @@ std::optional<ShardCheckpoint> parse_checkpoint_line(std::string_view line) {
   return checkpoint;
 }
 
-CheckpointWriter::CheckpointWriter(const std::string& path) : path_(path) {
+CheckpointWriter::CheckpointWriter(const std::string& path, std::uint64_t compact_threshold_bytes)
+    : path_(path), compact_threshold_(compact_threshold_bytes),
+      next_compact_(compact_threshold_bytes) {
   file_ = std::fopen(path.c_str(), "a");
   if (file_ == nullptr) {
     throw std::invalid_argument("cannot open checkpoint journal for append: " + path);
   }
+  // "a" positions writes at the end but reports offset 0 until the first
+  // write; seek explicitly so bytes_ reflects a pre-existing journal.
+  std::fseek(file_, 0, SEEK_END);
+  const long size = std::ftell(file_);
+  if (size > 0) bytes_ = static_cast<std::uint64_t>(size);
 }
 
 CheckpointWriter::~CheckpointWriter() {
@@ -306,6 +320,40 @@ void CheckpointWriter::append(const ShardCheckpoint& checkpoint) {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);
+  bytes_ += line.size();
+  if (compact_threshold_ > 0 && bytes_ >= next_compact_) compact_locked();
+}
+
+void CheckpointWriter::compact_locked() {
+  // Everything is flushed, so re-reading the journal sees every record; the
+  // last valid line per shard is exactly the live set.
+  const std::vector<ShardCheckpoint> live = read_latest_checkpoints(path_);
+  const std::string tmp_path = path_ + ".compact.tmp";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "w");
+  if (tmp == nullptr) return;  // can't compact now; append path still works
+  std::uint64_t live_bytes = 0;
+  for (const ShardCheckpoint& record : live) {
+    const std::string line = to_json(record) + "\n";
+    std::fwrite(line.data(), 1, line.size(), tmp);
+    live_bytes += line.size();
+  }
+  std::fflush(tmp);
+  std::fclose(tmp);
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return;
+  }
+  std::FILE* reopened = std::fopen(path_.c_str(), "a");
+  if (reopened == nullptr) return;  // keep the old handle (now unlinked inode)
+  std::fclose(file_);
+  file_ = reopened;
+  const std::uint64_t before = bytes_;
+  bytes_ = live_bytes;
+  ++compactions_;
+  // A journal that is mostly live would otherwise trip on every append;
+  // back off to twice the live size so rewrites stay amortized O(1).
+  next_compact_ = std::max(compact_threshold_, live_bytes * 2);
+  if (hook_) hook_(live.size(), before, live_bytes);
 }
 
 std::vector<ShardCheckpoint> read_latest_checkpoints(const std::string& path) {

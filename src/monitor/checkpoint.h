@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -23,7 +24,11 @@
 
 namespace rejuv::monitor {
 
-/// One shard's checkpoint record.
+/// One shard's checkpoint record. Fleet mode reuses the format with
+/// shard = dense stream id and the external stream id in `stream_id`
+/// ("sid" on the wire); the key is emitted only when set, so classic
+/// per-shard records stay byte-identical to the PR 3 format and old
+/// readers simply ignore it.
 struct ShardCheckpoint {
   std::uint32_t version = core::kCheckpointVersion;
   std::string spec;                 ///< detector spec, for identity checks
@@ -31,6 +36,10 @@ struct ShardCheckpoint {
   std::uint32_t shard_count = 1;    ///< topology at save time
   std::uint64_t triggers_since_action = 0;  ///< hysteresis accumulator
   core::ControllerState controller;
+  /// Fleet mode: the external (wire) stream id behind this record's dense
+  /// id (`shard` holds the dense id there). Emitted as "sid" only when set,
+  /// so single-monitor journals stay byte-identical to PR 3.
+  std::optional<std::uint32_t> stream_id;
 };
 
 /// Serializes a record to one JSON line (no trailing newline).
@@ -42,10 +51,25 @@ std::optional<ShardCheckpoint> parse_checkpoint_line(std::string_view line);
 
 /// Append-only journal writer; append() is thread-safe (shard workers
 /// checkpoint concurrently) and flushes each record.
+///
+/// With a compaction threshold set, the writer bounds journal growth: once
+/// the file exceeds the threshold it is rewritten to only the last valid
+/// record per shard (tmp file + atomic rename, so a crash mid-compaction
+/// leaves either the old or the new journal, never a mix). A journal whose
+/// live set alone exceeds the threshold raises the next trip point to twice
+/// the live size, keeping the rewrite cost amortized O(1) per append.
+/// Compaction round-trips records through parse + to_json, which is
+/// byte-identical for every line this writer (or the PR 3 one) emits.
 class CheckpointWriter {
  public:
+  /// Called after each compaction with (live records kept, journal bytes
+  /// before, journal bytes after). Invoked under the writer lock — keep it
+  /// cheap and reentrancy-free.
+  using CompactionHook = std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>;
+
   /// Opens `path` for appending; throws std::invalid_argument on failure.
-  explicit CheckpointWriter(const std::string& path);
+  /// `compact_threshold_bytes` = 0 disables compaction (the PR 3 behavior).
+  explicit CheckpointWriter(const std::string& path, std::uint64_t compact_threshold_bytes = 0);
   ~CheckpointWriter();
 
   CheckpointWriter(const CheckpointWriter&) = delete;
@@ -54,11 +78,21 @@ class CheckpointWriter {
   void append(const ShardCheckpoint& checkpoint);
 
   const std::string& path() const noexcept { return path_; }
+  std::uint64_t compactions() const noexcept { return compactions_; }
+  void set_compaction_hook(CompactionHook hook) { hook_ = std::move(hook); }
 
  private:
+  /// Rewrites the journal to the live set; called with mutex_ held.
+  void compact_locked();
+
   std::string path_;
   std::FILE* file_ = nullptr;
   std::mutex mutex_;
+  std::uint64_t bytes_ = 0;            ///< current journal size
+  std::uint64_t compact_threshold_ = 0;
+  std::uint64_t next_compact_ = 0;     ///< adaptive trip point
+  std::uint64_t compactions_ = 0;
+  CompactionHook hook_;
 };
 
 /// Scans the journal and returns the last valid record of each shard,

@@ -93,7 +93,7 @@ Monitor::Monitor(MonitorConfig config) : config_(std::move(config)) {
                "checkpoint interval needs a checkpoint path");
   if (config_.use_bank) {
     REJUV_EXPECT(core::DetectorBank::supports(config_.detector),
-                 "bank mode supports the Static/SRAA/SARAA/CLTA families; \"" +
+                 "bank mode supports the Static/SRAA/SARAA/CLTA/Adaptive families; \"" +
                      config_.detector.family() + "\" has no bank kernel");
     REJUV_EXPECT(config_.calibrate == 0,
                  "bank mode does not support baseline calibration (--calibrate)");

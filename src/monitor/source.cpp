@@ -2,11 +2,13 @@
 
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -300,7 +302,27 @@ Source::Status TcpSource::next_line(std::string& line, std::chrono::milliseconds
     if (client_fd_ < 0) {
       if (!wait_readable(listen_fd_, timeout)) return Status::kTimeout;
       client_fd_ = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-      if (client_fd_ < 0) return Status::kTimeout;
+      if (client_fd_ < 0) {
+        if (errno == EMFILE || errno == ENFILE) {
+          // Descriptor exhaustion: the listener stays readable, so without
+          // a pause this loop would spin at 100% CPU retrying accept.
+          // Surface the condition through the error counter and back off
+          // (doubling, capped) until descriptors free up.
+          last_error_ = std::string("tcp accept deferred: ") + std::strerror(errno);
+          ++stats_.errors;
+          std::this_thread::sleep_for(std::min(timeout, accept_backoff_));
+          accept_backoff_ = std::min(accept_backoff_ * 2, std::chrono::milliseconds{2000});
+        }
+        return Status::kTimeout;
+      }
+      accept_backoff_ = std::chrono::milliseconds{100};
+      // Reporters send one small line per observation; leaving Nagle on
+      // would batch them on the sender's side of loopback tests and delay
+      // detection by an RTT. SO_REUSEADDR mirrors the listener so a fast
+      // monitor restart can rebind while old client sockets linger.
+      const int enable = 1;
+      ::setsockopt(client_fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+      ::setsockopt(client_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
       // Every accepted client after the first is a reporter coming back
       // (or a replacement); that is the monitor's reconnect event.
       if (clients_served_ > 0) ++stats_.reconnects;

@@ -202,6 +202,9 @@ class TcpSource final : public Source {
   int listen_fd_ = -1;
   int client_fd_ = -1;
   std::uint64_t clients_served_ = 0;
+  /// Wait before retrying accept after fd exhaustion (EMFILE/ENFILE);
+  /// doubles per consecutive failure, resets on a successful accept.
+  std::chrono::milliseconds accept_backoff_{100};
   SourceStats stats_;
   std::string last_error_;
   LineSplitter splitter_;

@@ -1,0 +1,225 @@
+#include "monitor/wire.h"
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace rejuv::monitor::wire {
+
+namespace {
+
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+void append_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint16_t load_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t load_u32(const unsigned char* p) {
+  return p[0] | (std::uint32_t{p[1]} << 8) | (std::uint32_t{p[2]} << 16) |
+         (std::uint32_t{p[3]} << 24);
+}
+
+double load_f64(const unsigned char* p) {
+  std::uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i) bits = (bits << 8) | p[i];
+  double value;
+  static_assert(sizeof(value) == sizeof(bits));
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+void append_preamble(std::string& out) {
+  out.push_back(static_cast<char>(kMagic[0]));
+  out.push_back(static_cast<char>(kMagic[1]));
+  out.push_back(static_cast<char>(kMagic[2]));
+  out.push_back(static_cast<char>(kVersion));
+}
+
+void append_observation(std::string& out, std::uint32_t stream_id, double value) {
+  append_u16(out, static_cast<std::uint16_t>(kObservationPayloadSize));
+  out.push_back(static_cast<char>(kFrameObservation));
+  append_u32(out, stream_id);
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  append_u64(out, bits);
+}
+
+bool parse_protocol(const std::string& name, Protocol& out) {
+  if (name == "auto") {
+    out = Protocol::kAuto;
+  } else if (name == "binary") {
+    out = Protocol::kBinary;
+  } else if (name == "text") {
+    out = Protocol::kText;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kAuto:
+      return "auto";
+    case Protocol::kBinary:
+      return "binary";
+    case Protocol::kText:
+      return "text";
+  }
+  return "auto";
+}
+
+bool StreamDecoder::fail(std::string message) {
+  error_ = std::move(message);
+  carry_.clear();
+  return false;
+}
+
+bool StreamDecoder::feed(const char* data, std::size_t size, std::vector<Record>& out) {
+  if (failed()) return false;
+  if (size == 0) return true;
+  if (mode_ == Protocol::kAuto) {
+    mode_ = (static_cast<unsigned char>(data[0]) == kMagic[0]) ? Protocol::kBinary
+                                                               : Protocol::kText;
+  }
+  if (mode_ == Protocol::kBinary) return feed_binary(data, size, out);
+  feed_text(data, size, out);
+  return true;
+}
+
+bool StreamDecoder::feed_binary(const char* data, std::size_t size, std::vector<Record>& out) {
+  if (!preamble_done_) {
+    while (carry_.size() < kPreambleSize && size > 0) {
+      carry_.push_back(*data++);
+      --size;
+    }
+    if (carry_.size() < kPreambleSize) return true;
+    const auto* p = reinterpret_cast<const unsigned char*>(carry_.data());
+    if (p[0] != kMagic[0] || p[1] != kMagic[1] || p[2] != kMagic[2]) {
+      return fail("bad magic header");
+    }
+    if (p[3] != kVersion) {
+      return fail("unsupported wire version " + std::to_string(p[3]));
+    }
+    carry_.clear();
+    preamble_done_ = true;
+  }
+
+  // Drain a partial frame carried over from the previous feed first. Pull in
+  // just enough bytes to finish it, so the bulk of `data` still parses in
+  // place.
+  if (!carry_.empty()) {
+    while (size > 0) {
+      if (carry_.size() >= 2) {
+        const std::uint16_t length =
+            load_u16(reinterpret_cast<const unsigned char*>(carry_.data()));
+        // Invalid lengths fail in parse_frames without needing the payload.
+        if (length == 0 || length > kMaxPayloadSize) break;
+        if (carry_.size() >= 2 + static_cast<std::size_t>(length)) break;
+      }
+      carry_.push_back(*data++);
+      --size;
+    }
+    const std::size_t consumed = parse_frames(carry_.data(), carry_.size(), out);
+    if (consumed == kNpos) return false;
+    carry_.erase(0, consumed);
+    if (!carry_.empty()) return true;  // `data` exhausted mid-frame again
+  }
+
+  const std::size_t consumed = parse_frames(data, size, out);
+  if (consumed == kNpos) return false;
+  carry_.assign(data + consumed, size - consumed);
+  return true;
+}
+
+std::size_t StreamDecoder::parse_frames(const char* data, std::size_t size,
+                                        std::vector<Record>& out) {
+  std::size_t offset = 0;
+  while (size - offset >= 2) {
+    const auto* p = reinterpret_cast<const unsigned char*>(data + offset);
+    const std::uint16_t length = load_u16(p);
+    if (length == 0) {
+      fail("zero-length frame");
+      return kNpos;
+    }
+    if (length > kMaxPayloadSize) {
+      fail("oversized frame: payload of " + std::to_string(length) + " bytes");
+      return kNpos;
+    }
+    if (size - offset < 2 + static_cast<std::size_t>(length)) break;
+    const std::uint8_t type = p[2];
+    if (type != kFrameObservation) {
+      fail("unknown frame type " + std::to_string(type));
+      return kNpos;
+    }
+    if (length != kObservationPayloadSize) {
+      fail("bad observation frame: payload of " + std::to_string(length) + " bytes");
+      return kNpos;
+    }
+    Record record;
+    record.stream_id = load_u32(p + 3);
+    record.value = load_f64(p + 7);
+    out.push_back(record);
+    ++frames_;
+    offset += 2 + length;
+  }
+  return offset;
+}
+
+void StreamDecoder::feed_text(const char* data, std::size_t size, std::vector<Record>& out) {
+  splitter_.feed(data, size);
+  std::string line;
+  while (splitter_.pop(line)) {
+    const ParsedLine parsed = parse_observation(line);
+    if (parsed.kind == ParsedLine::Kind::kObservation) {
+      out.push_back(Record{default_stream_id_, parsed.value});
+      ++lines_;
+    } else if (parsed.kind == ParsedLine::Kind::kMalformed) {
+      ++malformed_;
+    }
+  }
+}
+
+bool StreamDecoder::finish(std::vector<Record>& out) {
+  if (failed()) return false;
+  if (mode_ != Protocol::kBinary) {
+    splitter_.finish();
+    std::string line;
+    while (splitter_.pop(line)) {
+      const ParsedLine parsed = parse_observation(line);
+      if (parsed.kind == ParsedLine::Kind::kObservation) {
+        out.push_back(Record{default_stream_id_, parsed.value});
+        ++lines_;
+      } else if (parsed.kind == ParsedLine::Kind::kMalformed) {
+        ++malformed_;
+      }
+    }
+    return true;
+  }
+  if (!carry_.empty() || !preamble_done_) {
+    if (preamble_done_ || !carry_.empty()) ++truncated_;
+    carry_.clear();
+  }
+  return true;
+}
+
+}  // namespace rejuv::monitor::wire

@@ -1,0 +1,119 @@
+// Compact binary wire protocol for fleet-scale ingestion.
+//
+// A fleet reporter opens a connection, writes a 4-byte versioned magic
+// header, then streams length-prefixed frames:
+//
+//   preamble   [0xF5 'R' 'J'] [u8 version]          (4 bytes, once)
+//   frame      [u16 payload length, LE] [payload]
+//   payload    [u8 frame type] [type-specific body]
+//   type 0x01  observation: [u32 stream id, LE] [f64 response time, LE]
+//              (payload length = 13)
+//
+// The first magic byte 0xF5 is deliberately outside ASCII, so a connection's
+// very first byte decides the protocol: 0xF5 means binary, anything else
+// means the PR 2 text protocol (one number or JSONL trace line per '\n');
+// old clients keep working without a flag. StreamDecoder implements that
+// auto-detection plus torn-frame reassembly: it parses frames zero-copy
+// straight out of the caller's recv buffer and only copies the sub-frame
+// tail (at most one partial frame) between feeds.
+//
+// Errors are sticky and fatal per connection: a bad magic, an oversized or
+// undersized length, or an unknown frame type poisons the decoder (error()
+// says why) and the fleet engine drops the connection — a framing bug never
+// desynchronizes into garbage observations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/source.h"
+
+namespace rejuv::monitor::wire {
+
+inline constexpr unsigned char kMagic[3] = {0xF5, 'R', 'J'};
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kPreambleSize = 4;
+
+inline constexpr std::uint8_t kFrameObservation = 0x01;
+/// Observation payload: type byte + u32 stream id + f64 value.
+inline constexpr std::size_t kObservationPayloadSize = 13;
+/// Frames above this payload length are rejected as a framing error. Far
+/// above any defined frame, far below anything that could starve the recv
+/// buffer.
+inline constexpr std::size_t kMaxPayloadSize = 256;
+
+/// One decoded observation.
+struct Record {
+  std::uint32_t stream_id = 0;
+  double value = 0.0;
+};
+
+/// Appends the 4-byte connection preamble (magic + version) to `out`.
+void append_preamble(std::string& out);
+
+/// Appends one observation frame for (stream_id, value) to `out`.
+void append_observation(std::string& out, std::uint32_t stream_id, double value);
+
+/// Wire protocol selection for a connection (or a whole listener).
+enum class Protocol {
+  kAuto,    ///< first byte decides: 0xF5 = binary, else text
+  kBinary,  ///< preamble + frames required
+  kText,    ///< PR 2 text lines only (binary magic is a malformed line)
+};
+
+/// Parses "auto" | "binary" | "text"; returns false on anything else.
+bool parse_protocol(const std::string& name, Protocol& out);
+const char* protocol_name(Protocol protocol);
+
+/// Incremental per-connection decoder with text/binary auto-detection.
+///
+/// Text observations carry no stream id on the wire (one text connection is
+/// one stream), so they are stamped with `default_stream_id`.
+class StreamDecoder {
+ public:
+  explicit StreamDecoder(Protocol mode = Protocol::kAuto, std::uint32_t default_stream_id = 0)
+      : mode_(mode), default_stream_id_(default_stream_id) {}
+
+  /// Consumes `size` bytes, appending every completed observation to `out`.
+  /// Returns false once the connection is poisoned by a protocol error (the
+  /// offending and all subsequent bytes are discarded; error() explains).
+  bool feed(const char* data, std::size_t size, std::vector<Record>& out);
+
+  /// Declares end-of-stream: an unterminated final text line is flushed to
+  /// `out`; binary bytes short of a full frame are counted as truncated.
+  bool finish(std::vector<Record>& out);
+
+  /// The resolved protocol (kAuto until the first byte arrives).
+  Protocol protocol() const noexcept { return mode_; }
+  bool failed() const noexcept { return !error_.empty(); }
+  const std::string& error() const noexcept { return error_; }
+
+  std::uint64_t frames_decoded() const noexcept { return frames_; }
+  std::uint64_t lines_decoded() const noexcept { return lines_; }
+  std::uint64_t malformed_lines() const noexcept { return malformed_; }
+  /// 1 when the stream ended mid-frame (binary only).
+  std::uint64_t truncated_frames() const noexcept { return truncated_; }
+
+ private:
+  bool fail(std::string message);
+  bool feed_binary(const char* data, std::size_t size, std::vector<Record>& out);
+  void feed_text(const char* data, std::size_t size, std::vector<Record>& out);
+  /// Parses complete frames from [data, data+size); returns bytes consumed,
+  /// or npos on a protocol error.
+  std::size_t parse_frames(const char* data, std::size_t size, std::vector<Record>& out);
+
+  Protocol mode_;
+  std::uint32_t default_stream_id_;
+  bool preamble_done_ = false;
+  std::string carry_;  ///< partial preamble or frame between feeds
+  LineSplitter splitter_;
+  std::string error_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t lines_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t truncated_ = 0;
+};
+
+}  // namespace rejuv::monitor::wire

@@ -7,7 +7,7 @@ namespace rejuv::obs {
 
 namespace {
 
-constexpr std::array<std::pair<EventType, std::string_view>, 33> kNames{{
+constexpr std::array<std::pair<EventType, std::string_view>, 38> kNames{{
     {EventType::kRunStart, "run_start"},
     {EventType::kRunEnd, "run_end"},
     {EventType::kTransactionCompleted, "txn"},
@@ -41,6 +41,11 @@ constexpr std::array<std::pair<EventType, std::string_view>, 33> kNames{{
     {EventType::kNodeRetry, "node_retry"},
     {EventType::kNodeRepair, "node_repair"},
     {EventType::kRejuvenationDeferred, "rejuv_deferred"},
+    {EventType::kConnectionAccepted, "conn_open"},
+    {EventType::kConnectionClosed, "conn_close"},
+    {EventType::kStreamOpened, "stream_open"},
+    {EventType::kProtocolError, "protocol_error"},
+    {EventType::kJournalCompacted, "journal_compact"},
 }};
 
 }  // namespace

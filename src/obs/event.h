@@ -57,6 +57,15 @@ enum class EventType : std::uint8_t {
   kNodeRepair,             ///< crashed host repaired + state restored; value = repair (s)
   kRejuvenationDeferred,   ///< budget exhausted; value = queue depth after the
                            ///< deferral, bucket = escalation level at deferral
+  // --- Fleet ingestion (rejuv-monitor --fleet) events ---
+  kConnectionAccepted,     ///< fleet listener accepted a client; value = live connections
+  kConnectionClosed,       ///< client hung up; value = frames decoded over its life
+  kStreamOpened,           ///< first observation for a stream id; value = external
+                           ///< stream id, rep = shard the stream was routed to
+  kProtocolError,          ///< malformed binary frame / bad magic; note = reason,
+                           ///< value = total protocol errors so far
+  kJournalCompacted,       ///< checkpoint journal rewritten; value = live records
+                           ///< kept, average = bytes before, target = bytes after
 };
 
 /// Stable wire name, e.g. "txn" for kTransactionCompleted.

@@ -325,6 +325,49 @@ class Tracer {
     emit(std::move(event));
   }
 
+  // --- Fleet ingestion events (rejuv-monitor --fleet) ---
+  void connection_accepted(std::uint64_t live_connections) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kConnectionAccepted;
+    event.value = static_cast<double>(live_connections);
+    emit(std::move(event));
+  }
+  void connection_closed(std::uint64_t frames_decoded) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kConnectionClosed;
+    event.value = static_cast<double>(frames_decoded);
+    emit(std::move(event));
+  }
+  /// `shard` lands in the rep field, like observation_dropped.
+  void stream_opened(std::uint32_t shard, std::uint64_t external_id) {
+    if (sink_ == nullptr) return;
+    rep_ = shard;
+    TraceEvent event;
+    event.type = EventType::kStreamOpened;
+    event.value = static_cast<double>(external_id);
+    emit(std::move(event));
+  }
+  void protocol_error(const std::string& reason, std::uint64_t total_errors) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kProtocolError;
+    event.value = static_cast<double>(total_errors);
+    event.note = reason;
+    emit(std::move(event));
+  }
+  void journal_compacted(std::uint64_t live_records, std::uint64_t bytes_before,
+                         std::uint64_t bytes_after) {
+    if (sink_ == nullptr) return;
+    TraceEvent event;
+    event.type = EventType::kJournalCompacted;
+    event.value = static_cast<double>(live_records);
+    event.average = static_cast<double>(bytes_before);
+    event.target = static_cast<double>(bytes_after);
+    emit(std::move(event));
+  }
+
  private:
   TraceSink* sink_ = nullptr;
   std::uint64_t seq_ = 0;

@@ -43,7 +43,7 @@ constexpr std::uint64_t kRootSeed = 0xBA2'5EEDULL;
 constexpr int kConfigsPerFamily = 30;
 constexpr std::size_t kStreamLength = 300;
 
-const char* const kFamilies[] = {"Static", "SRAA", "SARAA", "SARAA-noaccel", "CLTA"};
+const char* const kFamilies[] = {"Static", "SRAA", "SARAA", "SARAA-noaccel", "CLTA", "Adaptive"};
 
 /// Lane counts cycling through ragged shapes: below, at, and straddling the
 /// 4-wide AVX2 vector width, plus a larger bank with a 3-lane tail.
@@ -58,6 +58,12 @@ core::DetectorConfig random_config(std::string_view family, common::RngStream& r
   if (config.has("K")) config.set("K", count(1.0, 7.0));
   if (config.has("D")) config.set("D", count(1.0, 6.0));
   if (config.has("z")) config.set("z", 0.25 + 2.75 * rng.uniform01());
+  // Adaptive's shift monitor: small w/h so the 300-observation streams
+  // complete many shift windows, and a permissive t so the shifted streams
+  // actually recalibrate lanes mid-run.
+  if (config.has("w")) config.set("w", count(2.0, 9.0));
+  if (config.has("t")) config.set("t", 0.5 + 2.0 * rng.uniform01());
+  if (config.has("h")) config.set("h", count(3.0, 7.0));
   config.baseline.mean = 2.0 + 6.0 * rng.uniform01();
   config.baseline.stddev = 0.5 + 5.0 * rng.uniform01();
   return config;
@@ -336,10 +342,10 @@ TEST_P(BankDifferential, MidStreamCheckpointSplitResume) {
       scalar_twin.observe_all(std::span(c.streams[lane]).subspan(0, cut));
       monitor::ShardCheckpoint bank_record{
           core::kCheckpointVersion, "spec", static_cast<std::uint32_t>(lane),
-          static_cast<std::uint32_t>(c.lane_count), 0, saved};
+          static_cast<std::uint32_t>(c.lane_count), 0, saved, {}};
       monitor::ShardCheckpoint scalar_record{
           core::kCheckpointVersion, "spec", static_cast<std::uint32_t>(lane),
-          static_cast<std::uint32_t>(c.lane_count), 0, scalar_twin.save_state()};
+          static_cast<std::uint32_t>(c.lane_count), 0, scalar_twin.save_state(), {}};
       EXPECT_EQ(monitor::to_json(bank_record), monitor::to_json(scalar_record))
           << c.family << " lane " << lane << " cut " << cut;
       resumed.restore_state(lane, saved);
@@ -431,10 +437,10 @@ TEST(BankSimd, SupportsExactlyTheBankableFamilies) {
   EXPECT_TRUE(core::DetectorBank::supports("SARAA"));
   EXPECT_TRUE(core::DetectorBank::supports("SARAA-noaccel"));
   EXPECT_TRUE(core::DetectorBank::supports("CLTA"));
+  EXPECT_TRUE(core::DetectorBank::supports("Adaptive"));
   EXPECT_FALSE(core::DetectorBank::supports("None"));
-  EXPECT_FALSE(core::DetectorBank::supports("Adaptive"));
   EXPECT_FALSE(core::DetectorBank::supports("NoSuchFamily"));
-  EXPECT_THROW(core::DetectorBank bank("Adaptive"), std::invalid_argument);
+  EXPECT_THROW(core::DetectorBank bank("EDiv"), std::invalid_argument);
 }
 
 }  // namespace

@@ -90,14 +90,15 @@ TEST(BenchRunnerTest, SuiteAndFilterSelection) {
 }
 
 TEST(BenchRunnerTest, StandardSuitesCoverTheHotPaths) {
-  // The acceptance floor for rejuv-bench: at least 8 benchmarks across the
-  // detector, bank, sim, event-queue, exec, monitor, cluster and obs suites.
+  // The acceptance floor for rejuv-bench: at least 9 benchmarks across the
+  // detector, bank, sim, event-queue, exec, monitor, cluster, obs and
+  // ingestion suites.
   benchlib::Registry registry;
   benchlib::register_standard_suites(registry);
-  EXPECT_GE(registry.benchmarks().size(), 8u);
+  EXPECT_GE(registry.benchmarks().size(), 9u);
   EXPECT_EQ(registry.suites(),
             (std::vector<std::string>{"detector", "bank", "sim", "event_queue", "exec",
-                                      "monitor", "cluster", "obs"}));
+                                      "monitor", "cluster", "obs", "ingestion"}));
 }
 
 benchlib::BenchResult make_result(const std::string& name, double median_ns) {

@@ -21,6 +21,13 @@
 #                                       be byte-identical to the committed
 #                                       tests/golden/detector_specs.txt
 #                                       (default dir: build)
+#        tools/ci.sh fleet [build-dir]  fleet ingestion gate: the wire-protocol
+#                                       and fleet-engine suites (1k-stream
+#                                       smoke, text compatibility, 10k-stream
+#                                       kill-and-resume bit-exactness), a CLI
+#                                       fleet-mode smoke over a pipe, and the
+#                                       ingestion benches vs bench/baseline.json
+#                                       (default dir: build)
 #        tools/ci.sh bank [build-dir]   SoA bank bit-identity gate: the bank
 #                                       differential/fuzz/golden suites under
 #                                       ASan+UBSan, once with the SIMD kernels
@@ -145,6 +152,39 @@ if [ "${1:-}" = "bank" ]; then
     done
   done
   echo "==> ci.sh bank: all green"
+  exit 0
+fi
+
+# The fleet stage gates the fleet-scale ingestion path (docs/MONITORING.md):
+# the wire-protocol decoder suite (framing, torn frames, fuzz, text
+# auto-detect), the fleet engine suite (sequential-twin equivalence at 1k
+# observations, legacy text clients, deterministic logical-time traces, the
+# 10k-stream kill-and-resume bit-exactness check, journal compaction, and the
+# EMFILE accept-backoff regression), a CLI fleet-mode smoke over a pipe, and
+# the ingestion benches against the committed baseline so a wire-path or
+# stream-table regression fails loudly.
+if [ "${1:-}" = "fleet" ]; then
+  BUILD_DIR="${2:-build}"
+  GENERATOR_ARGS=()
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+    GENERATOR_ARGS=(-G Ninja)
+  fi
+  echo "==> fleet configure"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}"
+  echo "==> fleet build"
+  cmake --build "$BUILD_DIR" -j --target wire_test fleet_test \
+      rejuv_monitor_cli rejuv_bench_cli
+  echo "==> fleet run (wire protocol + engine suites)"
+  "$BUILD_DIR"/tests/wire_test
+  "$BUILD_DIR"/tests/fleet_test
+  echo "==> fleet CLI smoke (text lines over a pipe)"
+  seq 1 2000 | "$BUILD_DIR"/tools/rejuv-monitor --fleet \
+      --detector='SRAA(n=2,K=5,D=3)' --shards=2 > "$BUILD_DIR"/fleet_smoke.txt 2>&1
+  grep -q 'processed=2000' "$BUILD_DIR"/fleet_smoke.txt
+  echo "==> fleet ingestion benches + perf gate (quick mode, max-ratio 2.0)"
+  "$BUILD_DIR"/tools/rejuv-bench --suite=ingestion --quick \
+      --check=bench/baseline.json --max-ratio=2.0
+  echo "==> ci.sh fleet: all green"
   exit 0
 fi
 

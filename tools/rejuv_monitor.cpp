@@ -63,6 +63,24 @@
 //                          analyze with rejuv-trace
 //   --metrics              dump the metrics registry to stderr at the end
 //   --quiet                suppress per-action stdout lines
+//
+// Fleet mode (one process, 100k+ concurrent streams; docs/MONITORING.md):
+//   --fleet                epoll ingestion engine: every stream is a lane of
+//                          a per-shard SoA detector bank. --source must be
+//                          tcp:PORT (loopback listener, any number of
+//                          clients) or stdin. Honors --shards, --queue,
+//                          --cooldown, --drop, --max-obs, --checkpoint,
+//                          --checkpoint-every, --logical-time, --inline,
+//                          --trace, --metrics, --quiet
+//   --wire=MODE            auto | binary | text: the wire protocol accepted
+//                          on every connection. auto sniffs the first byte
+//                          (0xF5 = binary framing, else legacy text) [auto]
+//   --max-streams=N        bound on distinct streams; observations for
+//                          streams beyond it are counted and refused [2^20]
+//   --serve                keep running after every client disconnected
+//                          (default: stop once the sources are done)
+#include <unistd.h>
+
 #include <atomic>
 #include <csignal>
 #include <fstream>
@@ -76,9 +94,11 @@
 #include "core/spec.h"
 #include "faults/fault_plan.h"
 #include "faults/faulty_source.h"
+#include "monitor/fleet.h"
 #include "monitor/monitor.h"
 #include "monitor/source.h"
 #include "monitor/supervisor.h"
+#include "monitor/wire.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 
@@ -87,8 +107,12 @@ namespace {
 using namespace rejuv;
 
 std::atomic<bool> g_stop{false};
+monitor::FleetMonitor* g_fleet = nullptr;
 
-void handle_signal(int) { g_stop.store(true, std::memory_order_release); }
+void handle_signal(int) {
+  g_stop.store(true, std::memory_order_release);
+  if (g_fleet != nullptr) g_fleet->request_stop();  // atomic store: signal-safe
+}
 
 bool ends_with(const std::string& text, const std::string& suffix) {
   return text.size() >= suffix.size() &&
@@ -109,6 +133,95 @@ void parse_backoff(const std::string& text, monitor::BackoffPolicy& policy) {
   } else if (policy.max < policy.initial) {
     policy.max = policy.initial;
   }
+}
+
+/// --fleet: the epoll + SoA-bank ingestion engine (one process, 100k+
+/// concurrent streams). Shares the spec/trace/metrics flags with the classic
+/// engine; the source is either the loopback listener or stdin.
+int run_fleet(const common::Flags& flags) {
+  monitor::FleetConfig config;
+  config.detector = core::parse_spec(flags.get("detector").value_or("SRAA(n=2,K=5,D=3)"));
+  config.shards = static_cast<std::size_t>(flags.get_int("shards", 1));
+  config.queue_capacity = static_cast<std::size_t>(flags.get_int("queue", 65536));
+  config.cooldown_observations = static_cast<std::uint64_t>(flags.get_int("cooldown", 0));
+  config.drop_when_full = flags.has("drop");
+  config.max_streams = static_cast<std::size_t>(flags.get_int("max-streams", 1 << 20));
+  config.max_observations = static_cast<std::uint64_t>(flags.get_int("max-obs", 0));
+  config.checkpoint_path = flags.get("checkpoint").value_or("");
+  config.checkpoint_every = static_cast<std::uint64_t>(flags.get_int("checkpoint-every", 0));
+  config.logical_time = flags.has("logical-time");
+  config.inline_processing = flags.has("inline");
+  config.stop_when_sources_done = !flags.has("serve");
+
+  const std::string wire_mode = flags.get("wire").value_or("auto");
+  REJUV_EXPECT(monitor::wire::parse_protocol(wire_mode, config.protocol),
+               "--wire must be auto, binary or text, not \"" + wire_mode + "\"");
+
+  const std::string source_spec = flags.get("source").value_or("stdin");
+  if (source_spec == "stdin" || source_spec == "-") {
+    config.listen = false;
+    // The engine owns and closes its input fds; hand it a duplicate so fd 0
+    // itself stays open for the C runtime.
+    config.input_fds = {::dup(0)};
+    REJUV_EXPECT(config.input_fds[0] >= 0, "cannot duplicate stdin for fleet ingestion");
+  } else if (source_spec.rfind("tcp:", 0) == 0) {
+    config.listen = true;
+    config.port = static_cast<std::uint16_t>(std::stoi(source_spec.substr(4)));
+  } else {
+    REJUV_EXPECT(false, "--fleet ingests from tcp:PORT or stdin, not \"" + source_spec + "\"");
+  }
+
+  monitor::FleetMonitor engine(config);
+  g_fleet = &engine;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  if (!flags.has("quiet")) {
+    engine.set_action_callback([](const monitor::FleetAction& action) {
+      std::cout << "rejuvenate stream=" << action.stream_id << " dense=" << action.dense_id
+                << " obs=" << action.observation << "\n"
+                << std::flush;
+    });
+  }
+
+  std::ofstream trace_file;
+  std::unique_ptr<obs::TraceSink> trace_sink;
+  if (const auto trace_path = flags.get("trace")) {
+    trace_file.open(*trace_path);
+    REJUV_EXPECT(trace_file.is_open(), "cannot open --trace file: " + *trace_path);
+    if (ends_with(*trace_path, ".csv")) {
+      trace_sink = std::make_unique<obs::CsvSink>(trace_file);
+    } else {
+      trace_sink = std::make_unique<obs::JsonlSink>(trace_file);
+    }
+    engine.set_trace_sink(trace_sink.get());
+  }
+  obs::MetricsRegistry registry;
+  const bool want_metrics = flags.has("metrics");
+  if (want_metrics) engine.set_metrics(&registry);
+
+  std::cerr << "rejuv-monitor (fleet): " << core::describe(config.detector) << ", "
+            << config.shards << " shard(s), wire " << monitor::wire::protocol_name(config.protocol)
+            << ", up to " << config.max_streams << " streams, "
+            << (config.listen ? "listening on 127.0.0.1:" + std::to_string(engine.port())
+                              : std::string("reading stdin"))
+            << "\n";
+
+  const monitor::FleetStats stats = engine.run();
+  g_fleet = nullptr;
+
+  std::cerr << "connections=" << stats.connections_accepted << " frames=" << stats.frames
+            << " text_lines=" << stats.text_lines << " malformed=" << stats.malformed_lines
+            << " protocol_errors=" << stats.protocol_errors << "\n"
+            << "streams=" << stats.streams << " rejected=" << stats.streams_rejected
+            << " observations=" << stats.observations << " dropped=" << stats.dropped
+            << " processed=" << stats.processed << " triggers=" << stats.triggers << "\n";
+  if (!config.checkpoint_path.empty()) {
+    std::cerr << "checkpoints=" << stats.checkpoints << " compactions=" << stats.compactions
+              << " restored_streams=" << stats.restored_streams << "\n";
+  }
+  if (want_metrics) registry.write(std::cerr);
+  return 0;
 }
 
 }  // namespace
@@ -134,6 +247,8 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+
+    if (flags.has("fleet")) return run_fleet(flags);
 
     monitor::MonitorConfig config;
     config.detector =
